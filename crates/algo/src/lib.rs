@@ -1,0 +1,46 @@
+//! # minex-algo
+//!
+//! Distributed CONGEST algorithms built on low-congestion shortcuts — the
+//! algorithmic payoff of Haeupler–Li–Zuzic (PODC 2018):
+//!
+//! * [`partwise`] — the part-wise MIN aggregation primitive (Theorem 1's
+//!   engine), simulated faithfully with per-edge queueing so that measured
+//!   rounds reflect `O(b·d_T + c)`;
+//! * [`mst`] — Borůvka MST driven by shortcut aggregations (Corollary 1),
+//!   with Kruskal as the correctness reference;
+//! * [`baselines`] — the shortcut-free Borůvka and a
+//!   Garay–Kutten–Peleg-style `Õ(D + √n)` algorithm for the E6/E7
+//!   comparisons;
+//! * [`mincut`] — `(1+ε)`-approximate min-cut via greedy tree packing and
+//!   tree-respecting cuts, with exact Stoer–Wagner as reference;
+//! * [`pipeline`] — pipelined `O(depth + k)` convergecast/broadcast;
+//! * [`workloads`] — part-family generators for the experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use minex_algo::mst::{boruvka_mst, kruskal};
+//! use minex_congest::CongestConfig;
+//! use minex_core::construct::AutoCappedBuilder;
+//! use minex_graphs::{generators, WeightModel};
+//! use rand::SeedableRng;
+//!
+//! let g = generators::triangulated_grid(5, 5);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+//! let config = CongestConfig::for_nodes(g.n()).with_bandwidth(128);
+//! let outcome = boruvka_mst(&wg, &AutoCappedBuilder, config)?;
+//! assert_eq!(outcome.total_weight, kruskal(&wg).1);
+//! # Ok::<(), minex_congest::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baselines;
+pub mod components;
+pub mod mincut;
+pub mod mst;
+pub mod partwise;
+pub mod pipeline;
+pub mod workloads;

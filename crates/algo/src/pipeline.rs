@@ -1,0 +1,268 @@
+//! Pipelined tree convergecast and broadcast of keyed items.
+//!
+//! The classic `O(depth + k)` primitives behind the `Õ(D + √n)` baseline
+//! [GKP98, KP08]: `k` keyed items flow up (merging duplicates by minimum)
+//! or down a rooted spanning tree, one item per edge per round,
+//! smallest-key first.
+
+use std::collections::BTreeMap;
+
+use minex_congest::{run, CongestConfig, Ctx, NodeProgram, Payload, RunStats, SimError};
+use minex_graphs::{Graph, NodeId};
+
+/// Message of the pipelined primitives.
+#[derive(Debug, Clone)]
+pub enum PipeMsg {
+    /// A keyed item (key, value); costs `key_bits + value_bits`.
+    Item(u64, u64, usize),
+    /// Subtree-drained signal (1 bit).
+    Done,
+}
+
+impl Payload for PipeMsg {
+    fn bit_size(&self) -> usize {
+        match self {
+            PipeMsg::Item(_, _, bits) => *bits,
+            PipeMsg::Done => 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct UpNode {
+    parent: Option<NodeId>,
+    child_count: usize,
+    pending: BTreeMap<u64, u64>,
+    done_children: usize,
+    sent_done: bool,
+    item_bits: usize,
+}
+
+impl NodeProgram for UpNode {
+    type Msg = PipeMsg;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        for (_, msg) in ctx.inbox().to_vec() {
+            match msg {
+                PipeMsg::Item(k, v, _) => {
+                    let entry = self.pending.entry(k).or_insert(u64::MAX);
+                    if v < *entry {
+                        *entry = v;
+                    }
+                }
+                PipeMsg::Done => self.done_children += 1,
+            }
+        }
+        let Some(p) = self.parent else {
+            return; // the root only collects
+        };
+        if let Some((&k, &v)) = self.pending.iter().next() {
+            self.pending.remove(&k);
+            ctx.send(p, PipeMsg::Item(k, v, self.item_bits));
+        } else if self.done_children == self.child_count && !self.sent_done {
+            self.sent_done = true;
+            ctx.send(p, PipeMsg::Done);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        if self.parent.is_none() {
+            self.done_children == self.child_count
+        } else {
+            self.pending.is_empty() && (self.sent_done || self.done_children < self.child_count)
+        }
+    }
+}
+
+/// Pipelines every node's keyed items up the `parent`-encoded tree; returns
+/// the root's merged map (minimum value per key) after `O(depth + #keys)`
+/// rounds.
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn pipelined_convergecast(
+    g: &Graph,
+    parent: &[Option<NodeId>],
+    items: Vec<Vec<(u64, u64)>>,
+    item_bits: usize,
+    config: CongestConfig,
+) -> Result<(BTreeMap<u64, u64>, RunStats), SimError> {
+    assert_eq!(parent.len(), g.n(), "one parent entry per node");
+    assert_eq!(items.len(), g.n(), "one item list per node");
+    let mut child_count = vec![0usize; g.n()];
+    let mut root = None;
+    for v in 0..g.n() {
+        match parent[v] {
+            Some(p) => child_count[p] += 1,
+            None => root = Some(v),
+        }
+    }
+    let root = root.expect("tree needs a root");
+    let mut programs: Vec<UpNode> = items
+        .into_iter()
+        .enumerate()
+        .map(|(v, list)| {
+            let mut pending = BTreeMap::new();
+            for (k, val) in list {
+                let entry = pending.entry(k).or_insert(u64::MAX);
+                if val < *entry {
+                    *entry = val;
+                }
+            }
+            UpNode {
+                parent: parent[v],
+                child_count: child_count[v],
+                pending,
+                done_children: 0,
+                sent_done: false,
+                item_bits,
+            }
+        })
+        .collect();
+    let stats = run(g, &mut programs, config)?;
+    let collected = std::mem::take(&mut programs[root].pending);
+    Ok((collected, stats))
+}
+
+#[derive(Debug, Clone)]
+struct DownNode {
+    children: Vec<NodeId>,
+    /// Items yet to forward, per child (cursor into `received`).
+    cursor: Vec<usize>,
+    received: Vec<(u64, u64)>,
+    expected: Option<usize>,
+    item_bits: usize,
+}
+
+impl NodeProgram for DownNode {
+    type Msg = PipeMsg;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        for (_, msg) in ctx.inbox().to_vec() {
+            if let PipeMsg::Item(k, v, _) = msg {
+                self.received.push((k, v));
+            }
+        }
+        let children = self.children.clone();
+        for (ci, &c) in children.iter().enumerate() {
+            if self.cursor[ci] < self.received.len() {
+                let (k, v) = self.received[self.cursor[ci]];
+                self.cursor[ci] += 1;
+                ctx.send(c, PipeMsg::Item(k, v, self.item_bits));
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.expected.is_some_and(|e| self.received.len() >= e)
+            && self.cursor.iter().all(|&c| c >= self.received.len())
+    }
+}
+
+/// Pipelines `items` from the root down to every node (`O(depth + #items)`
+/// rounds); returns the per-node received lists (all identical on success).
+///
+/// All nodes are assumed to know the item count in advance (in the MST
+/// pipeline the count is announced with the phase kickoff; charging it is
+/// one extra broadcast of a single number, absorbed in the `O(D)` term).
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn pipelined_broadcast(
+    g: &Graph,
+    parent: &[Option<NodeId>],
+    items: &[(u64, u64)],
+    item_bits: usize,
+    config: CongestConfig,
+) -> Result<(Vec<Vec<(u64, u64)>>, RunStats), SimError> {
+    assert_eq!(parent.len(), g.n(), "one parent entry per node");
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); g.n()];
+    let mut root = None;
+    for v in 0..g.n() {
+        match parent[v] {
+            Some(p) => children[p].push(v),
+            None => root = Some(v),
+        }
+    }
+    let root = root.expect("tree needs a root");
+    let mut programs: Vec<DownNode> = (0..g.n())
+        .map(|v| DownNode {
+            cursor: vec![0; children[v].len()],
+            children: std::mem::take(&mut children[v]),
+            received: if v == root { items.to_vec() } else { Vec::new() },
+            expected: Some(items.len()),
+            item_bits,
+        })
+        .collect();
+    let stats = run(g, &mut programs, config)?;
+    let received = programs.into_iter().map(|p| p.received).collect();
+    Ok((received, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minex_graphs::{generators, traversal};
+
+    fn cfg(n: usize) -> CongestConfig {
+        CongestConfig::for_nodes(n).with_bandwidth(160)
+    }
+
+    #[test]
+    fn convergecast_merges_minima() {
+        let g = generators::binary_tree(15);
+        let parent = traversal::bfs(&g, 0).parent;
+        // Every node proposes (key = node % 3, value = node).
+        let items: Vec<Vec<(u64, u64)>> = (0..15u64).map(|v| vec![(v % 3, v)]).collect();
+        let (got, stats) =
+            pipelined_convergecast(&g, &parent, items, 64, cfg(15)).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[&0], 0);
+        assert_eq!(got[&1], 1);
+        assert_eq!(got[&2], 2);
+        assert!(stats.rounds >= 4);
+    }
+
+    #[test]
+    fn convergecast_pipelining_is_additive() {
+        // Path of length d with k distinct items at the far end: rounds
+        // must be ≈ d + k, not d·k.
+        let d = 30;
+        let k = 10u64;
+        let g = generators::path(d);
+        let parent = traversal::bfs(&g, 0).parent;
+        let mut items: Vec<Vec<(u64, u64)>> = vec![Vec::new(); d];
+        items[d - 1] = (0..k).map(|i| (i, i)).collect();
+        let (got, stats) = pipelined_convergecast(&g, &parent, items, 64, cfg(d)).unwrap();
+        assert_eq!(got.len(), k as usize);
+        let bound = d + k as usize + 5;
+        assert!(stats.rounds <= bound, "rounds {} > {}", stats.rounds, bound);
+        assert!(stats.rounds >= d - 1 + k as usize - 1);
+    }
+
+    #[test]
+    fn broadcast_delivers_everywhere_additively() {
+        let d = 25;
+        let g = generators::path(d);
+        let parent = traversal::bfs(&g, 0).parent;
+        let items: Vec<(u64, u64)> = (0..8).map(|i| (i, 100 + i)).collect();
+        let (received, stats) =
+            pipelined_broadcast(&g, &parent, &items, 64, cfg(d)).unwrap();
+        for r in &received {
+            assert_eq!(r, &items);
+        }
+        assert!(stats.rounds <= d + 8 + 3, "rounds={}", stats.rounds);
+    }
+
+    #[test]
+    fn empty_items_cost_depth_rounds_at_most() {
+        let g = generators::binary_tree(31);
+        let parent = traversal::bfs(&g, 0).parent;
+        let items: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 31];
+        let (got, stats) = pipelined_convergecast(&g, &parent, items, 64, cfg(31)).unwrap();
+        assert!(got.is_empty());
+        assert!(stats.rounds <= 8);
+    }
+}

@@ -1,0 +1,133 @@
+//! Part-family workload generators for the experiments.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+use minex_core::Partition;
+use minex_graphs::{traversal, Graph, NodeId, UnionFind};
+
+/// Voronoi parts: multi-source BFS from `k` random seeds; every node joins
+/// the seed that reaches it first (the concurrent-BFS partition of
+/// Section 2.3.3). Covers all nodes; parts are connected by construction.
+pub fn voronoi_parts<R: Rng + ?Sized>(g: &Graph, k: usize, rng: &mut R) -> Partition {
+    assert!(k >= 1, "need at least one seed");
+    assert!(g.n() > 0, "graph must be non-empty");
+    let mut seeds: Vec<NodeId> = Vec::with_capacity(k);
+    for _ in 0..k {
+        seeds.push(rng.random_range(0..g.n()));
+    }
+    seeds.sort_unstable();
+    seeds.dedup();
+    let bfs = traversal::multi_source_bfs(g, &seeds);
+    let labels: Vec<Option<usize>> = bfs.source_of.iter().map(|&s| Some(s)).collect();
+    Partition::from_labels(g, &labels).expect("BFS cells are connected")
+}
+
+/// Splits a random spanning tree into `k` connected pieces by deleting
+/// `k - 1` random tree edges. Covers all nodes.
+pub fn forest_split_parts<R: Rng + ?Sized>(g: &Graph, k: usize, rng: &mut R) -> Partition {
+    assert!(k >= 1 && k <= g.n(), "1 ≤ k ≤ n required");
+    let bfs = traversal::bfs(g, rng.random_range(0..g.n()));
+    assert_eq!(bfs.order.len(), g.n(), "graph must be connected");
+    let mut tree_nodes: Vec<NodeId> = (0..g.n()).filter(|&v| bfs.parent[v].is_some()).collect();
+    tree_nodes.shuffle(rng);
+    let removed: std::collections::HashSet<NodeId> =
+        tree_nodes.into_iter().take(k - 1).collect();
+    let mut uf = UnionFind::new(g.n());
+    for v in 0..g.n() {
+        if let Some(p) = bfs.parent[v] {
+            if !removed.contains(&v) {
+                uf.union(v, p);
+            }
+        }
+    }
+    let (labels, _) = uf.labels();
+    let options: Vec<Option<usize>> = labels.into_iter().map(Some).collect();
+    Partition::from_labels(g, &options).expect("tree pieces are connected")
+}
+
+/// Contiguous rim segments of a wheel graph (hub excluded) — the paper's
+/// adversarial example where parts are long and skinny.
+pub fn wheel_rim_parts(n: usize, segment: usize) -> (Graph, Partition) {
+    assert!(segment >= 1, "segment length must be positive");
+    let g = minex_graphs::generators::wheel(n);
+    let rim = n - 1;
+    let mut parts = Vec::new();
+    let mut start = 0;
+    while start < rim {
+        let end = (start + segment).min(rim);
+        parts.push((start..end).collect::<Vec<_>>());
+        start = end;
+    }
+    let p = Partition::new(&g, parts).expect("rim segments are connected");
+    (g, p)
+}
+
+/// Row parts of a `rows × cols` grid (each row is one part).
+pub fn grid_row_parts(rows: usize, cols: usize) -> (Graph, Partition) {
+    let g = minex_graphs::generators::grid(rows, cols);
+    let parts: Vec<Vec<NodeId>> = (0..rows)
+        .map(|r| (0..cols).map(|c| r * cols + c).collect())
+        .collect();
+    let p = Partition::new(&g, parts).expect("rows are connected");
+    (g, p)
+}
+
+/// The lower-bound workload: each of the `p` long paths is one part —
+/// forcing `Ω̃(√n)` aggregation on general graphs [SHK+12].
+pub fn lower_bound_path_parts(paths: usize, len: usize) -> (Graph, Partition) {
+    let (g, layout) = minex_graphs::generators::lower_bound_family(paths, len);
+    let parts = layout.paths.clone();
+    let p = Partition::new(&g, parts).expect("paths are connected");
+    (g, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minex_graphs::generators;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn voronoi_covers_everything() {
+        let g = generators::triangulated_grid(9, 9);
+        let mut rng = StdRng::seed_from_u64(5);
+        let parts = voronoi_parts(&g, 7, &mut rng);
+        let covered: usize = parts.parts().iter().map(Vec::len).sum();
+        assert_eq!(covered, g.n());
+        assert!(parts.len() <= 7);
+    }
+
+    #[test]
+    fn forest_split_yields_k_parts() {
+        let g = generators::grid(6, 6);
+        let mut rng = StdRng::seed_from_u64(6);
+        let parts = forest_split_parts(&g, 5, &mut rng);
+        assert_eq!(parts.len(), 5);
+        let covered: usize = parts.parts().iter().map(Vec::len).sum();
+        assert_eq!(covered, g.n());
+    }
+
+    #[test]
+    fn wheel_rim_segments() {
+        let (g, parts) = wheel_rim_parts(17, 4);
+        assert_eq!(g.n(), 17);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.part_of(16), None); // hub unassigned
+    }
+
+    #[test]
+    fn grid_rows() {
+        let (_, parts) = grid_row_parts(4, 7);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.part(2).len(), 7);
+    }
+
+    #[test]
+    fn lower_bound_parts_are_paths() {
+        let (g, parts) = lower_bound_path_parts(4, 8);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.parts().iter().all(|p| p.len() == 8));
+        assert!(g.n() > 32);
+    }
+}

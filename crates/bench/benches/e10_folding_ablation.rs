@@ -1,0 +1,31 @@
+//! E10 — decomposition-tree folding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minex_decomp::CliqueSumTree;
+use minex_graphs::generators::{self, CliqueSumBuilder};
+use minex_graphs::NodeId;
+
+fn chain(len: usize) -> CliqueSumTree {
+    let comp = generators::triangulated_grid(3, 3);
+    let mut builder = CliqueSumBuilder::new(&comp, 2);
+    let mut last: Vec<NodeId> = (0..comp.n()).collect();
+    for _ in 1..len {
+        let host = vec![last[7], last[8]];
+        last = builder.glue(&comp, &host, &[0, 1]).unwrap();
+    }
+    CliqueSumTree::new(builder.build().1).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_folding");
+    for len in [32usize, 128] {
+        let cst = chain(len);
+        group.bench_with_input(BenchmarkId::new("fold", len), &len, |b, _| {
+            b.iter(|| cst.fold().max_depth())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

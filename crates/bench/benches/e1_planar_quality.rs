@@ -1,0 +1,34 @@
+//! E1 — planar shortcut construction and quality measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minex_core::construct::{AutoCappedBuilder, ShortcutBuilder, SteinerBuilder};
+use minex_core::{measure_quality, RootedTree};
+use minex_graphs::generators;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_planar_quality");
+    group.sample_size(10);
+    for side in [16usize, 32] {
+        let g = generators::triangulated_grid(side, side);
+        let tree = RootedTree::bfs(&g, 0);
+        let mut rng = StdRng::seed_from_u64(side as u64);
+        let parts = minex_algo::workloads::voronoi_parts(&g, side, &mut rng);
+        group.bench_with_input(BenchmarkId::new("steiner", side), &side, |b, _| {
+            b.iter(|| {
+                let s = SteinerBuilder.build(&g, &tree, &parts);
+                measure_quality(&g, &tree, &parts, &s).quality
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("auto_capped", side), &side, |b, _| {
+            b.iter(|| {
+                let s = AutoCappedBuilder.build(&g, &tree, &parts);
+                measure_quality(&g, &tree, &parts, &s).quality
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

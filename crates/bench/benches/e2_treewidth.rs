@@ -1,0 +1,28 @@
+//! E2 — treewidth-witness shortcut construction (Theorem 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minex_core::construct::{ShortcutBuilder, TreewidthBuilder};
+use minex_core::RootedTree;
+use minex_decomp::TreeDecomposition;
+use minex_graphs::generators;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_treewidth");
+    group.sample_size(10);
+    for k in [2usize, 4] {
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let (g, rec) = generators::k_tree(400, k, &mut rng);
+        let td = TreeDecomposition::from_k_tree(g.n(), &rec);
+        let tree = RootedTree::bfs(&g, 0);
+        let parts = minex_algo::workloads::voronoi_parts(&g, 20, &mut rng);
+        group.bench_with_input(BenchmarkId::new("build", k), &k, |b, _| {
+            let builder = TreewidthBuilder::new(&td);
+            b.iter(|| builder.build(&g, &tree, &parts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E3 — Theorem 7 clique-sum construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minex_core::construct::{CliqueSumShortcutBuilder, ShortcutBuilder, SteinerBuilder};
+use minex_core::RootedTree;
+use minex_decomp::CliqueSumTree;
+use minex_graphs::generators::{self, CliqueSumBuilder};
+use minex_graphs::NodeId;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn chain(len: usize) -> (minex_graphs::Graph, CliqueSumTree) {
+    let comp = generators::triangulated_grid(4, 4);
+    let mut builder = CliqueSumBuilder::new(&comp, 2);
+    let mut last: Vec<NodeId> = (0..comp.n()).collect();
+    for _ in 1..len {
+        let host = vec![last[14], last[15]];
+        last = builder.glue(&comp, &host, &[0, 1]).unwrap();
+    }
+    let (g, rec) = builder.build();
+    (g, CliqueSumTree::new(rec).unwrap())
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_clique_sum");
+    group.sample_size(10);
+    for len in [8usize, 24] {
+        let (g, cst) = chain(len);
+        let tree = RootedTree::bfs(&g, 0);
+        let mut rng = StdRng::seed_from_u64(len as u64);
+        let parts = minex_algo::workloads::voronoi_parts(&g, len, &mut rng);
+        group.bench_with_input(BenchmarkId::new("folded", len), &len, |b, _| {
+            let builder = CliqueSumShortcutBuilder::folded(cst.clone(), SteinerBuilder);
+            b.iter(|| builder.build(&g, &tree, &parts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E4 — Genus+Vortex witness decomposition and shortcuts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minex_core::construct::{ShortcutBuilder, TreewidthBuilder};
+use minex_core::RootedTree;
+use minex_decomp::TreeDecomposition;
+use minex_graphs::generators;
+use minex_graphs::NodeId;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_genus_vortex");
+    group.sample_size(10);
+    let base = generators::toroidal_grid(6, 12);
+    let mut rng = StdRng::seed_from_u64(1);
+    let cycle: Vec<NodeId> = (0..12).collect();
+    let (g, rec) = generators::add_vortex(&base, &cycle, 4, 2, &mut rng).unwrap();
+    let td = TreeDecomposition::of_toroidal_grid(6, 12).reinsert_vortex(&rec, None);
+    let tree = RootedTree::bfs(&g, 0);
+    let parts = minex_algo::workloads::voronoi_parts(&g, 12, &mut rng);
+    group.bench_function("torus_vortex_shortcut", |b| {
+        let builder = TreewidthBuilder::new(&td);
+        b.iter(|| builder.build(&g, &tree, &parts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E5 — Lemma 9 apex construction and Lemma 7 gates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minex_core::cells::CellPartition;
+use minex_core::construct::{ApexBuilder, ShortcutBuilder, SteinerBuilder};
+use minex_core::gates::planar_gates;
+use minex_core::{Partition, RootedTree};
+use minex_graphs::generators;
+use minex_graphs::{traversal, NodeId};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_apex");
+    group.sample_size(10);
+    let side = 16;
+    let (g, apex) = generators::apex_grid(side, side, 4);
+    let tree = RootedTree::bfs(&g, apex);
+    let cols: Vec<Vec<NodeId>> = (0..side)
+        .map(|cc| (0..side).map(|r| r * side + cc).collect())
+        .collect();
+    let parts = Partition::new(&g, cols).unwrap();
+    group.bench_function("apex_builder", |b| {
+        let builder = ApexBuilder::new(vec![apex], SteinerBuilder);
+        b.iter(|| builder.build(&g, &tree, &parts))
+    });
+    let (base, emb) = generators::grid_embedded(side, side);
+    let seeds: Vec<NodeId> = (0..base.n()).step_by(side).collect();
+    let bfs = traversal::multi_source_bfs(&base, &seeds);
+    let mut cell_sets: Vec<Vec<NodeId>> = vec![Vec::new(); seeds.len()];
+    for v in 0..base.n() {
+        cell_sets[bfs.source_of[v]].push(v);
+    }
+    cell_sets.retain(|s| !s.is_empty());
+    let cells = CellPartition::new(&base, cell_sets);
+    group.bench_function("planar_gates", |b| {
+        b.iter(|| planar_gates(&base, &emb, &cells).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

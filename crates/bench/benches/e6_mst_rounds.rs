@@ -1,0 +1,26 @@
+//! E6 — MST via shortcuts (wall-clock of the simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minex_algo::mst::boruvka_mst;
+use minex_congest::CongestConfig;
+use minex_core::construct::AutoCappedBuilder;
+use minex_graphs::{generators, WeightModel};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_mst");
+    group.sample_size(10);
+    let g = generators::triangulated_grid(10, 10);
+    let mut rng = StdRng::seed_from_u64(6);
+    let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+    let config = CongestConfig::for_nodes(g.n())
+        .with_bandwidth(192)
+        .with_max_rounds(1_000_000);
+    group.bench_function("boruvka_shortcut_grid10", |b| {
+        b.iter(|| boruvka_mst(&wg, &AutoCappedBuilder, config).unwrap().simulated_rounds)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

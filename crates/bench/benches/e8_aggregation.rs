@@ -1,0 +1,38 @@
+//! E8 — part-wise aggregation engine throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minex_algo::partwise::partwise_min;
+use minex_algo::workloads;
+use minex_congest::CongestConfig;
+use minex_core::construct::{ShortcutBuilder, SteinerBuilder};
+use minex_core::RootedTree;
+use minex_graphs::generators;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_aggregation");
+    group.sample_size(10);
+    for side in [12usize, 20] {
+        let g = generators::triangulated_grid(side, side);
+        let tree = RootedTree::bfs(&g, 0);
+        let mut rng = StdRng::seed_from_u64(side as u64);
+        let parts = workloads::voronoi_parts(&g, side, &mut rng);
+        let shortcut = SteinerBuilder.build(&g, &tree, &parts);
+        let values: Vec<u64> = (0..g.n() as u64).rev().collect();
+        let config = CongestConfig::for_nodes(g.n())
+            .with_bandwidth(192)
+            .with_max_rounds(1_000_000);
+        group.bench_with_input(BenchmarkId::new("grid", side), &side, |b, _| {
+            b.iter(|| {
+                partwise_min(&g, &parts, &shortcut, &values, 32, config)
+                    .unwrap()
+                    .stats
+                    .rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E9 — tree-packing min-cut approximation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minex_algo::mincut::{approx_min_cut, stoer_wagner};
+use minex_congest::CongestConfig;
+use minex_core::construct::SteinerBuilder;
+use minex_graphs::{generators, WeightedGraph};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_mincut");
+    group.sample_size(10);
+    let g = generators::triangulated_grid(6, 6);
+    let wg = WeightedGraph::unit(g);
+    group.bench_function("stoer_wagner_36", |b| b.iter(|| stoer_wagner(&wg)));
+    let config = CongestConfig::for_nodes(wg.graph().n())
+        .with_bandwidth(192)
+        .with_max_rounds(1_000_000);
+    group.bench_function("packing_4_trees", |b| {
+        b.iter(|| approx_min_cut(&wg, 4, false, &SteinerBuilder, config).unwrap().approx_value)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

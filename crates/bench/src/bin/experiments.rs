@@ -1,0 +1,25 @@
+//! Prints every experiment table (E1–E10). Pass `--full` for the larger
+//! sweeps used in `EXPERIMENTS.md`; name ids (e.g. `E6 E7`) to run a
+//! subset; the default is a quick pass over everything.
+
+use std::time::Instant;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let selected: Vec<String> = std::env::args()
+        .filter(|a| a.starts_with('E') && a[1..].chars().all(|c| c.is_ascii_digit()))
+        .collect();
+    println!(
+        "# minex experiments ({} sweep)\n",
+        if full { "full" } else { "quick" }
+    );
+    for (id, runner) in minex_bench::experiments() {
+        if !selected.is_empty() && !selected.iter().any(|s| s == id) {
+            continue;
+        }
+        let start = Instant::now();
+        let table = runner(full);
+        println!("{}", table.render());
+        println!("_(computed in {:.1?})_\n", start.elapsed());
+    }
+}

@@ -1,0 +1,621 @@
+//! # minex-bench
+//!
+//! Experiment harness regenerating every experiment of the `minex`
+//! reproduction (the paper is pure theory, so each theorem becomes a
+//! measured table — see `DESIGN.md` §4 for the mapping).
+//!
+//! Run `cargo run -p minex-bench --bin experiments --release` to print all
+//! tables; pass `--full` for the larger parameter sweeps.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use minex_algo::baselines::{compare_mst, NoShortcutBuilder};
+use minex_algo::mincut::approx_min_cut;
+use minex_algo::partwise::partwise_min;
+use minex_algo::workloads;
+use minex_congest::CongestConfig;
+use minex_core::cells::{assign_cells, CellPartition};
+use minex_core::construct::{
+    ApexBuilder, AutoCappedBuilder, CliqueSumShortcutBuilder, ShortcutBuilder, SteinerBuilder,
+    TreewidthBuilder,
+};
+use minex_core::gates::{planar_gates, validate_gates};
+use minex_core::{measure_quality, Partition, RootedTree};
+use minex_decomp::{CliqueSumTree, TreeDecomposition};
+use minex_graphs::generators::{self, CliqueSumBuilder};
+use minex_graphs::{traversal, Graph, NodeId, WeightModel, WeightedGraph};
+
+/// A rendered experiment table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id (E1..E10).
+    pub id: &'static str,
+    /// Human title, naming the theorem being exercised.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Renders as a Markdown table with a heading.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+fn config(n: usize) -> CongestConfig {
+    CongestConfig::for_nodes(n)
+        .with_bandwidth(192)
+        .with_max_rounds(2_000_000)
+}
+
+fn diameter(g: &Graph) -> usize {
+    traversal::diameter_double_sweep(g).expect("connected")
+}
+
+/// E1 — planar shortcut quality (Theorem 4 shape: `b=O(log d)`,
+/// `c=O(d log d)`).
+pub fn e1_planar_quality(full: bool) -> Table {
+    let sides: &[usize] = if full { &[8, 16, 32, 64] } else { &[8, 16, 32] };
+    let mut rows = Vec::new();
+    for &side in sides {
+        for family in ["grid", "tri-grid", "apollonian"] {
+            let mut rng = StdRng::seed_from_u64(side as u64);
+            let g = match family {
+                "grid" => generators::grid(side, side),
+                "tri-grid" => generators::triangulated_grid(side, side),
+                _ => generators::apollonian(side * side, &mut rng).0,
+            };
+            let tree = RootedTree::bfs(&g, 0);
+            let parts = workloads::voronoi_parts(&g, side, &mut rng);
+            let shortcut = AutoCappedBuilder.build(&g, &tree, &parts);
+            let q = measure_quality(&g, &tree, &parts, &shortcut);
+            rows.push(vec![
+                family.to_string(),
+                g.n().to_string(),
+                parts.len().to_string(),
+                q.tree_diameter.to_string(),
+                q.block.to_string(),
+                q.congestion.to_string(),
+                q.quality.to_string(),
+                format!("{:.2}", q.quality as f64 / q.tree_diameter.max(1) as f64),
+            ]);
+        }
+    }
+    Table {
+        id: "E1",
+        title: "Planar shortcut quality (Theorem 4: b=O(log d), c=O(d log d))".into(),
+        headers: ["family", "n", "parts", "d_T", "block", "congestion", "quality", "q/d_T"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E2 — treewidth shortcuts (Theorem 5 shape: `b=O(k)`, `c=O(k log n)`).
+pub fn e2_treewidth(full: bool) -> Table {
+    let ns: &[usize] = if full { &[200, 800, 3200] } else { &[200, 800] };
+    let mut rows = Vec::new();
+    for &n in ns {
+        for k in [2usize, 3, 4] {
+            let mut rng = StdRng::seed_from_u64((n + k) as u64);
+            let (g, rec) = generators::k_tree(n, k, &mut rng);
+            let td = TreeDecomposition::from_k_tree(g.n(), &rec);
+            let builder = TreewidthBuilder::new(&td);
+            let tree = RootedTree::bfs(&g, 0);
+            let parts = workloads::voronoi_parts(&g, (n as f64).sqrt() as usize, &mut rng);
+            let shortcut = builder.build(&g, &tree, &parts);
+            let q = measure_quality(&g, &tree, &parts, &shortcut);
+            let log_n = (n as f64).log2();
+            rows.push(vec![
+                n.to_string(),
+                k.to_string(),
+                parts.len().to_string(),
+                q.block.to_string(),
+                format!("{:.2}", q.block as f64 / k as f64),
+                q.congestion.to_string(),
+                format!("{:.2}", q.congestion as f64 / (k as f64 * log_n)),
+                q.quality.to_string(),
+            ]);
+        }
+    }
+    Table {
+        id: "E2",
+        title: "Treewidth-k shortcuts (Theorem 5: b=O(k), c=O(k log n))".into(),
+        headers: ["n", "k", "parts", "block", "block/k", "congestion", "c/(k·log n)", "quality"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// Chain of triangulated grids glued along edges — a deep clique-sum.
+fn grid_chain(len: usize, side: usize) -> (Graph, CliqueSumTree) {
+    let comp = generators::triangulated_grid(side, side);
+    let corner = side * side - 1;
+    let mut builder = CliqueSumBuilder::new(&comp, 2);
+    let mut last: Vec<NodeId> = (0..comp.n()).collect();
+    for _ in 1..len {
+        let host = vec![last[corner - 1], last[corner]];
+        last = builder.glue(&comp, &host, &[0, 1]).expect("chain glue");
+    }
+    let (g, rec) = builder.build();
+    let tree = CliqueSumTree::new(rec).expect("chain record");
+    (g, tree)
+}
+
+/// Bushy random clique-sum of small pieces — low diameter, minor-free.
+fn bushy_clique_sum(bags: usize, seed: u64) -> (Graph, CliqueSumTree) {
+    let comps = vec![
+        generators::triangulated_grid(3, 3),
+        generators::complete(4),
+        generators::apollonian(12, &mut StdRng::seed_from_u64(seed)).0,
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (g, rec) = generators::random_clique_sum(&comps, bags, 3, &mut rng);
+    let tree = CliqueSumTree::new(rec).expect("random record");
+    (g, tree)
+}
+
+/// E3 — clique-sum composition (Theorem 7 shape: block `+2k`, congestion
+/// `+O(k log² n)`).
+pub fn e3_clique_sum(full: bool) -> Table {
+    let shapes: &[(&str, usize)] = if full {
+        &[("chain", 8), ("chain", 32), ("bushy", 16), ("bushy", 64)]
+    } else {
+        &[("chain", 8), ("bushy", 16)]
+    };
+    let mut rows = Vec::new();
+    for &(shape, bags) in shapes {
+        let (g, cst) = if shape == "chain" {
+            grid_chain(bags, 4)
+        } else {
+            bushy_clique_sum(bags, 3)
+        };
+        cst.validate(&g).expect("witness valid");
+        let tree = RootedTree::bfs(&g, 0);
+        let mut rng = StdRng::seed_from_u64(bags as u64);
+        let parts = workloads::voronoi_parts(&g, bags, &mut rng);
+        let builder = CliqueSumShortcutBuilder::folded(cst.clone(), SteinerBuilder);
+        let shortcut = builder.build(&g, &tree, &parts);
+        let q = measure_quality(&g, &tree, &parts, &shortcut);
+        rows.push(vec![
+            shape.to_string(),
+            bags.to_string(),
+            g.n().to_string(),
+            cst.max_depth().to_string(),
+            cst.fold().max_depth().to_string(),
+            q.block.to_string(),
+            q.congestion.to_string(),
+            q.quality.to_string(),
+        ]);
+    }
+    Table {
+        id: "E3",
+        title: "Clique-sum shortcuts (Theorem 7: b ≤ 2k+O(b_F), c ≤ O(k log² n)+c_F)".into(),
+        headers: ["shape", "bags", "n", "depth", "folded depth", "block", "congestion", "quality"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E4 — Genus+Vortex treewidth and shortcuts (Lemmas 2–3 / Theorem 9).
+pub fn e4_genus_vortex(full: bool) -> Table {
+    let sizes: &[(usize, usize)] =
+        if full { &[(6, 12), (8, 24), (10, 40)] } else { &[(6, 12), (8, 24)] };
+    let mut rows = Vec::new();
+    for &(r, c) in sizes {
+        for vortices in [0usize, 1, 2] {
+            let base = generators::toroidal_grid(r, c);
+            let mut rng = StdRng::seed_from_u64((r * c + vortices) as u64);
+            let mut g = base.clone();
+            let mut records = Vec::new();
+            for vi in 0..vortices {
+                // Rows 0 and r/2 are disjoint cycles of the torus.
+                let row = if vi == 0 { 0 } else { r / 2 };
+                let cycle: Vec<NodeId> = (0..c).map(|j| row * c + j).collect();
+                let (g2, rec) =
+                    generators::add_vortex(&g, &cycle, 4, 2, &mut rng).expect("vortex fits");
+                g = g2;
+                records.push(rec);
+            }
+            // Witness decomposition: torus TD + Lemma 2 splicing per vortex.
+            let mut td = TreeDecomposition::of_toroidal_grid(r, c);
+            for rec in &records {
+                td = td.reinsert_vortex(rec, None);
+            }
+            td.validate(&g).expect("Lemma 2 splice is valid");
+            let builder = TreewidthBuilder::new(&td);
+            let tree = RootedTree::bfs(&g, 0);
+            let parts = workloads::voronoi_parts(&g, r + c, &mut rng);
+            let shortcut = builder.build(&g, &tree, &parts);
+            let q = measure_quality(&g, &tree, &parts, &shortcut);
+            let d = diameter(&g);
+            rows.push(vec![
+                format!("{r}x{c}"),
+                vortices.to_string(),
+                g.n().to_string(),
+                d.to_string(),
+                td.width().to_string(),
+                // Lemma 3 bound O((g+1)·k·ℓ·D) with g=1, k=2 (+1 star slack).
+                format!("{}", 2 * 3 * vortices.max(1) * d),
+                q.block.to_string(),
+                q.quality.to_string(),
+            ]);
+        }
+    }
+    Table {
+        id: "E4",
+        title: "Genus+Vortex treewidth (Lemmas 2-3: tw = O((g+1)kℓD)) and shortcuts".into(),
+        headers: ["torus", "vortices", "n", "D", "width", "bound", "block", "quality"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E5 — apex graphs: diameter collapses, shortcut quality survives
+/// (Lemma 9 / Theorem 8); gates machine-checked (Lemma 7).
+pub fn e5_apex(full: bool) -> Table {
+    let sides: &[usize] = if full { &[8, 16, 32] } else { &[8, 16] };
+    let mut rows = Vec::new();
+    for &side in sides {
+        for stride in [1usize, 4] {
+            let (g, apex) = generators::apex_grid(side, side, stride);
+            let tree = RootedTree::bfs(&g, apex);
+            let d = diameter(&g);
+            let cols: Vec<Vec<NodeId>> = (0..side)
+                .map(|c| (0..side).map(|r2| r2 * side + c).collect())
+                .collect();
+            let parts = Partition::new(&g, cols).expect("columns connected");
+            let apex_builder = ApexBuilder::new(vec![apex], SteinerBuilder);
+            let qa = measure_quality(&g, &tree, &parts, &apex_builder.build(&g, &tree, &parts));
+            let qs = measure_quality(&g, &tree, &parts, &SteinerBuilder.build(&g, &tree, &parts));
+            // Gates on the apex-free base grid with concurrent-BFS cells.
+            let (base, emb) = generators::grid_embedded(side, side);
+            let attach: Vec<NodeId> = (0..base.n()).step_by(stride.max(side)).collect();
+            let bfs = traversal::multi_source_bfs(&base, &attach);
+            let mut cell_sets: Vec<Vec<NodeId>> = vec![Vec::new(); attach.len()];
+            for v in 0..base.n() {
+                cell_sets[bfs.source_of[v]].push(v);
+            }
+            cell_sets.retain(|s| !s.is_empty());
+            let cells = CellPartition::new(&base, cell_sets);
+            let gate_s = planar_gates(&base, &emb, &cells)
+                .ok()
+                .and_then(|col| validate_gates(&base, &cells, &col).ok());
+            let base_parts = Partition::new(
+                &base,
+                (0..side)
+                    .map(|c| (0..side).map(|r2| r2 * side + c).collect())
+                    .collect(),
+            )
+            .expect("columns connected");
+            let beta = assign_cells(&cells, &base_parts).beta;
+            rows.push(vec![
+                format!("{side}x{side}+apex/{stride}"),
+                d.to_string(),
+                qa.tree_diameter.to_string(),
+                qa.block.to_string(),
+                qa.quality.to_string(),
+                qs.quality.to_string(),
+                gate_s.map_or("-".into(), |s| format!("{s:.1}")),
+                beta.to_string(),
+            ]);
+        }
+    }
+    Table {
+        id: "E5",
+        title: "Apex graphs (Lemma 9/Thm 8): quality survives diameter collapse; gates (Lemma 7)"
+            .into(),
+        headers: ["graph", "D", "d_T", "block", "apex quality", "steiner quality", "gate s", "β"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E6 — MST round complexity on minor-free families (Corollary 1 shape:
+/// `Õ(D²)` vs `Õ(D+√n)` vs naive).
+pub fn e6_mst_rounds(full: bool) -> Table {
+    let mut rows = Vec::new();
+    let sides: &[usize] = if full { &[8, 12, 16, 24] } else { &[8, 12] };
+    for &side in sides {
+        let g = generators::triangulated_grid(side, side);
+        rows.push(e6_row("tri-grid", g, side as u64));
+    }
+    let bags: &[usize] = if full { &[8, 24, 48] } else { &[8, 16] };
+    for &b in bags {
+        let (g, _) = bushy_clique_sum(b, b as u64);
+        rows.push(e6_row("clique-sum", g, b as u64));
+    }
+    Table {
+        id: "E6",
+        title: "MST rounds (Corollary 1: Õ(D²) via shortcuts vs Õ(D+√n) vs naive)".into(),
+        headers: [
+            "family",
+            "n",
+            "D",
+            "shortcut rounds",
+            "charged constr.",
+            "GKP rounds",
+            "naive rounds",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
+fn e6_row(family: &str, g: Graph, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+    let d = diameter(&g);
+    let cmp = compare_mst(&wg, &AutoCappedBuilder, config(g.n())).expect("mst comparison");
+    vec![
+        family.to_string(),
+        g.n().to_string(),
+        d.to_string(),
+        cmp.shortcut_rounds.to_string(),
+        cmp.shortcut_charged.to_string(),
+        cmp.gkp_rounds.to_string(),
+        cmp.naive_rounds.to_string(),
+    ]
+}
+
+/// E7 — the `Ω̃(√n)` separation: aggregation on the lower-bound family vs
+/// planar graphs of the same size.
+pub fn e7_lower_bound(full: bool) -> Table {
+    let sizes: &[usize] = if full { &[8, 16, 24, 32] } else { &[8, 16] };
+    let mut rows = Vec::new();
+    for &s in sizes {
+        // Lower-bound family Γ(s, s): n ≈ s² + tree, D = O(log s).
+        let (g, parts) = workloads::lower_bound_path_parts(s, s);
+        let tree = RootedTree::bfs(&g, g.n() - 1);
+        let shortcut = AutoCappedBuilder.build(&g, &tree, &parts);
+        let q = measure_quality(&g, &tree, &parts, &shortcut);
+        let values: Vec<u64> = (0..g.n() as u64).collect();
+        let agg = partwise_min(&g, &parts, &shortcut, &values, 32, config(g.n()))
+            .expect("aggregation");
+        let d = diameter(&g);
+        rows.push(vec![
+            format!("Γ({s},{s})"),
+            g.n().to_string(),
+            d.to_string(),
+            q.quality.to_string(),
+            agg.stats.rounds.to_string(),
+            format!("{:.2}", agg.stats.rounds as f64 / (s as f64)),
+            format!("{:.2}", agg.stats.rounds as f64 / d.max(1) as f64),
+        ]);
+        // Planar control of comparable size: grid s×s with row parts.
+        let (cg, cparts) = workloads::grid_row_parts(s, s);
+        let ctree = RootedTree::bfs(&cg, 0);
+        let cshortcut = AutoCappedBuilder.build(&cg, &ctree, &cparts);
+        let cq = measure_quality(&cg, &ctree, &cparts, &cshortcut);
+        let cvalues: Vec<u64> = (0..cg.n() as u64).collect();
+        let cagg = partwise_min(&cg, &cparts, &cshortcut, &cvalues, 32, config(cg.n()))
+            .expect("aggregation");
+        let cd = diameter(&cg);
+        rows.push(vec![
+            format!("grid({s},{s})"),
+            cg.n().to_string(),
+            cd.to_string(),
+            cq.quality.to_string(),
+            cagg.stats.rounds.to_string(),
+            format!("{:.2}", cagg.stats.rounds as f64 / (s as f64)),
+            format!("{:.2}", cagg.stats.rounds as f64 / cd.max(1) as f64),
+        ]);
+    }
+    Table {
+        id: "E7",
+        title: "Lower-bound family vs planar control ([SHK+12]: Ω̃(√n) despite D=O(log n))".into(),
+        headers: ["graph", "n", "D", "quality", "agg rounds", "rounds/√n", "rounds/D"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E8 — aggregation rounds track shortcut quality (Theorem 1's mechanism).
+pub fn e8_aggregation(full: bool) -> Table {
+    let mut rows = Vec::new();
+    let cases: Vec<(String, Graph, Partition)> = {
+        let mut v: Vec<(String, Graph, Partition)> = Vec::new();
+        let (wg, wp) = workloads::wheel_rim_parts(129, 16);
+        v.push(("wheel-rim".into(), wg, wp));
+        let g = generators::triangulated_grid(16, 16);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = workloads::voronoi_parts(&g, 16, &mut rng);
+        v.push(("tri-grid voronoi".into(), g, p));
+        let g2 = generators::grid(8, 32);
+        let p2 = workloads::forest_split_parts(&g2, 12, &mut rng);
+        v.push(("grid forest-split".into(), g2, p2));
+        if full {
+            let g3 = generators::triangulated_grid(24, 24);
+            let p3 = workloads::voronoi_parts(&g3, 24, &mut rng);
+            v.push(("tri-grid 24".into(), g3, p3));
+        }
+        v
+    };
+    for (name, g, parts) in cases {
+        let tree = RootedTree::bfs(&g, 0);
+        for (bname, shortcut) in [
+            ("none", minex_core::Shortcut::empty(parts.len())),
+            ("steiner", SteinerBuilder.build(&g, &tree, &parts)),
+            ("auto-capped", AutoCappedBuilder.build(&g, &tree, &parts)),
+        ] {
+            let q = measure_quality(&g, &tree, &parts, &shortcut);
+            let values: Vec<u64> = (0..g.n() as u64).rev().collect();
+            let agg = partwise_min(&g, &parts, &shortcut, &values, 32, config(g.n()))
+                .expect("aggregation");
+            rows.push(vec![
+                name.clone(),
+                bname.to_string(),
+                q.quality.to_string(),
+                agg.stats.rounds.to_string(),
+                format!("{:.2}", agg.stats.rounds as f64 / q.quality.max(1) as f64),
+            ]);
+        }
+    }
+    Table {
+        id: "E8",
+        title: "Part-wise aggregation rounds vs quality (Theorem 1: rounds = Õ(q))".into(),
+        headers: ["workload", "shortcut", "quality", "agg rounds", "rounds/q"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E9 — `(1+ε)` min-cut via tree packing (Corollary 1).
+pub fn e9_mincut(full: bool) -> Table {
+    let mut rows = Vec::new();
+    let mut cases: Vec<(String, WeightedGraph)> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(4);
+    let g1 = generators::triangulated_grid(6, 6);
+    cases.push((
+        "tri-grid 6x6".into(),
+        WeightModel::Uniform { lo: 1, hi: 8 }.apply(&g1, &mut rng),
+    ));
+    let g2 = generators::toroidal_grid(5, 5);
+    cases.push(("torus 5x5".into(), WeightedGraph::unit(g2)));
+    if full {
+        let (g3, _) = bushy_clique_sum(12, 9);
+        cases.push(("clique-sum".into(), WeightedGraph::unit(g3)));
+    }
+    for (name, wg) in cases {
+        for trees in [1usize, 4, 8] {
+            let out = approx_min_cut(&wg, trees, true, &SteinerBuilder, config(wg.graph().n()))
+                .expect("min cut");
+            rows.push(vec![
+                name.clone(),
+                trees.to_string(),
+                out.exact_value.to_string(),
+                out.approx_value.to_string(),
+                format!("{:.3}", out.ratio),
+                out.simulated_rounds.to_string(),
+            ]);
+        }
+    }
+    Table {
+        id: "E9",
+        title: "(1+ε)-approximate min-cut via tree packing (Corollary 1)".into(),
+        headers: ["graph", "trees", "exact", "approx", "ratio", "sim rounds"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E10 — folding ablation (Lemma 1 vs Theorem 7): congestion `k·d_DT` vs
+/// `O(k log² n)`.
+pub fn e10_folding_ablation(full: bool) -> Table {
+    let lens: &[usize] = if full { &[8, 16, 32, 64, 128] } else { &[8, 16, 32] };
+    let mut rows = Vec::new();
+    for &len in lens {
+        let (g, cst) = grid_chain(len, 3);
+        let tree = RootedTree::bfs(&g, 0);
+        let mut rng = StdRng::seed_from_u64(len as u64);
+        let parts = workloads::voronoi_parts(&g, len, &mut rng);
+        let unfolded = CliqueSumShortcutBuilder::unfolded(cst.clone(), SteinerBuilder)
+            .build(&g, &tree, &parts);
+        let folded = CliqueSumShortcutBuilder::folded(cst.clone(), SteinerBuilder)
+            .build(&g, &tree, &parts);
+        let qu = measure_quality(&g, &tree, &parts, &unfolded);
+        let qf = measure_quality(&g, &tree, &parts, &folded);
+        rows.push(vec![
+            len.to_string(),
+            cst.max_depth().to_string(),
+            cst.fold().max_depth().to_string(),
+            qu.congestion.to_string(),
+            qf.congestion.to_string(),
+            qu.block.to_string(),
+            qf.block.to_string(),
+        ]);
+    }
+    Table {
+        id: "E10",
+        title: "Folding ablation (Lemma 1 congestion ~ depth vs Theorem 7 polylog)".into(),
+        headers: [
+            "chain bags",
+            "depth",
+            "folded depth",
+            "congestion unfolded",
+            "congestion folded",
+            "block unfolded",
+            "block folded",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
+/// The experiment registry: `(id, runner)` pairs, lazily invocable.
+pub fn experiments() -> Vec<(&'static str, fn(bool) -> Table)> {
+    vec![
+        ("E1", e1_planar_quality as fn(bool) -> Table),
+        ("E2", e2_treewidth),
+        ("E3", e3_clique_sum),
+        ("E4", e4_genus_vortex),
+        ("E5", e5_apex),
+        ("E6", e6_mst_rounds),
+        ("E7", e7_lower_bound),
+        ("E8", e8_aggregation),
+        ("E9", e9_mincut),
+        ("E10", e10_folding_ablation),
+    ]
+}
+
+/// Runs every experiment; `full` selects the larger sweeps.
+pub fn run_all(full: bool) -> Vec<Table> {
+    experiments().into_iter().map(|(_, f)| f(full)).collect()
+}
+
+/// The shortcut-free builder, re-exported for the bench binaries.
+pub fn naive_builder() -> NoShortcutBuilder {
+    NoShortcutBuilder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render() {
+        let t = Table {
+            id: "E0",
+            title: "demo".into(),
+            headers: vec!["a".into(), "b".into()],
+            rows: vec![vec!["1".into(), "2".into()]],
+        };
+        let s = t.render();
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn quick_experiments_smoke() {
+        assert!(!e1_planar_quality(false).rows.is_empty());
+        assert!(!e10_folding_ablation(false).rows.is_empty());
+    }
+}

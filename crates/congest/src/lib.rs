@@ -1,0 +1,34 @@
+//! # minex-congest
+//!
+//! A deterministic, synchronous simulator of the **CONGEST model**
+//! (Section 1.3.1 of Haeupler–Li–Zuzic, PODC 2018): communication proceeds
+//! in rounds; per round, each node may send one `O(log n)`-bit message to
+//! each neighbor; local computation is free.
+//!
+//! The simulator enforces the model exactly — message sizes are accounted in
+//! bits and per-edge-per-round uniqueness is checked — so the *round counts*
+//! it reports are the model's true cost measure.
+//!
+//! ## Example
+//!
+//! ```
+//! use minex_congest::{primitives, CongestConfig};
+//! use minex_graphs::generators;
+//!
+//! let g = generators::grid(8, 8);
+//! let tree = primitives::build_bfs_tree(&g, 0, CongestConfig::for_nodes(g.n()))?;
+//! assert_eq!(tree.dist[63], 14); // opposite corner of the grid
+//! # Ok::<(), minex_congest::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod message;
+pub mod primitives;
+mod program;
+mod runtime;
+
+pub use message::{bits_for, Payload};
+pub use program::{Ctx, NodeProgram};
+pub use runtime::{run, CongestConfig, RunStats, SimError};

@@ -1,0 +1,82 @@
+//! Message payloads and bit-size accounting.
+//!
+//! The CONGEST model allows each node to send one `O(log n)`-bit message per
+//! neighbor per round. The simulator enforces this budget exactly: every
+//! payload reports its size via [`Payload::bit_size`], and the runtime
+//! rejects rounds that exceed the per-edge [`bandwidth`](crate::CongestConfig).
+
+use std::fmt;
+
+/// A message payload whose size in bits the simulator can account for.
+///
+/// Sizes should reflect an honest binary encoding: node ids and counters cost
+/// `⌈log₂(n+1)⌉` bits, weights cost their numeric width, enum tags cost a few
+/// bits. The helper [`bits_for`] computes id widths.
+pub trait Payload: Clone + fmt::Debug {
+    /// Size of this message in bits.
+    fn bit_size(&self) -> usize;
+}
+
+/// Number of bits needed to address `universe` distinct values (at least 1).
+///
+/// # Examples
+///
+/// ```
+/// use minex_congest::bits_for;
+/// assert_eq!(bits_for(1), 1);
+/// assert_eq!(bits_for(2), 1);
+/// assert_eq!(bits_for(1024), 10);
+/// assert_eq!(bits_for(1025), 11);
+/// ```
+pub const fn bits_for(universe: usize) -> usize {
+    if universe <= 2 {
+        1
+    } else {
+        (usize::BITS - (universe - 1).leading_zeros()) as usize
+    }
+}
+
+impl Payload for u64 {
+    fn bit_size(&self) -> usize {
+        64
+    }
+}
+
+impl Payload for u32 {
+    fn bit_size(&self) -> usize {
+        32
+    }
+}
+
+impl Payload for usize {
+    fn bit_size(&self) -> usize {
+        usize::BITS as usize
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn bit_size(&self) -> usize {
+        self.0.bit_size() + self.1.bit_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_boundaries() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(1 << 20), 20);
+    }
+
+    #[test]
+    fn primitive_payloads() {
+        assert_eq!(7u64.bit_size(), 64);
+        assert_eq!((1u32, 2u32).bit_size(), 64);
+    }
+}

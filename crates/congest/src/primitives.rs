@@ -1,0 +1,380 @@
+//! Reusable distributed building blocks: BFS-tree construction, leader
+//! election, tree broadcast, and tree convergecast.
+//!
+//! Each primitive is both a usable subroutine for the higher-level
+//! algorithms and a validation workload for the simulator: the expected
+//! round counts (`≈ eccentricity`, `≈ depth`) are asserted in tests.
+
+use minex_graphs::{Graph, NodeId};
+
+use crate::program::{Ctx, NodeProgram};
+use crate::runtime::{run, CongestConfig, RunStats, SimError};
+
+/// Result of the distributed BFS-tree construction.
+#[derive(Debug, Clone)]
+pub struct BfsTreeResult {
+    /// The root used.
+    pub root: NodeId,
+    /// `parent[v]` — BFS parent, `None` for the root (and unreachable nodes).
+    pub parent: Vec<Option<NodeId>>,
+    /// `dist[v]` — hop distance from the root (`usize::MAX` if unreached).
+    pub dist: Vec<usize>,
+    /// Simulation statistics.
+    pub stats: RunStats,
+}
+
+#[derive(Debug, Clone)]
+struct BfsProgram {
+    root: NodeId,
+    dist: Option<usize>,
+    parent: Option<NodeId>,
+    announce: bool,
+}
+
+impl NodeProgram for BfsProgram {
+    type Msg = usize;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        if ctx.round() == 0 && ctx.node() == self.root {
+            self.dist = Some(0);
+            self.announce = true;
+        }
+        for &(from, d) in ctx.inbox() {
+            if self.dist.map_or(true, |mine| d + 1 < mine) {
+                self.dist = Some(d + 1);
+                self.parent = Some(from);
+                self.announce = true;
+            }
+        }
+        if self.announce {
+            self.announce = false;
+            let d = self.dist.expect("announce implies dist");
+            ctx.broadcast(d);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        !self.announce
+    }
+}
+
+/// Builds a BFS tree rooted at `root` by distributed flooding.
+///
+/// Takes `eccentricity(root) + O(1)` rounds.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the runtime.
+pub fn build_bfs_tree(
+    g: &Graph,
+    root: NodeId,
+    config: CongestConfig,
+) -> Result<BfsTreeResult, SimError> {
+    assert!(root < g.n(), "root out of range");
+    let mut programs: Vec<BfsProgram> = (0..g.n())
+        .map(|_| BfsProgram { root, dist: None, parent: None, announce: false })
+        .collect();
+    let stats = run(g, &mut programs, config)?;
+    Ok(BfsTreeResult {
+        root,
+        parent: programs.iter().map(|p| p.parent).collect(),
+        dist: programs
+            .iter()
+            .map(|p| p.dist.unwrap_or(usize::MAX))
+            .collect(),
+        stats,
+    })
+}
+
+#[derive(Debug, Clone)]
+struct MinIdFlood {
+    best: NodeId,
+    dirty: bool,
+}
+
+impl NodeProgram for MinIdFlood {
+    type Msg = usize;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        if ctx.round() == 0 {
+            self.best = ctx.node();
+            self.dirty = true;
+        }
+        for &(_, id) in ctx.inbox() {
+            if id < self.best {
+                self.best = id;
+                self.dirty = true;
+            }
+        }
+        if self.dirty {
+            self.dirty = false;
+            ctx.broadcast(self.best);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        !self.dirty
+    }
+}
+
+/// Elects the minimum-id node by flooding; every node learns the leader.
+/// Takes `O(D)` rounds.
+///
+/// # Errors
+///
+/// Propagates [`SimError`]; also returns an error on a disconnected graph
+/// (nodes would disagree — detected centrally and reported as livelock-free
+/// disagreement via panic in debug, so we verify agreement here).
+pub fn elect_leader(g: &Graph, config: CongestConfig) -> Result<(NodeId, RunStats), SimError> {
+    let mut programs: Vec<MinIdFlood> =
+        vec![MinIdFlood { best: usize::MAX, dirty: true }; g.n()];
+    let stats = run(g, &mut programs, config)?;
+    let leader = programs[0].best;
+    assert!(
+        programs.iter().all(|p| p.best == leader),
+        "leader election requires a connected graph"
+    );
+    Ok((leader, stats))
+}
+
+#[derive(Debug, Clone)]
+struct ConvergecastProgram {
+    parent: Option<NodeId>,
+    pending_children: usize,
+    acc: u64,
+    sent: bool,
+    is_root: bool,
+}
+
+impl NodeProgram for ConvergecastProgram {
+    type Msg = u64;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        for &(_, value) in ctx.inbox() {
+            self.acc = combine(self.acc, value);
+            self.pending_children -= 1;
+        }
+        if !self.sent && self.pending_children == 0 && !self.is_root {
+            self.sent = true;
+            if let Some(p) = self.parent {
+                ctx.send(p, self.acc);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.sent || (self.is_root && self.pending_children == 0)
+    }
+}
+
+/// The (fixed) aggregation operator used by [`convergecast_sum`]. Kept as a
+/// named function so the tests and the doc can point at it.
+fn combine(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}
+
+/// Sums `values` up a rooted spanning tree given by `parent` pointers;
+/// returns the total at the root. Takes `depth(tree)` rounds.
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+///
+/// # Panics
+///
+/// Panics if `parent` encodes anything other than one tree spanning all of
+/// `g` with exactly one root.
+pub fn convergecast_sum(
+    g: &Graph,
+    parent: &[Option<NodeId>],
+    values: &[u64],
+    config: CongestConfig,
+) -> Result<(u64, RunStats), SimError> {
+    assert_eq!(parent.len(), g.n(), "parent vector must cover all nodes");
+    assert_eq!(values.len(), g.n(), "value vector must cover all nodes");
+    let mut child_count = vec![0usize; g.n()];
+    let mut roots = 0;
+    for v in 0..g.n() {
+        match parent[v] {
+            Some(p) => {
+                assert!(
+                    g.has_edge(v, p),
+                    "tree parent {p} of {v} must be a neighbor"
+                );
+                child_count[p] += 1;
+            }
+            None => roots += 1,
+        }
+    }
+    assert_eq!(roots, 1, "exactly one root required");
+    let mut programs: Vec<ConvergecastProgram> = (0..g.n())
+        .map(|v| ConvergecastProgram {
+            parent: parent[v],
+            pending_children: child_count[v],
+            acc: values[v],
+            sent: false,
+            is_root: parent[v].is_none(),
+        })
+        .collect();
+    let stats = run(g, &mut programs, config)?;
+    let root = (0..g.n()).find(|&v| parent[v].is_none()).expect("one root");
+    Ok((programs[root].acc, stats))
+}
+
+#[derive(Debug, Clone)]
+struct BroadcastProgram {
+    children: Vec<NodeId>,
+    value: Option<u64>,
+    forwarded: bool,
+}
+
+impl NodeProgram for BroadcastProgram {
+    type Msg = u64;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        if let Some(&(_, v)) = ctx.inbox().first() {
+            if self.value.is_none() {
+                self.value = Some(v);
+            }
+        }
+        if let (Some(v), false) = (self.value, self.forwarded) {
+            self.forwarded = true;
+            let children = self.children.clone();
+            for c in children {
+                ctx.send(c, v);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.forwarded || self.value.is_none()
+    }
+}
+
+/// Broadcasts `value` from the tree root down the `parent`-encoded tree;
+/// every node ends up knowing it. Takes `depth(tree)` rounds.
+///
+/// Returns the per-node received values (all equal on success).
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+pub fn broadcast_down_tree(
+    g: &Graph,
+    parent: &[Option<NodeId>],
+    value: u64,
+    config: CongestConfig,
+) -> Result<(Vec<u64>, RunStats), SimError> {
+    assert_eq!(parent.len(), g.n(), "parent vector must cover all nodes");
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); g.n()];
+    let mut root = None;
+    for v in 0..g.n() {
+        match parent[v] {
+            Some(p) => children[p].push(v),
+            None => {
+                assert!(root.is_none(), "exactly one root required");
+                root = Some(v);
+            }
+        }
+    }
+    let root = root.expect("exactly one root required");
+    let mut programs: Vec<BroadcastProgram> = (0..g.n())
+        .map(|v| BroadcastProgram {
+            children: std::mem::take(&mut children[v]),
+            value: if v == root { Some(value) } else { None },
+            forwarded: false,
+        })
+        .collect();
+    let stats = run(g, &mut programs, config)?;
+    let got: Vec<u64> = programs
+        .iter()
+        .map(|p| p.value.expect("broadcast must reach all nodes of a tree"))
+        .collect();
+    Ok((got, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minex_graphs::{generators, traversal};
+
+    fn cfg(n: usize) -> CongestConfig {
+        CongestConfig::for_nodes(n)
+    }
+
+    #[test]
+    fn bfs_tree_matches_central_bfs() {
+        let g = generators::triangulated_grid(5, 7);
+        let result = build_bfs_tree(&g, 0, cfg(g.n())).unwrap();
+        let central = traversal::bfs(&g, 0);
+        assert_eq!(result.dist, central.dist);
+        // Parents realize the same distances (parents themselves may differ).
+        for v in 1..g.n() {
+            let p = result.parent[v].expect("reached");
+            assert_eq!(result.dist[p] + 1, result.dist[v]);
+            assert!(g.has_edge(p, v));
+        }
+        // Rounds ≈ eccentricity.
+        let ecc = central.eccentricity();
+        assert!(
+            result.stats.rounds >= ecc && result.stats.rounds <= ecc + 3,
+            "rounds {} vs ecc {ecc}",
+            result.stats.rounds
+        );
+    }
+
+    #[test]
+    fn leader_election_on_random_graph() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let g = generators::random_connected(64, 30, &mut rng);
+        let (leader, stats) = elect_leader(&g, cfg(64)).unwrap();
+        assert_eq!(leader, 0);
+        assert!(stats.rounds > 0);
+    }
+
+    #[test]
+    fn convergecast_counts_nodes() {
+        let g = generators::binary_tree(31);
+        let central = traversal::bfs(&g, 0);
+        let (total, stats) = convergecast_sum(&g, &central.parent, &vec![1; 31], cfg(31)).unwrap();
+        assert_eq!(total, 31);
+        // Depth of a 31-node complete binary tree is 4.
+        assert!(stats.rounds >= 4 && stats.rounds <= 6, "rounds={}", stats.rounds);
+    }
+
+    #[test]
+    fn convergecast_weighted() {
+        let g = generators::path(5);
+        let central = traversal::bfs(&g, 2);
+        let values = vec![10, 20, 1, 30, 40];
+        let (total, _) = convergecast_sum(&g, &central.parent, &values, cfg(5)).unwrap();
+        assert_eq!(total, 101);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let g = generators::triangulated_grid(4, 4);
+        let central = traversal::bfs(&g, 5);
+        let (got, stats) = broadcast_down_tree(&g, &central.parent, 42, cfg(16)).unwrap();
+        assert!(got.iter().all(|&v| v == 42));
+        assert!(stats.rounds <= central.eccentricity() + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one root")]
+    fn convergecast_rejects_forests() {
+        let g = generators::path(4);
+        let parent = vec![None, Some(0), None, Some(2)];
+        let _ = convergecast_sum(&g, &parent, &vec![1; 4], cfg(4));
+    }
+
+    #[test]
+    fn singleton_graph_primitives() {
+        let g = generators::path(1);
+        let r = build_bfs_tree(&g, 0, cfg(1)).unwrap();
+        assert_eq!(r.dist, vec![0]);
+        let (total, _) = convergecast_sum(&g, &[None], &[7], cfg(1)).unwrap();
+        assert_eq!(total, 7);
+    }
+}

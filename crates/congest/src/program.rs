@@ -1,0 +1,90 @@
+//! Node programs: the per-node state machines executed by the runtime.
+
+use minex_graphs::{EdgeId, Graph, NodeId};
+
+use crate::message::Payload;
+
+/// The per-round view a node program gets of its surroundings.
+///
+/// A node knows: its own id, the current round number, its incident edges
+/// (ids and the neighbor on the other side — "ports" in the CONGEST model),
+/// and the messages that arrived this round. It acts by calling
+/// [`send`](Ctx::send) / [`broadcast`](Ctx::broadcast).
+#[derive(Debug)]
+pub struct Ctx<'a, M: Payload> {
+    graph: &'a Graph,
+    node: NodeId,
+    round: usize,
+    inbox: &'a [(NodeId, M)],
+    outbox: &'a mut Vec<(NodeId, M)>,
+}
+
+impl<'a, M: Payload> Ctx<'a, M> {
+    pub(crate) fn new(
+        graph: &'a Graph,
+        node: NodeId,
+        round: usize,
+        inbox: &'a [(NodeId, M)],
+        outbox: &'a mut Vec<(NodeId, M)>,
+    ) -> Self {
+        Ctx { graph, node, round, inbox, outbox }
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current round (starting from 0).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Messages delivered this round, as `(sender, message)` pairs.
+    pub fn inbox(&self) -> &[(NodeId, M)] {
+        self.inbox
+    }
+
+    /// This node's neighbors, as `(neighbor, edge id)` pairs.
+    pub fn neighbors(&self) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        self.graph.neighbors(self.node)
+    }
+
+    /// Degree of this node.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.node)
+    }
+
+    /// Queues `msg` for delivery to `to` next round. The runtime validates
+    /// neighborship, per-edge uniqueness, and bandwidth after the callback
+    /// returns.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends `msg` to every neighbor.
+    pub fn broadcast(&mut self, msg: M) {
+        let targets: Vec<NodeId> = self.graph.neighbors(self.node).map(|(w, _)| w).collect();
+        for w in targets {
+            self.outbox.push((w, msg.clone()));
+        }
+    }
+}
+
+/// A distributed algorithm, from one node's point of view.
+///
+/// The runtime calls [`on_round`](Self::on_round) every round (round 0 acts
+/// as initialization; the inbox is empty then). A node that is
+/// [`is_done`](Self::is_done) *and* has an empty inbox is skipped — it can be
+/// reawakened by incoming messages. The run terminates when every node is
+/// done and no messages are in flight.
+pub trait NodeProgram {
+    /// The message type exchanged by this algorithm.
+    type Msg: Payload;
+
+    /// One synchronous round: read `ctx.inbox()`, update local state, send.
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Whether this node currently has nothing more to do.
+    fn is_done(&self) -> bool;
+}

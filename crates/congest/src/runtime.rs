@@ -1,0 +1,362 @@
+//! The synchronous round loop.
+
+use std::error::Error;
+use std::fmt;
+
+use minex_graphs::{Graph, NodeId};
+
+use crate::message::{bits_for, Payload};
+use crate::program::{Ctx, NodeProgram};
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CongestConfig {
+    /// Per-edge, per-direction, per-round bandwidth in bits.
+    pub bandwidth_bits: usize,
+    /// Abort the run after this many rounds (guards against livelock).
+    pub max_rounds: usize,
+}
+
+impl CongestConfig {
+    /// The standard model parameters for an `n`-node network:
+    /// `B = 8·⌈log₂(n+1)⌉` bits (a generous constant, enough for a tagged
+    /// id/weight pair) and a `64·n + 1024` round guard.
+    pub fn for_nodes(n: usize) -> Self {
+        CongestConfig {
+            bandwidth_bits: 8 * bits_for(n + 1).max(8),
+            max_rounds: 64 * n + 1024,
+        }
+    }
+
+    /// Overrides the bandwidth.
+    pub fn with_bandwidth(mut self, bits: usize) -> Self {
+        self.bandwidth_bits = bits;
+        self
+    }
+
+    /// Overrides the round guard.
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+}
+
+/// Cost and volume statistics of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Number of synchronous rounds executed until global quiescence.
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Largest single message, in bits.
+    pub max_message_bits: usize,
+    /// Sum of message sizes, in bits.
+    pub total_bits: u64,
+}
+
+/// Errors from a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A message exceeded the per-edge bandwidth.
+    BandwidthExceeded {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Offending message size.
+        bits: usize,
+        /// Configured budget.
+        budget: usize,
+    },
+    /// A node sent two messages over one edge in one round.
+    DuplicateSend {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+    },
+    /// A node tried to message a non-neighbor.
+    NotANeighbor {
+        /// Sending node.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+    },
+    /// The round guard fired before quiescence.
+    MaxRoundsExceeded {
+        /// The configured guard.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BandwidthExceeded { from, to, bits, budget } => write!(
+                f,
+                "message {from}->{to} of {bits} bits exceeds the {budget}-bit budget"
+            ),
+            SimError::DuplicateSend { from, to } => {
+                write!(f, "node {from} sent two messages to {to} in one round")
+            }
+            SimError::NotANeighbor { from, to } => {
+                write!(f, "node {from} attempted to message non-neighbor {to}")
+            }
+            SimError::MaxRoundsExceeded { limit } => {
+                write!(f, "simulation did not quiesce within {limit} rounds")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Runs one node program per node until global quiescence: every program
+/// reports [`NodeProgram::is_done`] and no messages are in flight.
+///
+/// Returns the run statistics. Programs can be inspected afterwards to
+/// extract their outputs.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if a program violates the CONGEST constraints or
+/// the round guard fires.
+///
+/// # Panics
+///
+/// Panics if `programs.len() != graph.n()`.
+pub fn run<P: NodeProgram>(
+    graph: &Graph,
+    programs: &mut [P],
+    config: CongestConfig,
+) -> Result<RunStats, SimError> {
+    assert_eq!(
+        programs.len(),
+        graph.n(),
+        "one program per node is required"
+    );
+    let n = graph.n();
+    let mut stats = RunStats::default();
+    // inboxes[v] = messages to deliver to v this round.
+    let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+    let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
+    // Tracks (from) -> set of destinations used this round, reset per node.
+    let mut seen_dest: Vec<bool> = vec![false; n];
+    for round in 0..config.max_rounds {
+        let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let mut any_message = false;
+        let mut all_done = true;
+        for v in 0..n {
+            let inbox = std::mem::take(&mut inboxes[v]);
+            // Quiescence fast path: a done node with no mail does not act.
+            // Round 0 always runs so programs can initialize.
+            if round > 0 && inbox.is_empty() && programs[v].is_done() {
+                continue;
+            }
+            outbox.clear();
+            {
+                let mut ctx = Ctx::new(graph, v, round, &inbox, &mut outbox);
+                programs[v].on_round(&mut ctx);
+            }
+            // Validate and enqueue.
+            let mut used: Vec<NodeId> = Vec::with_capacity(outbox.len());
+            for (to, msg) in outbox.drain(..) {
+                if graph.edge_between(v, to).is_none() {
+                    return Err(SimError::NotANeighbor { from: v, to });
+                }
+                if seen_dest[to] {
+                    return Err(SimError::DuplicateSend { from: v, to });
+                }
+                seen_dest[to] = true;
+                used.push(to);
+                let bits = msg.bit_size();
+                if bits > config.bandwidth_bits {
+                    return Err(SimError::BandwidthExceeded {
+                        from: v,
+                        to,
+                        bits,
+                        budget: config.bandwidth_bits,
+                    });
+                }
+                stats.messages += 1;
+                stats.total_bits += bits as u64;
+                stats.max_message_bits = stats.max_message_bits.max(bits);
+                next_inboxes[to].push((v, msg));
+                any_message = true;
+            }
+            for to in used {
+                seen_dest[to] = false;
+            }
+        }
+        for v in 0..n {
+            if !programs[v].is_done() {
+                all_done = false;
+                break;
+            }
+        }
+        inboxes = next_inboxes;
+        if all_done && !any_message {
+            stats.rounds = round;
+            return Ok(stats);
+        }
+        stats.rounds = round + 1;
+    }
+    Err(SimError::MaxRoundsExceeded { limit: config.max_rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Ctx, NodeProgram};
+    use minex_graphs::generators;
+
+    /// Floods the minimum id seen so far; classic leader election.
+    #[derive(Debug, Clone)]
+    struct MinFlood {
+        best: usize,
+        dirty: bool,
+    }
+
+    impl NodeProgram for MinFlood {
+        type Msg = usize;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+            if ctx.round() == 0 {
+                self.best = ctx.node();
+                self.dirty = true;
+            }
+            for &(_, msg) in ctx.inbox() {
+                if msg < self.best {
+                    self.best = msg;
+                    self.dirty = true;
+                }
+            }
+            if self.dirty {
+                self.dirty = false;
+                ctx.broadcast(self.best);
+            }
+        }
+        fn is_done(&self) -> bool {
+            !self.dirty
+        }
+    }
+
+    #[test]
+    fn min_flood_elects_node_zero() {
+        let g = generators::cycle(16);
+        let mut programs = vec![MinFlood { best: usize::MAX, dirty: true }; 16];
+        let stats = run(&g, &mut programs, CongestConfig::for_nodes(16)).unwrap();
+        assert!(programs.iter().all(|p| p.best == 0));
+        // Flooding a cycle of 16 takes about half the cycle.
+        assert!(stats.rounds >= 8 && stats.rounds <= 10, "rounds={}", stats.rounds);
+        assert!(stats.messages > 0);
+    }
+
+    /// A program that violates bandwidth on purpose.
+    #[derive(Debug, Clone)]
+    struct Blaster;
+    impl NodeProgram for Blaster {
+        type Msg = (u64, u64);
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+            if ctx.round() == 0 && ctx.node() == 0 {
+                ctx.broadcast((1, 2));
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn bandwidth_is_enforced() {
+        let g = generators::path(4);
+        let mut programs = vec![Blaster; 4];
+        let err = run(&g, &mut programs, CongestConfig::for_nodes(4).with_bandwidth(64))
+            .unwrap_err();
+        assert!(matches!(err, SimError::BandwidthExceeded { bits: 128, .. }));
+    }
+
+    /// Sends twice to the same neighbor.
+    #[derive(Debug, Clone)]
+    struct DoubleSend;
+    impl NodeProgram for DoubleSend {
+        type Msg = u32;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+            if ctx.round() == 0 && ctx.node() == 0 {
+                ctx.send(1, 5);
+                ctx.send(1, 6);
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn duplicate_sends_rejected() {
+        let g = generators::path(2);
+        let mut programs = vec![DoubleSend; 2];
+        let err = run(&g, &mut programs, CongestConfig::for_nodes(2)).unwrap_err();
+        assert_eq!(err, SimError::DuplicateSend { from: 0, to: 1 });
+    }
+
+    /// Messages a non-neighbor.
+    #[derive(Debug, Clone)]
+    struct Teleporter;
+    impl NodeProgram for Teleporter {
+        type Msg = u32;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+            if ctx.round() == 0 && ctx.node() == 0 {
+                ctx.send(3, 1);
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn non_neighbor_rejected() {
+        let g = generators::path(4);
+        let mut programs = vec![Teleporter; 4];
+        let err = run(&g, &mut programs, CongestConfig::for_nodes(4)).unwrap_err();
+        assert_eq!(err, SimError::NotANeighbor { from: 0, to: 3 });
+    }
+
+    /// Never finishes.
+    #[derive(Debug, Clone)]
+    struct Livelock;
+    impl NodeProgram for Livelock {
+        type Msg = u32;
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn round_guard_fires() {
+        let g = generators::path(2);
+        let mut programs = vec![Livelock; 2];
+        let err = run(&g, &mut programs, CongestConfig::for_nodes(2).with_max_rounds(10))
+            .unwrap_err();
+        assert_eq!(err, SimError::MaxRoundsExceeded { limit: 10 });
+    }
+
+    #[test]
+    fn immediate_quiescence_costs_zero_rounds() {
+        #[derive(Debug, Clone)]
+        struct Noop;
+        impl NodeProgram for Noop {
+            type Msg = u32;
+            fn on_round(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::path(3);
+        let mut programs = vec![Noop; 3];
+        let stats = run(&g, &mut programs, CongestConfig::for_nodes(3)).unwrap();
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.messages, 0);
+    }
+}

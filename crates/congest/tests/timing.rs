@@ -1,0 +1,99 @@
+//! Timing-semantics tests: the simulator must deliver a message sent in
+//! round `r` at round `r + 1`, exactly once, and count rounds accordingly.
+
+use minex_congest::{run, CongestConfig, Ctx, NodeProgram};
+use minex_graphs::generators;
+
+/// Sends a token down a path, recording at each node the round it arrived.
+#[derive(Debug, Clone)]
+struct Relay {
+    arrived_at_round: Option<usize>,
+    forwarded: bool,
+    is_source: bool,
+    next: Option<usize>,
+}
+
+impl NodeProgram for Relay {
+    type Msg = u32;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        if ctx.round() == 0 && self.is_source {
+            self.arrived_at_round = Some(0);
+        }
+        if !ctx.inbox().is_empty() && self.arrived_at_round.is_none() {
+            self.arrived_at_round = Some(ctx.round());
+            assert_eq!(ctx.inbox().len(), 1, "exactly one delivery");
+        }
+        if self.arrived_at_round.is_some() && !self.forwarded {
+            self.forwarded = true;
+            if let Some(next) = self.next {
+                ctx.send(next, 1);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.forwarded
+    }
+}
+
+#[test]
+fn messages_take_exactly_one_round_per_hop() {
+    let n = 12;
+    let g = generators::path(n);
+    let mut programs: Vec<Relay> = (0..n)
+        .map(|v| Relay {
+            arrived_at_round: None,
+            forwarded: false,
+            is_source: v == 0,
+            next: if v + 1 < n { Some(v + 1) } else { None },
+        })
+        .collect();
+    let stats = run(&g, &mut programs, CongestConfig::for_nodes(n)).unwrap();
+    for (v, p) in programs.iter().enumerate() {
+        assert_eq!(
+            p.arrived_at_round,
+            Some(v),
+            "node {v} must receive the token in round {v}"
+        );
+    }
+    // The last hop arrives in round n-1; quiescence detected right after.
+    assert_eq!(stats.rounds, n - 1);
+    assert_eq!(stats.messages, (n - 1) as u64);
+}
+
+/// Every node pings all neighbors each round for 3 rounds; the per-edge
+/// accounting must be exact.
+#[derive(Debug, Clone)]
+struct Pinger {
+    rounds_left: usize,
+}
+
+impl NodeProgram for Pinger {
+    type Msg = u32;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            ctx.broadcast(7);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_left == 0
+    }
+}
+
+#[test]
+fn message_counters_are_exact() {
+    let g = generators::cycle(10);
+    let mut programs = vec![Pinger { rounds_left: 3 }; 10];
+    let stats = run(&g, &mut programs, CongestConfig::for_nodes(10)).unwrap();
+    // 10 nodes × 2 neighbors × 3 rounds.
+    assert_eq!(stats.messages, 60);
+    assert_eq!(stats.max_message_bits, 32);
+    assert_eq!(stats.total_bits, 60 * 32);
+    // Rounds 0-2 send; the last deliveries land in round 3, which is the
+    // final active round the counter reports.
+    assert_eq!(stats.rounds, 3);
+}

@@ -1,0 +1,290 @@
+//! Cell partitions and β-cell-assignment (Definitions 14–15, Lemmas 4–6).
+//!
+//! A *cell partition* splits the nodes into disjoint, connected,
+//! low-diameter cells — canonically the subtrees left when an apex is
+//! removed from the spanning tree. The *assignment* relation `R ⊆ C × P`
+//! pairs cells with parts so that
+//!
+//! * every part is related to all cells it intersects **except at most 2**
+//!   (property (i) of Definition 15), and
+//! * no cell is related to more than `β` parts (property (ii)).
+//!
+//! [`assign_cells`] implements the peeling induction of Lemmas 5–6
+//! directly: repeatedly retire a part that meets ≤ 2 cells, else retire the
+//! cell currently meeting the fewest parts. The combinatorial-gate theory
+//! (Lemma 4 / Lemma 7) guarantees that on planar-ish graphs the minimum cell
+//! degree stays `O(s)`; here β is *measured* and reported.
+
+use minex_graphs::{traversal, Graph, NodeId};
+
+use crate::parts::Partition;
+use crate::spanning::RootedTree;
+
+/// A partition of (some) nodes into disjoint, connected, low-diameter cells.
+#[derive(Debug, Clone)]
+pub struct CellPartition {
+    cells: Vec<Vec<NodeId>>,
+    cell_of: Vec<Option<usize>>,
+    /// Maximum measured cell diameter (within the cell's induced subgraph).
+    diameter: usize,
+}
+
+impl CellPartition {
+    /// Validates and wraps cells (disjoint, connected, non-empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics on overlapping, empty, or disconnected cells — cells are
+    /// produced by our own constructions, so violations are programmer
+    /// errors.
+    pub fn new(g: &Graph, cells: Vec<Vec<NodeId>>) -> Self {
+        let mut cell_of: Vec<Option<usize>> = vec![None; g.n()];
+        let mut diameter = 0;
+        for (i, cell) in cells.iter().enumerate() {
+            assert!(!cell.is_empty(), "cell {i} is empty");
+            for &v in cell {
+                assert!(cell_of[v].is_none(), "node {v} in two cells");
+                cell_of[v] = Some(i);
+            }
+            let (sub, _) = g.induced_subgraph(cell);
+            let d = traversal::diameter_double_sweep(&sub)
+                .expect("cells must induce connected subgraphs");
+            diameter = diameter.max(d);
+        }
+        CellPartition { cells, cell_of, diameter }
+    }
+
+    /// The cells obtained by deleting `removed` (e.g. the apices) from the
+    /// spanning tree: each remaining subtree is one cell (the canonical
+    /// construction of Section 2.3.3, with BFS-subtree cells).
+    pub fn from_tree_removal(g: &Graph, tree: &RootedTree, removed: &[NodeId]) -> Self {
+        let mut is_removed = vec![false; g.n()];
+        for &v in removed {
+            is_removed[v] = true;
+        }
+        let mut uf = minex_graphs::UnionFind::new(g.n());
+        for v in 0..g.n() {
+            if is_removed[v] {
+                continue;
+            }
+            if let Some(p) = tree.parent(v) {
+                if !is_removed[p] {
+                    uf.union(v, p);
+                }
+            }
+        }
+        let mut cells_map: std::collections::HashMap<usize, Vec<NodeId>> = Default::default();
+        for v in 0..g.n() {
+            if !is_removed[v] {
+                cells_map.entry(uf.find(v)).or_default().push(v);
+            }
+        }
+        let mut cells: Vec<Vec<NodeId>> = cells_map.into_values().collect();
+        cells.sort();
+        CellPartition::new(g, cells)
+    }
+
+    /// The cells.
+    pub fn cells(&self) -> &[Vec<NodeId>] {
+        &self.cells
+    }
+
+    /// The cell containing `v`, if any.
+    pub fn cell_of(&self, v: NodeId) -> Option<usize> {
+        self.cell_of[v]
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether there are no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Maximum measured cell diameter.
+    pub fn diameter(&self) -> usize {
+        self.diameter
+    }
+}
+
+/// The result of the Lemma 5 peeling.
+#[derive(Debug, Clone)]
+pub struct CellAssignment {
+    /// `related[p]` — cells related to part `p` in `R`.
+    pub related: Vec<Vec<usize>>,
+    /// `unrelated[p]` — cells intersecting part `p` but *not* related
+    /// (guaranteed ≤ 2 per part).
+    pub unrelated: Vec<Vec<usize>>,
+    /// `cell_load[c]` — number of parts related to cell `c`.
+    pub cell_load: Vec<usize>,
+    /// The measured β: the maximum cell load.
+    pub beta: usize,
+}
+
+/// Computes a cell assignment by the peeling induction of Lemma 5.
+///
+/// Both Definition 15 properties hold by construction; `beta` reports the
+/// measured property-(ii) bound.
+pub fn assign_cells(cells: &CellPartition, parts: &Partition) -> CellAssignment {
+    let np = parts.len();
+    let nc = cells.len();
+    // Incidence sets.
+    let mut cells_of_part: Vec<Vec<usize>> = vec![Vec::new(); np];
+    let mut parts_of_cell: Vec<Vec<usize>> = vec![Vec::new(); nc];
+    for (p, part) in parts.parts().iter().enumerate() {
+        let mut cs: Vec<usize> = part.iter().filter_map(|&v| cells.cell_of(v)).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        for &c in &cs {
+            parts_of_cell[c].push(p);
+        }
+        cells_of_part[p] = cs;
+    }
+    let mut part_alive = vec![true; np];
+    let mut cell_alive = vec![true; nc];
+    let mut part_deg: Vec<usize> = cells_of_part.iter().map(Vec::len).collect();
+    let mut cell_deg: Vec<usize> = parts_of_cell.iter().map(Vec::len).collect();
+    let mut related = vec![Vec::new(); np];
+    let mut unrelated = vec![Vec::new(); np];
+    let mut cell_load = vec![0usize; nc];
+    let mut beta = 0;
+    let mut parts_left: usize = np;
+    let mut cells_left: usize = nc;
+    while parts_left > 0 && cells_left > 0 {
+        // Retire every part currently meeting ≤ 2 live cells.
+        let mut progressed = false;
+        for p in 0..np {
+            if part_alive[p] && part_deg[p] <= 2 {
+                part_alive[p] = false;
+                parts_left -= 1;
+                progressed = true;
+                for &c in &cells_of_part[p] {
+                    if cell_alive[c] {
+                        unrelated[p].push(c);
+                        cell_deg[c] -= 1;
+                    }
+                }
+            }
+        }
+        if progressed {
+            continue;
+        }
+        // Retire the minimum-degree live cell, relating it to its parts.
+        let c = (0..nc)
+            .filter(|&c| cell_alive[c])
+            .min_by_key(|&c| cell_deg[c])
+            .expect("cells_left > 0");
+        cell_alive[c] = false;
+        cells_left -= 1;
+        for &p in &parts_of_cell[c] {
+            if part_alive[p] {
+                related[p].push(c);
+                cell_load[c] += 1;
+                part_deg[p] -= 1;
+            }
+        }
+        beta = beta.max(cell_load[c]);
+    }
+    // Cells exhausted: surviving parts have every cell related already.
+    // Parts exhausted: surviving cells relate to nobody. Either way done.
+    CellAssignment { related, unrelated, cell_load, beta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minex_graphs::generators;
+
+    #[test]
+    fn tree_removal_cells_on_wheel() {
+        let n = 16;
+        let g = generators::wheel(n);
+        let hub = n - 1;
+        let tree = RootedTree::bfs(&g, hub);
+        let cells = CellPartition::from_tree_removal(&g, &tree, &[hub]);
+        // BFS tree from the hub is a star: removing the hub leaves rim
+        // singletons.
+        assert_eq!(cells.len(), n - 1);
+        assert_eq!(cells.diameter(), 0);
+        assert_eq!(cells.cell_of(hub), None);
+    }
+
+    #[test]
+    fn tree_removal_cells_on_apex_grid() {
+        let (g, apex) = generators::apex_grid(6, 6, 7);
+        let tree = RootedTree::bfs(&g, apex);
+        let cells = CellPartition::from_tree_removal(&g, &tree, &[apex]);
+        // Cells cover all non-apex nodes.
+        let covered: usize = cells.cells().iter().map(Vec::len).sum();
+        assert_eq!(covered, g.n() - 1);
+        // Each cell's diameter is bounded by twice the tree height.
+        assert!(cells.diameter() <= 2 * tree.height());
+    }
+
+    #[test]
+    fn assignment_properties_hold() {
+        let (g, apex) = generators::apex_grid(8, 8, 3);
+        let tree = RootedTree::bfs(&g, apex);
+        let cells = CellPartition::from_tree_removal(&g, &tree, &[apex]);
+        // Column parts of the grid (connected via column edges).
+        let parts_vec: Vec<Vec<NodeId>> =
+            (0..8).map(|c| (0..8).map(|r| r * 8 + c).collect()).collect();
+        let parts = Partition::new(&g, parts_vec).unwrap();
+        let asg = assign_cells(&cells, &parts);
+        for p in 0..parts.len() {
+            assert!(asg.unrelated[p].len() <= 2, "part {p} skips too many cells");
+            // related + unrelated = all intersecting cells.
+            let mut all: Vec<usize> = asg.related[p]
+                .iter()
+                .chain(asg.unrelated[p].iter())
+                .copied()
+                .collect();
+            all.sort_unstable();
+            all.dedup();
+            let mut expect: Vec<usize> = parts
+                .part(p)
+                .iter()
+                .filter_map(|&v| cells.cell_of(v))
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(all, expect, "part {p} incidence mismatch");
+        }
+        assert_eq!(asg.beta, asg.cell_load.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn small_parts_need_no_assignment() {
+        let g = generators::grid(4, 4);
+        let tree = RootedTree::bfs(&g, 0);
+        let cells = CellPartition::from_tree_removal(&g, &tree, &[]);
+        assert_eq!(cells.len(), 1);
+        let parts = Partition::new(&g, vec![vec![0, 1], vec![14, 15]]).unwrap();
+        let asg = assign_cells(&cells, &parts);
+        // Every part meets ≤ 2 cells (there is only one), so nothing is
+        // related and everything is within the 2-cell allowance.
+        assert!(asg.related.iter().all(Vec::is_empty));
+        assert_eq!(asg.beta, 0);
+    }
+
+    #[test]
+    fn empty_parts_or_cells() {
+        let g = generators::path(4);
+        let tree = RootedTree::bfs(&g, 0);
+        let cells = CellPartition::from_tree_removal(&g, &tree, &[]);
+        let parts = Partition::new(&g, vec![]).unwrap();
+        let asg = assign_cells(&cells, &parts);
+        assert!(asg.related.is_empty());
+        assert_eq!(asg.beta, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in two cells")]
+    fn rejects_overlapping_cells() {
+        let g = generators::path(4);
+        let _ = CellPartition::new(&g, vec![vec![0, 1], vec![1, 2]]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Shortcut constructions.
+//!
+//! Two kinds of constructors exist, mirroring the paper's split between
+//! algorithm and analysis:
+//!
+//! * **Structure-oblivious** ([`WholeTreeBuilder`], [`SteinerBuilder`],
+//!   [`CappedBuilder`], [`AutoCappedBuilder`]) — run on any network without
+//!   a witness, like the actual distributed algorithm of [HIZ16a] that
+//!   Theorem 1 invokes.
+//! * **Witness-based** ([`CliqueSumShortcutBuilder`],
+//!   [`TreewidthBuilder`], [`ApexBuilder`]) — consume the structure records
+//!   produced by the generators and realize the existence proofs of
+//!   Theorems 5, 7, and 8 so their promised parameters can be measured.
+
+mod apex;
+mod capped;
+mod clique_sum;
+mod naive;
+mod treewidth;
+
+pub use apex::ApexBuilder;
+pub use capped::{AutoCappedBuilder, CappedBuilder};
+pub use clique_sum::CliqueSumShortcutBuilder;
+pub use naive::{SteinerBuilder, WholeTreeBuilder};
+pub use treewidth::TreewidthBuilder;
+
+use minex_graphs::Graph;
+
+use crate::parts::Partition;
+use crate::shortcut::Shortcut;
+use crate::spanning::RootedTree;
+
+/// A tree-restricted shortcut construction: given the network, a spanning
+/// tree, and the parts, produce one edge set per part (all on the tree).
+pub trait ShortcutBuilder: std::fmt::Debug {
+    /// Short identifier for reports.
+    fn name(&self) -> &'static str;
+
+    /// Builds the shortcut. Implementations must return tree-restricted
+    /// assignments covering exactly `parts.len()` parts.
+    fn build(&self, g: &Graph, tree: &RootedTree, parts: &Partition) -> Shortcut;
+}
+
+impl<B: ShortcutBuilder + ?Sized> ShortcutBuilder for &B {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn build(&self, g: &Graph, tree: &RootedTree, parts: &Partition) -> Shortcut {
+        (**self).build(g, tree, parts)
+    }
+}

@@ -1,0 +1,151 @@
+//! The Theorem 5 construction ([HIZ16b]): treewidth-`k` graphs admit
+//! shortcuts with block `O(k)` and congestion `O(k log n)`.
+//!
+//! A width-`k` tree decomposition *is* a clique-sum decomposition with
+//! separators of size ≤ `k+1` (complete each bag intersection), so the
+//! construction reduces to [`CliqueSumShortcutBuilder`] over the converted
+//! tree, folded for the `log` factor. Bags here have at most `k+1` nodes,
+//! so the inner local problems are trivial and served by Steiner subtrees.
+
+use minex_decomp::{CliqueSumTree, TreeDecomposition};
+use minex_graphs::generators::CliqueSumRecord;
+use minex_graphs::{Graph, NodeId};
+
+use crate::construct::{CliqueSumShortcutBuilder, ShortcutBuilder, SteinerBuilder};
+use crate::parts::Partition;
+use crate::shortcut::Shortcut;
+use crate::spanning::RootedTree;
+
+/// Shortcut construction from a tree-decomposition witness.
+#[derive(Debug)]
+pub struct TreewidthBuilder {
+    inner: CliqueSumShortcutBuilder<SteinerBuilder>,
+    width: usize,
+}
+
+impl TreewidthBuilder {
+    /// Converts the decomposition and prepares the folded clique-sum
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decomposition is empty.
+    pub fn new(td: &TreeDecomposition) -> Self {
+        let width = td.width();
+        let record = decomposition_to_record(td);
+        let cst = CliqueSumTree::new(record).expect("tree decomposition converts to a tree");
+        TreewidthBuilder {
+            inner: CliqueSumShortcutBuilder::folded(cst, SteinerBuilder),
+            width,
+        }
+    }
+
+    /// The width of the witness decomposition.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+impl ShortcutBuilder for TreewidthBuilder {
+    fn name(&self) -> &'static str {
+        "treewidth"
+    }
+
+    fn build(&self, g: &Graph, tree: &RootedTree, parts: &Partition) -> Shortcut {
+        self.inner.build(g, tree, parts)
+    }
+}
+
+/// Roots the bag tree at bag 0 and emits a clique-sum record whose
+/// separators are the bag intersections.
+fn decomposition_to_record(td: &TreeDecomposition) -> CliqueSumRecord {
+    let b = td.len();
+    assert!(b > 0, "decomposition must have at least one bag");
+    let mut links = Vec::new();
+    let mut seen = vec![false; b];
+    seen[0] = true;
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    let mut order = vec![0usize];
+    while let Some(x) = queue.pop_front() {
+        for &y in td.bag_neighbors(x) {
+            if !seen[y] {
+                seen[y] = true;
+                order.push(y);
+                queue.push_back(y);
+                let sep: Vec<NodeId> = td.bags()[x]
+                    .iter()
+                    .copied()
+                    .filter(|v| td.bags()[y].binary_search(v).is_ok())
+                    .collect();
+                links.push((x, y, sep));
+            }
+        }
+    }
+    assert!(seen.into_iter().all(|s| s), "bag tree must be connected");
+    // CliqueSumTree requires bag 0 to be the root and each child to appear
+    // exactly once, which the BFS guarantees. Bag indices keep their ids.
+    let max_sep = links.iter().map(|(_, _, s)| s.len()).max().unwrap_or(0);
+    CliqueSumRecord { k: max_sep.max(1), bags: td.bags().to_vec(), links }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortcut::{measure_quality, validate_tree_restricted};
+    use minex_graphs::generators;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    fn voronoi(g: &Graph, k: usize, seed: u64) -> Partition {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seeds: Vec<usize> = (0..k).map(|_| rng.random_range(0..g.n())).collect();
+        let bfs = minex_graphs::traversal::multi_source_bfs(g, &seeds);
+        let labels: Vec<Option<usize>> = bfs.source_of.iter().map(|&s| Some(s)).collect();
+        Partition::from_labels(g, &labels).unwrap()
+    }
+
+    #[test]
+    fn k_tree_shortcuts_have_small_block() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for k in [2usize, 3, 4] {
+            let (g, rec) = generators::k_tree(120, k, &mut rng);
+            let td = TreeDecomposition::from_k_tree(g.n(), &rec);
+            let builder = TreewidthBuilder::new(&td);
+            assert_eq!(builder.width(), k);
+            let t = RootedTree::bfs(&g, 0);
+            let parts = voronoi(&g, 10, k as u64);
+            let s = builder.build(&g, &t, &parts);
+            validate_tree_restricted(&s, &t).unwrap();
+            let q = measure_quality(&g, &t, &parts, &s);
+            // Theorem 5 shape: block O(k) — allow a generous constant.
+            assert!(q.block <= 6 * (k + 1), "k={k}: block={}", q.block);
+        }
+    }
+
+    #[test]
+    fn grid_decomposition_also_works() {
+        let g = generators::grid(5, 30);
+        let td = TreeDecomposition::of_grid(5, 30);
+        td.validate(&g).unwrap();
+        let builder = TreewidthBuilder::new(&td);
+        let t = RootedTree::bfs(&g, 0);
+        let parts = voronoi(&g, 12, 9);
+        let s = builder.build(&g, &t, &parts);
+        validate_tree_restricted(&s, &t).unwrap();
+        let q = measure_quality(&g, &t, &parts, &s);
+        assert!(q.block <= 4 * (td.width() + 1), "block={}", q.block);
+    }
+
+    #[test]
+    fn series_parallel_via_heuristic_decomposition() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::series_parallel(100, &mut rng);
+        let td = TreeDecomposition::min_degree_heuristic(&g);
+        td.validate(&g).unwrap();
+        assert!(td.width() <= 2);
+        let builder = TreewidthBuilder::new(&td);
+        let t = RootedTree::bfs(&g, 0);
+        let parts = voronoi(&g, 8, 2);
+        let s = builder.build(&g, &t, &parts);
+        validate_tree_restricted(&s, &t).unwrap();
+    }
+}

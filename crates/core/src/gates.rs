@@ -1,0 +1,539 @@
+//! Combinatorial gates on embedded planar graphs (Definitions 16–17,
+//! Lemma 7).
+//!
+//! Given a straight-line lattice embedding and a cell partition, the
+//! construction follows the paper's proof: for each pair of adjacent cells,
+//! pick *extremal* inter-cell edges whose cycle (through the two cell
+//! spanning trees) encloses every inter-cell edge of the pair; the enclosed
+//! regions form a laminar family; each gate `S` is the region minus the
+//! interiors of maximal nested regions, and its fence `F` is the part of
+//! `S` on the bounding cycles.
+//!
+//! Everything is computed with exact integer geometry
+//! ([`minex_graphs::geometry`]), and [`validate_gates`] machine-checks all
+//! six properties of Definition 17, reporting the measured `s` parameter
+//! (the paper proves `s ≤ 36·d` for planar graphs).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use minex_graphs::embedding::StraightLineEmbedding;
+use minex_graphs::geometry::{point_in_polygon, polygon_area2, segment_in_polygon, Containment};
+use minex_graphs::{traversal, Graph, NodeId};
+
+use crate::cells::CellPartition;
+
+/// One gate/fence pair of a combinatorial gate collection.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// The two cells the gate spans.
+    pub cells: (usize, usize),
+    /// The gate vertex set `S`.
+    pub gate: Vec<NodeId>,
+    /// The fence `F ⊆ S`.
+    pub fence: Vec<NodeId>,
+    /// The bounding cycle (polygon vertices, in order).
+    pub cycle: Vec<NodeId>,
+}
+
+/// A collection of gates covering all inter-cell edges.
+#[derive(Debug, Clone)]
+pub struct GateCollection {
+    /// The gates, one per adjacent cell pair.
+    pub gates: Vec<Gate>,
+    /// Measured `s = Σ|F| / |C|` (property 6 reports `Σ|F| ≤ s·|C|`).
+    pub s_parameter: f64,
+}
+
+/// Violations of the gate construction or of Definition 17.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateError {
+    /// Two regions cross (the laminar-family assumption failed).
+    NotLaminar {
+        /// Indices of the crossing gates.
+        gates: (usize, usize),
+    },
+    /// No extremal pair encloses all inter-cell edges of a cell pair.
+    NoExtremalPair {
+        /// The offending cell pair.
+        cells: (usize, usize),
+    },
+    /// Property 1 failed: a fence vertex is outside its gate.
+    FenceOutsideGate {
+        /// The offending gate index.
+        gate: usize,
+    },
+    /// Property 2 failed: a boundary vertex of a gate is not in its fence.
+    BoundaryNotFenced {
+        /// The offending gate index.
+        gate: usize,
+        /// The unfenced boundary vertex.
+        node: NodeId,
+    },
+    /// Property 3 failed: an inter-cell edge is covered by no gate.
+    EdgeUncovered {
+        /// The uncovered edge's endpoints.
+        edge: (NodeId, NodeId),
+    },
+    /// Property 4 failed: a gate intersects more than two cells.
+    TooManyCells {
+        /// The offending gate index.
+        gate: usize,
+    },
+    /// Property 5 failed: a non-fence vertex appears in two gates.
+    InteriorShared {
+        /// The shared vertex.
+        node: NodeId,
+    },
+    /// The cell partition does not cover every node (required here).
+    UncoveredNode(NodeId),
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::NotLaminar { gates } => {
+                write!(f, "regions of gates {} and {} cross", gates.0, gates.1)
+            }
+            GateError::NoExtremalPair { cells } => write!(
+                f,
+                "no extremal edge pair encloses all inter-cell edges of cells {:?}",
+                cells
+            ),
+            GateError::FenceOutsideGate { gate } => {
+                write!(f, "gate {gate} has a fence vertex outside the gate")
+            }
+            GateError::BoundaryNotFenced { gate, node } => {
+                write!(f, "gate {gate} boundary vertex {node} is not fenced")
+            }
+            GateError::EdgeUncovered { edge } => {
+                write!(f, "inter-cell edge {:?} not covered by any gate", edge)
+            }
+            GateError::TooManyCells { gate } => {
+                write!(f, "gate {gate} intersects more than two cells")
+            }
+            GateError::InteriorShared { node } => {
+                write!(f, "non-fence vertex {node} appears in two gates")
+            }
+            GateError::UncoveredNode(v) => write!(f, "node {v} not covered by any cell"),
+        }
+    }
+}
+
+impl Error for GateError {}
+
+/// Builds the Lemma 7 gate collection for an embedded planar graph whose
+/// nodes are fully covered by `cells`.
+///
+/// # Errors
+///
+/// Returns [`GateError::UncoveredNode`] if some node has no cell,
+/// [`GateError::NoExtremalPair`] if extremal edges cannot be found (a sign
+/// of a non-plane embedding), or [`GateError::NotLaminar`] if the resulting
+/// regions cross.
+pub fn planar_gates(
+    g: &Graph,
+    emb: &StraightLineEmbedding,
+    cells: &CellPartition,
+) -> Result<GateCollection, GateError> {
+    for v in 0..g.n() {
+        if cells.cell_of(v).is_none() {
+            return Err(GateError::UncoveredNode(v));
+        }
+    }
+    // Spanning tree of each cell (BFS within the induced subgraph), stored
+    // as global parent pointers.
+    let mut parent: Vec<Option<NodeId>> = vec![None; g.n()];
+    let mut depth: Vec<usize> = vec![0; g.n()];
+    for cell in cells.cells() {
+        let (sub, map) = g.induced_subgraph(cell);
+        let bfs = traversal::bfs(&sub, 0);
+        let back: Vec<NodeId> = cell.clone();
+        for (local, &p) in bfs.parent.iter().enumerate() {
+            if let Some(p) = p {
+                parent[back[local]] = Some(back[p]);
+                depth[back[local]] = bfs.dist[local];
+            }
+        }
+        let _ = map;
+    }
+    // Inter-cell edges per unordered cell pair.
+    let mut pairs: HashMap<(usize, usize), Vec<(NodeId, NodeId)>> = HashMap::new();
+    for (_, u, v) in g.edges() {
+        let (cu, cv) = (
+            cells.cell_of(u).expect("covered"),
+            cells.cell_of(v).expect("covered"),
+        );
+        if cu != cv {
+            let key = (cu.min(cv), cu.max(cv));
+            // Orient the edge as (node in key.0, node in key.1).
+            let (a, b) = if cu == key.0 { (u, v) } else { (v, u) };
+            pairs.entry(key).or_default().push((a, b));
+        }
+    }
+    let tree_path = |a: NodeId, b: NodeId| -> Vec<NodeId> {
+        // Path between two nodes of the same cell tree, via parent pointers.
+        let (mut x, mut y) = (a, b);
+        let mut left = vec![x];
+        let mut right = vec![y];
+        while depth[x] > depth[y] {
+            x = parent[x].expect("deeper node has parent");
+            left.push(x);
+        }
+        while depth[y] > depth[x] {
+            y = parent[y].expect("deeper node has parent");
+            right.push(y);
+        }
+        while x != y {
+            x = parent[x].expect("non-root");
+            y = parent[y].expect("non-root");
+            left.push(x);
+            right.push(y);
+        }
+        right.pop();
+        right.reverse();
+        left.extend(right);
+        left
+    };
+    // Extremal cycle per adjacent pair.
+    let mut cycles: Vec<((usize, usize), Vec<NodeId>)> = Vec::new();
+    let mut sorted_pairs: Vec<_> = pairs.into_iter().collect();
+    sorted_pairs.sort_by_key(|(k, _)| *k);
+    for (key, edges) in sorted_pairs {
+        if edges.len() == 1 {
+            let (a, b) = edges[0];
+            cycles.push((key, vec![a, b]));
+            continue;
+        }
+        let mut best: Option<(i128, Vec<NodeId>)> = None;
+        for (i1, &(ui, uj)) in edges.iter().enumerate() {
+            for &(vi, vj) in edges.iter().skip(i1 + 1) {
+                // Cycle: ui →(T_i)→ vi → vj →(T_j)→ uj → ui.
+                let mut poly: Vec<NodeId> = tree_path(ui, vi);
+                let back = tree_path(vj, uj);
+                poly.extend(back);
+                // Simple-polygon sanity: all vertices distinct.
+                let mut sorted = poly.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                if sorted.len() != poly.len() {
+                    continue;
+                }
+                let coords: Vec<(i64, i64)> = poly.iter().map(|&v| emb.coord(v)).collect();
+                // Must enclose every inter-cell edge of this pair.
+                let covers = edges
+                    .iter()
+                    .all(|&(a, b)| segment_in_polygon(&coords, emb.coord(a), emb.coord(b)));
+                if !covers {
+                    continue;
+                }
+                let area = polygon_area2(&coords);
+                if best.as_ref().is_none_or(|(ba, _)| area > *ba) {
+                    best = Some((area, poly.clone()));
+                }
+            }
+        }
+        match best {
+            Some((_, poly)) => cycles.push((key, poly)),
+            None => return Err(GateError::NoExtremalPair { cells: key }),
+        }
+    }
+    // Laminar nesting among regions.
+    let polys: Vec<Vec<(i64, i64)>> = cycles
+        .iter()
+        .map(|(_, poly)| poly.iter().map(|&v| emb.coord(v)).collect())
+        .collect();
+    let k = cycles.len();
+    // nested_in[i] = smallest-area j strictly containing i.
+    let mut nested_in: Vec<Option<usize>> = vec![None; k];
+    for i in 0..k {
+        for j in 0..k {
+            if i == j {
+                continue;
+            }
+            match region_relation(&polys[i], &polys[j]) {
+                RegionRelation::Crossing => {
+                    return Err(GateError::NotLaminar { gates: (i, j) })
+                }
+                RegionRelation::FirstInsideSecond => {
+                    if nested_in[i]
+                        .is_none_or(|cur| polygon_area2(&polys[j]) < polygon_area2(&polys[cur]))
+                    {
+                        nested_in[i] = Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Gates and fences.
+    let mut gates = Vec::with_capacity(k);
+    let mut total_fence = 0usize;
+    for (i, ((ca, cb), cycle)) in cycles.iter().enumerate() {
+        let children: Vec<usize> = (0..k).filter(|&j| nested_in[j] == Some(i)).collect();
+        let mut gate_nodes = Vec::new();
+        let mut fence_nodes = Vec::new();
+        let candidates: Vec<NodeId> = cells.cells()[*ca]
+            .iter()
+            .chain(cells.cells()[*cb].iter())
+            .copied()
+            .collect();
+        for &v in &candidates {
+            let p = emb.coord(v);
+            if point_in_polygon(&polys[i], p) == Containment::Outside {
+                continue;
+            }
+            // Exclude points strictly inside a maximal nested region.
+            let in_child_interior = children
+                .iter()
+                .any(|&c| point_in_polygon(&polys[c], p) == Containment::Inside);
+            if in_child_interior {
+                continue;
+            }
+            gate_nodes.push(v);
+            // Fence: on this cycle or on a maximal nested cycle.
+            let on_own = cycle.contains(&v);
+            let on_child = children.iter().any(|&c| cycles[c].1.contains(&v));
+            if on_own || on_child {
+                fence_nodes.push(v);
+            }
+        }
+        total_fence += fence_nodes.len();
+        gates.push(Gate {
+            cells: (*ca, *cb),
+            gate: gate_nodes,
+            fence: fence_nodes,
+            cycle: cycle.clone(),
+        });
+    }
+    let s_parameter = if cells.len() == 0 {
+        0.0
+    } else {
+        total_fence as f64 / cells.len() as f64
+    };
+    Ok(GateCollection { gates, s_parameter })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegionRelation {
+    Disjoint,
+    FirstInsideSecond,
+    SecondInsideFirst,
+    Crossing,
+}
+
+/// Classifies two simple lattice polygons, assuming they do not properly
+/// cross edges (true for cycles of one plane graph).
+fn region_relation(a: &[(i64, i64)], b: &[(i64, i64)]) -> RegionRelation {
+    let classify = |poly: &[(i64, i64)], pts: &[(i64, i64)]| -> (usize, usize) {
+        let mut inside = 0;
+        let mut outside = 0;
+        for &p in pts {
+            match point_in_polygon(poly, p) {
+                Containment::Inside => inside += 1,
+                Containment::Outside => outside += 1,
+                Containment::Boundary => {}
+            }
+        }
+        (inside, outside)
+    };
+    let (a_in_b, a_out_b) = classify(b, a);
+    let (b_in_a, b_out_a) = classify(a, b);
+    if a_in_b > 0 && a_out_b > 0 || b_in_a > 0 && b_out_a > 0 {
+        return RegionRelation::Crossing;
+    }
+    if a_in_b > 0 {
+        return RegionRelation::FirstInsideSecond;
+    }
+    if b_in_a > 0 {
+        return RegionRelation::SecondInsideFirst;
+    }
+    // All-boundary overlap: fall back to area comparison (identical or
+    // touching regions).
+    let (aa, ab) = (polygon_area2(a), polygon_area2(b));
+    if a_out_b == 0 && b_out_a == 0 {
+        if aa <= ab {
+            RegionRelation::FirstInsideSecond
+        } else {
+            RegionRelation::SecondInsideFirst
+        }
+    } else {
+        RegionRelation::Disjoint
+    }
+}
+
+/// Machine-checks the six properties of Definition 17 and returns the
+/// measured `s` parameter (`Σ|F| / |C|`).
+///
+/// # Errors
+///
+/// Returns the first violated property.
+pub fn validate_gates(
+    g: &Graph,
+    cells: &CellPartition,
+    collection: &GateCollection,
+) -> Result<f64, GateError> {
+    let mut gate_membership: Vec<Vec<usize>> = vec![Vec::new(); g.n()];
+    for (gi, gate) in collection.gates.iter().enumerate() {
+        // Property 1: F ⊆ S.
+        for f in &gate.fence {
+            if !gate.gate.contains(f) {
+                return Err(GateError::FenceOutsideGate { gate: gi });
+            }
+        }
+        // Property 4: gate intersects ≤ 2 cells.
+        let mut touched: Vec<usize> = gate
+            .gate
+            .iter()
+            .filter_map(|&v| cells.cell_of(v))
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        if touched.len() > 2 {
+            return Err(GateError::TooManyCells { gate: gi });
+        }
+        // Property 2: ∂S ⊆ F.
+        let in_gate: std::collections::HashSet<NodeId> = gate.gate.iter().copied().collect();
+        for &v in &gate.gate {
+            let on_boundary = g.neighbors(v).any(|(w, _)| !in_gate.contains(&w));
+            if on_boundary && !gate.fence.contains(&v) {
+                return Err(GateError::BoundaryNotFenced { gate: gi, node: v });
+            }
+        }
+        for &v in &gate.gate {
+            gate_membership[v].push(gi);
+        }
+    }
+    // Property 3: every inter-cell edge covered by some gate.
+    for (_, u, v) in g.edges() {
+        let (cu, cv) = (cells.cell_of(u), cells.cell_of(v));
+        if cu != cv {
+            let covered = collection
+                .gates
+                .iter()
+                .any(|gate| gate.gate.contains(&u) && gate.gate.contains(&v));
+            if !covered {
+                return Err(GateError::EdgeUncovered { edge: (u, v) });
+            }
+        }
+    }
+    // Property 5: non-fence vertices belong to at most one gate.
+    for v in 0..g.n() {
+        let non_fence: Vec<usize> = gate_membership[v]
+            .iter()
+            .copied()
+            .filter(|&gi| !collection.gates[gi].fence.contains(&v))
+            .collect();
+        if non_fence.len() > 1 {
+            return Err(GateError::InteriorShared { node: v });
+        }
+    }
+    // Property 6: report the measured s.
+    let total_fence: usize = collection.gates.iter().map(|g2| g2.fence.len()).sum();
+    Ok(if cells.len() == 0 {
+        0.0
+    } else {
+        total_fence as f64 / cells.len() as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Partition;
+    use minex_graphs::generators;
+
+    /// Grid with stripes of `width` columns as cells.
+    fn striped_grid(
+        rows: usize,
+        cols: usize,
+        width: usize,
+    ) -> (Graph, StraightLineEmbedding, CellPartition) {
+        let (g, emb) = generators::grid_embedded(rows, cols);
+        let mut cell_sets: Vec<Vec<NodeId>> = Vec::new();
+        let mut c = 0;
+        while c < cols {
+            let hi = (c + width).min(cols);
+            let mut cell = Vec::new();
+            for r in 0..rows {
+                for cc in c..hi {
+                    cell.push(r * cols + cc);
+                }
+            }
+            cell_sets.push(cell);
+            c = hi;
+        }
+        let cells = CellPartition::new(&g, cell_sets);
+        (g, emb, cells)
+    }
+
+    #[test]
+    fn gates_on_striped_grid_validate() {
+        let (g, emb, cells) = striped_grid(6, 12, 3);
+        let collection = planar_gates(&g, &emb, &cells).unwrap();
+        let s = validate_gates(&g, &cells, &collection).unwrap();
+        assert_eq!(collection.gates.len(), 3);
+        // Lemma 7 shape: s ≤ 36·d (here d = cell diameter).
+        assert!(
+            s <= 36.0 * (cells.diameter() as f64 + 1.0),
+            "s={s}, d={}",
+            cells.diameter()
+        );
+    }
+
+    #[test]
+    fn gates_on_bfs_cells_of_triangulated_grid() {
+        let (g, emb) = generators::triangulated_grid_embedded(8, 8);
+        // Concurrent BFS from 4 seeds — the Section 2.3.3 cell partition.
+        let seeds = [0, 7, 56, 63];
+        let bfs = minex_graphs::traversal::multi_source_bfs(&g, &seeds);
+        let mut cell_sets: Vec<Vec<NodeId>> = vec![Vec::new(); seeds.len()];
+        for v in 0..g.n() {
+            cell_sets[bfs.source_of[v]].push(v);
+        }
+        let cells = CellPartition::new(&g, cell_sets);
+        let collection = planar_gates(&g, &emb, &cells).unwrap();
+        let s = validate_gates(&g, &cells, &collection).unwrap();
+        assert!(s <= 36.0 * (cells.diameter() as f64 + 1.0), "s={s}");
+    }
+
+    #[test]
+    fn single_intercell_edge_degenerates_to_segment() {
+        // Two 1-column cells joined by grid edges: cells of a 1×2 grid.
+        let (g, emb) = generators::grid_embedded(1, 2);
+        let cells = CellPartition::new(&g, vec![vec![0], vec![1]]);
+        let collection = planar_gates(&g, &emb, &cells).unwrap();
+        assert_eq!(collection.gates.len(), 1);
+        assert_eq!(collection.gates[0].cycle.len(), 2);
+        validate_gates(&g, &cells, &collection).unwrap();
+    }
+
+    #[test]
+    fn lemma4_consequence_beta_is_bounded() {
+        // Lemma 4: with an s-gate, either a part meets ≤ 2 cells or some
+        // cell meets ≤ 2s parts. Check the peeling's measured β against 2s.
+        let (g, emb, cells) = striped_grid(8, 16, 2);
+        let collection = planar_gates(&g, &emb, &cells).unwrap();
+        let s = validate_gates(&g, &cells, &collection).unwrap();
+        // Row parts cross every stripe.
+        let rows: Vec<Vec<NodeId>> =
+            (0..8).map(|r| (0..16).map(|c| r * 16 + c).collect()).collect();
+        let parts = Partition::new(&g, rows).unwrap();
+        let asg = crate::cells::assign_cells(&cells, &parts);
+        assert!(
+            (asg.beta as f64) <= (2.0 * s).max(2.0) * 2.0,
+            "beta={} vs 2s={}",
+            asg.beta,
+            2.0 * s
+        );
+    }
+
+    #[test]
+    fn rejects_uncovered_nodes() {
+        let (g, emb) = generators::grid_embedded(2, 2);
+        let cells = CellPartition::new(&g, vec![vec![0, 1]]);
+        let err = planar_gates(&g, &emb, &cells).unwrap_err();
+        assert_eq!(err, GateError::UncoveredNode(2));
+    }
+}

@@ -1,0 +1,54 @@
+//! # minex-core
+//!
+//! Tree-restricted low-congestion shortcuts — the primary contribution of
+//! *“Minor Excluded Network Families Admit Fast Distributed Algorithms”*
+//! (Haeupler, Li, Zuzic; PODC 2018).
+//!
+//! The crate provides the complete framework:
+//!
+//! * [`Partition`] — parts (Definition 9);
+//! * [`RootedTree`] — the spanning tree `T` of Definition 10;
+//! * [`Shortcut`] + [`measure_quality`] — Definitions 10–13, exactly;
+//! * [`construct`] — both the structure-oblivious constructions the
+//!   distributed algorithm runs ([HIZ16a]-style capped pruning) and the
+//!   witness-based constructions realizing the paper's existence proofs
+//!   (Theorem 5 via tree decompositions, Theorem 7 via clique-sum trees
+//!   with folding, Lemma 9/Theorem 8 via cells and apices);
+//! * [`cells`] — cell partitions and β-cell-assignment (Definitions 14–15,
+//!   Lemmas 4–6);
+//! * [`gates`] — combinatorial gates on embedded planar graphs
+//!   (Definitions 16–17, Lemma 7), machine-checking all six gate
+//!   properties.
+//!
+//! ## Example
+//!
+//! ```
+//! use minex_core::construct::{AutoCappedBuilder, ShortcutBuilder};
+//! use minex_core::{measure_quality, Partition, RootedTree};
+//! use minex_graphs::generators;
+//!
+//! let g = generators::triangulated_grid(8, 8);
+//! let tree = RootedTree::bfs(&g, 0);
+//! let parts = Partition::new(&g, vec![vec![0, 1, 2], vec![60, 61, 62]])?;
+//! let shortcut = AutoCappedBuilder.build(&g, &tree, &parts);
+//! let report = measure_quality(&g, &tree, &parts, &shortcut);
+//! assert!(report.quality <= report.tree_diameter * 3);
+//! # Ok::<(), minex_core::PartitionError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cells;
+pub mod construct;
+pub mod gates;
+mod parts;
+mod shortcut;
+mod spanning;
+
+pub use parts::{Partition, PartitionError};
+pub use shortcut::{
+    augmented_part_diameter, measure_quality, validate_tree_restricted, NotTreeRestricted,
+    QualityReport, Shortcut,
+};
+pub use spanning::RootedTree;

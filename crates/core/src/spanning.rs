@@ -1,0 +1,263 @@
+//! Rooted spanning trees: the `T` of tree-restricted shortcuts.
+//!
+//! Theorem 1 instantiates `T` as a BFS tree of the network (so its diameter
+//! is at most `2D`); the constructions work for any spanning tree.
+
+use minex_graphs::{traversal, EdgeId, Graph, NodeId};
+
+/// A rooted spanning tree of a connected graph, with the bookkeeping the
+/// shortcut constructions need: parent pointers, preorder, subtree sizes,
+/// tree-edge mask, and the tree's own diameter `d_T`.
+#[derive(Debug, Clone)]
+pub struct RootedTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    parent_edge: Vec<Option<EdgeId>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<usize>,
+    /// Preorder: parents before children.
+    order: Vec<NodeId>,
+    tree_edge: Vec<bool>,
+    diameter: usize,
+}
+
+impl RootedTree {
+    /// Builds the BFS spanning tree of `g` rooted at `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not connected or `root` is out of range.
+    pub fn bfs(g: &Graph, root: NodeId) -> Self {
+        assert!(root < g.n(), "root out of range");
+        let bfs = traversal::bfs(g, root);
+        assert_eq!(bfs.order.len(), g.n(), "graph must be connected");
+        Self::from_parents(g, root, bfs.parent, bfs.parent_edge, bfs.order)
+    }
+
+    /// Wraps explicit parent pointers (`parent[root] = None`); `parent_edge`
+    /// must name the corresponding graph edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pointers do not encode a spanning tree of `g`.
+    pub fn from_parent_pointers(
+        g: &Graph,
+        root: NodeId,
+        parent: Vec<Option<NodeId>>,
+    ) -> Self {
+        assert_eq!(parent.len(), g.n(), "one parent entry per node");
+        let mut parent_edge: Vec<Option<EdgeId>> = vec![None; g.n()];
+        for v in 0..g.n() {
+            if let Some(p) = parent[v] {
+                let e = g
+                    .edge_between(v, p)
+                    .expect("tree parent must be a graph neighbor");
+                parent_edge[v] = Some(e);
+            } else {
+                assert_eq!(v, root, "only the root may lack a parent");
+            }
+        }
+        // Preorder via repeated relaxation (children after parents).
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); g.n()];
+        for v in 0..g.n() {
+            if let Some(p) = parent[v] {
+                children[p].push(v);
+            }
+        }
+        let mut order = Vec::with_capacity(g.n());
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for &c in &children[v] {
+                stack.push(c);
+            }
+        }
+        assert_eq!(order.len(), g.n(), "parent pointers must span the graph");
+        Self::from_parents(g, root, parent, parent_edge, order)
+    }
+
+    fn from_parents(
+        g: &Graph,
+        root: NodeId,
+        parent: Vec<Option<NodeId>>,
+        parent_edge: Vec<Option<EdgeId>>,
+        order: Vec<NodeId>,
+    ) -> Self {
+        let n = g.n();
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut tree_edge = vec![false; g.m()];
+        let mut depth = vec![0usize; n];
+        for &v in &order {
+            if let Some(p) = parent[v] {
+                children[p].push(v);
+                depth[v] = depth[p] + 1;
+                tree_edge[parent_edge[v].expect("parent implies edge")] = true;
+            }
+        }
+        // Tree diameter via double sweep on tree edges (exact on trees).
+        let diameter = if n == 0 {
+            0
+        } else {
+            let d1 = traversal::bfs_masked(g, root, &tree_edge);
+            let far = (0..n).max_by_key(|&v| d1[v]).expect("non-empty");
+            let d2 = traversal::bfs_masked(g, far, &tree_edge);
+            d2.into_iter().max().expect("non-empty")
+        };
+        RootedTree { root, parent, parent_edge, children, depth, order, tree_edge, diameter }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent of `v` (`None` for the root).
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v]
+    }
+
+    /// The edge to `v`'s parent.
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.parent_edge[v]
+    }
+
+    /// Children of `v`.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v]
+    }
+
+    /// Depth of `v` below the root.
+    pub fn depth(&self, v: NodeId) -> usize {
+        self.depth[v]
+    }
+
+    /// Nodes in preorder (each parent before its children).
+    pub fn preorder(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Whether graph edge `e` belongs to the tree.
+    pub fn is_tree_edge(&self, e: EdgeId) -> bool {
+        self.tree_edge[e]
+    }
+
+    /// The tree-edge mask, indexed by graph edge id.
+    pub fn tree_edge_mask(&self) -> &[bool] {
+        &self.tree_edge
+    }
+
+    /// The diameter `d_T` of the tree itself (not of the host graph).
+    pub fn diameter(&self) -> usize {
+        self.diameter
+    }
+
+    /// Height: maximum depth.
+    pub fn height(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Walks from `v` to `ancestor`, yielding the parent edges used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ancestor` is not actually an ancestor of `v`.
+    pub fn path_edges_to_ancestor(&self, v: NodeId, ancestor: NodeId) -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        let mut cur = v;
+        while cur != ancestor {
+            let e = self
+                .parent_edge(cur)
+                .expect("must reach ancestor before the root");
+            out.push(e);
+            cur = self.parent(cur).expect("must reach ancestor before the root");
+        }
+        out
+    }
+
+    /// Lowest common ancestor of `a` and `b` by depth walking.
+    pub fn lca(&self, mut a: NodeId, mut b: NodeId) -> NodeId {
+        while self.depth[a] > self.depth[b] {
+            a = self.parent[a].expect("deeper node has a parent");
+        }
+        while self.depth[b] > self.depth[a] {
+            b = self.parent[b].expect("deeper node has a parent");
+        }
+        while a != b {
+            a = self.parent[a].expect("non-root");
+            b = self.parent[b].expect("non-root");
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minex_graphs::generators;
+
+    #[test]
+    fn bfs_tree_of_grid() {
+        let g = generators::grid(4, 4);
+        let t = RootedTree::bfs(&g, 0);
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.preorder().len(), 16);
+        assert_eq!(t.preorder()[0], 0);
+        // Exactly n-1 tree edges.
+        assert_eq!(t.tree_edge_mask().iter().filter(|&&b| b).count(), 15);
+        // BFS tree of a grid from a corner has diameter ≤ 2·(grid diameter).
+        assert!(t.diameter() >= 6 && t.diameter() <= 12, "d={}", t.diameter());
+        assert_eq!(t.depth(15), 6);
+    }
+
+    #[test]
+    fn path_tree_diameter() {
+        let g = generators::path(10);
+        let t = RootedTree::bfs(&g, 0);
+        assert_eq!(t.diameter(), 9);
+        assert_eq!(t.height(), 9);
+        let mid = RootedTree::bfs(&g, 5);
+        assert_eq!(mid.diameter(), 9);
+        assert_eq!(mid.height(), 5);
+    }
+
+    #[test]
+    fn lca_and_paths() {
+        let g = generators::binary_tree(15);
+        let t = RootedTree::bfs(&g, 0);
+        assert_eq!(t.lca(7, 8), 3);
+        assert_eq!(t.lca(7, 14), 0);
+        let edges = t.path_edges_to_ancestor(7, 1);
+        assert_eq!(edges.len(), 2);
+        assert!(t.path_edges_to_ancestor(5, 5).is_empty());
+    }
+
+    #[test]
+    fn from_parent_pointers_roundtrip() {
+        let g = generators::cycle(6);
+        // Spanning path 0-1-2-3-4-5 (skip the wrap edge).
+        let parent = vec![None, Some(0), Some(1), Some(2), Some(3), Some(4)];
+        let t = RootedTree::from_parent_pointers(&g, 0, parent);
+        assert_eq!(t.diameter(), 5);
+        assert!(!t.is_tree_edge(g.edge_between(0, 5).unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be connected")]
+    fn bfs_rejects_disconnected() {
+        let g = minex_graphs::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let _ = RootedTree::bfs(&g, 0);
+    }
+
+    #[test]
+    fn singleton() {
+        let g = generators::path(1);
+        let t = RootedTree::bfs(&g, 0);
+        assert_eq!(t.diameter(), 0);
+        assert_eq!(t.children(0), &[] as &[NodeId]);
+    }
+}

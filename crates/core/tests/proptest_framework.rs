@@ -1,0 +1,120 @@
+//! Property tests of the shortcut framework on randomized instances.
+
+use proptest::prelude::*;
+
+use minex_core::construct::{
+    ApexBuilder, CliqueSumShortcutBuilder, ShortcutBuilder, SteinerBuilder, TreewidthBuilder,
+};
+use minex_core::{measure_quality, validate_tree_restricted, Partition, RootedTree};
+use minex_decomp::{CliqueSumTree, TreeDecomposition};
+use minex_graphs::{generators, traversal, Graph};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Voronoi parts from k random seeds.
+fn voronoi(g: &Graph, k: usize, rng: &mut StdRng) -> Partition {
+    let seeds: Vec<usize> = (0..k.max(1)).map(|_| rng.random_range(0..g.n())).collect();
+    let bfs = traversal::multi_source_bfs(g, &seeds);
+    let labels: Vec<Option<usize>> = bfs.source_of.iter().map(|&s| Some(s)).collect();
+    Partition::from_labels(g, &labels).expect("voronoi parts connected")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn treewidth_builder_invariants(n in 12usize..80, k in 2usize..5, seed in 0u64..400) {
+        prop_assume!(n > k + 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, rec) = generators::k_tree(n, k, &mut rng);
+        let td = TreeDecomposition::from_k_tree(g.n(), &rec);
+        let builder = TreewidthBuilder::new(&td);
+        let tree = RootedTree::bfs(&g, 0);
+        let parts = voronoi(&g, n / 6 + 1, &mut rng);
+        let s = builder.build(&g, &tree, &parts);
+        prop_assert!(validate_tree_restricted(&s, &tree).is_ok());
+        let q = measure_quality(&g, &tree, &parts, &s);
+        // Theorem 5: block O(k). Generous constant, must hold always.
+        prop_assert!(q.block <= 8 * (k + 1), "block {} for k {}", q.block, k);
+    }
+
+    #[test]
+    fn clique_sum_builder_invariants(bags in 1usize..14, seed in 0u64..400, fold in proptest::bool::ANY) {
+        let comps = vec![
+            generators::triangulated_grid(3, 3),
+            generators::complete(4),
+        ];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, rec) = generators::random_clique_sum(&comps, bags, 3, &mut rng);
+        let cst = CliqueSumTree::new(rec).unwrap();
+        prop_assert!(cst.validate(&g).is_ok());
+        let tree = RootedTree::bfs(&g, 0);
+        let parts = voronoi(&g, bags, &mut rng);
+        let builder = if fold {
+            CliqueSumShortcutBuilder::folded(cst, SteinerBuilder)
+        } else {
+            CliqueSumShortcutBuilder::unfolded(cst, SteinerBuilder)
+        };
+        let s = builder.build(&g, &tree, &parts);
+        prop_assert!(validate_tree_restricted(&s, &tree).is_ok());
+        let q = measure_quality(&g, &tree, &parts, &s);
+        // Theorem 7: block ≤ 2k + O(b_F); with k=3 and Steiner inner
+        // builders this stays a small constant.
+        prop_assert!(q.block <= 24, "block {}", q.block);
+    }
+
+    #[test]
+    fn apex_builder_invariants(rows in 3usize..8, cols in 3usize..8, seed in 0u64..300) {
+        let base = generators::grid(rows, cols);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, apices) = generators::add_random_apices(&base, 1 + (seed % 3) as usize, 0.2, &mut rng);
+        let tree = RootedTree::bfs(&g, apices[0]);
+        let parts = voronoi(&g, rows, &mut rng);
+        let builder = ApexBuilder::new(apices, SteinerBuilder);
+        let s = builder.build(&g, &tree, &parts);
+        prop_assert!(validate_tree_restricted(&s, &tree).is_ok());
+        let q = measure_quality(&g, &tree, &parts, &s);
+        prop_assert_eq!(q.quality, q.block * q.tree_diameter + q.congestion);
+    }
+
+    #[test]
+    fn folding_always_validates(len in 1usize..40) {
+        // Deep chains are the worst case for folding.
+        let comp = generators::triangulated_grid(3, 3);
+        let mut builder = minex_graphs::generators::CliqueSumBuilder::new(&comp, 2);
+        let mut last: Vec<usize> = (0..comp.n()).collect();
+        for _ in 1..len {
+            let host = vec![last[7], last[8]];
+            last = builder.glue(&comp, &host, &[0, 1]).unwrap();
+        }
+        let (g, rec) = builder.build();
+        let cst = CliqueSumTree::new(rec).unwrap();
+        prop_assert!(cst.validate(&g).is_ok());
+        let folded = cst.fold();
+        prop_assert!(folded.validate(&cst).is_ok());
+        // Depth compression: folded depth ≤ 2·log2(len) + 2.
+        let log = (usize::BITS - len.next_power_of_two().leading_zeros()) as usize;
+        prop_assert!(folded.max_depth() <= 2 * log + 2,
+            "len {} folded depth {}", len, folded.max_depth());
+    }
+
+    #[test]
+    fn gate_construction_on_striped_grids(rows in 2usize..8, cols in 4usize..14, width in 1usize..5) {
+        use minex_core::cells::CellPartition;
+        use minex_core::gates::{planar_gates, validate_gates};
+        let (g, emb) = generators::grid_embedded(rows, cols);
+        let mut cell_sets: Vec<Vec<usize>> = Vec::new();
+        let mut c = 0;
+        while c < cols {
+            let hi = (c + width).min(cols);
+            cell_sets.push(
+                (0..rows).flat_map(|r| (c..hi).map(move |cc| r * cols + cc)).collect(),
+            );
+            c = hi;
+        }
+        let cells = CellPartition::new(&g, cell_sets);
+        let collection = planar_gates(&g, &emb, &cells).unwrap();
+        let s = validate_gates(&g, &cells, &collection).unwrap();
+        // Lemma 7: s = O(d) with the paper's constant 36.
+        prop_assert!(s <= 36.0 * (cells.diameter() as f64 + 1.0), "s={s}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Errors shared by the decomposition validators.
+
+use std::error::Error;
+use std::fmt;
+
+use minex_graphs::NodeId;
+
+/// A structural property violation found by a validator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompError {
+    /// Some graph node appears in no bag (tree-decomposition property (i) /
+    /// Definition 8 property 1).
+    NodeNotCovered(NodeId),
+    /// The bags containing some node do not form a connected subtree
+    /// (property (ii) / Definition 8 property 4).
+    NodeBagsDisconnected(NodeId),
+    /// Some graph edge has no bag containing both endpoints
+    /// (property (iii) / Definition 8 property 5).
+    EdgeNotCovered(NodeId, NodeId),
+    /// The bag graph is not a tree.
+    BagGraphNotATree,
+    /// A declared intersection/separator does not match the actual bag
+    /// intersection (Definition 8 property 3).
+    SeparatorMismatch {
+        /// The link's position in the record.
+        link: usize,
+    },
+    /// A bag index was out of range.
+    BagOutOfRange(usize),
+}
+
+impl fmt::Display for DecompError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompError::NodeNotCovered(v) => write!(f, "node {v} is not covered by any bag"),
+            DecompError::NodeBagsDisconnected(v) => {
+                write!(f, "bags containing node {v} are not connected in the tree")
+            }
+            DecompError::EdgeNotCovered(u, v) => {
+                write!(f, "edge ({u}, {v}) is not contained in any bag")
+            }
+            DecompError::BagGraphNotATree => write!(f, "the bag graph is not a tree"),
+            DecompError::SeparatorMismatch { link } => {
+                write!(f, "separator of link {link} differs from the bag intersection")
+            }
+            DecompError::BagOutOfRange(i) => write!(f, "bag index {i} out of range"),
+        }
+    }
+}
+
+impl Error for DecompError {}

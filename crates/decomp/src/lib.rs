@@ -1,0 +1,45 @@
+//! # minex-decomp
+//!
+//! Structural decompositions for the `minex` reproduction of
+//! Haeupler–Li–Zuzic (PODC 2018):
+//!
+//! * [`TreeDecomposition`] — container, validator, witness conversions, the
+//!   Lemma 2 vortex re-insertion, and explicit grid/torus decompositions;
+//! * [`CliqueSumTree`] — Definition 8 decomposition trees with full property
+//!   validation, plus the Theorem 7 depth compression ([`FoldedCliqueSumTree`]);
+//! * [`HeavyLight`] — heavy-light decomposition [HT84];
+//! * [`Lca`] — binary-lifting lowest common ancestors;
+//! * [`AlmostEmbeddable`] / [`StructureWitness`] — Definition 5 / Theorem 3
+//!   witnesses.
+//!
+//! ## Example
+//!
+//! ```
+//! use minex_decomp::TreeDecomposition;
+//! use minex_graphs::generators;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let (g, record) = generators::k_tree(40, 3, &mut rng);
+//! let td = TreeDecomposition::from_k_tree(g.n(), &record);
+//! td.validate(&g)?;
+//! assert_eq!(td.width(), 3);
+//! # Ok::<(), minex_decomp::DecompError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clique_sum_tree;
+mod error;
+mod heavy_light;
+mod lca;
+mod structure;
+mod tree_decomposition;
+
+pub use clique_sum_tree::{CliqueSumTree, FoldedCliqueSumTree};
+pub use error::DecompError;
+pub use heavy_light::HeavyLight;
+pub use lca::Lca;
+pub use structure::{AlmostEmbeddable, StructureWitness};
+pub use tree_decomposition::TreeDecomposition;

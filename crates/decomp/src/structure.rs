@@ -1,0 +1,113 @@
+//! Almost-embeddable structure records (Definition 5) and the full Graph
+//! Structure Theorem witness (Theorem 3).
+//!
+//! These records travel with generated graphs and parameterize the
+//! witness-based shortcut constructions. The paper's algorithm never
+//! computes them — they exist to *prove* (here: to measure) that good
+//! shortcuts exist.
+
+use minex_graphs::generators::VortexRecord;
+use minex_graphs::NodeId;
+
+/// Witness that a graph is `(q, g, k, ℓ)`-almost-embeddable
+/// (Definition 5): a genus-`g` base, at most `ℓ` vortices of depth ≤ `k`,
+/// and `q` apices.
+#[derive(Debug, Clone, Default)]
+pub struct AlmostEmbeddable {
+    /// Genus of the base surface embedding (step (i)).
+    pub genus: usize,
+    /// Vortices added to faces of the base (step (ii)).
+    pub vortices: Vec<VortexRecord>,
+    /// Apices added last (step (iii)).
+    pub apices: Vec<NodeId>,
+}
+
+impl AlmostEmbeddable {
+    /// A purely planar witness (the `(0,0,0,0)` case).
+    pub fn planar() -> Self {
+        AlmostEmbeddable::default()
+    }
+
+    /// The `h` for which this witness is `h`-almost-embeddable:
+    /// `max(q, g, max depth, #vortices)`.
+    pub fn h(&self) -> usize {
+        let k = self.vortices.iter().map(|v| v.depth).max().unwrap_or(0);
+        self.apices
+            .len()
+            .max(self.genus)
+            .max(k)
+            .max(self.vortices.len())
+    }
+
+    /// The parameter tuple `(q, g, k, ℓ)`.
+    pub fn parameters(&self) -> (usize, usize, usize, usize) {
+        (
+            self.apices.len(),
+            self.genus,
+            self.vortices.iter().map(|v| v.depth).max().unwrap_or(0),
+            self.vortices.len(),
+        )
+    }
+
+    /// All internal vortex node ids.
+    pub fn vortex_internals(&self) -> Vec<NodeId> {
+        self.vortices.iter().flat_map(|v| v.internal.iter().copied()).collect()
+    }
+}
+
+/// A Graph Structure Theorem witness: per-bag almost-embeddable records,
+/// aligned with a clique-sum decomposition tree over the same bags.
+#[derive(Debug, Clone)]
+pub struct StructureWitness {
+    /// `per_bag[i]` describes bag `i` of the accompanying clique-sum tree.
+    pub per_bag: Vec<AlmostEmbeddable>,
+}
+
+impl StructureWitness {
+    /// The `k` for which all bags are `k`-almost-embeddable — the constant of
+    /// Theorem 3 for this witness.
+    pub fn k(&self) -> usize {
+        self.per_bag.iter().map(AlmostEmbeddable::h).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planar_witness_is_all_zero() {
+        let w = AlmostEmbeddable::planar();
+        assert_eq!(w.parameters(), (0, 0, 0, 0));
+        assert_eq!(w.h(), 0);
+        assert!(w.vortex_internals().is_empty());
+    }
+
+    #[test]
+    fn h_takes_the_max_parameter() {
+        let w = AlmostEmbeddable {
+            genus: 2,
+            vortices: vec![VortexRecord {
+                boundary: vec![0, 1, 2],
+                internal: vec![10, 11],
+                arcs: vec![(0, 2), (1, 2)],
+                depth: 4,
+            }],
+            apices: vec![20],
+        };
+        assert_eq!(w.parameters(), (1, 2, 4, 1));
+        assert_eq!(w.h(), 4);
+        assert_eq!(w.vortex_internals(), vec![10, 11]);
+    }
+
+    #[test]
+    fn witness_k_is_max_over_bags() {
+        let w = StructureWitness {
+            per_bag: vec![
+                AlmostEmbeddable::planar(),
+                AlmostEmbeddable { genus: 3, ..Default::default() },
+            ],
+        };
+        assert_eq!(w.k(), 3);
+    }
+}

@@ -1,0 +1,525 @@
+//! Tree decompositions (Section 2.3.1 of the paper).
+//!
+//! Besides the generic container + validator, this module implements the
+//! decompositions the paper's proofs rely on:
+//!
+//! * witness conversions from k-tree / Apollonian construction records;
+//! * explicit width-`O(min(rows, cols))` decompositions of grids and
+//!   width-`O(rows)` decompositions of toroidal grids (standing in for
+//!   Eppstein's genus/diameter bound, which the paper cites for Lemma 2);
+//! * the vortex re-insertion step of **Lemma 2**: given a decomposition of
+//!   the graph with a vortex replaced by a star vertex, splice the internal
+//!   vortex nodes back into every bag that meets their arc;
+//! * a min-degree elimination heuristic for graphs with no witness.
+
+use std::collections::BTreeSet;
+
+use minex_graphs::generators::{ApollonianRecord, KTreeRecord, VortexRecord};
+use minex_graphs::{Graph, NodeId};
+
+use crate::error::DecompError;
+
+/// A tree decomposition: bags of nodes connected in a tree.
+#[derive(Debug, Clone)]
+pub struct TreeDecomposition {
+    bags: Vec<Vec<NodeId>>,
+    /// Adjacency between bags; the bag graph must be a tree.
+    adj: Vec<Vec<usize>>,
+}
+
+impl TreeDecomposition {
+    /// Builds a decomposition from bags and bag-tree edges. Bags are sorted
+    /// and deduplicated; validity against a graph is checked separately by
+    /// [`validate`](Self::validate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecompError::BagOutOfRange`] for bad edge indices and
+    /// [`DecompError::BagGraphNotATree`] if the bag graph is not a tree.
+    pub fn new(
+        mut bags: Vec<Vec<NodeId>>,
+        edges: Vec<(usize, usize)>,
+    ) -> Result<Self, DecompError> {
+        let b = bags.len();
+        for bag in &mut bags {
+            bag.sort_unstable();
+            bag.dedup();
+        }
+        let mut adj = vec![Vec::new(); b];
+        for &(x, y) in &edges {
+            if x >= b {
+                return Err(DecompError::BagOutOfRange(x));
+            }
+            if y >= b {
+                return Err(DecompError::BagOutOfRange(y));
+            }
+            adj[x].push(y);
+            adj[y].push(x);
+        }
+        // A tree on b nodes has exactly b-1 edges and is connected.
+        if b > 0 {
+            if edges.len() != b - 1 {
+                return Err(DecompError::BagGraphNotATree);
+            }
+            let mut seen = vec![false; b];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            let mut count = 1;
+            while let Some(x) = stack.pop() {
+                for &y in &adj[x] {
+                    if !seen[y] {
+                        seen[y] = true;
+                        count += 1;
+                        stack.push(y);
+                    }
+                }
+            }
+            if count != b {
+                return Err(DecompError::BagGraphNotATree);
+            }
+        }
+        Ok(TreeDecomposition { bags, adj })
+    }
+
+    /// The bags, each sorted.
+    pub fn bags(&self) -> &[Vec<NodeId>] {
+        &self.bags
+    }
+
+    /// Neighbors of bag `i` in the bag tree.
+    pub fn bag_neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Width: `max bag size - 1`.
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(Vec::len).max().unwrap_or(0).saturating_sub(1)
+    }
+
+    /// Number of bags.
+    pub fn len(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Whether there are no bags.
+    pub fn is_empty(&self) -> bool {
+        self.bags.is_empty()
+    }
+
+    /// Checks the three tree-decomposition properties against `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated property.
+    pub fn validate(&self, g: &Graph) -> Result<(), DecompError> {
+        // (i) Every node covered.
+        let mut covered = vec![false; g.n()];
+        for bag in &self.bags {
+            for &v in bag {
+                if v >= g.n() {
+                    return Err(DecompError::NodeNotCovered(v));
+                }
+                covered[v] = true;
+            }
+        }
+        if let Some(v) = covered.iter().position(|&c| !c) {
+            return Err(DecompError::NodeNotCovered(v));
+        }
+        // (ii) Bags containing each node form a subtree: count, for each v,
+        // the bags containing v and the bag-tree edges between two such
+        // bags; connectivity ⟺ #edges = #bags - 1 within the (acyclic) tree.
+        let mut bags_with = vec![0usize; g.n()];
+        let mut edges_with = vec![0usize; g.n()];
+        for bag in &self.bags {
+            for &v in bag {
+                bags_with[v] += 1;
+            }
+        }
+        for (x, neighbors) in self.adj.iter().enumerate() {
+            for &y in neighbors {
+                if x < y {
+                    for v in intersect_sorted(&self.bags[x], &self.bags[y]) {
+                        edges_with[v] += 1;
+                    }
+                }
+            }
+        }
+        for v in 0..g.n() {
+            if bags_with[v] != edges_with[v] + 1 {
+                return Err(DecompError::NodeBagsDisconnected(v));
+            }
+        }
+        // (iii) Every edge covered.
+        for (_, u, v) in g.edges() {
+            let ok = self
+                .bags
+                .iter()
+                .any(|bag| bag.binary_search(&u).is_ok() && bag.binary_search(&v).is_ok());
+            if !ok {
+                return Err(DecompError::EdgeNotCovered(u, v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts a k-tree construction record into a width-`k` decomposition.
+    ///
+    /// Bag 0 is the seed clique `{0..=k}`; bag `i ≥ 1` is
+    /// `{v} ∪ attach_clique` for the `i`-th inserted node `v = k + i`,
+    /// attached to the bag of `max(attach_clique)`.
+    pub fn from_k_tree(n: usize, rec: &KTreeRecord) -> Self {
+        let k = rec.k;
+        let mut bags: Vec<Vec<NodeId>> = vec![(0..=k).collect()];
+        let mut edges = Vec::new();
+        // bag_of_node[v] = index of the bag introduced for v (seed nodes: 0).
+        let mut bag_of_node = vec![0usize; n];
+        for (i, clique) in rec.attach_clique.iter().enumerate() {
+            let v = k + 1 + i;
+            let mut bag = clique.clone();
+            bag.push(v);
+            let idx = bags.len();
+            bags.push(bag);
+            bag_of_node[v] = idx;
+            let anchor = *clique.iter().max().expect("clique non-empty");
+            let parent = if anchor <= k { 0 } else { bag_of_node[anchor] };
+            edges.push((parent, idx));
+        }
+        TreeDecomposition::new(bags, edges).expect("k-tree record yields a tree")
+    }
+
+    /// Converts an Apollonian construction record into a width-3
+    /// decomposition (an Apollonian network is a planar 3-tree; its seed is
+    /// the initial triangle `{0, 1, 2}`).
+    pub fn from_apollonian(n: usize, rec: &ApollonianRecord) -> Self {
+        let mut bags: Vec<Vec<NodeId>> = vec![vec![0, 1, 2]];
+        let mut edges = Vec::new();
+        let mut bag_of_node = vec![0usize; n];
+        for &(v, tri) in &rec.insertions {
+            let mut bag = tri.to_vec();
+            bag.push(v);
+            let idx = bags.len();
+            bags.push(bag);
+            bag_of_node[v] = idx;
+            let anchor = tri.into_iter().max().expect("triangle non-empty");
+            let parent = if anchor <= 2 { 0 } else { bag_of_node[anchor] };
+            edges.push((parent, idx));
+        }
+        TreeDecomposition::new(bags, edges).expect("apollonian record yields a tree")
+    }
+
+    /// Width-`2·rows - 1` path decomposition of a `rows × cols` grid
+    /// (node ids as produced by `generators::grid`): bag `i` holds columns
+    /// `i` and `i+1`.
+    pub fn of_grid(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1, "grid dims must be positive");
+        let id = |r: usize, c: usize| r * cols + c;
+        if cols == 1 {
+            let bags = vec![(0..rows).map(|r| id(r, 0)).collect()];
+            return TreeDecomposition::new(bags, Vec::new()).expect("single bag");
+        }
+        let mut bags = Vec::new();
+        for c in 0..cols - 1 {
+            let mut bag = Vec::with_capacity(2 * rows);
+            for r in 0..rows {
+                bag.push(id(r, c));
+                bag.push(id(r, c + 1));
+            }
+            bags.push(bag);
+        }
+        let edges = (0..cols.saturating_sub(2)).map(|i| (i, i + 1)).collect();
+        TreeDecomposition::new(bags, edges).expect("path of bags")
+    }
+
+    /// Width-`3·rows - 1` path decomposition of a toroidal `rows × cols`
+    /// grid: bag `i` holds columns `i`, `i+1 (mod cols)`, and column 0
+    /// (which "cuts" the torus' column cycle).
+    ///
+    /// This realizes, for our genus-1 family, the `O((g+1) · D)` treewidth
+    /// bound of Eppstein that Lemma 2 relies on.
+    pub fn of_toroidal_grid(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 3 && cols >= 3, "toroidal grid dims must be >= 3");
+        let id = |r: usize, c: usize| r * cols + c;
+        let mut bags = Vec::new();
+        for i in 0..cols {
+            let mut bag: BTreeSet<NodeId> = BTreeSet::new();
+            for r in 0..rows {
+                bag.insert(id(r, i));
+                bag.insert(id(r, (i + 1) % cols));
+                bag.insert(id(r, 0));
+            }
+            bags.push(bag.into_iter().collect());
+        }
+        let edges = (0..cols - 1).map(|i| (i, i + 1)).collect();
+        TreeDecomposition::new(bags, edges).expect("path of bags")
+    }
+
+    /// The vortex re-insertion step of **Lemma 2**: `self` must decompose the
+    /// graph `G'` in which the vortex internals were deleted (and possibly a
+    /// star vertex added — pass it via `drop_node` to strip it from all
+    /// bags). Each internal vortex node is added to every bag that intersects
+    /// its arc, and to the bag of a designated arc node if none intersects.
+    ///
+    /// Per Lemma 2, if `self` has width `w` and the vortex has depth `k`,
+    /// the result has width `O(k·w)`.
+    pub fn reinsert_vortex(&self, vortex: &VortexRecord, drop_node: Option<NodeId>) -> Self {
+        let mut bags: Vec<Vec<NodeId>> = self
+            .bags
+            .iter()
+            .map(|bag| {
+                bag.iter()
+                    .copied()
+                    .filter(|&v| Some(v) != drop_node)
+                    .collect()
+            })
+            .collect();
+        for (i, &internal) in vortex.internal.iter().enumerate() {
+            let arc = vortex.arc_nodes(i);
+            let mut added = false;
+            for bag in bags.iter_mut() {
+                if arc.iter().any(|a| bag.binary_search(a).is_ok()) {
+                    bag.push(internal);
+                    added = true;
+                }
+            }
+            if !added {
+                // Arc nodes all vanished with drop_node — cannot happen for
+                // non-empty arcs, but keep the operation total.
+                bags[0].push(internal);
+            }
+            for bag in bags.iter_mut() {
+                bag.sort_unstable();
+                bag.dedup();
+            }
+        }
+        let edges = self
+            .adj
+            .iter()
+            .enumerate()
+            .flat_map(|(x, ns)| ns.iter().filter(move |&&y| x < y).map(move |&y| (x, y)))
+            .collect();
+        TreeDecomposition::new(bags, edges).expect("same tree shape")
+    }
+
+    /// Min-degree elimination heuristic: repeatedly eliminate a
+    /// minimum-degree vertex, turning its neighborhood into a clique. Always
+    /// yields a *valid* decomposition; the width is heuristic.
+    pub fn min_degree_heuristic(g: &Graph) -> Self {
+        let n = g.n();
+        if n == 0 {
+            return TreeDecomposition::new(Vec::new(), Vec::new()).expect("empty");
+        }
+        let mut adj: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); n];
+        for (_, u, v) in g.edges() {
+            adj[u].insert(v);
+            adj[v].insert(u);
+        }
+        let mut alive: BTreeSet<NodeId> = (0..n).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut bag_sets: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+        while let Some(&v) = alive.iter().min_by_key(|&&v| adj[v].len()) {
+            let neighbors: Vec<NodeId> = adj[v].iter().copied().collect();
+            let mut bag = neighbors.clone();
+            bag.push(v);
+            bag.sort_unstable();
+            bag_sets.push(bag);
+            order.push(v);
+            for i in 0..neighbors.len() {
+                for j in (i + 1)..neighbors.len() {
+                    adj[neighbors[i]].insert(neighbors[j]);
+                    adj[neighbors[j]].insert(neighbors[i]);
+                }
+            }
+            for &u in &neighbors {
+                adj[u].remove(&v);
+            }
+            adj[v].clear();
+            alive.remove(&v);
+        }
+        // Standard gluing: bag of the i-th eliminated vertex attaches to the
+        // bag of its earliest-eliminated remaining neighbor.
+        let mut position = vec![0usize; n];
+        for (i, &v) in order.iter().enumerate() {
+            position[v] = i;
+        }
+        let mut edges = Vec::new();
+        for (i, bag) in bag_sets.iter().enumerate() {
+            let v = order[i];
+            let next = bag
+                .iter()
+                .filter(|&&u| u != v && position[u] > i)
+                .min_by_key(|&&u| position[u]);
+            if let Some(&u) = next {
+                edges.push((i, position[u]));
+            } else if i + 1 < bag_sets.len() {
+                // Isolated remainder (disconnected graph or last vertex):
+                // chain to keep the bag graph a tree.
+                edges.push((i, i + 1));
+            }
+        }
+        TreeDecomposition::new(bag_sets, edges).expect("elimination yields a tree")
+    }
+}
+
+/// Intersection of two sorted vectors.
+fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minex_graphs::generators;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn k_tree_record_gives_valid_width_k() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for k in [1, 2, 3, 5] {
+            let (g, rec) = generators::k_tree(50, k, &mut rng);
+            let td = TreeDecomposition::from_k_tree(g.n(), &rec);
+            td.validate(&g).unwrap();
+            assert_eq!(td.width(), k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn partial_k_tree_record_still_valid() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (g, rec) = generators::partial_k_tree(80, 3, 0.6, &mut rng);
+        let td = TreeDecomposition::from_k_tree(g.n(), &rec);
+        td.validate(&g).unwrap();
+        assert!(td.width() <= 3);
+    }
+
+    #[test]
+    fn apollonian_record_gives_width_three() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (g, rec) = generators::apollonian(60, &mut rng);
+        let td = TreeDecomposition::from_apollonian(g.n(), &rec);
+        td.validate(&g).unwrap();
+        assert_eq!(td.width(), 3);
+    }
+
+    #[test]
+    fn grid_decomposition_valid() {
+        for (r, c) in [(1, 1), (1, 5), (4, 4), (3, 9), (5, 2)] {
+            let g = generators::grid(r, c);
+            let td = TreeDecomposition::of_grid(r, c);
+            td.validate(&g).unwrap();
+            assert!(td.width() <= 2 * r - 1, "({r},{c})");
+        }
+    }
+
+    #[test]
+    fn toroidal_grid_decomposition_valid() {
+        for (r, c) in [(3, 3), (4, 6), (5, 4)] {
+            let g = generators::toroidal_grid(r, c);
+            let td = TreeDecomposition::of_toroidal_grid(r, c);
+            td.validate(&g).unwrap();
+            assert!(td.width() <= 3 * r - 1, "({r},{c})");
+        }
+    }
+
+    #[test]
+    fn min_degree_heuristic_always_valid() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let graphs = [
+            generators::grid(4, 5),
+            generators::random_connected(40, 30, &mut rng),
+            generators::wheel(12),
+            generators::path(1),
+        ];
+        for g in &graphs {
+            let td = TreeDecomposition::min_degree_heuristic(g);
+            td.validate(g).unwrap();
+        }
+        // On a 2-tree the heuristic is optimal.
+        let (g2, _) = generators::k_tree(30, 2, &mut rng);
+        let td = TreeDecomposition::min_degree_heuristic(&g2);
+        td.validate(&g2).unwrap();
+        assert_eq!(td.width(), 2);
+    }
+
+    #[test]
+    fn lemma2_vortex_reinsertion() {
+        use minex_graphs::GraphBuilder;
+        // Cylinder whose inner boundary carries a vortex. Build G = cylinder
+        // + vortex, and G' = cylinder + star node.
+        let rows = 3;
+        let cols = 8;
+        let base = generators::cylinder(rows, cols);
+        let boundary: Vec<NodeId> = (0..cols).collect(); // row 0 is a cycle
+        let mut rng = StdRng::seed_from_u64(77);
+        let (g, vortex) =
+            generators::add_vortex(&base, &boundary, 4, 2, &mut rng).unwrap();
+        // G' = base + star vertex r adjacent to the boundary.
+        let mut bp = GraphBuilder::new(base.n() + 1);
+        for (_, u, v) in base.edges() {
+            bp.add_edge(u, v).unwrap();
+        }
+        let star = base.n();
+        for &v in &boundary {
+            bp.add_edge(star, v).unwrap();
+        }
+        let gprime = bp.build();
+        // Decompose G' heuristically, then splice the vortex back per Lemma 2.
+        let td_prime = TreeDecomposition::min_degree_heuristic(&gprime);
+        td_prime.validate(&gprime).unwrap();
+        let td = td_prime.reinsert_vortex(&vortex, Some(star));
+        // Lemma 2: the spliced decomposition is valid for the vortex graph
+        // (the star id `base.n()` is recycled as internal node 0's id — it is
+        // dropped from all bags first, so no collision survives), and the
+        // width grows by at most a (depth+1) factor.
+        td.validate(&g).unwrap();
+        assert!(td.width() <= (vortex.depth + 1) * (td_prime.width() + 1));
+    }
+
+    #[test]
+    fn validator_catches_violations() {
+        let g = generators::path(3);
+        // Missing node 2.
+        let td = TreeDecomposition::new(vec![vec![0, 1]], vec![]).unwrap();
+        assert_eq!(td.validate(&g), Err(DecompError::NodeNotCovered(2)));
+        // Edge (1,2) missing.
+        let td = TreeDecomposition::new(vec![vec![0, 1], vec![2]], vec![(0, 1)]).unwrap();
+        assert_eq!(td.validate(&g), Err(DecompError::EdgeNotCovered(1, 2)));
+        // Disconnected occurrences of node 0.
+        let td = TreeDecomposition::new(
+            vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+            vec![(0, 1), (1, 2)],
+        )
+        .unwrap();
+        assert_eq!(td.validate(&g), Err(DecompError::NodeBagsDisconnected(0)));
+        // Not a tree.
+        assert_eq!(
+            TreeDecomposition::new(vec![vec![0], vec![1]], vec![]).unwrap_err(),
+            DecompError::BagGraphNotATree
+        );
+        assert_eq!(
+            TreeDecomposition::new(vec![vec![0]], vec![(0, 5)]).unwrap_err(),
+            DecompError::BagOutOfRange(5)
+        );
+    }
+
+    #[test]
+    fn width_of_trivial_decompositions() {
+        let td = TreeDecomposition::new(Vec::new(), Vec::new()).unwrap();
+        assert_eq!(td.width(), 0);
+        assert!(td.is_empty());
+        let td = TreeDecomposition::new(vec![vec![0, 1, 2]], Vec::new()).unwrap();
+        assert_eq!(td.width(), 2);
+    }
+}

@@ -1,0 +1,306 @@
+//! Combinatorial and straight-line embeddings.
+//!
+//! Two embedding flavours are used by the shortcut constructions:
+//!
+//! * [`RotationSystem`] — a purely combinatorial embedding (cyclic order of
+//!   incident edges around each node). Face tracing over a rotation system
+//!   yields the Euler characteristic and hence the *genus* of the embedding,
+//!   which lets property tests confirm that, e.g., toroidal grid generators
+//!   really produce genus-1 embeddings (Definition 3 of the paper).
+//! * [`StraightLineEmbedding`] — integer coordinates for each node, with all
+//!   edges drawn as straight segments. Grid-based planar generators produce
+//!   these, and the combinatorial-gate construction (Lemma 7) uses them for
+//!   its region computations.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// A rotation system: for every node, the cyclic counterclockwise order of
+/// its incident `(neighbor, edge)` pairs.
+#[derive(Debug, Clone)]
+pub struct RotationSystem {
+    order: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl RotationSystem {
+    /// Wraps per-node cyclic orders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order.len() != g.n()` or some node's list does not match
+    /// its adjacency in `g` as a set.
+    pub fn new(g: &Graph, order: Vec<Vec<(NodeId, EdgeId)>>) -> Self {
+        assert_eq!(order.len(), g.n(), "rotation system must cover every node");
+        for v in 0..g.n() {
+            let mut got: Vec<_> = order[v].clone();
+            got.sort_unstable();
+            let mut want: Vec<_> = g.neighbors(v).collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "rotation at node {v} must list its incident edges");
+        }
+        RotationSystem { order }
+    }
+
+    /// The cyclic order at `v`.
+    pub fn at(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.order[v]
+    }
+
+    /// Position of neighbor `u` (via edge `e`) in the cyclic order at `v`.
+    fn position(&self, v: NodeId, u: NodeId, e: EdgeId) -> usize {
+        self.order[v]
+            .iter()
+            .position(|&(w, f)| w == u && f == e)
+            .expect("(u, e) must be incident to v")
+    }
+
+    /// Traces all faces of the embedding.
+    ///
+    /// Each face is returned as the sequence of directed edges
+    /// `(from, to, edge id)` along its boundary walk, using the
+    /// next-edge-clockwise rule (so faces are traversed with the face on the
+    /// left for a counterclockwise outer rotation).
+    pub fn faces(&self, g: &Graph) -> Vec<Vec<(NodeId, NodeId, EdgeId)>> {
+        let mut visited = std::collections::HashSet::new();
+        let mut faces = Vec::new();
+        for (e, u, v) in g.edges() {
+            for (a, b) in [(u, v), (v, u)] {
+                if visited.contains(&(a, b, e)) {
+                    continue;
+                }
+                let mut face = Vec::new();
+                let (mut x, mut y, mut f) = (a, b, e);
+                loop {
+                    face.push((x, y, f));
+                    visited.insert((x, y, f));
+                    // Arriving at y along f from x: the next directed edge
+                    // leaves y along the edge *before* (x, f) in the cyclic
+                    // order at y (clockwise successor), standard face-tracing.
+                    let pos = self.position(y, x, f);
+                    let deg = self.order[y].len();
+                    let (w, g2) = self.order[y][(pos + deg - 1) % deg];
+                    let (nx, ny, nf) = (y, w, g2);
+                    if (nx, ny, nf) == (a, b, e) {
+                        break;
+                    }
+                    x = nx;
+                    y = ny;
+                    f = nf;
+                }
+                faces.push(face);
+            }
+        }
+        faces
+    }
+
+    /// The Euler genus `g` of the embedding of a connected graph, from
+    /// `n - m + f = 2 - 2g`.
+    ///
+    /// Returns `None` when the Euler characteristic is odd (non-orientable
+    /// or inconsistent rotation data).
+    pub fn genus(&self, g: &Graph) -> Option<usize> {
+        let f = self.faces(g).len();
+        let chi = g.n() as i64 - g.m() as i64 + f as i64;
+        let two_genus = 2 - chi;
+        if two_genus < 0 || two_genus % 2 != 0 {
+            return None;
+        }
+        Some((two_genus / 2) as usize)
+    }
+}
+
+/// Integer coordinates for every node; all edges are straight segments.
+///
+/// The planar generators guarantee that the drawing is plane (no two edges
+/// cross) and that no node lies in the relative interior of another edge's
+/// segment — both properties hold automatically for unit grid and unit-square
+/// diagonal segments on the integer lattice.
+#[derive(Debug, Clone)]
+pub struct StraightLineEmbedding {
+    coords: Vec<(i64, i64)>,
+}
+
+impl StraightLineEmbedding {
+    /// Wraps per-node coordinates.
+    pub fn new(coords: Vec<(i64, i64)>) -> Self {
+        StraightLineEmbedding { coords }
+    }
+
+    /// Number of embedded nodes.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the embedding is empty.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Coordinates of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn coord(&self, v: NodeId) -> (i64, i64) {
+        self.coords[v]
+    }
+
+    /// All coordinates, indexed by node.
+    pub fn coords(&self) -> &[(i64, i64)] {
+        &self.coords
+    }
+
+    /// Derives the rotation system induced by the drawing: neighbors sorted
+    /// counterclockwise by angle around each node.
+    pub fn rotation_system(&self, g: &Graph) -> RotationSystem {
+        let mut order = Vec::with_capacity(g.n());
+        for v in 0..g.n() {
+            let (vx, vy) = self.coords[v];
+            let mut inc: Vec<(NodeId, EdgeId)> = g.neighbors(v).collect();
+            inc.sort_by(|&(a, _), &(b, _)| {
+                let pa = (self.coords[a].0 - vx, self.coords[a].1 - vy);
+                let pb = (self.coords[b].0 - vx, self.coords[b].1 - vy);
+                angle_order(pa).cmp(&angle_order(pb)).then_with(|| {
+                    // Ties cannot happen in a valid drawing (two edges from v
+                    // in the same direction would overlap) but keep the sort
+                    // total for safety.
+                    pa.cmp(&pb)
+                })
+            });
+            order.push(inc);
+        }
+        RotationSystem::new(g, order)
+    }
+}
+
+/// Key for sorting lattice vectors by counterclockwise angle starting from
+/// the positive x-axis, using exact integer arithmetic (half-plane + cross
+/// product), avoiding floating point entirely.
+fn angle_order(p: (i64, i64)) -> (u8, i64, i64) {
+    let (x, y) = p;
+    debug_assert!(!(x == 0 && y == 0), "zero vector has no angle");
+    // Half: 0 for y > 0 or (y == 0 && x > 0); 1 otherwise.
+    let half = if y > 0 || (y == 0 && x > 0) { 0 } else { 1 };
+    // Within a half-plane, compare by cross product: a before b iff
+    // cross(a, b) > 0. Encode via slope comparison using (-x, y)?? —
+    // instead, use the standard trick: sort key is the pair (half, atan2)
+    // realized by comparing cross products; we cannot embed a comparator in
+    // a key directly, so expose (half, -x * sign, ...) — simplest correct
+    // key: (half, pseudo-angle numerator/denominator) via cross against a
+    // fixed axis is wrong. We instead return (half, 0, 0) here and rely on
+    // the caller? No — we return a key that is monotone in angle within each
+    // half-plane: (half, key1, key2) where key1/key2 encode -cot-like value.
+    //
+    // Within half 0 (angles in (0, 180] plus positive x-axis at 0): the
+    // angle increases as x/r decreases; a strictly monotone integer key is
+    // (-x, y) compared lexicographically? Not monotone. Use exact rational
+    // comparison: angle(a) < angle(b) iff cross(a, b) > 0 within a common
+    // half-plane. Encode as a "pseudo-angle" rational x/(|x|+|y|) which is
+    // monotone within each half; to keep integers, compare via cross
+    // products is required. We therefore approximate with the classic
+    // monotone pseudo-angle p = y/(|x|+|y|) mapped piecewise; implemented
+    // below with exact integers.
+    let s = x.abs() + y.abs();
+    debug_assert!(s > 0);
+    // Pseudo-angle in [0, 4) scaled by s to stay integral:
+    // quadrant 0 (x>0, y>=0): t = y
+    // quadrant 1 (x<=0, y>0): t = s + (-x) ... etc. Standard construction.
+    let (q, t) = if x > 0 && y >= 0 {
+        (0, y)
+    } else if x <= 0 && y > 0 {
+        (1, -x)
+    } else if x < 0 && y <= 0 {
+        (2, -y)
+    } else {
+        (3, x)
+    };
+    // Compare (q, t/s) lexicographically: within a quadrant t/s is monotone
+    // in angle; cross-multiplication is avoided by noting that all vectors
+    // here may have different s, so we return (q, t, -s)?? That is NOT a
+    // valid monotone key across different s. The caller only uses this key
+    // for *sorting*, so we must produce a totally ordered key monotone in
+    // angle. We achieve exactness by scaling: pseudo = t * SCALE / s with
+    // SCALE large enough that distinct angles of lattice points within our
+    // coordinate range (|x|,|y| <= 2^20) never collide after flooring —
+    // collisions would need |t1/s1 - t2/s2| < 1/SCALE, but distinct
+    // fractions with denominators <= 2^21 differ by at least 2^-42, so
+    // SCALE = 2^44 suffices and fits in i64 for s <= 2^21.
+    const SCALE: i64 = 1 << 44;
+    debug_assert!(s <= (1 << 21), "coordinates exceed supported range");
+    let pseudo = (t as i128 * SCALE as i128 / s as i128) as i64;
+    (half, q as i64, pseudo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn grid_embedding_is_planar() {
+        let (g, emb) = generators::grid_embedded(3, 4);
+        let rot = emb.rotation_system(&g);
+        assert_eq!(rot.genus(&g), Some(0));
+        // 3x4 grid: n=12, m=17, faces = 6 inner + 1 outer = 7; 12-17+7=2. ✓
+        assert_eq!(rot.faces(&g).len(), 7);
+    }
+
+    #[test]
+    fn triangulated_grid_is_planar() {
+        let (g, emb) = generators::triangulated_grid_embedded(4, 4);
+        let rot = emb.rotation_system(&g);
+        assert_eq!(rot.genus(&g), Some(0));
+    }
+
+    #[test]
+    fn toroidal_grid_has_genus_one() {
+        let (g, rot) = generators::toroidal_grid_with_rotation(4, 4);
+        assert_eq!(rot.genus(&g), Some(1));
+    }
+
+    #[test]
+    fn cycle_embeds_with_two_faces() {
+        let g = generators::cycle(6);
+        // Regular hexagon coordinates.
+        let coords = vec![(2, 0), (1, 2), (-1, 2), (-2, 0), (-1, -2), (1, -2)];
+        let emb = StraightLineEmbedding::new(coords);
+        let rot = emb.rotation_system(&g);
+        assert_eq!(rot.faces(&g).len(), 2);
+        assert_eq!(rot.genus(&g), Some(0));
+    }
+
+    #[test]
+    fn angle_order_is_counterclockwise() {
+        let dirs = [
+            (1, 0),
+            (1, 1),
+            (0, 1),
+            (-1, 1),
+            (-1, 0),
+            (-1, -1),
+            (0, -1),
+            (1, -1),
+        ];
+        let mut keys: Vec<_> = dirs.iter().map(|&p| angle_order(p)).collect();
+        let sorted = {
+            let mut k = keys.clone();
+            k.sort();
+            k
+        };
+        keys.sort();
+        assert_eq!(keys, sorted);
+        // Starting from +x axis, the eight compass directions are already in
+        // ccw order, so their keys must be strictly increasing.
+        let orig: Vec<_> = dirs.iter().map(|&p| angle_order(p)).collect();
+        for w in orig.windows(2) {
+            assert!(w[0] < w[1], "angle keys must strictly increase: {w:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rotation at node")]
+    fn rotation_system_validates_incidence() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        // Node 1's rotation misses an edge.
+        let _ = RotationSystem::new(&g, vec![vec![(1, 0)], vec![(0, 0)], vec![(1, 1)]]);
+    }
+}

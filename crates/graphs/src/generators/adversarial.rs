@@ -1,0 +1,158 @@
+//! Hard instances and random controls.
+//!
+//! [`lower_bound_family`] is the Das Sarma et al. [SHK+12] construction on
+//! which every MST/min-cut algorithm needs `Ω̃(√n)` rounds despite having
+//! `O(log n)` diameter. It is *not* minor-free (it contains large clique
+//! minors), so the paper's result does not apply to it — experiment E7 uses
+//! it to exhibit the separation.
+
+use rand::{Rng, RngExt};
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// Ids for the pieces of the lower-bound construction, for workload setup.
+#[derive(Debug, Clone)]
+pub struct LowerBoundLayout {
+    /// `paths[i][j]` — the j-th node of the i-th path.
+    pub paths: Vec<Vec<NodeId>>,
+    /// Nodes of the binary tree over the columns; `tree[0]` is the root.
+    pub tree: Vec<NodeId>,
+    /// `leaves[j]` — the tree leaf attached to column `j`.
+    pub leaves: Vec<NodeId>,
+}
+
+/// The lower-bound graph `Γ(p, ℓ)`: `p` horizontal paths of `ℓ` nodes each,
+/// a balanced binary tree with `ℓ` leaves, and spokes connecting leaf `j` to
+/// the j-th node of every path.
+///
+/// With `p = ℓ = √n` this gives diameter `O(log n)` but forces `Ω̃(√n)`
+/// rounds for MST in the CONGEST model.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `l < 2`.
+pub fn lower_bound_family(p: usize, l: usize) -> (Graph, LowerBoundLayout) {
+    assert!(p >= 1, "need at least one path");
+    assert!(l >= 2, "paths need at least two nodes");
+    // Balanced binary tree with l leaves: use a complete binary tree with
+    // 2^ceil(log2 l) leaves and keep the first l.
+    let leaf_count = l.next_power_of_two();
+    let tree_size = 2 * leaf_count - 1;
+    let mut b = GraphBuilder::new(p * l + tree_size);
+    let path_id = |i: usize, j: usize| i * l + j;
+    let tree_id = |t: usize| p * l + t;
+    let mut paths = Vec::with_capacity(p);
+    for i in 0..p {
+        let mut row = Vec::with_capacity(l);
+        for j in 0..l {
+            row.push(path_id(i, j));
+            if j + 1 < l {
+                b.add_edge(path_id(i, j), path_id(i, j + 1)).expect("path edge");
+            }
+        }
+        paths.push(row);
+    }
+    // Heap-shaped complete binary tree.
+    for t in 1..tree_size {
+        b.add_edge(tree_id(t), tree_id((t - 1) / 2)).expect("tree edge");
+    }
+    // Leaves are the last `leaf_count` heap slots; attach the first l.
+    let first_leaf = leaf_count - 1;
+    let leaves: Vec<NodeId> = (0..l).map(|j| tree_id(first_leaf + j)).collect();
+    for (j, &leaf) in leaves.iter().enumerate() {
+        for i in 0..p {
+            b.add_edge(leaf, path_id(i, j)).expect("spoke edge");
+        }
+    }
+    let layout = LowerBoundLayout {
+        paths,
+        tree: (0..tree_size).map(tree_id).collect(),
+        leaves,
+    };
+    (b.build(), layout)
+}
+
+/// Erdős–Rényi `G(n, p)` — used only as a non-minor-free control; may be
+/// disconnected for small `p`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(p) {
+                b.add_edge(u, v).expect("er edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Connected random graph: a uniform random attachment tree plus `extra`
+/// random non-tree edges (deduplicated, so the result may have slightly
+/// fewer).
+pub fn random_connected<R: Rng + ?Sized>(n: usize, extra: usize, rng: &mut R) -> Graph {
+    assert!(n >= 1, "need at least one node");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        let u = rng.random_range(0..v);
+        b.add_edge(u, v).expect("tree edge");
+    }
+    if n >= 2 {
+        for _ in 0..extra {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            if u != v {
+                b.add_edge(u, v).expect("extra edge");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter_exact, is_connected};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn lower_bound_shape() {
+        let (g, layout) = lower_bound_family(4, 8);
+        assert!(is_connected(&g));
+        assert_eq!(layout.paths.len(), 4);
+        assert_eq!(layout.leaves.len(), 8);
+        // Diameter is logarithmic-ish, far below the path length.
+        let d = diameter_exact(&g).unwrap();
+        assert!(d <= 2 * 4 + 2, "diameter {d} should be tree-dominated");
+        // Every leaf connects to all paths.
+        for &leaf in &layout.leaves {
+            assert!(g.degree(leaf) >= 4);
+        }
+    }
+
+    #[test]
+    fn lower_bound_small_cases() {
+        let (g, layout) = lower_bound_family(1, 2);
+        assert!(is_connected(&g));
+        assert_eq!(layout.paths[0].len(), 2);
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let empty = erdos_renyi(10, 0.0, &mut rng);
+        assert_eq!(empty.m(), 0);
+        let full = erdos_renyi(10, 1.0, &mut rng);
+        assert_eq!(full.m(), 45);
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [1, 2, 10, 100] {
+            let g = random_connected(n, n / 2, &mut rng);
+            assert!(is_connected(&g), "n={n}");
+            assert!(g.m() >= n.saturating_sub(1));
+        }
+    }
+}

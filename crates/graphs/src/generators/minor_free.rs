@@ -1,0 +1,544 @@
+//! Builders for the paper's composite families: apex additions
+//! (Definition 2), vortices (Definition 4), and k-clique-sums
+//! (Definition 1), each emitting a structure record used by the
+//! witness-based shortcut constructions.
+
+use rand::{Rng, RngExt};
+
+use crate::graph::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// Adds a single apex connected to `attach` and returns the new graph plus
+/// the apex's node id (`g.n()`).
+///
+/// # Panics
+///
+/// Panics if `attach` is empty or contains out-of-range nodes.
+pub fn add_apex(g: &Graph, attach: &[NodeId]) -> (Graph, NodeId) {
+    assert!(!attach.is_empty(), "apex must attach to at least one node");
+    let apex = g.n();
+    let mut b = GraphBuilder::new(g.n() + 1);
+    for (_, u, v) in g.edges() {
+        b.add_edge(u, v).expect("base edge");
+    }
+    for &u in attach {
+        assert!(u < g.n(), "attachment node out of range");
+        b.add_edge(apex, u).expect("apex edge");
+    }
+    (b.build(), apex)
+}
+
+/// Adds `q` apices, each attached to every base node independently with
+/// probability `attach_prob` (at least one attachment is forced). Apices are
+/// also connected to each other, as allowed by Definition 5(iii).
+///
+/// Returns the graph and the apex ids.
+pub fn add_random_apices<R: Rng + ?Sized>(
+    g: &Graph,
+    q: usize,
+    attach_prob: f64,
+    rng: &mut R,
+) -> (Graph, Vec<NodeId>) {
+    assert!(q >= 1, "need at least one apex");
+    let base_n = g.n();
+    let mut b = GraphBuilder::new(base_n + q);
+    for (_, u, v) in g.edges() {
+        b.add_edge(u, v).expect("base edge");
+    }
+    let apices: Vec<NodeId> = (base_n..base_n + q).collect();
+    for (i, &a) in apices.iter().enumerate() {
+        let mut attached = false;
+        for u in 0..base_n {
+            if rng.random_bool(attach_prob) {
+                b.add_edge(a, u).expect("apex edge");
+                attached = true;
+            }
+        }
+        if !attached {
+            b.add_edge(a, rng.random_range(0..base_n)).expect("forced apex edge");
+        }
+        for &a2 in &apices[..i] {
+            b.add_edge(a, a2).expect("apex-apex edge");
+        }
+    }
+    (b.build(), apices)
+}
+
+/// The canonical Section-1 example: a grid with an apex attached to every
+/// `stride`-th node. The base grid has diameter `Θ(rows + cols)` but the apex
+/// collapses the diameter to `O(stride)`-ish.
+pub fn apex_grid(rows: usize, cols: usize, stride: usize) -> (Graph, NodeId) {
+    assert!(stride >= 1, "stride must be positive");
+    let g = super::planar::grid(rows, cols);
+    let attach: Vec<NodeId> = (0..g.n()).step_by(stride).collect();
+    add_apex(&g, &attach)
+}
+
+/// Record of a vortex addition (Definition 4 / Definition 7).
+#[derive(Debug, Clone)]
+pub struct VortexRecord {
+    /// The boundary cycle `C`, in cyclic order (global node ids).
+    pub boundary: Vec<NodeId>,
+    /// The internal vortex nodes, in creation order.
+    pub internal: Vec<NodeId>,
+    /// `arcs[i] = (start, len)`: internal node `i` owns the boundary arc
+    /// `boundary[start], boundary[start+1 mod L], …` of `len` nodes. This is
+    /// the vortex decomposition `P` of Definition 7.
+    pub arcs: Vec<(usize, usize)>,
+    /// The depth bound `k` the construction promised.
+    pub depth: usize,
+}
+
+impl VortexRecord {
+    /// Checks Definition 4's depth constraint: every boundary node lies in at
+    /// most `depth` arcs.
+    pub fn max_coverage(&self) -> usize {
+        let l = self.boundary.len();
+        let mut cover = vec![0usize; l];
+        for &(start, len) in &self.arcs {
+            for off in 0..len {
+                cover[(start + off) % l] += 1;
+            }
+        }
+        cover.into_iter().max().unwrap_or(0)
+    }
+
+    /// The arc node set (global ids) of internal node index `i`.
+    pub fn arc_nodes(&self, i: usize) -> Vec<NodeId> {
+        let (start, len) = self.arcs[i];
+        let l = self.boundary.len();
+        (0..len).map(|off| self.boundary[(start + off) % l]).collect()
+    }
+}
+
+/// Adds a vortex of depth ≤ `depth` with `internal` new nodes onto the cycle
+/// `cycle` of `g` (Definition 4).
+///
+/// Arcs are evenly spaced with length chosen so that no boundary node is
+/// covered more than `depth` times; each internal node connects to a random
+/// non-empty subset of its arc; internal nodes with overlapping arcs are
+/// connected with probability 1/2.
+///
+/// # Errors
+///
+/// Returns an error if `cycle` has fewer than 3 nodes, `internal == 0`,
+/// `depth == 0`, or the arc arithmetic cannot satisfy the depth bound.
+pub fn add_vortex<R: Rng + ?Sized>(
+    g: &Graph,
+    cycle: &[NodeId],
+    internal: usize,
+    depth: usize,
+    rng: &mut R,
+) -> Result<(Graph, VortexRecord), GraphError> {
+    if cycle.len() < 3 {
+        return Err(GraphError::Empty);
+    }
+    assert!(internal >= 1, "vortex needs at least one internal node");
+    assert!(depth >= 1, "vortex depth must be positive");
+    let l = cycle.len();
+    for &v in cycle {
+        if v >= g.n() {
+            return Err(GraphError::NodeOutOfRange { node: v, n: g.n() });
+        }
+    }
+    // Arc length: cover the cycle (so consecutive arcs overlap when possible)
+    // while keeping per-node coverage ≤ depth. With t arcs of length `len`
+    // evenly spaced, coverage ≤ ceil(t * len / l).
+    let t = internal;
+    let len = ((depth * l) / t).clamp(1, l);
+    let base_n = g.n();
+    let mut b = GraphBuilder::new(base_n + t);
+    for (_, u, v) in g.edges() {
+        b.add_edge(u, v).expect("base edge");
+    }
+    let mut arcs = Vec::with_capacity(t);
+    for i in 0..t {
+        let start = i * l / t;
+        arcs.push((start, len));
+    }
+    let record = VortexRecord {
+        boundary: cycle.to_vec(),
+        internal: (base_n..base_n + t).collect(),
+        arcs,
+        depth,
+    };
+    if record.max_coverage() > depth {
+        return Err(GraphError::Empty);
+    }
+    for i in 0..t {
+        let va = base_n + i;
+        let nodes = record.arc_nodes(i);
+        let mut attached = false;
+        for &u in &nodes {
+            if rng.random_bool(0.7) {
+                b.add_edge(va, u).expect("vortex edge");
+                attached = true;
+            }
+        }
+        if !attached {
+            b.add_edge(va, nodes[0]).expect("forced vortex edge");
+        }
+        // Connect to earlier internal nodes with overlapping arcs.
+        for j in 0..i {
+            let nj = record.arc_nodes(j);
+            if nodes.iter().any(|u| nj.contains(u)) && rng.random_bool(0.5) {
+                b.add_edge(va, base_n + j).expect("internal vortex edge");
+            }
+        }
+    }
+    Ok((b.build(), record))
+}
+
+/// Record of an iterated k-clique-sum construction (Definitions 1 and 8).
+#[derive(Debug, Clone)]
+pub struct CliqueSumRecord {
+    /// Maximum clique size used.
+    pub k: usize,
+    /// `bags[i]` — sorted global node ids of bag `i`.
+    pub bags: Vec<Vec<NodeId>>,
+    /// `links[j] = (parent bag, child bag, shared clique nodes)`; the shared
+    /// nodes form the (possibly partial, after drops) clique `C_f`.
+    pub links: Vec<(usize, usize, Vec<NodeId>)>,
+}
+
+/// Incrementally builds a graph as a k-clique-sum of component graphs,
+/// recording the decomposition tree as it goes.
+///
+/// # Examples
+///
+/// ```
+/// use minex_graphs::generators::{self, CliqueSumBuilder};
+///
+/// let a = generators::triangulated_grid(3, 3);
+/// let b = generators::triangulated_grid(3, 3);
+/// let mut builder = CliqueSumBuilder::new(&a, 3);
+/// // Glue b onto a along an edge (2-clique): host nodes (0,1) ↔ b's (0,1).
+/// builder.glue(&b, &[0, 1], &[0, 1]).unwrap();
+/// let (g, record) = builder.build();
+/// assert_eq!(g.n(), 9 + 9 - 2);
+/// assert_eq!(record.bags.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct CliqueSumBuilder {
+    builder: GraphBuilder,
+    edges_so_far: Vec<(NodeId, NodeId)>,
+    bags: Vec<Vec<NodeId>>,
+    links: Vec<(usize, usize, Vec<NodeId>)>,
+    k: usize,
+}
+
+impl CliqueSumBuilder {
+    /// Starts the construction with `first` as bag 0; cliques glued later may
+    /// have at most `k` nodes.
+    pub fn new(first: &Graph, k: usize) -> Self {
+        assert!(k >= 1, "clique size bound must be positive");
+        let mut builder = GraphBuilder::new(first.n());
+        let mut edges = Vec::new();
+        for (_, u, v) in first.edges() {
+            builder.add_edge(u, v).expect("component edge");
+            edges.push((u, v));
+        }
+        CliqueSumBuilder {
+            builder,
+            edges_so_far: edges,
+            bags: vec![(0..first.n()).collect()],
+            links: Vec::new(),
+            k,
+        }
+    }
+
+    fn has_edge_so_far(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = (u.min(v), u.max(v));
+        self.edges_so_far.iter().any(|&(x, y)| (x, y) == (a, b))
+    }
+
+    /// Glues `comp` onto the current graph, identifying `comp_clique`
+    /// (component-local ids) with `host_clique` (global ids). Both must be
+    /// cliques of equal size `≤ k` in their graphs, and `host_clique` must be
+    /// entirely contained in one existing bag (so the decomposition tree
+    /// property 4 of Definition 8 holds).
+    ///
+    /// Returns the mapping from component-local ids to global ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for bad ids; panics on
+    /// non-clique inputs (a programmer error in the generator).
+    pub fn glue(
+        &mut self,
+        comp: &Graph,
+        host_clique: &[NodeId],
+        comp_clique: &[NodeId],
+    ) -> Result<Vec<NodeId>, GraphError> {
+        assert_eq!(
+            host_clique.len(),
+            comp_clique.len(),
+            "cliques must have equal size"
+        );
+        assert!(
+            host_clique.len() <= self.k,
+            "clique larger than the bound k"
+        );
+        assert!(!host_clique.is_empty(), "cliques must be non-empty");
+        for &v in host_clique {
+            if v >= self.builder.n() {
+                return Err(GraphError::NodeOutOfRange { node: v, n: self.builder.n() });
+            }
+        }
+        for &v in comp_clique {
+            if v >= comp.n() {
+                return Err(GraphError::NodeOutOfRange { node: v, n: comp.n() });
+            }
+        }
+        // Validate cliques.
+        for i in 0..host_clique.len() {
+            for j in (i + 1)..host_clique.len() {
+                assert!(
+                    self.has_edge_so_far(host_clique[i], host_clique[j]),
+                    "host nodes must form a clique"
+                );
+                assert!(
+                    comp.has_edge(comp_clique[i], comp_clique[j]),
+                    "component nodes must form a clique"
+                );
+            }
+        }
+        // The host clique must live inside a single existing bag.
+        let parent = self
+            .bags
+            .iter()
+            .position(|bag| host_clique.iter().all(|v| bag.binary_search(v).is_ok()))
+            .expect("host clique must be contained in one existing bag");
+        // Map component nodes to global ids.
+        let mut map: Vec<Option<NodeId>> = vec![None; comp.n()];
+        for (i, &c) in comp_clique.iter().enumerate() {
+            map[c] = Some(host_clique[i]);
+        }
+        for c in 0..comp.n() {
+            if map[c].is_none() {
+                map[c] = Some(self.builder.add_node());
+            }
+        }
+        for (_, u, v) in comp.edges() {
+            let (gu, gv) = (map[u].expect("mapped"), map[v].expect("mapped"));
+            self.builder.add_edge(gu, gv).expect("glued edge");
+            self.edges_so_far.push((gu.min(gv), gu.max(gv)));
+        }
+        let mut bag: Vec<NodeId> = map.iter().map(|m| m.expect("mapped")).collect();
+        bag.sort_unstable();
+        let child = self.bags.len();
+        self.bags.push(bag);
+        let mut shared = host_clique.to_vec();
+        shared.sort_unstable();
+        self.links.push((parent, child, shared));
+        Ok(map.into_iter().map(|m| m.expect("mapped")).collect())
+    }
+
+    /// Finalizes into the glued graph and its [`CliqueSumRecord`].
+    pub fn build(self) -> (Graph, CliqueSumRecord) {
+        (
+            self.builder.build(),
+            CliqueSumRecord { k: self.k, bags: self.bags, links: self.links },
+        )
+    }
+}
+
+/// Finds all cliques of the requested `size ∈ {1, 2, 3, 4}` in `g`.
+pub fn find_cliques(g: &Graph, size: usize) -> Vec<Vec<NodeId>> {
+    match size {
+        1 => (0..g.n()).map(|v| vec![v]).collect(),
+        2 => g.edges().map(|(_, u, v)| vec![u, v]).collect(),
+        3 => {
+            let mut out = Vec::new();
+            for (_, u, v) in g.edges() {
+                for (w, _) in g.neighbors(u) {
+                    if w > v && g.has_edge(v, w) {
+                        out.push(vec![u, v, w]);
+                    }
+                }
+            }
+            out
+        }
+        4 => {
+            let mut out = Vec::new();
+            for tri in find_cliques(g, 3) {
+                let (a, b, c) = (tri[0], tri[1], tri[2]);
+                for (w, _) in g.neighbors(a) {
+                    if w > c && g.has_edge(b, w) && g.has_edge(c, w) {
+                        out.push(vec![a, b, c, w]);
+                    }
+                }
+            }
+            out
+        }
+        _ => panic!("find_cliques supports sizes 1..=4, got {size}"),
+    }
+}
+
+/// Glues `count` copies of randomly chosen `components` into one graph by
+/// random clique-sums of size ≤ `k`, returning the glued graph and record.
+///
+/// Each step picks a random existing bag, finds a random clique of size
+/// `min(k, best available)` inside it, and glues a random component there.
+pub fn random_clique_sum<R: Rng + ?Sized>(
+    components: &[Graph],
+    count: usize,
+    k: usize,
+    rng: &mut R,
+) -> (Graph, CliqueSumRecord) {
+    assert!(!components.is_empty(), "need at least one component graph");
+    assert!(count >= 1, "need at least one bag");
+    let first = &components[rng.random_range(0..components.len())];
+    let mut builder = CliqueSumBuilder::new(first, k);
+    let mut bag_graphs: Vec<(Graph, Vec<NodeId>)> =
+        vec![(first.clone(), (0..first.n()).collect())];
+    for _ in 1..count {
+        let comp = &components[rng.random_range(0..components.len())];
+        // Pick a random host bag and a random clique inside it.
+        let bag_idx = rng.random_range(0..bag_graphs.len());
+        let (bag_g, bag_nodes) = &bag_graphs[bag_idx];
+        // Search downward from k for a clique size available in both.
+        let mut glued = false;
+        for size in (1..=k).rev() {
+            let host_cliques = find_cliques(bag_g, size);
+            let comp_cliques = find_cliques(comp, size);
+            if host_cliques.is_empty() || comp_cliques.is_empty() {
+                continue;
+            }
+            let hc = &host_cliques[rng.random_range(0..host_cliques.len())];
+            let cc = &comp_cliques[rng.random_range(0..comp_cliques.len())];
+            let host_global: Vec<NodeId> = hc.iter().map(|&i| bag_nodes[i]).collect();
+            let map = builder
+                .glue(comp, &host_global, cc)
+                .expect("random glue uses valid ids");
+            bag_graphs.push((comp.clone(), map));
+            glued = true;
+            break;
+        }
+        assert!(glued, "components must contain at least a single node");
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal::{diameter_exact, is_connected};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn apex_collapses_diameter() {
+        let g = generators::grid(8, 8);
+        let base_d = diameter_exact(&g).unwrap();
+        let (ag, apex) = add_apex(&g, &(0..g.n()).collect::<Vec<_>>());
+        assert_eq!(diameter_exact(&ag), Some(2));
+        assert_eq!(ag.degree(apex), 64);
+        assert!(base_d > 2);
+    }
+
+    #[test]
+    fn apex_grid_stride() {
+        let (g, apex) = apex_grid(5, 5, 2);
+        assert_eq!(g.n(), 26);
+        assert_eq!(g.degree(apex), 13);
+    }
+
+    #[test]
+    fn random_apices_connect_to_each_other() {
+        let base = generators::grid(4, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, apices) = add_random_apices(&base, 3, 0.3, &mut rng);
+        assert_eq!(apices.len(), 3);
+        assert!(g.has_edge(apices[0], apices[1]));
+        assert!(g.has_edge(apices[1], apices[2]));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn vortex_respects_depth() {
+        let g = generators::cycle(12);
+        let cycle: Vec<NodeId> = (0..12).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (vg, rec) = add_vortex(&g, &cycle, 6, 2, &mut rng).unwrap();
+        assert_eq!(vg.n(), 18);
+        assert!(rec.max_coverage() <= 2);
+        assert!(is_connected(&vg));
+        // Every internal node's neighbors on the boundary lie in its arc.
+        for (i, &va) in rec.internal.iter().enumerate() {
+            let arc = rec.arc_nodes(i);
+            for (u, _) in vg.neighbors(va) {
+                if rec.boundary.contains(&u) {
+                    assert!(arc.contains(&u), "neighbor {u} outside arc of internal {va}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vortex_rejects_tiny_cycle() {
+        let g = generators::path(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(add_vortex(&g, &[0, 1], 2, 2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn clique_sum_builder_identifies_nodes() {
+        let a = generators::complete(4);
+        let b = generators::complete(4);
+        let mut builder = CliqueSumBuilder::new(&a, 3);
+        let map = builder.glue(&b, &[0, 1, 2], &[1, 2, 3]).unwrap();
+        let (g, rec) = builder.build();
+        assert_eq!(g.n(), 5);
+        assert_eq!(map[1], 0);
+        assert_eq!(map[2], 1);
+        assert_eq!(map[3], 2);
+        assert_eq!(rec.bags.len(), 2);
+        assert_eq!(rec.links.len(), 1);
+        assert_eq!(rec.links[0].2, vec![0, 1, 2]);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "host nodes must form a clique")]
+    fn clique_sum_validates_host_clique() {
+        let a = generators::path(4);
+        let b = generators::complete(3);
+        let mut builder = CliqueSumBuilder::new(&a, 2);
+        // Nodes 0 and 2 are not adjacent in the path.
+        let _ = builder.glue(&b, &[0, 2], &[0, 1]);
+    }
+
+    #[test]
+    fn clique_finding() {
+        let g = generators::complete(5);
+        assert_eq!(find_cliques(&g, 1).len(), 5);
+        assert_eq!(find_cliques(&g, 2).len(), 10);
+        assert_eq!(find_cliques(&g, 3).len(), 10);
+        assert_eq!(find_cliques(&g, 4).len(), 5);
+        let t = generators::triangulated_grid(3, 3);
+        assert_eq!(find_cliques(&t, 4).len(), 0);
+        assert_eq!(find_cliques(&t, 3).len(), 8);
+    }
+
+    #[test]
+    fn random_clique_sum_connected() {
+        let comps = vec![
+            generators::triangulated_grid(3, 3),
+            generators::complete(4),
+            generators::cycle(5),
+        ];
+        let mut rng = StdRng::seed_from_u64(17);
+        let (g, rec) = random_clique_sum(&comps, 8, 3, &mut rng);
+        assert!(is_connected(&g));
+        assert_eq!(rec.bags.len(), 8);
+        assert_eq!(rec.links.len(), 7);
+        // Bags cover all nodes.
+        let mut covered = vec![false; g.n()];
+        for bag in &rec.bags {
+            for &v in bag {
+                covered[v] = true;
+            }
+        }
+        assert!(covered.into_iter().all(|c| c));
+    }
+}

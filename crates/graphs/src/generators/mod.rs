@@ -1,0 +1,31 @@
+//! Graph family generators.
+//!
+//! Every family named by the paper has a generator here, and families with
+//! non-trivial structure return a *witness record* alongside the graph
+//! (embedding, k-tree elimination order, clique-sum decomposition tree,
+//! vortex decomposition, apex set). Witness-based shortcut constructions in
+//! `minex-core` consume those records; the structure-oblivious construction
+//! ignores them, exactly as the paper's distributed algorithm does.
+
+mod adversarial;
+mod basic;
+mod minor_free;
+pub(crate) mod planar;
+mod structured;
+mod surfaces;
+
+pub use adversarial::{erdos_renyi, lower_bound_family, random_connected, LowerBoundLayout};
+pub use basic::{
+    binary_tree, complete, complete_bipartite, cycle, hypercube, path, random_tree, spider, star,
+    wheel,
+};
+pub use minor_free::{
+    add_apex, add_random_apices, add_vortex, apex_grid, find_cliques, random_clique_sum,
+    CliqueSumBuilder, CliqueSumRecord, VortexRecord,
+};
+pub use planar::{
+    apollonian, cylinder, grid, grid_embedded, outerplanar_fan, random_triangulated_grid,
+    triangulated_grid, triangulated_grid_embedded, ApollonianRecord,
+};
+pub use structured::{k_tree, partial_k_tree, series_parallel, KTreeRecord};
+pub use surfaces::{toroidal_grid, toroidal_grid_with_rotation, torus_chain};

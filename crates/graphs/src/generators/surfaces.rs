@@ -1,0 +1,116 @@
+//! Bounded-genus generators (Definition 3 of the paper).
+//!
+//! The toroidal grid is the canonical genus-1 family; higher genus is
+//! obtained by chaining tori with bridge edges (genus is additive over
+//! blocks, so a chain of `g` tori has orientable genus exactly `g`).
+
+use crate::embedding::RotationSystem;
+use crate::graph::{Graph, GraphBuilder};
+
+/// `rows × cols` grid with both dimensions wrapping around (a torus).
+/// Requires `rows, cols ≥ 3` so that no wrap edge becomes a parallel edge.
+///
+/// # Panics
+///
+/// Panics if either dimension is `< 3`.
+pub fn toroidal_grid(rows: usize, cols: usize) -> Graph {
+    toroidal_grid_with_rotation(rows, cols).0
+}
+
+/// [`toroidal_grid`] together with the canonical genus-1 rotation system
+/// (right, up, left, down around every node).
+pub fn toroidal_grid_with_rotation(rows: usize, cols: usize) -> (Graph, RotationSystem) {
+    assert!(rows >= 3 && cols >= 3, "toroidal grid needs both dims >= 3");
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, (c + 1) % cols)).expect("row edge");
+            b.add_edge(id(r, c), id((r + 1) % rows, c)).expect("col edge");
+        }
+    }
+    let g = b.build();
+    let mut order = Vec::with_capacity(g.n());
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = id(r, c);
+            let right = id(r, (c + 1) % cols);
+            let up = id((r + rows - 1) % rows, c);
+            let left = id(r, (c + cols - 1) % cols);
+            let down = id((r + 1) % rows, c);
+            let dirs = [right, up, left, down];
+            let cyc: Vec<_> = dirs
+                .iter()
+                .map(|&w| (w, g.edge_between(v, w).expect("torus edge exists")))
+                .collect();
+            order.push(cyc);
+        }
+    }
+    let rot = RotationSystem::new(&g, order);
+    (g, rot)
+}
+
+/// A chain of `handles` toroidal grids, consecutive tori joined by a single
+/// bridge edge. Orientable genus exactly `handles`; diameter
+/// `Θ(handles · (rows + cols))`.
+///
+/// # Panics
+///
+/// Panics if `handles == 0` or grid dims are `< 3`.
+pub fn torus_chain(handles: usize, rows: usize, cols: usize) -> Graph {
+    assert!(handles >= 1, "need at least one handle");
+    let per = rows * cols;
+    let torus = toroidal_grid(rows, cols);
+    let mut b = GraphBuilder::new(per * handles);
+    for h in 0..handles {
+        let off = h * per;
+        for (_, u, v) in torus.edges() {
+            b.add_edge(off + u, off + v).expect("torus copy edge");
+        }
+        if h > 0 {
+            // Bridge from the "last" node of the previous torus to the
+            // "first" node of this one.
+            b.add_edge((h - 1) * per + (per - 1), off).expect("bridge");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minor::satisfies_genus_edge_bound;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn toroidal_grid_shape() {
+        let g = toroidal_grid(4, 5);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 40);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn toroidal_rotation_gives_genus_one() {
+        let (g, rot) = toroidal_grid_with_rotation(3, 3);
+        assert_eq!(rot.genus(&g), Some(1));
+        let (g2, rot2) = toroidal_grid_with_rotation(5, 4);
+        assert_eq!(rot2.genus(&g2), Some(1));
+    }
+
+    #[test]
+    fn torus_chain_shape() {
+        let g = torus_chain(3, 3, 3);
+        assert_eq!(g.n(), 27);
+        assert_eq!(g.m(), 3 * 18 + 2);
+        assert!(is_connected(&g));
+        assert!(satisfies_genus_edge_bound(&g, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "both dims >= 3")]
+    fn rejects_thin_torus() {
+        let _ = toroidal_grid(2, 5);
+    }
+}

@@ -1,0 +1,207 @@
+//! Exact integer lattice geometry.
+//!
+//! The combinatorial-gate construction of Lemma 7 reasons about regions
+//! enclosed by cycles of a plane graph. With straight-line embeddings on the
+//! integer lattice, those regions are simple lattice polygons, and all
+//! containment questions can be answered with exact `i64`/`i128` arithmetic —
+//! no floating point, no epsilons.
+
+/// Relation of a point to a closed polygon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Containment {
+    /// Strictly outside the polygon.
+    Outside,
+    /// On the polygon's boundary.
+    Boundary,
+    /// Strictly inside the polygon.
+    Inside,
+}
+
+/// Twice the signed area of the triangle `(o, a, b)` (positive when `o→a→b`
+/// turns counterclockwise).
+#[inline]
+pub fn cross(o: (i64, i64), a: (i64, i64), b: (i64, i64)) -> i128 {
+    let (ox, oy) = o;
+    let (ax, ay) = a;
+    let (bx, by) = b;
+    (ax - ox) as i128 * (by - oy) as i128 - (ay - oy) as i128 * (bx - ox) as i128
+}
+
+/// Whether `p` lies on the closed segment `[a, b]`.
+pub fn on_segment(a: (i64, i64), b: (i64, i64), p: (i64, i64)) -> bool {
+    if cross(a, b, p) != 0 {
+        return false;
+    }
+    p.0 >= a.0.min(b.0) && p.0 <= a.0.max(b.0) && p.1 >= a.1.min(b.1) && p.1 <= a.1.max(b.1)
+}
+
+/// Classifies `p` against the simple polygon `poly` (vertices in order,
+/// implicitly closed). Uses exact even–odd ray casting.
+///
+/// Degenerate "polygons" with fewer than 3 vertices are handled as follows:
+/// a 2-gon is the closed segment between its endpoints (Boundary or Outside),
+/// a 1-gon is a single point, and the empty polygon contains nothing. This
+/// matches the paper's footnote 3, where the cycle between a pair of
+/// identical extremal edges degenerates to the edge itself.
+///
+/// # Examples
+///
+/// ```
+/// use minex_graphs::geometry::{point_in_polygon, Containment};
+/// let square = [(0, 0), (4, 0), (4, 4), (0, 4)];
+/// assert_eq!(point_in_polygon(&square, (2, 2)), Containment::Inside);
+/// assert_eq!(point_in_polygon(&square, (4, 2)), Containment::Boundary);
+/// assert_eq!(point_in_polygon(&square, (5, 2)), Containment::Outside);
+/// ```
+pub fn point_in_polygon(poly: &[(i64, i64)], p: (i64, i64)) -> Containment {
+    match poly.len() {
+        0 => return Containment::Outside,
+        1 => {
+            return if poly[0] == p {
+                Containment::Boundary
+            } else {
+                Containment::Outside
+            }
+        }
+        2 => {
+            return if on_segment(poly[0], poly[1], p) {
+                Containment::Boundary
+            } else {
+                Containment::Outside
+            }
+        }
+        _ => {}
+    }
+    let n = poly.len();
+    for i in 0..n {
+        if on_segment(poly[i], poly[(i + 1) % n], p) {
+            return Containment::Boundary;
+        }
+    }
+    // Even-odd rule with a ray towards +x. The half-open test on y avoids
+    // double counting at vertices.
+    let mut inside = false;
+    for i in 0..n {
+        let a = poly[i];
+        let b = poly[(i + 1) % n];
+        if (a.1 > p.1) != (b.1 > p.1) {
+            // x coordinate of the edge at height p.y, compared to p.x with
+            // exact arithmetic: intersect_x - p.x has the sign of
+            // ((b.x-a.x)(p.y-a.y) - (p.x-a.x)(b.y-a.y)) / (b.y-a.y).
+            let num =
+                (b.0 - a.0) as i128 * (p.1 - a.1) as i128 - (p.0 - a.0) as i128 * (b.1 - a.1) as i128;
+            let den = (b.1 - a.1) as i128;
+            if (num > 0 && den > 0) || (num < 0 && den < 0) {
+                inside = !inside;
+            }
+        }
+    }
+    if inside {
+        Containment::Inside
+    } else {
+        Containment::Outside
+    }
+}
+
+/// Twice the absolute area of the polygon (shoelace formula). Degenerate
+/// polygons have area 0.
+pub fn polygon_area2(poly: &[(i64, i64)]) -> i128 {
+    if poly.len() < 3 {
+        return 0;
+    }
+    let n = poly.len();
+    let mut s: i128 = 0;
+    for i in 0..n {
+        let (x1, y1) = poly[i];
+        let (x2, y2) = poly[(i + 1) % n];
+        s += x1 as i128 * y2 as i128 - x2 as i128 * y1 as i128;
+    }
+    s.abs()
+}
+
+/// Whether a closed unit-ish segment `[a, b]` lies entirely within the closed
+/// polygon, assuming no polygon vertex lies in the segment's relative
+/// interior (true for lattice-neighbor segments). Checks both endpoints and
+/// the midpoint (at doubled coordinates for exactness).
+pub fn segment_in_polygon(poly: &[(i64, i64)], a: (i64, i64), b: (i64, i64)) -> bool {
+    if point_in_polygon(poly, a) == Containment::Outside
+        || point_in_polygon(poly, b) == Containment::Outside
+    {
+        return false;
+    }
+    // Midpoint test in doubled coordinates.
+    let scaled: Vec<(i64, i64)> = poly.iter().map(|&(x, y)| (2 * x, 2 * y)).collect();
+    let mid = (a.0 + b.0, a.1 + b.1);
+    point_in_polygon(&scaled, mid) != Containment::Outside
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SQUARE: [(i64, i64); 4] = [(0, 0), (4, 0), (4, 4), (0, 4)];
+
+    #[test]
+    fn cross_signs() {
+        assert!(cross((0, 0), (1, 0), (0, 1)) > 0);
+        assert!(cross((0, 0), (0, 1), (1, 0)) < 0);
+        assert_eq!(cross((0, 0), (1, 1), (2, 2)), 0);
+    }
+
+    #[test]
+    fn segment_membership() {
+        assert!(on_segment((0, 0), (4, 4), (2, 2)));
+        assert!(!on_segment((0, 0), (4, 4), (2, 3)));
+        assert!(!on_segment((0, 0), (4, 4), (5, 5)));
+        assert!(on_segment((0, 0), (4, 4), (0, 0)));
+    }
+
+    #[test]
+    fn square_containment() {
+        assert_eq!(point_in_polygon(&SQUARE, (1, 3)), Containment::Inside);
+        assert_eq!(point_in_polygon(&SQUARE, (0, 0)), Containment::Boundary);
+        assert_eq!(point_in_polygon(&SQUARE, (2, 0)), Containment::Boundary);
+        assert_eq!(point_in_polygon(&SQUARE, (-1, 2)), Containment::Outside);
+        assert_eq!(point_in_polygon(&SQUARE, (2, 5)), Containment::Outside);
+    }
+
+    #[test]
+    fn concave_polygon() {
+        // A "U" shape.
+        let u = [(0, 0), (6, 0), (6, 4), (4, 4), (4, 2), (2, 2), (2, 4), (0, 4)];
+        assert_eq!(point_in_polygon(&u, (1, 3)), Containment::Inside);
+        assert_eq!(point_in_polygon(&u, (3, 3)), Containment::Outside);
+        assert_eq!(point_in_polygon(&u, (5, 3)), Containment::Inside);
+        assert_eq!(point_in_polygon(&u, (3, 1)), Containment::Inside);
+        assert_eq!(point_in_polygon(&u, (3, 2)), Containment::Boundary);
+    }
+
+    #[test]
+    fn degenerate_polygons() {
+        assert_eq!(point_in_polygon(&[], (0, 0)), Containment::Outside);
+        assert_eq!(point_in_polygon(&[(1, 1)], (1, 1)), Containment::Boundary);
+        assert_eq!(point_in_polygon(&[(1, 1)], (1, 2)), Containment::Outside);
+        let seg = [(0, 0), (3, 3)];
+        assert_eq!(point_in_polygon(&seg, (2, 2)), Containment::Boundary);
+        assert_eq!(point_in_polygon(&seg, (2, 1)), Containment::Outside);
+    }
+
+    #[test]
+    fn areas() {
+        assert_eq!(polygon_area2(&SQUARE), 32);
+        assert_eq!(polygon_area2(&[(0, 0), (1, 0)]), 0);
+        let tri = [(0, 0), (4, 0), (0, 4)];
+        assert_eq!(polygon_area2(&tri), 16);
+    }
+
+    #[test]
+    fn segments_in_polygon() {
+        assert!(segment_in_polygon(&SQUARE, (1, 1), (2, 1)));
+        assert!(segment_in_polygon(&SQUARE, (0, 0), (1, 0))); // along boundary
+        assert!(!segment_in_polygon(&SQUARE, (4, 2), (5, 2)));
+        // Pinch case: both endpoints on the boundary of a U but the segment
+        // crosses the notch outside.
+        let u = [(0, 0), (6, 0), (6, 4), (4, 4), (4, 2), (2, 2), (2, 4), (0, 4)];
+        assert!(!segment_in_polygon(&u, (2, 4), (4, 4)));
+    }
+}

@@ -1,0 +1,500 @@
+//! Core graph representation.
+//!
+//! [`Graph`] is a simple, undirected, immutable graph over dense node ids
+//! `0..n`. Edges carry dense ids `0..m` so that parallel structures (weights,
+//! shortcut assignments, congestion counters) can be stored in flat vectors.
+//!
+//! Graphs are built through [`GraphBuilder`], which validates input
+//! (self-loops rejected, duplicate edges deduplicated) so that every
+//! constructed [`Graph`] upholds its invariants for its whole lifetime.
+
+use std::error::Error;
+use std::fmt;
+
+/// Dense node identifier in `0..n`.
+pub type NodeId = usize;
+/// Dense edge identifier in `0..m`.
+pub type EdgeId = usize;
+
+/// Error produced when constructing or combining graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes in the graph under construction.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; the CONGEST model ignores these.
+    SelfLoop(NodeId),
+    /// An operation required a connected graph but the input was not.
+    Disconnected,
+    /// An operation required a non-empty graph.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
+            GraphError::Disconnected => write!(f, "graph must be connected"),
+            GraphError::Empty => write!(f, "graph must be non-empty"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// An immutable, simple, undirected graph.
+///
+/// # Examples
+///
+/// ```
+/// use minex_graphs::{Graph, GraphBuilder};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// let g: Graph = b.build();
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.m(), 2);
+/// assert!(g.has_edge(0, 1));
+/// assert!(!g.has_edge(0, 2));
+/// # Ok::<(), minex_graphs::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `adj[v]` lists `(neighbor, edge id)` pairs, sorted by neighbor.
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// `edges[e] = (u, v)` with `u < v`.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n())
+            .field("m", &self.m())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an edge list, deduplicating
+    /// duplicates and canonicalizing endpoint order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`]
+    /// when the edge list is invalid.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Iterates over `(neighbor, edge id)` pairs of `v`, sorted by neighbor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        self.adj[v].iter().copied()
+    }
+
+    /// The endpoints `(u, v)` of edge `e`, with `u < v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= m`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e]
+    }
+
+    /// Given edge `e` incident to `v`, returns the other endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= m` or `v` is not an endpoint of `e`.
+    #[inline]
+    pub fn other_endpoint(&self, e: EdgeId, v: NodeId) -> NodeId {
+        let (a, b) = self.edges[e];
+        if v == a {
+            b
+        } else {
+            assert_eq!(v, b, "node {v} is not an endpoint of edge {e}");
+            a
+        }
+    }
+
+    /// Returns the edge id between `u` and `v`, if any.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if u >= self.n() || v >= self.n() {
+            return None;
+        }
+        // Search from the lower-degree endpoint.
+        let (from, to) = if self.adj[u].len() <= self.adj[v].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[from]
+            .binary_search_by_key(&to, |&(w, _)| w)
+            .ok()
+            .map(|i| self.adj[from][i].1)
+    }
+
+    /// Whether an edge `{u, v}` exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// Iterates over all edges as `(edge id, u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.edges.iter().enumerate().map(|(e, &(u, v))| (e, u, v))
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.n()
+    }
+
+    /// The subgraph induced by `keep`, together with the mapping from old
+    /// node ids to new node ids (dense, in increasing old-id order).
+    ///
+    /// Nodes not in `keep` and edges with an endpoint outside `keep` are
+    /// dropped. `keep` may contain duplicates; they are ignored.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (Graph, Vec<Option<NodeId>>) {
+        let mut map: Vec<Option<NodeId>> = vec![None; self.n()];
+        let mut next = 0;
+        let mut sorted: Vec<NodeId> = keep.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &v in &sorted {
+            assert!(v < self.n(), "node {v} out of range");
+            map[v] = Some(next);
+            next += 1;
+        }
+        let mut b = GraphBuilder::new(next);
+        for &(u, v) in &self.edges {
+            if let (Some(nu), Some(nv)) = (map[u], map[v]) {
+                b.add_edge(nu, nv).expect("mapped edge is valid");
+            }
+        }
+        (b.build(), map)
+    }
+
+    /// Total degree sum (`2m`).
+    pub fn degree_sum(&self) -> usize {
+        2 * self.m()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Duplicate edges are silently deduplicated at [`build`](Self::build) time,
+/// which keeps generator code simple (grids and clique-sums naturally try to
+/// add the same edge twice).
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Grows the node count to at least `n`.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        self.n = self.n.max(n);
+    }
+
+    /// Adds a fresh node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.n += 1;
+        self.n - 1
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v` and
+    /// [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        for w in [u, v] {
+            if w >= self.n {
+                return Err(GraphError::NodeOutOfRange { node: w, n: self.n });
+            }
+        }
+        self.edges.push((u.min(v), u.max(v)));
+        Ok(())
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); self.n];
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            adj[u].push((v, e));
+            adj[v].push((u, e));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        Graph { adj, edges: self.edges }
+    }
+}
+
+/// An undirected graph with `u64` edge weights.
+///
+/// # Examples
+///
+/// ```
+/// use minex_graphs::{Graph, WeightedGraph};
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+/// let wg = WeightedGraph::new(g, vec![5, 7]);
+/// assert_eq!(wg.weight(0), 5);
+/// assert_eq!(wg.total_weight(), 12);
+/// # Ok::<(), minex_graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedGraph {
+    graph: Graph,
+    weights: Vec<u64>,
+}
+
+impl WeightedGraph {
+    /// Wraps `graph` with per-edge `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != graph.m()`.
+    pub fn new(graph: Graph, weights: Vec<u64>) -> Self {
+        assert_eq!(
+            weights.len(),
+            graph.m(),
+            "weight vector length must equal edge count"
+        );
+        WeightedGraph { graph, weights }
+    }
+
+    /// Wraps `graph` with all weights equal to 1.
+    pub fn unit(graph: Graph) -> Self {
+        let m = graph.m();
+        WeightedGraph { graph, weights: vec![1; m] }
+    }
+
+    /// The underlying unweighted graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Weight of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= m`.
+    #[inline]
+    pub fn weight(&self, e: EdgeId) -> u64 {
+        self.weights[e]
+    }
+
+    /// All weights, indexed by edge id.
+    #[inline]
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// Consumes the pair back into `(graph, weights)`.
+    pub fn into_parts(self) -> (Graph, Vec<u64>) {
+        (self.graph, self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::from_edges(1, []).unwrap();
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.degree(0), 0);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(Graph::from_edges(2, [(1, 1)]), Err(GraphError::SelfLoop(1)));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Graph::from_edges(2, [(0, 5)]),
+            Err(GraphError::NodeOutOfRange { node: 5, n: 2 })
+        );
+    }
+
+    #[test]
+    fn deduplicates_parallel_edges() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn endpoints_are_canonical() {
+        let g = Graph::from_edges(3, [(2, 0)]).unwrap();
+        assert_eq!(g.endpoints(0), (0, 2));
+        assert_eq!(g.other_endpoint(0, 0), 2);
+        assert_eq!(g.other_endpoint(0, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_endpoint_panics_for_non_endpoint() {
+        let g = Graph::from_edges(3, [(0, 2)]).unwrap();
+        g.other_endpoint(0, 1);
+    }
+
+    #[test]
+    fn edge_between_finds_edges_both_ways() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(g.edge_between(2, 1), Some(1));
+        assert_eq!(g.edge_between(1, 2), Some(1));
+        assert_eq!(g.edge_between(0, 3), None);
+        assert_eq!(g.edge_between(0, 99), None);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
+        let ns: Vec<NodeId> = g.neighbors(2).map(|(v, _)| v).collect();
+        assert_eq!(ns, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn induced_subgraph_maps_ids() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)]).unwrap();
+        let (sub, map) = g.induced_subgraph(&[1, 3, 4]);
+        assert_eq!(sub.n(), 3);
+        // Edges kept: (1,3) -> (0,1), (3,4) -> (1,2).
+        assert_eq!(sub.m(), 2);
+        assert_eq!(map[1], Some(0));
+        assert_eq!(map[3], Some(1));
+        assert_eq!(map[4], Some(2));
+        assert_eq!(map[0], None);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicates() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let (sub, _) = g.induced_subgraph(&[0, 1, 1, 0]);
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.m(), 1);
+    }
+
+    #[test]
+    fn builder_add_node() {
+        let mut b = GraphBuilder::new(1);
+        let v = b.add_node();
+        assert_eq!(v, 1);
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn weighted_graph_basics() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let wg = WeightedGraph::new(g.clone(), vec![3, 9]);
+        assert_eq!(wg.weight(1), 9);
+        assert_eq!(wg.total_weight(), 12);
+        let unit = WeightedGraph::unit(g);
+        assert_eq!(unit.total_weight(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight vector length")]
+    fn weighted_graph_length_mismatch_panics() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let _ = WeightedGraph::new(g, vec![1]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            GraphError::SelfLoop(3).to_string(),
+            "self-loop at node 3 is not allowed"
+        );
+        assert_eq!(
+            GraphError::NodeOutOfRange { node: 9, n: 4 }.to_string(),
+            "node 9 out of range for graph with 4 nodes"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # minex-graphs
+//!
+//! Graph substrate for the `minex` reproduction of *“Minor Excluded Network
+//! Families Admit Fast Distributed Algorithms”* (Haeupler, Li, Zuzic;
+//! PODC 2018).
+//!
+//! The crate provides:
+//!
+//! * [`Graph`] / [`WeightedGraph`] — immutable simple graphs with dense node
+//!   and edge ids;
+//! * [`generators`] — every graph family the paper names (planar, bounded
+//!   genus, apex, vortex, clique-sums, series-parallel, k-trees, the
+//!   `Ω̃(√n)` lower-bound family), each emitting a structure witness;
+//! * [`embedding`] — rotation systems and straight-line lattice embeddings,
+//!   with face tracing and Euler-genus computation;
+//! * [`geometry`] — exact integer polygon primitives for the Lemma 7
+//!   combinatorial-gate construction;
+//! * [`traversal`], [`UnionFind`], [`minor`], [`weights`] — supporting
+//!   algorithms.
+//!
+//! ## Example
+//!
+//! ```
+//! use minex_graphs::{generators, traversal};
+//!
+//! let g = generators::triangulated_grid(8, 8);
+//! assert!(traversal::is_connected(&g));
+//! let d = traversal::diameter_exact(&g).expect("connected");
+//! assert!(d <= 14);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod embedding;
+pub mod generators;
+pub mod geometry;
+mod graph;
+pub mod minor;
+pub mod traversal;
+mod union_find;
+pub mod weights;
+
+pub use graph::{EdgeId, Graph, GraphBuilder, GraphError, NodeId, WeightedGraph};
+pub use union_find::UnionFind;
+pub use weights::WeightModel;

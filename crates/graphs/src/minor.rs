@@ -1,0 +1,188 @@
+//! Minor operations and recognizers for small excluded minors.
+//!
+//! The paper's families are *generated together with a structure witness*,
+//! so exact `H`-minor testing for arbitrary `H` is not needed (and no
+//! practical algorithm exists). What we do provide:
+//!
+//! * edge contraction / node-set contraction — the minor operations used by
+//!   the cell-assignment peeling argument (Lemma 5);
+//! * exact recognizers for the two small excluded minors the paper names:
+//!   `K3`-minor-free (forests) and `K4`-minor-free (series-parallel /
+//!   treewidth ≤ 2);
+//! * the Euler edge-count *necessary* condition for planarity and bounded
+//!   genus, used as a cheap sanity check on generators.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::union_find::UnionFind;
+
+/// Contracts each listed group of nodes to a single node (groups are merged
+/// transitively if they overlap), drops the resulting self-loops, and
+/// deduplicates parallel edges.
+///
+/// Returns the contracted graph together with `map[v] = new id of v`.
+///
+/// # Panics
+///
+/// Panics if any node id is out of range.
+pub fn contract_groups(g: &Graph, groups: &[Vec<NodeId>]) -> (Graph, Vec<NodeId>) {
+    let mut uf = UnionFind::new(g.n());
+    for group in groups {
+        for w in group.windows(2) {
+            assert!(w[0] < g.n() && w[1] < g.n(), "node out of range");
+            uf.union(w[0], w[1]);
+        }
+        if let Some(&v) = group.first() {
+            assert!(v < g.n(), "node out of range");
+        }
+    }
+    let (labels, k) = uf.labels();
+    let mut b = GraphBuilder::new(k);
+    for (_, u, v) in g.edges() {
+        let (nu, nv) = (labels[u], labels[v]);
+        if nu != nv {
+            b.add_edge(nu, nv).expect("contracted edge valid");
+        }
+    }
+    (b.build(), labels)
+}
+
+/// Contracts a single edge `{u, v}` (they need not actually be adjacent; the
+/// operation is "identify `u` and `v`").
+pub fn contract_pair(g: &Graph, u: NodeId, v: NodeId) -> (Graph, Vec<NodeId>) {
+    contract_groups(g, &[vec![u, v]])
+}
+
+/// Whether `g` is a forest — equivalently, `K3`-minor-free.
+pub fn is_forest(g: &Graph) -> bool {
+    let (_, components) = crate::traversal::components(g);
+    // A forest with c components has exactly n - c edges.
+    g.m() + components == g.n()
+}
+
+/// Whether `g` has treewidth at most 2 — equivalently, is `K4`-minor-free
+/// (every series-parallel graph satisfies this).
+///
+/// Uses the classic reduction: repeatedly remove a vertex of degree ≤ 2
+/// (bridging its two neighbors when it has degree exactly 2); the graph has
+/// treewidth ≤ 2 iff everything can be eliminated.
+pub fn is_k4_minor_free(g: &Graph) -> bool {
+    let n = g.n();
+    // Mutable adjacency sets.
+    let mut adj: Vec<std::collections::BTreeSet<NodeId>> = vec![Default::default(); n];
+    for (_, u, v) in g.edges() {
+        adj[u].insert(v);
+        adj[v].insert(u);
+    }
+    let mut alive = vec![true; n];
+    let mut queue: Vec<NodeId> = (0..n).filter(|&v| adj[v].len() <= 2).collect();
+    let mut eliminated = 0;
+    while let Some(v) = queue.pop() {
+        if !alive[v] || adj[v].len() > 2 {
+            continue;
+        }
+        let neighbors: Vec<NodeId> = adj[v].iter().copied().collect();
+        alive[v] = false;
+        eliminated += 1;
+        for &u in &neighbors {
+            adj[u].remove(&v);
+        }
+        if let [a, b] = neighbors[..] {
+            // Smooth: connect the two neighbors (deduplicated by the set).
+            adj[a].insert(b);
+            adj[b].insert(a);
+        }
+        for &u in &neighbors {
+            if alive[u] && adj[u].len() <= 2 {
+                queue.push(u);
+            }
+        }
+        adj[v].clear();
+    }
+    eliminated == n
+}
+
+/// The Euler bound `m ≤ 3n - 6 + 6g` — a necessary condition for a simple
+/// graph with `n ≥ 3` to embed in an orientable surface of genus `g`.
+pub fn satisfies_genus_edge_bound(g: &Graph, genus: usize) -> bool {
+    if g.n() < 3 {
+        return true;
+    }
+    g.m() as i64 <= 3 * g.n() as i64 - 6 + 6 * genus as i64
+}
+
+/// The planarity edge bound `m ≤ 3n - 6` (necessary, not sufficient).
+pub fn satisfies_planar_edge_bound(g: &Graph) -> bool {
+    satisfies_genus_edge_bound(g, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn contraction_merges_and_drops_loops() {
+        let g = generators::cycle(4);
+        let (c, map) = contract_pair(&g, 0, 1);
+        assert_eq!(c.n(), 3);
+        // Cycle 0-1-2-3-0 with 0=1 becomes triangle {01}-2-3.
+        assert_eq!(c.m(), 3);
+        assert_eq!(map[0], map[1]);
+    }
+
+    #[test]
+    fn contraction_of_triangle_to_point() {
+        let g = generators::complete(3);
+        let (c, _) = contract_groups(&g, &[vec![0, 1, 2]]);
+        assert_eq!(c.n(), 1);
+        assert_eq!(c.m(), 0);
+    }
+
+    #[test]
+    fn overlapping_groups_merge() {
+        let g = generators::path(5);
+        let (c, map) = contract_groups(&g, &[vec![0, 1], vec![1, 2]]);
+        assert_eq!(c.n(), 3);
+        assert_eq!(map[0], map[2]);
+        assert_eq!(c.m(), 2);
+    }
+
+    #[test]
+    fn forests_are_recognized() {
+        assert!(is_forest(&generators::path(10)));
+        assert!(is_forest(&generators::star(7)));
+        assert!(!is_forest(&generators::cycle(3)));
+        assert!(is_forest(&Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap()));
+    }
+
+    #[test]
+    fn series_parallel_recognition() {
+        assert!(is_k4_minor_free(&generators::path(10)));
+        assert!(is_k4_minor_free(&generators::cycle(10)));
+        assert!(!is_k4_minor_free(&generators::complete(4)));
+        assert!(is_k4_minor_free(&generators::complete(3)));
+        // K4 with one subdivided edge still has a K4 minor.
+        let sub = Graph::from_edges(
+            5,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (0, 4), (4, 3)],
+        )
+        .unwrap();
+        assert!(!is_k4_minor_free(&sub));
+        // Wheels beyond W3 contain K4.
+        assert!(!is_k4_minor_free(&generators::wheel(6)));
+    }
+
+    #[test]
+    fn grid_is_k4_minor_free_only_when_thin() {
+        assert!(is_k4_minor_free(&generators::grid(2, 10)));
+        assert!(!is_k4_minor_free(&generators::grid(3, 3)));
+    }
+
+    #[test]
+    fn euler_bounds() {
+        assert!(satisfies_planar_edge_bound(&generators::grid(5, 5)));
+        assert!(!satisfies_planar_edge_bound(&generators::complete(5)));
+        assert!(satisfies_genus_edge_bound(&generators::complete(5), 1));
+        assert!(satisfies_planar_edge_bound(&generators::complete(2)));
+    }
+}

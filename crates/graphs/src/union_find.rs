@@ -1,0 +1,157 @@
+//! Disjoint-set union with union by rank and path compression.
+
+/// A classic union–find structure over `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use minex_graphs::UnionFind;
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(!uf.union(1, 0));
+/// assert!(uf.same(0, 1));
+/// assert_eq!(uf.count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    count: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            count: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`. Returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.count -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Dense labels `0..k` for the current sets, in order of first
+    /// appearance by element id. Returns `(labels, k)`.
+    pub fn labels(&mut self) -> (Vec<usize>, usize) {
+        let n = self.len();
+        let mut label = vec![usize::MAX; n];
+        let mut next = 0;
+        let mut out = vec![0; n];
+        for v in 0..n {
+            let r = self.find(v);
+            if label[r] == usize::MAX {
+                label[r] = next;
+                next += 1;
+            }
+            out[v] = label[r];
+        }
+        (out, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.count(), 3);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+    }
+
+    #[test]
+    fn labels_are_dense_and_stable() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 5);
+        uf.union(1, 2);
+        let (labels, k) = uf.labels();
+        assert_eq!(k, 4);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[1], 1);
+        assert_eq!(labels[2], 1);
+        assert_eq!(labels[3], 2);
+        assert_eq!(labels[4], 3);
+        assert_eq!(labels[5], 3);
+    }
+
+    #[test]
+    fn empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.count(), 0);
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let mut uf = UnionFind::new(1000);
+        for i in 0..999 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.count(), 1);
+        assert!(uf.same(0, 999));
+    }
+}

@@ -1,0 +1,106 @@
+//! Edge-weight models for the optimization workloads (MST, min-cut).
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+use crate::graph::{Graph, WeightedGraph};
+
+/// How to assign weights to a graph's edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightModel {
+    /// Every edge has weight 1.
+    Unit,
+    /// Independent uniform weights in `[lo, hi]`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// A random permutation of `1..=m` — all weights distinct, which makes
+    /// the MST unique and exercises Borůvka worst cases.
+    DistinctShuffled,
+}
+
+impl WeightModel {
+    /// Materializes this model on `g`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use minex_graphs::{generators, WeightModel};
+    /// use rand::SeedableRng;
+    /// let g = generators::cycle(5);
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+    /// let mut ws: Vec<u64> = wg.weights().to_vec();
+    /// ws.sort_unstable();
+    /// assert_eq!(ws, vec![1, 2, 3, 4, 5]);
+    /// ```
+    pub fn apply<R: Rng + ?Sized>(self, g: &Graph, rng: &mut R) -> WeightedGraph {
+        let m = g.m();
+        let weights = match self {
+            WeightModel::Unit => vec![1; m],
+            WeightModel::Uniform { lo, hi } => {
+                assert!(lo <= hi, "lo must not exceed hi");
+                (0..m).map(|_| rng.random_range(lo..=hi)).collect()
+            }
+            WeightModel::DistinctShuffled => {
+                let mut ws: Vec<u64> = (1..=m as u64).collect();
+                ws.shuffle(rng);
+                ws
+            }
+        };
+        WeightedGraph::new(g.clone(), weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unit_weights() {
+        let g = generators::path(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let wg = WeightModel::Unit.apply(&g, &mut rng);
+        assert_eq!(wg.weights(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let g = generators::complete(6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let wg = WeightModel::Uniform { lo: 10, hi: 20 }.apply(&g, &mut rng);
+        assert!(wg.weights().iter().all(|&w| (10..=20).contains(&w)));
+    }
+
+    #[test]
+    fn distinct_is_permutation() {
+        let g = generators::complete(5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+        let mut ws = wg.weights().to_vec();
+        ws.sort_unstable();
+        assert_eq!(ws, (1..=10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::complete(5);
+        let a = WeightModel::Uniform { lo: 0, hi: 100 }.apply(&g, &mut StdRng::seed_from_u64(9));
+        let b = WeightModel::Uniform { lo: 0, hi: 100 }.apply(&g, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must not exceed hi")]
+    fn uniform_validates_range() {
+        let g = generators::path(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = WeightModel::Uniform { lo: 5, hi: 1 }.apply(&g, &mut rng);
+    }
+}

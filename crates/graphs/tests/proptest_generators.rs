@@ -1,0 +1,133 @@
+//! Property tests over the generators: every family upholds its defining
+//! invariants for arbitrary parameters.
+
+use proptest::prelude::*;
+
+use minex_graphs::generators;
+use minex_graphs::minor::{
+    is_forest, is_k4_minor_free, satisfies_genus_edge_bound, satisfies_planar_edge_bound,
+};
+use minex_graphs::traversal::{diameter_double_sweep, diameter_exact, is_connected};
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn grids_are_planar_and_connected(rows in 1usize..12, cols in 1usize..12) {
+        let g = generators::grid(rows, cols);
+        prop_assert!(is_connected(&g));
+        prop_assert!(satisfies_planar_edge_bound(&g));
+        prop_assert_eq!(g.n(), rows * cols);
+        prop_assert_eq!(g.m(), rows * (cols - 1) + cols * (rows - 1));
+    }
+
+    #[test]
+    fn embedded_grids_have_genus_zero(rows in 2usize..8, cols in 2usize..8) {
+        let (g, emb) = generators::grid_embedded(rows, cols);
+        let rot = emb.rotation_system(&g);
+        prop_assert_eq!(rot.genus(&g), Some(0));
+        let (tg, temb) = generators::triangulated_grid_embedded(rows, cols);
+        let trot = temb.rotation_system(&tg);
+        prop_assert_eq!(trot.genus(&tg), Some(0));
+    }
+
+    #[test]
+    fn toroidal_grids_have_genus_one(rows in 3usize..8, cols in 3usize..8) {
+        let (g, rot) = generators::toroidal_grid_with_rotation(rows, cols);
+        prop_assert_eq!(rot.genus(&g), Some(1));
+        prop_assert!(satisfies_genus_edge_bound(&g, 1));
+    }
+
+    #[test]
+    fn random_trees_are_forests(n in 1usize..200, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_tree(n, &mut rng);
+        prop_assert!(is_forest(&g));
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn apollonian_networks_are_maximal_planar(n in 3usize..100, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, _) = generators::apollonian(n, &mut rng);
+        prop_assert!(is_connected(&g));
+        prop_assert_eq!(g.m(), 3 * g.n() - 6);
+        prop_assert!(satisfies_planar_edge_bound(&g));
+    }
+
+    #[test]
+    fn series_parallel_always_k4_free(n in 2usize..120, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::series_parallel(n, &mut rng);
+        prop_assert!(is_k4_minor_free(&g));
+    }
+
+    #[test]
+    fn two_trees_are_k4_free_but_three_trees_are_not(n in 6usize..60, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g2, _) = generators::k_tree(n, 2, &mut rng);
+        prop_assert!(is_k4_minor_free(&g2));
+        let (g3, _) = generators::k_tree(n, 3, &mut rng);
+        prop_assert!(!is_k4_minor_free(&g3));
+    }
+
+    #[test]
+    fn lower_bound_family_has_log_diameter(p in 2usize..12, l in 2usize..16) {
+        let (g, layout) = generators::lower_bound_family(p, l);
+        prop_assert!(is_connected(&g));
+        let d = diameter_double_sweep(&g).unwrap();
+        // The binary tree over columns caps the diameter logarithmically.
+        let log_l = (usize::BITS - l.next_power_of_two().leading_zeros()) as usize;
+        prop_assert!(d <= 2 * log_l + 4, "d={d} log_l={log_l}");
+        prop_assert_eq!(layout.paths.len(), p);
+    }
+
+    #[test]
+    fn vortex_depth_always_respected(
+        cycle_len in 4usize..30,
+        internal in 1usize..10,
+        depth in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        let g = generators::cycle(cycle_len);
+        let cycle: Vec<usize> = (0..cycle_len).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok((vg, rec)) = generators::add_vortex(&g, &cycle, internal, depth, &mut rng) {
+            prop_assert!(rec.max_coverage() <= depth);
+            prop_assert!(is_connected(&vg));
+            prop_assert_eq!(vg.n(), cycle_len + internal);
+        }
+    }
+
+    #[test]
+    fn apex_never_increases_diameter(rows in 2usize..7, cols in 2usize..7, stride in 1usize..5) {
+        let base = generators::grid(rows, cols);
+        let (g, _) = generators::apex_grid(rows, cols, stride);
+        let before = diameter_exact(&base).unwrap();
+        let after = diameter_exact(&g).unwrap();
+        prop_assert!(after <= before + 2);
+    }
+
+    #[test]
+    fn clique_sum_preserves_connectivity(bags in 1usize..12, seed in 0u64..300) {
+        let comps = vec![
+            generators::cycle(5),
+            generators::complete(4),
+            generators::triangulated_grid(3, 3),
+        ];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, rec) = generators::random_clique_sum(&comps, bags, 3, &mut rng);
+        prop_assert!(is_connected(&g));
+        prop_assert_eq!(rec.bags.len(), bags);
+        prop_assert_eq!(rec.links.len(), bags - 1);
+        // Bags cover all nodes.
+        let mut covered = vec![false; g.n()];
+        for bag in &rec.bags {
+            for &v in bag {
+                covered[v] = true;
+            }
+        }
+        prop_assert!(covered.into_iter().all(|c| c));
+    }
+}

@@ -1,0 +1,66 @@
+//! The apex story of Section 2.3.2: adding one apex collapses the network
+//! diameter, yet the Lemma 9 construction keeps part-wise aggregation fast.
+//! Includes the wheel graph (cycle + apex) the paper uses as its running
+//! example.
+//!
+//! ```sh
+//! cargo run --example apex_robustness --release
+//! ```
+
+use minex::algo::partwise::partwise_min;
+use minex::algo::workloads;
+use minex::congest::CongestConfig;
+use minex::core::construct::{ApexBuilder, ShortcutBuilder, SteinerBuilder};
+use minex::core::{measure_quality, RootedTree, Shortcut};
+use minex::graphs::{generators, traversal};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Wheel: a 256-cycle plus a hub. Diameter 2; a rim part in isolation
+    // has diameter Θ(n).
+    let n = 257;
+    let (g, parts) = workloads::wheel_rim_parts(n, 32);
+    let hub = n - 1;
+    println!(
+        "wheel: n={} diameter={} rim parts of length 32: {}",
+        g.n(),
+        traversal::diameter_exact(&g).expect("connected"),
+        parts.len()
+    );
+    let tree = RootedTree::bfs(&g, hub);
+    let config = CongestConfig::for_nodes(n)
+        .with_bandwidth(192)
+        .with_max_rounds(1_000_000);
+    let values: Vec<u64> = (0..g.n() as u64).rev().collect();
+
+    // Without shortcuts each part crawls around the rim.
+    let naked = partwise_min(&g, &parts, &Shortcut::empty(parts.len()), &values, 32, config)?;
+    // With the Lemma 9 apex construction the hub relays everyone.
+    let apex_builder = ApexBuilder::new(vec![hub], SteinerBuilder);
+    let shortcut = apex_builder.build(&g, &tree, &parts);
+    let q = measure_quality(&g, &tree, &parts, &shortcut);
+    let fast = partwise_min(&g, &parts, &shortcut, &values, 32, config)?;
+    assert_eq!(naked.minima, fast.minima);
+    println!(
+        "aggregation rounds: no shortcut = {}, apex shortcut = {} (block={}, congestion={})",
+        naked.stats.rounds, fast.stats.rounds, q.block, q.congestion
+    );
+
+    // Grid + apex: the diameter collapses from Θ(side) to O(1) but the
+    // construction still tracks the BFS-tree diameter, not the old one.
+    let (ag, apex) = generators::apex_grid(24, 24, 1);
+    println!(
+        "\napex grid: base diameter={} with apex={}",
+        traversal::diameter_exact(&generators::grid(24, 24)).expect("connected"),
+        traversal::diameter_exact(&ag).expect("connected"),
+    );
+    let atree = RootedTree::bfs(&ag, apex);
+    let cols: Vec<Vec<usize>> = (0..24).map(|c| (0..24).map(|r| r * 24 + c).collect()).collect();
+    let aparts = minex::core::Partition::new(&ag, cols)?;
+    let ashortcut = ApexBuilder::new(vec![apex], SteinerBuilder).build(&ag, &atree, &aparts);
+    let aq = measure_quality(&ag, &atree, &aparts, &ashortcut);
+    println!(
+        "column parts on the apex grid: d_T={} block={} congestion={} quality={}",
+        aq.tree_diameter, aq.block, aq.congestion, aq.quality
+    );
+    Ok(())
+}

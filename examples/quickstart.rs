@@ -1,0 +1,56 @@
+//! Quickstart: build a planar network, construct tree-restricted shortcuts,
+//! measure their quality, and run a shortcut-driven distributed MST.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use minex::algo::mst::{boruvka_mst, kruskal};
+use minex::algo::workloads;
+use minex::congest::CongestConfig;
+use minex::core::construct::{AutoCappedBuilder, ShortcutBuilder};
+use minex::core::{measure_quality, RootedTree};
+use minex::graphs::{generators, WeightModel};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A planar network: a 16×16 triangulated grid (excludes K5 minors).
+    let g = generators::triangulated_grid(16, 16);
+    println!("network: n={} m={}", g.n(), g.m());
+
+    // 2. The spanning tree T (Theorem 1 uses a BFS tree) and a family of
+    //    parts — here BFS-Voronoi cells around 16 random seeds.
+    let tree = RootedTree::bfs(&g, 0);
+    let mut rng = StdRng::seed_from_u64(7);
+    let parts = workloads::voronoi_parts(&g, 16, &mut rng);
+    println!("spanning tree diameter d_T = {}", tree.diameter());
+    println!("parts: {}", parts.len());
+
+    // 3. Construct tree-restricted shortcuts with the structure-oblivious
+    //    builder (the algorithm the paper actually runs) and measure the
+    //    Definitions 11-13 parameters.
+    let shortcut = AutoCappedBuilder.build(&g, &tree, &parts);
+    let quality = measure_quality(&g, &tree, &parts, &shortcut);
+    println!(
+        "shortcut: block={} congestion={} quality={} (= b*d_T + c)",
+        quality.block, quality.congestion, quality.quality
+    );
+
+    // 4. Run the Corollary 1 MST in the CONGEST simulator and check it
+    //    against Kruskal.
+    let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+    let config = CongestConfig::for_nodes(g.n())
+        .with_bandwidth(192)
+        .with_max_rounds(1_000_000);
+    let outcome = boruvka_mst(&wg, &AutoCappedBuilder, config)?;
+    let (_, exact) = kruskal(&wg);
+    println!(
+        "MST: weight={} (kruskal agrees: {}), phases={}, simulated rounds={}, charged construction rounds={}",
+        outcome.total_weight,
+        outcome.total_weight == exact,
+        outcome.phases,
+        outcome.simulated_rounds,
+        outcome.charged_construction_rounds,
+    );
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! # minex
+//!
+//! Facade crate for the `minex` reproduction of *“Minor Excluded Network
+//! Families Admit Fast Distributed Algorithms”* (Haeupler, Li, Zuzic;
+//! PODC 2018): low-congestion shortcuts for excluded-minor network families
+//! and the `Õ(D²)`-round CONGEST algorithms they enable.
+//!
+//! Re-exports the workspace crates under stable names:
+//!
+//! * [`graphs`] — graph substrate and family generators;
+//! * [`congest`] — the CONGEST-model simulator;
+//! * [`decomp`] — tree decompositions, clique-sum trees, folding;
+//! * [`core`] — the shortcut framework and constructions;
+//! * [`algo`] — part-wise aggregation, MST, min-cut, baselines.
+//!
+//! See `examples/quickstart.rs` for a guided tour.
+
+pub use minex_algo as algo;
+pub use minex_congest as congest;
+pub use minex_core as core;
+pub use minex_decomp as decomp;
+pub use minex_graphs as graphs;

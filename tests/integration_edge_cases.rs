@@ -1,0 +1,127 @@
+//! Edge cases and failure injection across the stack.
+
+use minex::algo::mst::boruvka_mst;
+use minex::algo::partwise::partwise_min;
+use minex::congest::{CongestConfig, SimError};
+use minex::core::construct::{AutoCappedBuilder, ShortcutBuilder, SteinerBuilder};
+use minex::core::{measure_quality, Partition, RootedTree, Shortcut};
+use minex::graphs::{generators, Graph, GraphError, WeightedGraph};
+
+fn config(n: usize) -> CongestConfig {
+    CongestConfig::for_nodes(n)
+        .with_bandwidth(192)
+        .with_max_rounds(100_000)
+}
+
+#[test]
+fn singleton_network_end_to_end() {
+    let g = generators::path(1);
+    let tree = RootedTree::bfs(&g, 0);
+    let parts = Partition::new(&g, vec![vec![0]]).unwrap();
+    let s = AutoCappedBuilder.build(&g, &tree, &parts);
+    let q = measure_quality(&g, &tree, &parts, &s);
+    assert_eq!(q.quality, 0); // b·d_T + c with d_T = 0, c = 0
+    let out = boruvka_mst(&WeightedGraph::unit(g), &SteinerBuilder, config(1)).unwrap();
+    assert_eq!(out.phases, 0);
+    assert_eq!(out.simulated_rounds, 0);
+}
+
+#[test]
+fn two_node_network() {
+    let g = generators::path(2);
+    let out = boruvka_mst(&WeightedGraph::unit(g.clone()), &SteinerBuilder, config(2)).unwrap();
+    assert_eq!(out.edges, vec![0]);
+    assert_eq!(out.total_weight, 1);
+}
+
+#[test]
+fn parts_need_not_cover_all_nodes() {
+    let g = generators::grid(4, 4);
+    let tree = RootedTree::bfs(&g, 0);
+    let parts = Partition::new(&g, vec![vec![0, 1], vec![14, 15]]).unwrap();
+    let s = SteinerBuilder.build(&g, &tree, &parts);
+    let values: Vec<u64> = (0..16).map(|v| 100 - v).collect();
+    let agg = partwise_min(&g, &parts, &s, &values, 32, config(16)).unwrap();
+    assert_eq!(agg.minima, vec![99, 85]);
+}
+
+#[test]
+fn zero_parts_is_a_noop() {
+    let g = generators::cycle(5);
+    let tree = RootedTree::bfs(&g, 0);
+    let parts = Partition::new(&g, vec![]).unwrap();
+    let s = AutoCappedBuilder.build(&g, &tree, &parts);
+    assert!(s.is_empty());
+    let agg = partwise_min(&g, &parts, &s, &[0; 5], 32, config(5)).unwrap();
+    assert!(agg.minima.is_empty());
+    assert_eq!(agg.stats.rounds, 0);
+}
+
+#[test]
+fn disconnected_inputs_are_rejected_cleanly() {
+    let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+    let err = std::panic::catch_unwind(|| RootedTree::bfs(&g, 0));
+    assert!(err.is_err(), "BFS tree on disconnected graph must panic");
+    assert_eq!(
+        Graph::from_edges(2, [(0, 0)]).unwrap_err(),
+        GraphError::SelfLoop(0)
+    );
+}
+
+#[test]
+fn bandwidth_too_small_is_reported_not_hidden() {
+    let g = generators::path(6);
+    let tree = RootedTree::bfs(&g, 0);
+    let parts = Partition::new(&g, vec![(0..6).collect()]).unwrap();
+    let s = SteinerBuilder.build(&g, &tree, &parts);
+    let err = partwise_min(
+        &g,
+        &parts,
+        &s,
+        &[5, 4, 3, 2, 1, 0],
+        200, // declared payload width exceeds any sane budget
+        CongestConfig::for_nodes(6).with_bandwidth(64),
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::BandwidthExceeded { .. }));
+}
+
+#[test]
+fn round_guard_prevents_livelock() {
+    // A giant part with no shortcut on a long path, absurdly low guard.
+    let g = generators::path(64);
+    let parts = Partition::new(&g, vec![(0..64).collect()]).unwrap();
+    let err = partwise_min(
+        &g,
+        &parts,
+        &Shortcut::empty(1),
+        &(0..64u64).collect::<Vec<_>>(),
+        32,
+        CongestConfig::for_nodes(64).with_max_rounds(3),
+    )
+    .unwrap_err();
+    assert_eq!(err, SimError::MaxRoundsExceeded { limit: 3 });
+}
+
+#[test]
+fn whole_graph_as_single_part() {
+    let g = generators::triangulated_grid(6, 6);
+    let tree = RootedTree::bfs(&g, 0);
+    let parts = Partition::new(&g, vec![(0..g.n()).collect()]).unwrap();
+    let s = AutoCappedBuilder.build(&g, &tree, &parts);
+    let q = measure_quality(&g, &tree, &parts, &s);
+    assert_eq!(q.block, 1);
+    assert!(q.congestion <= 1);
+    let values: Vec<u64> = (0..g.n() as u64).map(|v| v ^ 21).collect();
+    let agg = partwise_min(&g, &parts, &s, &values, 32, config(g.n())).unwrap();
+    assert_eq!(agg.minima[0], values.iter().copied().min().unwrap());
+}
+
+#[test]
+fn duplicate_weights_still_give_minimum_forest() {
+    let g = generators::complete(8);
+    let wg = WeightedGraph::unit(g);
+    let out = boruvka_mst(&wg, &AutoCappedBuilder, config(8)).unwrap();
+    assert_eq!(out.edges.len(), 7);
+    assert_eq!(out.total_weight, 7);
+}

@@ -1,0 +1,119 @@
+//! Property-based integration tests: on randomized inputs, the framework's
+//! invariants must hold — shortcuts are tree-restricted, the quality formula
+//! is consistent, distributed aggregation equals the centralized reference,
+//! and the distributed MST equals Kruskal's.
+
+use proptest::prelude::*;
+
+use minex::algo::mst::{boruvka_mst, kruskal};
+use minex::algo::partwise::{partwise_min, partwise_min_reference};
+use minex::algo::workloads;
+use minex::congest::CongestConfig;
+use minex::core::construct::{
+    AutoCappedBuilder, CappedBuilder, ShortcutBuilder, SteinerBuilder, WholeTreeBuilder,
+};
+use minex::core::{measure_quality, validate_tree_restricted, RootedTree};
+use minex::graphs::{generators, WeightModel};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn config(n: usize) -> CongestConfig {
+    CongestConfig::for_nodes(n)
+        .with_bandwidth(192)
+        .with_max_rounds(1_000_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn shortcut_invariants_on_random_connected(seed in 0u64..1000, n in 10usize..60, extra in 0usize..40, k in 2usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_connected(n, extra, &mut rng);
+        let tree = RootedTree::bfs(&g, 0);
+        let parts = workloads::voronoi_parts(&g, k.min(n), &mut rng);
+        for builder in [&SteinerBuilder as &dyn ShortcutBuilder, &WholeTreeBuilder, &AutoCappedBuilder] {
+            let s = builder.build(&g, &tree, &parts);
+            prop_assert!(validate_tree_restricted(&s, &tree).is_ok());
+            prop_assert_eq!(s.len(), parts.len());
+            let q = measure_quality(&g, &tree, &parts, &s);
+            // Quality formula consistency (Definition 13).
+            prop_assert_eq!(q.quality, q.block * q.tree_diameter + q.congestion);
+            // Congestion is witnessed by some edge.
+            if q.congestion > 0 {
+                prop_assert!(q.per_edge_congestion.iter().any(|&c| c == q.congestion));
+            }
+            // Per-part blocks never exceed part size.
+            for (i, &b) in q.per_part_blocks.iter().enumerate() {
+                prop_assert!(b >= 1);
+                prop_assert!(b <= parts.part(i).len());
+            }
+        }
+    }
+
+    #[test]
+    fn capped_builder_honors_cap(seed in 0u64..500, cap in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_connected(40, 20, &mut rng);
+        let tree = RootedTree::bfs(&g, 0);
+        let parts = workloads::forest_split_parts(&g, 8, &mut rng);
+        let s = CappedBuilder::new(cap).build(&g, &tree, &parts);
+        let q = measure_quality(&g, &tree, &parts, &s);
+        prop_assert!(q.congestion <= cap);
+    }
+
+    #[test]
+    fn aggregation_matches_reference(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_connected(36, 24, &mut rng);
+        let tree = RootedTree::bfs(&g, 0);
+        let parts = workloads::voronoi_parts(&g, 6, &mut rng);
+        let s = AutoCappedBuilder.build(&g, &tree, &parts);
+        let values: Vec<u64> = (0..g.n() as u64).map(|v| (v * seed.wrapping_add(13)) % 10_007).collect();
+        let agg = partwise_min(&g, &parts, &s, &values, 32, config(g.n())).unwrap();
+        prop_assert_eq!(agg.minima, partwise_min_reference(&parts, &values));
+    }
+
+    #[test]
+    fn mst_matches_kruskal_on_random_graphs(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_connected(30, 25, &mut rng);
+        let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+        let out = boruvka_mst(&wg, &AutoCappedBuilder, config(g.n())).unwrap();
+        let (kedges, kweight) = kruskal(&wg);
+        prop_assert_eq!(out.total_weight, kweight);
+        prop_assert_eq!(out.edges, kedges);
+    }
+
+    #[test]
+    fn series_parallel_generator_is_k4_free(seed in 0u64..500, n in 2usize..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::series_parallel(n, &mut rng);
+        prop_assert!(minex::graphs::minor::is_k4_minor_free(&g));
+        prop_assert!(minex::graphs::traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn k_tree_witness_always_validates(seed in 0u64..300, k in 1usize..5, n in 10usize..60) {
+        prop_assume!(n > k + 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, rec) = generators::k_tree(n, k, &mut rng);
+        let td = minex::decomp::TreeDecomposition::from_k_tree(g.n(), &rec);
+        prop_assert!(td.validate(&g).is_ok());
+        prop_assert_eq!(td.width(), k);
+    }
+
+    #[test]
+    fn clique_sum_witness_always_validates(seed in 0u64..300, bags in 1usize..15) {
+        let comps = vec![
+            generators::triangulated_grid(3, 3),
+            generators::complete(4),
+            generators::cycle(5),
+        ];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, rec) = generators::random_clique_sum(&comps, bags, 3, &mut rng);
+        let cst = minex::decomp::CliqueSumTree::new(rec).unwrap();
+        prop_assert!(cst.validate(&g).is_ok());
+        let folded = cst.fold();
+        prop_assert!(folded.validate(&cst).is_ok());
+    }
+}

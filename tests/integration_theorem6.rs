@@ -1,0 +1,82 @@
+//! The full Theorem 6 composition: a graph built as a k-clique-sum of
+//! almost-embeddable pieces (apex + planar), with the clique-sum shortcut
+//! construction on top — the complete excluded-minor pipeline.
+
+use minex::algo::partwise::{partwise_min, partwise_min_reference};
+use minex::algo::workloads;
+use minex::congest::CongestConfig;
+use minex::core::construct::{
+    AutoCappedBuilder, CliqueSumShortcutBuilder, ShortcutBuilder, SteinerBuilder,
+};
+use minex::core::{measure_quality, validate_tree_restricted, RootedTree};
+use minex::decomp::{AlmostEmbeddable, CliqueSumTree, StructureWitness};
+use minex::graphs::generators::{self, CliqueSumBuilder};
+use minex::graphs::NodeId;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// One apex-planar piece: a 4×4 grid plus an apex on every second node.
+/// `(1,0,0,0)`-almost-embeddable per Definition 5.
+fn apex_piece() -> (minex::graphs::Graph, NodeId) {
+    generators::apex_grid(4, 4, 2)
+}
+
+#[test]
+fn theorem6_composed_pipeline() {
+    let (piece, apex) = apex_piece();
+    // Glue 10 copies along grid edges (2-clique-sums), recording the tree.
+    let mut builder = CliqueSumBuilder::new(&piece, 2);
+    let mut maps: Vec<Vec<NodeId>> = vec![(0..piece.n()).collect()];
+    let mut rng = StdRng::seed_from_u64(66);
+    for i in 1..10 {
+        use rand::RngExt;
+        let host_map = &maps[(i - 1) / 2]; // glue two children per piece: bushy
+        let host = vec![host_map[5], host_map[6]]; // a grid edge, not the apex
+        let map = builder.glue(&piece, &host, &[5, 6]).expect("glue");
+        maps.push(map);
+        let _ = rng.random_range(0..10usize);
+    }
+    let (g, record) = builder.build();
+    // The Theorem 3 witness: every bag is 1-almost-embeddable.
+    let witness = StructureWitness {
+        per_bag: (0..record.bags.len())
+            .map(|i| AlmostEmbeddable {
+                apices: vec![maps[i][apex]],
+                ..Default::default()
+            })
+            .collect(),
+    };
+    assert_eq!(witness.k(), 1, "apex-planar pieces are 1-almost-embeddable");
+    let cst = CliqueSumTree::new(record).expect("record is a tree");
+    cst.validate(&g).expect("Definition 8 holds");
+    let folded = cst.fold();
+    folded.validate(&cst).expect("Theorem 7 folding holds");
+
+    // Shortcuts: the witness-based Theorem 7 construction, and the
+    // structure-oblivious one the distributed algorithm would run.
+    let tree = RootedTree::bfs(&g, 0);
+    let parts = workloads::voronoi_parts(&g, 12, &mut rng);
+    let config = CongestConfig::for_nodes(g.n())
+        .with_bandwidth(192)
+        .with_max_rounds(200_000);
+    let values: Vec<u64> = (0..g.n() as u64).map(|v| (v * 37) % 1009).collect();
+    for (name, shortcut) in [
+        (
+            "witness",
+            CliqueSumShortcutBuilder::folded(cst, SteinerBuilder).build(&g, &tree, &parts),
+        ),
+        ("oblivious", AutoCappedBuilder.build(&g, &tree, &parts)),
+    ] {
+        validate_tree_restricted(&shortcut, &tree).unwrap();
+        let q = measure_quality(&g, &tree, &parts, &shortcut);
+        // Theorem 6 shape: block O(d), congestion O(d log n + log² n); at
+        // this scale both stay small constants times d_T.
+        assert!(
+            q.quality <= 8 * q.tree_diameter.max(1),
+            "{name}: quality {} vs d_T {}",
+            q.quality,
+            q.tree_diameter
+        );
+        let agg = partwise_min(&g, &parts, &shortcut, &values, 32, config).unwrap();
+        assert_eq!(agg.minima, partwise_min_reference(&parts, &values), "{name}");
+    }
+}
