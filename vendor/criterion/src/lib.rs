@@ -1,0 +1,171 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the small API the bench targets use — `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros — with a
+//! single-warmup, fixed-sample wall-clock loop instead of criterion's
+//! statistical machinery. Good enough for relative comparisons in an
+//! offline container; swap for the registry crate for real statistics.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque identity hint, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level bench driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            samples: 10,
+        }
+    }
+}
+
+/// A named parameterized benchmark id.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as criterion renders it.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        for _ in 0..self.samples {
+            f(&mut b);
+        }
+        b.report(&self.name, &id.label);
+        self
+    }
+
+    /// Runs a benchmark against `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        for _ in 0..self.samples {
+            f(&mut b, input);
+        }
+        b.report(&self.name, &id.label);
+        self
+    }
+
+    /// Finishes the group (printing handled per-bench here).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one execution of `f` per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.total += start.elapsed();
+        self.iters += 1;
+        std_black_box(out);
+    }
+
+    fn report(&self, group: &str, label: &str) {
+        if self.iters == 0 {
+            println!("{group}/{label}: no iterations");
+        } else {
+            let mean = self.total / self.iters as u32;
+            println!("{group}/{label}: {mean:?} mean over {} iters", self.iters);
+        }
+    }
+}
+
+/// Declares a bench entry point collecting the given functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
