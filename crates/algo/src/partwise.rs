@@ -72,7 +72,7 @@ impl NodeProgram for AggNode {
             let improves = self
                 .best
                 .get(&msg.part)
-                .is_none_or(|&cur| msg.value < cur);
+                .map_or(true, |&cur| msg.value < cur);
             if improves {
                 self.best.insert(msg.part, msg.value);
                 self.enqueue_update(msg.part, msg.value, Some(from));
@@ -85,8 +85,7 @@ impl NodeProgram for AggNode {
             if self.pending[li].is_empty() {
                 continue;
             }
-            let (&part, &value) = self
-                .pending[li]
+            let (&part, &value) = self.pending[li]
                 .iter()
                 .min_by_key(|(&p, &v)| (v, p))
                 .expect("non-empty queue");
@@ -246,8 +245,7 @@ mod tests {
         let parts = Partition::from_labels(&g, &labels).unwrap();
         let shortcut = SteinerBuilder.build(&g, &t, &parts);
         let values = random_values(g.n(), 5);
-        let out =
-            partwise_min(&g, &parts, &shortcut, &values, 20, config(g.n())).unwrap();
+        let out = partwise_min(&g, &parts, &shortcut, &values, 20, config(g.n())).unwrap();
         assert_eq!(out.minima, partwise_min_reference(&parts, &values));
         assert!(out.stats.rounds > 0);
     }
@@ -291,8 +289,7 @@ mod tests {
         )
         .unwrap();
         let fast_shortcut = WholeTreeBuilder.build(&g, &t, &parts);
-        let fast =
-            partwise_min(&g, &parts, &fast_shortcut, &values, 20, config(n)).unwrap();
+        let fast = partwise_min(&g, &parts, &fast_shortcut, &values, 20, config(n)).unwrap();
         assert_eq!(slow.minima, fast.minima);
         assert!(
             fast.stats.rounds * 4 < slow.stats.rounds,
@@ -309,8 +306,7 @@ mod tests {
         let g = generators::path(40);
         let t = RootedTree::bfs(&g, 0);
         let k = 10;
-        let parts =
-            Partition::new(&g, (0..k).map(|i| vec![4 * i]).collect::<Vec<_>>()).unwrap();
+        let parts = Partition::new(&g, (0..k).map(|i| vec![4 * i]).collect::<Vec<_>>()).unwrap();
         let shortcut = WholeTreeBuilder.build(&g, &t, &parts);
         let values = random_values(40, 13);
         let out = partwise_min(&g, &parts, &shortcut, &values, 20, config(40)).unwrap();

@@ -74,7 +74,11 @@ impl ShortcutBuilder for CappedBuilder {
             });
             for &e in &by_depth {
                 let (u, v) = g.endpoints(e);
-                let (child, parent) = if tree.depth(u) > tree.depth(v) { (u, v) } else { (v, u) };
+                let (child, parent) = if tree.depth(u) > tree.depth(v) {
+                    (u, v)
+                } else {
+                    (v, u)
+                };
                 loads[e].push((i, cnt[child]));
                 cnt[parent] += cnt[child];
             }
@@ -127,7 +131,7 @@ impl ShortcutBuilder for AutoCappedBuilder {
         let mut best: Option<(usize, Shortcut)> = None;
         let mut consider = |s: Shortcut| {
             let q = measure_quality(g, tree, parts, &s).quality;
-            if best.as_ref().is_none_or(|(bq, _)| q < *bq) {
+            if best.as_ref().map_or(true, |(bq, _)| q < *bq) {
                 best = Some((q, s));
             }
         };
@@ -167,7 +171,11 @@ mod tests {
             let s = CappedBuilder::new(cap).build(&g, &t, &parts);
             validate_tree_restricted(&s, &t).unwrap();
             let q = measure_quality(&g, &t, &parts, &s);
-            assert!(q.congestion <= cap, "cap {cap}: congestion {}", q.congestion);
+            assert!(
+                q.congestion <= cap,
+                "cap {cap}: congestion {}",
+                q.congestion
+            );
         }
     }
 

@@ -229,7 +229,7 @@ pub fn planar_gates(
                     continue;
                 }
                 let area = polygon_area2(&coords);
-                if best.as_ref().is_none_or(|(ba, _)| area > *ba) {
+                if best.as_ref().map_or(true, |(ba, _)| area > *ba) {
                     best = Some((area, poly.clone()));
                 }
             }
@@ -253,13 +253,11 @@ pub fn planar_gates(
                 continue;
             }
             match region_relation(&polys[i], &polys[j]) {
-                RegionRelation::Crossing => {
-                    return Err(GateError::NotLaminar { gates: (i, j) })
-                }
+                RegionRelation::Crossing => return Err(GateError::NotLaminar { gates: (i, j) }),
                 RegionRelation::FirstInsideSecond => {
-                    if nested_in[i]
-                        .is_none_or(|cur| polygon_area2(&polys[j]) < polygon_area2(&polys[cur]))
-                    {
+                    if nested_in[i].map_or(true, |cur| {
+                        polygon_area2(&polys[j]) < polygon_area2(&polys[cur])
+                    }) {
                         nested_in[i] = Some(j);
                     }
                 }
@@ -307,7 +305,7 @@ pub fn planar_gates(
             cycle: cycle.clone(),
         });
     }
-    let s_parameter = if cells.len() == 0 {
+    let s_parameter = if cells.is_empty() {
         0.0
     } else {
         total_fence as f64 / cells.len() as f64
@@ -383,11 +381,7 @@ pub fn validate_gates(
             }
         }
         // Property 4: gate intersects ≤ 2 cells.
-        let mut touched: Vec<usize> = gate
-            .gate
-            .iter()
-            .filter_map(|&v| cells.cell_of(v))
-            .collect();
+        let mut touched: Vec<usize> = gate.gate.iter().filter_map(|&v| cells.cell_of(v)).collect();
         touched.sort_unstable();
         touched.dedup();
         if touched.len() > 2 {
@@ -431,7 +425,7 @@ pub fn validate_gates(
     }
     // Property 6: report the measured s.
     let total_fence: usize = collection.gates.iter().map(|g2| g2.fence.len()).sum();
-    Ok(if cells.len() == 0 {
+    Ok(if cells.is_empty() {
         0.0
     } else {
         total_fence as f64 / cells.len() as f64
@@ -517,8 +511,9 @@ mod tests {
         let collection = planar_gates(&g, &emb, &cells).unwrap();
         let s = validate_gates(&g, &cells, &collection).unwrap();
         // Row parts cross every stripe.
-        let rows: Vec<Vec<NodeId>> =
-            (0..8).map(|r| (0..16).map(|c| r * 16 + c).collect()).collect();
+        let rows: Vec<Vec<NodeId>> = (0..8)
+            .map(|r| (0..16).map(|c| r * 16 + c).collect())
+            .collect();
         let parts = Partition::new(&g, rows).unwrap();
         let asg = crate::cells::assign_cells(&cells, &parts);
         assert!(
