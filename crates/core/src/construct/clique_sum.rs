@@ -37,13 +37,21 @@ impl<B: ShortcutBuilder> CliqueSumShortcutBuilder<B> {
     /// Uses the decomposition tree as-is (the Lemma 1 construction, whose
     /// congestion scales with the tree depth `d_DT`).
     pub fn unfolded(tree: CliqueSumTree, inner: B) -> Self {
-        CliqueSumShortcutBuilder { tree, fold: false, inner }
+        CliqueSumShortcutBuilder {
+            tree,
+            fold: false,
+            inner,
+        }
     }
 
     /// Applies the Theorem 7 folding first (depth `O(log² n)`, double
     /// edges).
     pub fn folded(tree: CliqueSumTree, inner: B) -> Self {
-        CliqueSumShortcutBuilder { tree, fold: true, inner }
+        CliqueSumShortcutBuilder {
+            tree,
+            fold: true,
+            inner,
+        }
     }
 
     /// The decomposition tree in use.
@@ -194,14 +202,13 @@ fn global_shortcuts(
                 .iter()
                 .any(|&b| bags_e.binary_search(&b).is_ok())
         };
-        let mut visited: Vec<(usize, usize)> = Vec::new();
+        let mut visited: std::collections::HashSet<(usize, usize)> = Default::default();
         for &f in &groups_e {
             let mut cur = f;
             while let Some(a) = view.parent[cur] {
-                if visited.contains(&(a, cur)) {
+                if !visited.insert((a, cur)) {
                     break;
                 }
-                visited.push((a, cur));
                 if let Some(bucket) = qual.get(&(a, cur)) {
                     if !in_group(a) {
                         for &part in bucket {
@@ -268,7 +275,8 @@ fn local_shortcuts<B: ShortcutBuilder>(
         for &x in &vg {
             for (w, _) in g.neighbors(x) {
                 if x < w && in_vg(w) {
-                    lb.add_edge(local_of[&x], local_of[&w]).expect("induced edge");
+                    lb.add_edge(local_of[&x], local_of[&w])
+                        .expect("induced edge");
                 }
             }
         }
@@ -277,7 +285,8 @@ fn local_shortcuts<B: ShortcutBuilder>(
             for (i1, &s) in sep.iter().enumerate() {
                 for &t in sep.iter().skip(i1 + 1) {
                     if in_vg(s) && in_vg(t) {
-                        lb.add_edge(local_of[&s], local_of[&t]).expect("clique fill");
+                        lb.add_edge(local_of[&s], local_of[&t])
+                            .expect("clique fill");
                     }
                 }
             }
@@ -288,9 +297,9 @@ fn local_shortcuts<B: ShortcutBuilder>(
         let mut uf = minex_graphs::UnionFind::new(vg.len());
         let mut forest_adj: Vec<Vec<usize>> = vec![Vec::new(); vg.len()];
         let add_forest_edge = |uf: &mut minex_graphs::UnionFind,
-                                   forest_adj: &mut Vec<Vec<usize>>,
-                                   x: usize,
-                                   y: usize|
+                               forest_adj: &mut Vec<Vec<usize>>,
+                               x: usize,
+                               y: usize|
          -> bool {
             if uf.union(x, y) {
                 forest_adj[x].push(y);
@@ -649,10 +658,9 @@ mod tests {
         let (g, cst) = grid_chain(24);
         let t = RootedTree::bfs(&g, 0);
         let parts = voronoi_parts(&g, 24, 7);
-        let unfolded = CliqueSumShortcutBuilder::unfolded(cst.clone(), SteinerBuilder)
-            .build(&g, &t, &parts);
-        let folded =
-            CliqueSumShortcutBuilder::folded(cst, SteinerBuilder).build(&g, &t, &parts);
+        let unfolded =
+            CliqueSumShortcutBuilder::unfolded(cst.clone(), SteinerBuilder).build(&g, &t, &parts);
+        let folded = CliqueSumShortcutBuilder::folded(cst, SteinerBuilder).build(&g, &t, &parts);
         let qu = measure_quality(&g, &t, &parts, &unfolded);
         let qf = measure_quality(&g, &t, &parts, &folded);
         // The folded variant must not be dramatically worse; on deep chains
