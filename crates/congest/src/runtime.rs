@@ -21,7 +21,12 @@ impl CongestConfig {
     /// The standard model parameters for an `n`-node network:
     /// `B = 8·⌈log₂(n+1)⌉` bits (a generous constant, enough for a tagged
     /// id/weight pair) and a `64·n + 1024` round guard.
+    ///
+    /// `n = 0` (an empty network) is clamped to `n = 1` so degenerate inputs
+    /// still produce the same well-formed budgets as a singleton network
+    /// instead of a `bits_for(1)`-derived artifact.
     pub fn for_nodes(n: usize) -> Self {
+        let n = n.max(1);
         CongestConfig {
             bandwidth_bits: 8 * bits_for(n + 1).max(8),
             max_rounds: 64 * n + 1024,
@@ -92,7 +97,12 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::BandwidthExceeded { from, to, bits, budget } => write!(
+            SimError::BandwidthExceeded {
+                from,
+                to,
+                bits,
+                budget,
+            } => write!(
                 f,
                 "message {from}->{to} of {bits} bits exceeds the {budget}-bit budget"
             ),
@@ -137,29 +147,35 @@ pub fn run<P: NodeProgram>(
     );
     let n = graph.n();
     let mut stats = RunStats::default();
-    // inboxes[v] = messages to deliver to v this round.
+    // Batched delivery via double-buffered inboxes: `inboxes[v]` holds the
+    // messages delivered to `v` this round, `next_inboxes[v]` collects the
+    // sends for the next one. Both sides (and the scratch buffers below) are
+    // allocated once; each round consumes in place and swaps the buffers, so
+    // the steady-state loop performs no allocation.
     let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+    let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
     let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
     // Tracks (from) -> set of destinations used this round, reset per node.
     let mut seen_dest: Vec<bool> = vec![false; n];
+    let mut used: Vec<NodeId> = Vec::new();
     for round in 0..config.max_rounds {
-        let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
         let mut any_message = false;
-        let mut all_done = true;
         for v in 0..n {
-            let inbox = std::mem::take(&mut inboxes[v]);
             // Quiescence fast path: a done node with no mail does not act.
             // Round 0 always runs so programs can initialize.
-            if round > 0 && inbox.is_empty() && programs[v].is_done() {
+            if round > 0 && inboxes[v].is_empty() && programs[v].is_done() {
                 continue;
             }
             outbox.clear();
             {
-                let mut ctx = Ctx::new(graph, v, round, &inbox, &mut outbox);
+                let mut ctx = Ctx::new(graph, v, round, &inboxes[v], &mut outbox);
                 programs[v].on_round(&mut ctx);
             }
+            // The inbox is consumed; empty it in place, keeping its capacity
+            // for the swap two rounds from now.
+            inboxes[v].clear();
             // Validate and enqueue.
-            let mut used: Vec<NodeId> = Vec::with_capacity(outbox.len());
+            used.clear();
             for (to, msg) in outbox.drain(..) {
                 if graph.edge_between(v, to).is_none() {
                     return Err(SimError::NotANeighbor { from: v, to });
@@ -184,24 +200,24 @@ pub fn run<P: NodeProgram>(
                 next_inboxes[to].push((v, msg));
                 any_message = true;
             }
-            for to in used {
+            for &to in &used {
                 seen_dest[to] = false;
             }
         }
-        for v in 0..n {
-            if !programs[v].is_done() {
-                all_done = false;
-                break;
-            }
-        }
-        inboxes = next_inboxes;
+        let all_done = (0..n).all(|v| programs[v].is_done());
+        // Every processed slot of `inboxes` was cleared above and skipped
+        // slots were already empty, so after the swap `next_inboxes` is all
+        // empty (but warm) for the round after next.
+        std::mem::swap(&mut inboxes, &mut next_inboxes);
         if all_done && !any_message {
             stats.rounds = round;
             return Ok(stats);
         }
         stats.rounds = round + 1;
     }
-    Err(SimError::MaxRoundsExceeded { limit: config.max_rounds })
+    Err(SimError::MaxRoundsExceeded {
+        limit: config.max_rounds,
+    })
 }
 
 #[cfg(test)]
@@ -243,11 +259,21 @@ mod tests {
     #[test]
     fn min_flood_elects_node_zero() {
         let g = generators::cycle(16);
-        let mut programs = vec![MinFlood { best: usize::MAX, dirty: true }; 16];
+        let mut programs = vec![
+            MinFlood {
+                best: usize::MAX,
+                dirty: true
+            };
+            16
+        ];
         let stats = run(&g, &mut programs, CongestConfig::for_nodes(16)).unwrap();
         assert!(programs.iter().all(|p| p.best == 0));
         // Flooding a cycle of 16 takes about half the cycle.
-        assert!(stats.rounds >= 8 && stats.rounds <= 10, "rounds={}", stats.rounds);
+        assert!(
+            stats.rounds >= 8 && stats.rounds <= 10,
+            "rounds={}",
+            stats.rounds
+        );
         assert!(stats.messages > 0);
     }
 
@@ -270,8 +296,12 @@ mod tests {
     fn bandwidth_is_enforced() {
         let g = generators::path(4);
         let mut programs = vec![Blaster; 4];
-        let err = run(&g, &mut programs, CongestConfig::for_nodes(4).with_bandwidth(64))
-            .unwrap_err();
+        let err = run(
+            &g,
+            &mut programs,
+            CongestConfig::for_nodes(4).with_bandwidth(64),
+        )
+        .unwrap_err();
         assert!(matches!(err, SimError::BandwidthExceeded { bits: 128, .. }));
     }
 
@@ -337,9 +367,149 @@ mod tests {
     fn round_guard_fires() {
         let g = generators::path(2);
         let mut programs = vec![Livelock; 2];
-        let err = run(&g, &mut programs, CongestConfig::for_nodes(2).with_max_rounds(10))
-            .unwrap_err();
+        let err = run(
+            &g,
+            &mut programs,
+            CongestConfig::for_nodes(2).with_max_rounds(10),
+        )
+        .unwrap_err();
         assert_eq!(err, SimError::MaxRoundsExceeded { limit: 10 });
+    }
+
+    /// The seed's per-round-allocating delivery loop, kept verbatim as the
+    /// reference semantics the batched runtime must reproduce exactly.
+    fn run_naive<P: NodeProgram>(
+        graph: &Graph,
+        programs: &mut [P],
+        config: CongestConfig,
+    ) -> Result<RunStats, SimError> {
+        let n = graph.n();
+        let mut stats = RunStats::default();
+        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
+        let mut seen_dest: Vec<bool> = vec![false; n];
+        for round in 0..config.max_rounds {
+            let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+            let mut any_message = false;
+            for v in 0..n {
+                let inbox = std::mem::take(&mut inboxes[v]);
+                if round > 0 && inbox.is_empty() && programs[v].is_done() {
+                    continue;
+                }
+                outbox.clear();
+                {
+                    let mut ctx = Ctx::new(graph, v, round, &inbox, &mut outbox);
+                    programs[v].on_round(&mut ctx);
+                }
+                let mut used: Vec<NodeId> = Vec::with_capacity(outbox.len());
+                for (to, msg) in outbox.drain(..) {
+                    if graph.edge_between(v, to).is_none() {
+                        return Err(SimError::NotANeighbor { from: v, to });
+                    }
+                    if seen_dest[to] {
+                        return Err(SimError::DuplicateSend { from: v, to });
+                    }
+                    seen_dest[to] = true;
+                    used.push(to);
+                    let bits = msg.bit_size();
+                    if bits > config.bandwidth_bits {
+                        return Err(SimError::BandwidthExceeded {
+                            from: v,
+                            to,
+                            bits,
+                            budget: config.bandwidth_bits,
+                        });
+                    }
+                    stats.messages += 1;
+                    stats.total_bits += bits as u64;
+                    stats.max_message_bits = stats.max_message_bits.max(bits);
+                    next_inboxes[to].push((v, msg));
+                    any_message = true;
+                }
+                for to in used {
+                    seen_dest[to] = false;
+                }
+            }
+            let all_done = (0..n).all(|v| programs[v].is_done());
+            inboxes = next_inboxes;
+            if all_done && !any_message {
+                stats.rounds = round;
+                return Ok(stats);
+            }
+            stats.rounds = round + 1;
+        }
+        Err(SimError::MaxRoundsExceeded {
+            limit: config.max_rounds,
+        })
+    }
+
+    #[test]
+    fn batched_delivery_matches_naive_reference() {
+        for g in [
+            generators::cycle(16),
+            generators::path(12),
+            generators::grid(6, 9),
+            generators::complete(9),
+            generators::wheel(17),
+        ] {
+            let n = g.n();
+            let mut batched = vec![
+                MinFlood {
+                    best: usize::MAX,
+                    dirty: true
+                };
+                n
+            ];
+            let mut naive = batched.clone();
+            let a = run(&g, &mut batched, CongestConfig::for_nodes(n)).unwrap();
+            let b = run_naive(&g, &mut naive, CongestConfig::for_nodes(n)).unwrap();
+            assert_eq!(a, b, "MinFlood stats diverge on n={n}");
+
+            let mut batched = vec![Pinger3 { rounds_left: 3 }; n];
+            let mut naive = batched.clone();
+            let a = run(&g, &mut batched, CongestConfig::for_nodes(n)).unwrap();
+            let b = run_naive(&g, &mut naive, CongestConfig::for_nodes(n)).unwrap();
+            assert_eq!(a, b, "Pinger stats diverge on n={n}");
+        }
+    }
+
+    /// Broadcasts for three rounds (used by the equivalence test).
+    #[derive(Debug, Clone)]
+    struct Pinger3 {
+        rounds_left: usize,
+    }
+
+    impl NodeProgram for Pinger3 {
+        type Msg = u32;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+            if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                ctx.broadcast(7);
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.rounds_left == 0
+        }
+    }
+
+    #[test]
+    fn for_nodes_small_n_is_pinned() {
+        // n = 0 clamps to the singleton configuration.
+        let c0 = CongestConfig::for_nodes(0);
+        let c1 = CongestConfig::for_nodes(1);
+        assert_eq!((c0.bandwidth_bits, c0.max_rounds), (64, 1088));
+        assert_eq!((c1.bandwidth_bits, c1.max_rounds), (64, 1088));
+        // n = 2: bits_for(3) = 2, floored to the 8-bit minimum word.
+        let c2 = CongestConfig::for_nodes(2);
+        assert_eq!((c2.bandwidth_bits, c2.max_rounds), (64, 1152));
+    }
+
+    #[test]
+    fn empty_network_quiesces_immediately() {
+        let g = minex_graphs::Graph::from_edges(0, std::iter::empty()).unwrap();
+        let mut programs: Vec<MinFlood> = Vec::new();
+        let stats = run(&g, &mut programs, CongestConfig::for_nodes(0)).unwrap();
+        assert_eq!(stats, RunStats::default());
     }
 
     #[test]
