@@ -1,0 +1,41 @@
+//! Workspace smoke test: the facade re-exports resolve, the experiment
+//! registry is complete, and one end-to-end pipeline runs under each
+//! re-exported name.
+
+use minex_bench as bench;
+
+#[test]
+fn facade_reexports_resolve() {
+    // Touch one item from every re-exported crate so a missing or renamed
+    // re-export fails this test rather than someone's downstream build.
+    let g: minex::graphs::Graph = minex::graphs::generators::grid(3, 3);
+    let _: minex::congest::CongestConfig = minex::congest::CongestConfig::for_nodes(g.n());
+    let _: minex::decomp::TreeDecomposition =
+        minex::decomp::TreeDecomposition::of_toroidal_grid(3, 4);
+    let tree: minex::core::RootedTree = minex::core::RootedTree::bfs(&g, 0);
+    let parts = minex::core::Partition::new(&g, vec![vec![0, 1, 2]]).unwrap();
+    let values: Vec<u64> = (0..g.n() as u64).collect();
+    let shortcut = {
+        use minex::core::construct::ShortcutBuilder;
+        minex::core::construct::SteinerBuilder.build(&g, &tree, &parts)
+    };
+    let agg = minex::algo::partwise::partwise_min(
+        &g,
+        &parts,
+        &shortcut,
+        &values,
+        32,
+        minex::congest::CongestConfig::for_nodes(g.n()),
+    )
+    .unwrap();
+    assert_eq!(agg.minima, vec![0]);
+}
+
+#[test]
+fn experiment_registry_lists_all_ten() {
+    let exps = bench::experiments();
+    assert_eq!(exps.len(), 10, "E1..E10 must all be registered");
+    let ids: Vec<&str> = exps.iter().map(|(id, _)| *id).collect();
+    let expected: Vec<String> = (1..=10).map(|i| format!("E{i}")).collect();
+    assert_eq!(ids, expected.iter().map(String::as_str).collect::<Vec<_>>());
+}
