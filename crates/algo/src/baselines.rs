@@ -191,8 +191,7 @@ pub fn gkp_mst(wg: &WeightedGraph, config: CongestConfig) -> Result<GkpOutcome, 
         if merge_items.is_empty() {
             break;
         }
-        let (_, down_stats) =
-            pipelined_broadcast(g, &bfs.parent, &merge_items, item_bits, config)?;
+        let (_, down_stats) = pipelined_broadcast(g, &bfs.parent, &merge_items, item_bits, config)?;
         phase2_rounds += down_stats.rounds;
     }
     chosen.sort_unstable();
@@ -326,12 +325,7 @@ mod tests {
         let g = generators::grid(5, 8);
         let mut rng = StdRng::seed_from_u64(4);
         let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
-        let cmp = compare_mst(
-            &wg,
-            &minex_core::construct::AutoCappedBuilder,
-            cfg(g.n()),
-        )
-        .unwrap();
+        let cmp = compare_mst(&wg, &minex_core::construct::AutoCappedBuilder, cfg(g.n())).unwrap();
         assert!(cmp.shortcut_rounds > 0);
         assert!(cmp.gkp_rounds > 0);
         assert!(cmp.naive_rounds > 0);

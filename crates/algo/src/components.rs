@@ -94,7 +94,14 @@ pub fn connected_components<B: ShortcutBuilder>(
                 }
             }
         }
-        let agg = partwise_min(g, &parts, &shortcut, &values, bits_for(g.m().max(2)), config)?;
+        let agg = partwise_min(
+            g,
+            &parts,
+            &shortcut,
+            &values,
+            bits_for(g.m().max(2)),
+            config,
+        )?;
         rounds += agg.stats.rounds;
         for &best in &agg.minima {
             if best == u64::MAX {
@@ -211,9 +218,11 @@ mod tests {
         let g = generators::cylinder(4, 8);
         let out = connected_components(&g, &SteinerBuilder, cfg(g.n())).unwrap();
         assert_eq!(out.forest_edges.len(), g.n() - 1);
-        let forest =
-            minex_graphs::Graph::from_edges(g.n(), out.forest_edges.iter().map(|&e| g.endpoints(e)))
-                .unwrap();
+        let forest = minex_graphs::Graph::from_edges(
+            g.n(),
+            out.forest_edges.iter().map(|&e| g.endpoints(e)),
+        )
+        .unwrap();
         assert!(minex_graphs::minor::is_forest(&forest));
         assert!(minex_graphs::traversal::is_connected(&forest));
     }

@@ -313,12 +313,7 @@ pub fn approx_min_cut<B: ShortcutBuilder>(
             best = best.min(min_two_respecting_cut(wg, tree));
         }
         // Subtree-sum aggregation cost: two convergecasts over the tree.
-        let (_, stats) = primitives::convergecast_sum(
-            g,
-            &tree.parent,
-            &vec![1u64; g.n()],
-            config,
-        )?;
+        let (_, stats) = primitives::convergecast_sum(g, &tree.parent, &vec![1u64; g.n()], config)?;
         simulated += 2 * stats.rounds;
     }
     Ok(MinCutOutcome {
@@ -347,16 +342,16 @@ mod tests {
     #[test]
     fn stoer_wagner_known_cuts() {
         // Two triangles joined by one edge: min cut 1.
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]).unwrap();
         assert_eq!(stoer_wagner(&WeightedGraph::unit(g)), 1);
         // Cycle: min cut 2.
         assert_eq!(stoer_wagner(&WeightedGraph::unit(generators::cycle(7))), 2);
         // Complete graph K5: min cut 4.
-        assert_eq!(stoer_wagner(&WeightedGraph::unit(generators::complete(5))), 4);
+        assert_eq!(
+            stoer_wagner(&WeightedGraph::unit(generators::complete(5))),
+            4
+        );
     }
 
     #[test]
@@ -422,8 +417,7 @@ mod tests {
             out
         };
         for (v, cut) in one_respecting_cuts(&wg, tree) {
-            let sub: std::collections::HashSet<usize> =
-                collect_subtree(v).into_iter().collect();
+            let sub: std::collections::HashSet<usize> = collect_subtree(v).into_iter().collect();
             let brute: u64 = g
                 .edges()
                 .filter(|&(_, u, w2)| sub.contains(&u) != sub.contains(&w2))

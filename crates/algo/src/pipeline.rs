@@ -191,7 +191,11 @@ pub fn pipelined_broadcast(
         .map(|v| DownNode {
             cursor: vec![0; children[v].len()],
             children: std::mem::take(&mut children[v]),
-            received: if v == root { items.to_vec() } else { Vec::new() },
+            received: if v == root {
+                items.to_vec()
+            } else {
+                Vec::new()
+            },
             expected: Some(items.len()),
             item_bits,
         })
@@ -216,8 +220,7 @@ mod tests {
         let parent = traversal::bfs(&g, 0).parent;
         // Every node proposes (key = node % 3, value = node).
         let items: Vec<Vec<(u64, u64)>> = (0..15u64).map(|v| vec![(v % 3, v)]).collect();
-        let (got, stats) =
-            pipelined_convergecast(&g, &parent, items, 64, cfg(15)).unwrap();
+        let (got, stats) = pipelined_convergecast(&g, &parent, items, 64, cfg(15)).unwrap();
         assert_eq!(got.len(), 3);
         assert_eq!(got[&0], 0);
         assert_eq!(got[&1], 1);
@@ -248,8 +251,7 @@ mod tests {
         let g = generators::path(d);
         let parent = traversal::bfs(&g, 0).parent;
         let items: Vec<(u64, u64)> = (0..8).map(|i| (i, 100 + i)).collect();
-        let (received, stats) =
-            pipelined_broadcast(&g, &parent, &items, 64, cfg(d)).unwrap();
+        let (received, stats) = pipelined_broadcast(&g, &parent, &items, 64, cfg(d)).unwrap();
         for r in &received {
             assert_eq!(r, &items);
         }

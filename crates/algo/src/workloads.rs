@@ -31,8 +31,7 @@ pub fn forest_split_parts<R: Rng + ?Sized>(g: &Graph, k: usize, rng: &mut R) -> 
     assert_eq!(bfs.order.len(), g.n(), "graph must be connected");
     let mut tree_nodes: Vec<NodeId> = (0..g.n()).filter(|&v| bfs.parent[v].is_some()).collect();
     tree_nodes.shuffle(rng);
-    let removed: std::collections::HashSet<NodeId> =
-        tree_nodes.into_iter().take(k - 1).collect();
+    let removed: std::collections::HashSet<NodeId> = tree_nodes.into_iter().take(k - 1).collect();
     let mut uf = UnionFind::new(g.n());
     for v in 0..g.n() {
         if let Some(p) = bfs.parent[v] {

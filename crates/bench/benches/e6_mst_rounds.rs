@@ -17,7 +17,11 @@ fn bench(c: &mut Criterion) {
         .with_bandwidth(192)
         .with_max_rounds(1_000_000);
     group.bench_function("boruvka_shortcut_grid10", |b| {
-        b.iter(|| boruvka_mst(&wg, &AutoCappedBuilder, config).unwrap().simulated_rounds)
+        b.iter(|| {
+            boruvka_mst(&wg, &AutoCappedBuilder, config)
+                .unwrap()
+                .simulated_rounds
+        })
     });
     group.finish();
 }

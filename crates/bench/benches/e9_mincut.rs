@@ -16,7 +16,11 @@ fn bench(c: &mut Criterion) {
         .with_bandwidth(192)
         .with_max_rounds(1_000_000);
     group.bench_function("packing_4_trees", |b| {
-        b.iter(|| approx_min_cut(&wg, 4, false, &SteinerBuilder, config).unwrap().approx_value)
+        b.iter(|| {
+            approx_min_cut(&wg, 4, false, &SteinerBuilder, config)
+                .unwrap()
+                .approx_value
+        })
     });
     group.finish();
 }

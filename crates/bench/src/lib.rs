@@ -52,7 +52,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -103,9 +107,18 @@ pub fn e1_planar_quality(full: bool) -> Table {
     Table {
         id: "E1",
         title: "Planar shortcut quality (Theorem 4: b=O(log d), c=O(d log d))".into(),
-        headers: ["family", "n", "parts", "d_T", "block", "congestion", "quality", "q/d_T"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "family",
+            "n",
+            "parts",
+            "d_T",
+            "block",
+            "congestion",
+            "quality",
+            "q/d_T",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
     }
 }
@@ -140,9 +153,18 @@ pub fn e2_treewidth(full: bool) -> Table {
     Table {
         id: "E2",
         title: "Treewidth-k shortcuts (Theorem 5: b=O(k), c=O(k log n))".into(),
-        headers: ["n", "k", "parts", "block", "block/k", "congestion", "c/(k·log n)", "quality"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "n",
+            "k",
+            "parts",
+            "block",
+            "block/k",
+            "congestion",
+            "c/(k·log n)",
+            "quality",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
     }
 }
@@ -211,17 +233,29 @@ pub fn e3_clique_sum(full: bool) -> Table {
     Table {
         id: "E3",
         title: "Clique-sum shortcuts (Theorem 7: b ≤ 2k+O(b_F), c ≤ O(k log² n)+c_F)".into(),
-        headers: ["shape", "bags", "n", "depth", "folded depth", "block", "congestion", "quality"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "shape",
+            "bags",
+            "n",
+            "depth",
+            "folded depth",
+            "block",
+            "congestion",
+            "quality",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
     }
 }
 
 /// E4 — Genus+Vortex treewidth and shortcuts (Lemmas 2–3 / Theorem 9).
 pub fn e4_genus_vortex(full: bool) -> Table {
-    let sizes: &[(usize, usize)] =
-        if full { &[(6, 12), (8, 24), (10, 40)] } else { &[(6, 12), (8, 24)] };
+    let sizes: &[(usize, usize)] = if full {
+        &[(6, 12), (8, 24), (10, 40)]
+    } else {
+        &[(6, 12), (8, 24)]
+    };
     let mut rows = Vec::new();
     for &(r, c) in sizes {
         for vortices in [0usize, 1, 2] {
@@ -266,9 +300,11 @@ pub fn e4_genus_vortex(full: bool) -> Table {
     Table {
         id: "E4",
         title: "Genus+Vortex treewidth (Lemmas 2-3: tw = O((g+1)kℓD)) and shortcuts".into(),
-        headers: ["torus", "vortices", "n", "D", "width", "bound", "block", "quality"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "torus", "vortices", "n", "D", "width", "bound", "block", "quality",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
     }
 }
@@ -327,9 +363,18 @@ pub fn e5_apex(full: bool) -> Table {
         id: "E5",
         title: "Apex graphs (Lemma 9/Thm 8): quality survives diameter collapse; gates (Lemma 7)"
             .into(),
-        headers: ["graph", "D", "d_T", "block", "apex quality", "steiner quality", "gate s", "β"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "graph",
+            "D",
+            "d_T",
+            "block",
+            "apex quality",
+            "steiner quality",
+            "gate s",
+            "β",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
     }
 }
@@ -394,8 +439,8 @@ pub fn e7_lower_bound(full: bool) -> Table {
         let shortcut = AutoCappedBuilder.build(&g, &tree, &parts);
         let q = measure_quality(&g, &tree, &parts, &shortcut);
         let values: Vec<u64> = (0..g.n() as u64).collect();
-        let agg = partwise_min(&g, &parts, &shortcut, &values, 32, config(g.n()))
-            .expect("aggregation");
+        let agg =
+            partwise_min(&g, &parts, &shortcut, &values, 32, config(g.n())).expect("aggregation");
         let d = diameter(&g);
         rows.push(vec![
             format!("Γ({s},{s})"),
@@ -428,9 +473,17 @@ pub fn e7_lower_bound(full: bool) -> Table {
     Table {
         id: "E7",
         title: "Lower-bound family vs planar control ([SHK+12]: Ω̃(√n) despite D=O(log n))".into(),
-        headers: ["graph", "n", "D", "quality", "agg rounds", "rounds/√n", "rounds/D"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "graph",
+            "n",
+            "D",
+            "quality",
+            "agg rounds",
+            "rounds/√n",
+            "rounds/D",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
     }
 }
@@ -529,7 +582,11 @@ pub fn e9_mincut(full: bool) -> Table {
 /// E10 — folding ablation (Lemma 1 vs Theorem 7): congestion `k·d_DT` vs
 /// `O(k log² n)`.
 pub fn e10_folding_ablation(full: bool) -> Table {
-    let lens: &[usize] = if full { &[8, 16, 32, 64, 128] } else { &[8, 16, 32] };
+    let lens: &[usize] = if full {
+        &[8, 16, 32, 64, 128]
+    } else {
+        &[8, 16, 32]
+    };
     let mut rows = Vec::new();
     for &len in lens {
         let (g, cst) = grid_chain(len, 3);
@@ -538,8 +595,8 @@ pub fn e10_folding_ablation(full: bool) -> Table {
         let parts = workloads::voronoi_parts(&g, len, &mut rng);
         let unfolded = CliqueSumShortcutBuilder::unfolded(cst.clone(), SteinerBuilder)
             .build(&g, &tree, &parts);
-        let folded = CliqueSumShortcutBuilder::folded(cst.clone(), SteinerBuilder)
-            .build(&g, &tree, &parts);
+        let folded =
+            CliqueSumShortcutBuilder::folded(cst.clone(), SteinerBuilder).build(&g, &tree, &parts);
         let qu = measure_quality(&g, &tree, &parts, &unfolded);
         let qf = measure_quality(&g, &tree, &parts, &folded);
         rows.push(vec![

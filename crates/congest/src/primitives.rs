@@ -72,7 +72,12 @@ pub fn build_bfs_tree(
 ) -> Result<BfsTreeResult, SimError> {
     assert!(root < g.n(), "root out of range");
     let mut programs: Vec<BfsProgram> = (0..g.n())
-        .map(|_| BfsProgram { root, dist: None, parent: None, announce: false })
+        .map(|_| BfsProgram {
+            root,
+            dist: None,
+            parent: None,
+            announce: false,
+        })
         .collect();
     let stats = run(g, &mut programs, config)?;
     Ok(BfsTreeResult {
@@ -126,8 +131,13 @@ impl NodeProgram for MinIdFlood {
 /// (nodes would disagree — detected centrally and reported as livelock-free
 /// disagreement via panic in debug, so we verify agreement here).
 pub fn elect_leader(g: &Graph, config: CongestConfig) -> Result<(NodeId, RunStats), SimError> {
-    let mut programs: Vec<MinIdFlood> =
-        vec![MinIdFlood { best: usize::MAX, dirty: true }; g.n()];
+    let mut programs: Vec<MinIdFlood> = vec![
+        MinIdFlood {
+            best: usize::MAX,
+            dirty: true
+        };
+        g.n()
+    ];
     let stats = run(g, &mut programs, config)?;
     let leader = programs[0].best;
     assert!(
@@ -340,7 +350,11 @@ mod tests {
         let (total, stats) = convergecast_sum(&g, &central.parent, &vec![1; 31], cfg(31)).unwrap();
         assert_eq!(total, 31);
         // Depth of a 31-node complete binary tree is 4.
-        assert!(stats.rounds >= 4 && stats.rounds <= 6, "rounds={}", stats.rounds);
+        assert!(
+            stats.rounds >= 4 && stats.rounds <= 6,
+            "rounds={}",
+            stats.rounds
+        );
     }
 
     #[test]

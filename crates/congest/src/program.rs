@@ -27,7 +27,13 @@ impl<'a, M: Payload> Ctx<'a, M> {
         inbox: &'a [(NodeId, M)],
         outbox: &'a mut Vec<(NodeId, M)>,
     ) -> Self {
-        Ctx { graph, node, round, inbox, outbox }
+        Ctx {
+            graph,
+            node,
+            round,
+            inbox,
+            outbox,
+        }
     }
 
     /// This node's id.

@@ -51,7 +51,11 @@ impl CellPartition {
                 .expect("cells must induce connected subgraphs");
             diameter = diameter.max(d);
         }
-        CellPartition { cells, cell_of, diameter }
+        CellPartition {
+            cells,
+            cell_of,
+            diameter,
+        }
     }
 
     /// The cells obtained by deleting `removed` (e.g. the apices) from the
@@ -190,7 +194,12 @@ pub fn assign_cells(cells: &CellPartition, parts: &Partition) -> CellAssignment 
     }
     // Cells exhausted: surviving parts have every cell related already.
     // Parts exhausted: surviving cells relate to nobody. Either way done.
-    CellAssignment { related, unrelated, cell_load, beta }
+    CellAssignment {
+        related,
+        unrelated,
+        cell_load,
+        beta,
+    }
 }
 
 #[cfg(test)]
@@ -230,8 +239,9 @@ mod tests {
         let tree = RootedTree::bfs(&g, apex);
         let cells = CellPartition::from_tree_removal(&g, &tree, &[apex]);
         // Column parts of the grid (connected via column edges).
-        let parts_vec: Vec<Vec<NodeId>> =
-            (0..8).map(|c| (0..8).map(|r| r * 8 + c).collect()).collect();
+        let parts_vec: Vec<Vec<NodeId>> = (0..8)
+            .map(|c| (0..8).map(|r| r * 8 + c).collect())
+            .collect();
         let parts = Partition::new(&g, parts_vec).unwrap();
         let asg = assign_cells(&cells, &parts);
         for p in 0..parts.len() {

@@ -50,8 +50,7 @@ impl<B: ShortcutBuilder> ShortcutBuilder for ApexBuilder<B> {
 
     fn build(&self, g: &Graph, tree: &RootedTree, parts: &Partition) -> Shortcut {
         let mut per_part: Vec<Vec<EdgeId>> = vec![Vec::new(); parts.len()];
-        let all_tree_edges: Vec<EdgeId> =
-            (0..g.m()).filter(|&e| tree.is_tree_edge(e)).collect();
+        let all_tree_edges: Vec<EdgeId> = (0..g.m()).filter(|&e| tree.is_tree_edge(e)).collect();
         let mut is_apex = vec![false; g.n()];
         for &a in &self.apices {
             is_apex[a] = true;
@@ -170,8 +169,7 @@ impl<B: ShortcutBuilder> ShortcutBuilder for ApexBuilder<B> {
             for (le, lu, lv) in sub.edges() {
                 let gu = cell[lu];
                 let gv = cell[lv];
-                local_to_global_edge[le] =
-                    g.edge_between(gu, gv).expect("induced edge exists");
+                local_to_global_edge[le] = g.edge_between(gu, gv).expect("induced edge exists");
             }
             for (piece, &owner) in owners.iter().enumerate() {
                 for &le in local.edges(piece) {
@@ -229,8 +227,9 @@ mod tests {
         let g = generators::wheel(n);
         let hub = n - 1;
         let t = RootedTree::bfs(&g, hub);
-        let rim_parts: Vec<Vec<NodeId>> =
-            (0..(n - 1) / 8).map(|i| (8 * i..8 * i + 8).collect()).collect();
+        let rim_parts: Vec<Vec<NodeId>> = (0..(n - 1) / 8)
+            .map(|i| (8 * i..8 * i + 8).collect())
+            .collect();
         let parts = Partition::new(&g, rim_parts).unwrap();
         let b = ApexBuilder::new(vec![hub], SteinerBuilder);
         let s = b.build(&g, &t, &parts);
@@ -246,8 +245,9 @@ mod tests {
     fn apex_grid_with_column_parts() {
         let (g, apex) = generators::apex_grid(10, 10, 4);
         let t = RootedTree::bfs(&g, apex);
-        let cols: Vec<Vec<NodeId>> =
-            (0..10).map(|c| (0..10).map(|r| r * 10 + c).collect()).collect();
+        let cols: Vec<Vec<NodeId>> = (0..10)
+            .map(|c| (0..10).map(|r| r * 10 + c).collect())
+            .collect();
         let parts = Partition::new(&g, cols).unwrap();
         let b = ApexBuilder::new(vec![apex], SteinerBuilder);
         let s = b.build(&g, &t, &parts);

@@ -98,11 +98,8 @@ mod tests {
     fn whole_tree_block_one_congestion_n() {
         let g = generators::grid(5, 5);
         let t = RootedTree::bfs(&g, 0);
-        let parts = Partition::new(
-            &g,
-            vec![vec![0, 1], vec![3, 4], vec![20, 21], vec![23, 24]],
-        )
-        .unwrap();
+        let parts =
+            Partition::new(&g, vec![vec![0, 1], vec![3, 4], vec![20, 21], vec![23, 24]]).unwrap();
         let s = WholeTreeBuilder.build(&g, &t, &parts);
         validate_tree_restricted(&s, &t).unwrap();
         let q = measure_quality(&g, &t, &parts, &s);
@@ -159,8 +156,9 @@ mod tests {
         let g = generators::wheel(n);
         let hub = n - 1;
         let t = RootedTree::bfs(&g, hub);
-        let rim_parts: Vec<Vec<NodeId>> =
-            (0..(n - 1) / 4).map(|i| (4 * i..4 * i + 4).collect()).collect();
+        let rim_parts: Vec<Vec<NodeId>> = (0..(n - 1) / 4)
+            .map(|i| (4 * i..4 * i + 4).collect())
+            .collect();
         let count = rim_parts.len();
         let parts = Partition::new(&g, rim_parts).unwrap();
         let s = SteinerBuilder.build(&g, &t, &parts);

@@ -85,7 +85,11 @@ fn decomposition_to_record(td: &TreeDecomposition) -> CliqueSumRecord {
     // CliqueSumTree requires bag 0 to be the root and each child to appear
     // exactly once, which the BFS guarantees. Bag indices keep their ids.
     let max_sep = links.iter().map(|(_, _, s)| s.len()).max().unwrap_or(0);
-    CliqueSumRecord { k: max_sep.max(1), bags: td.bags().to_vec(), links }
+    CliqueSumRecord {
+        k: max_sep.max(1),
+        bags: td.bags().to_vec(),
+        links,
+    }
 }
 
 #[cfg(test)]

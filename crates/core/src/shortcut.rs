@@ -36,7 +36,9 @@ impl Shortcut {
 
     /// An empty shortcut for `parts` parts.
     pub fn empty(parts: usize) -> Self {
-        Shortcut { per_part: vec![Vec::new(); parts] }
+        Shortcut {
+            per_part: vec![Vec::new(); parts],
+        }
     }
 
     /// Number of parts covered.
@@ -257,8 +259,7 @@ mod tests {
         let g = generators::cycle(8);
         let t = RootedTree::bfs(&g, 0);
         let parts = Partition::new(&g, vec![vec![2, 3], vec![6, 7]]).unwrap();
-        let tree_edges: Vec<EdgeId> =
-            (0..g.m()).filter(|&e| t.is_tree_edge(e)).collect();
+        let tree_edges: Vec<EdgeId> = (0..g.m()).filter(|&e| t.is_tree_edge(e)).collect();
         let s = Shortcut::new(vec![tree_edges.clone(), tree_edges]);
         let q = measure_quality(&g, &t, &parts, &s);
         assert_eq!(q.block, 1);
@@ -274,7 +275,10 @@ mod tests {
         let s = Shortcut::new(vec![vec![non_tree]]);
         assert_eq!(
             validate_tree_restricted(&s, &t),
-            Err(NotTreeRestricted { part: 0, edge: non_tree })
+            Err(NotTreeRestricted {
+                part: 0,
+                edge: non_tree
+            })
         );
     }
 

@@ -40,11 +40,7 @@ impl RootedTree {
     /// # Panics
     ///
     /// Panics if the pointers do not encode a spanning tree of `g`.
-    pub fn from_parent_pointers(
-        g: &Graph,
-        root: NodeId,
-        parent: Vec<Option<NodeId>>,
-    ) -> Self {
+    pub fn from_parent_pointers(g: &Graph, root: NodeId, parent: Vec<Option<NodeId>>) -> Self {
         assert_eq!(parent.len(), g.n(), "one parent entry per node");
         let mut parent_edge: Vec<Option<EdgeId>> = vec![None; g.n()];
         for v in 0..g.n() {
@@ -103,7 +99,16 @@ impl RootedTree {
             let d2 = traversal::bfs_masked(g, far, &tree_edge);
             d2.into_iter().max().expect("non-empty")
         };
-        RootedTree { root, parent, parent_edge, children, depth, order, tree_edge, diameter }
+        RootedTree {
+            root,
+            parent,
+            parent_edge,
+            children,
+            depth,
+            order,
+            tree_edge,
+            diameter,
+        }
     }
 
     /// The root node.
@@ -174,7 +179,9 @@ impl RootedTree {
                 .parent_edge(cur)
                 .expect("must reach ancestor before the root");
             out.push(e);
-            cur = self.parent(cur).expect("must reach ancestor before the root");
+            cur = self
+                .parent(cur)
+                .expect("must reach ancestor before the root");
         }
         out
     }
@@ -210,7 +217,11 @@ mod tests {
         // Exactly n-1 tree edges.
         assert_eq!(t.tree_edge_mask().iter().filter(|&&b| b).count(), 15);
         // BFS tree of a grid from a corner has diameter ≤ 2·(grid diameter).
-        assert!(t.diameter() >= 6 && t.diameter() <= 12, "d={}", t.diameter());
+        assert!(
+            t.diameter() >= 6 && t.diameter() <= 12,
+            "d={}",
+            t.diameter()
+        );
         assert_eq!(t.depth(15), 6);
     }
 

@@ -72,7 +72,13 @@ impl CliqueSumTree {
         if seen != b {
             return Err(DecompError::BagGraphNotATree);
         }
-        Ok(CliqueSumTree { record, parent, children, depth, parent_link })
+        Ok(CliqueSumTree {
+            record,
+            parent,
+            children,
+            depth,
+            parent_link,
+        })
     }
 
     /// The underlying record.
@@ -188,7 +194,9 @@ impl CliqueSumTree {
         }
         // (5) Every edge lives in some bag.
         for (_, u, v) in g.edges() {
-            let ok = bags_of[u].iter().any(|b| bags_of[v].binary_search(b).is_ok());
+            let ok = bags_of[u]
+                .iter()
+                .any(|b| bags_of[v].binary_search(b).is_ok());
             if !ok {
                 return Err(DecompError::EdgeNotCovered(u, v));
             }
@@ -225,8 +233,7 @@ impl CliqueSumTree {
             if let Some(p) = self.parent[top] {
                 let f = chain_folded_root[ci];
                 fparent[f] = Some(group_of[p]);
-                links_to_parent[f] =
-                    vec![self.parent_link[top].expect("non-root bag has a link")];
+                links_to_parent[f] = vec![self.parent_link[top].expect("non-root bag has a link")];
             }
         }
         let fn_count = groups.len();
@@ -511,7 +518,11 @@ mod tests {
     #[test]
     fn rejects_malformed_records() {
         // Two bags, no links.
-        let rec = CliqueSumRecord { k: 2, bags: vec![vec![0], vec![1]], links: vec![] };
+        let rec = CliqueSumRecord {
+            k: 2,
+            bags: vec![vec![0], vec![1]],
+            links: vec![],
+        };
         assert!(CliqueSumTree::new(rec).is_err());
         // Link to out-of-range bag.
         let rec = CliqueSumRecord {

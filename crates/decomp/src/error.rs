@@ -41,7 +41,10 @@ impl fmt::Display for DecompError {
             }
             DecompError::BagGraphNotATree => write!(f, "the bag graph is not a tree"),
             DecompError::SeparatorMismatch { link } => {
-                write!(f, "separator of link {link} differs from the bag intersection")
+                write!(
+                    f,
+                    "separator of link {link} differs from the bag intersection"
+                )
             }
             DecompError::BagOutOfRange(i) => write!(f, "bag index {i} out of range"),
         }

@@ -73,7 +73,11 @@ impl HeavyLight {
                 chains.push(chain);
             }
         }
-        HeavyLight { chain_of, chains, parent: parent.to_vec() }
+        HeavyLight {
+            chain_of,
+            chains,
+            parent: parent.to_vec(),
+        }
     }
 
     /// The chains, each listed from top to bottom.
@@ -173,8 +177,9 @@ mod tests {
     #[test]
     fn path_tree_is_one_chain() {
         // A path rooted at its end has a single heavy chain.
-        let parent: Vec<Option<usize>> =
-            (0..50).map(|v| if v == 0 { None } else { Some(v - 1) }).collect();
+        let parent: Vec<Option<usize>> = (0..50)
+            .map(|v| if v == 0 { None } else { Some(v - 1) })
+            .collect();
         let hl = HeavyLight::new(&parent);
         assert_eq!(hl.chains().len(), 1);
         assert_eq!(hl.chains()[0].len(), 50);
@@ -183,8 +188,9 @@ mod tests {
 
     #[test]
     fn star_tree_has_leaf_chains() {
-        let parent: Vec<Option<usize>> =
-            (0..10).map(|v| if v == 0 { None } else { Some(0) }).collect();
+        let parent: Vec<Option<usize>> = (0..10)
+            .map(|v| if v == 0 { None } else { Some(0) })
+            .collect();
         let hl = HeavyLight::new(&parent);
         // Root chain has two nodes (root + heavy child); 8 singleton chains.
         assert_eq!(hl.chains().len(), 9);

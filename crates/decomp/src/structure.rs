@@ -51,7 +51,10 @@ impl AlmostEmbeddable {
 
     /// All internal vortex node ids.
     pub fn vortex_internals(&self) -> Vec<NodeId> {
-        self.vortices.iter().flat_map(|v| v.internal.iter().copied()).collect()
+        self.vortices
+            .iter()
+            .flat_map(|v| v.internal.iter().copied())
+            .collect()
     }
 }
 
@@ -67,7 +70,11 @@ impl StructureWitness {
     /// The `k` for which all bags are `k`-almost-embeddable — the constant of
     /// Theorem 3 for this witness.
     pub fn k(&self) -> usize {
-        self.per_bag.iter().map(AlmostEmbeddable::h).max().unwrap_or(0)
+        self.per_bag
+            .iter()
+            .map(AlmostEmbeddable::h)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -105,7 +112,10 @@ mod tests {
         let w = StructureWitness {
             per_bag: vec![
                 AlmostEmbeddable::planar(),
-                AlmostEmbeddable { genus: 3, ..Default::default() },
+                AlmostEmbeddable {
+                    genus: 3,
+                    ..Default::default()
+                },
             ],
         };
         assert_eq!(w.k(), 3);

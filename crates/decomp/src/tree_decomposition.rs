@@ -93,7 +93,12 @@ impl TreeDecomposition {
 
     /// Width: `max bag size - 1`.
     pub fn width(&self) -> usize {
-        self.bags.iter().map(Vec::len).max().unwrap_or(0).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
     }
 
     /// Number of bags.
@@ -463,8 +468,7 @@ mod tests {
         let base = generators::cylinder(rows, cols);
         let boundary: Vec<NodeId> = (0..cols).collect(); // row 0 is a cycle
         let mut rng = StdRng::seed_from_u64(77);
-        let (g, vortex) =
-            generators::add_vortex(&base, &boundary, 4, 2, &mut rng).unwrap();
+        let (g, vortex) = generators::add_vortex(&base, &boundary, 4, 2, &mut rng).unwrap();
         // G' = base + star vertex r adjacent to the boundary.
         let mut bp = GraphBuilder::new(base.n() + 1);
         for (_, u, v) in base.edges() {

@@ -35,7 +35,10 @@ impl RotationSystem {
             got.sort_unstable();
             let mut want: Vec<_> = g.neighbors(v).collect();
             want.sort_unstable();
-            assert_eq!(got, want, "rotation at node {v} must list its incident edges");
+            assert_eq!(
+                got, want,
+                "rotation at node {v} must list its incident edges"
+            );
         }
         RotationSystem { order }
     }

@@ -47,14 +47,16 @@ pub fn lower_bound_family(p: usize, l: usize) -> (Graph, LowerBoundLayout) {
         for j in 0..l {
             row.push(path_id(i, j));
             if j + 1 < l {
-                b.add_edge(path_id(i, j), path_id(i, j + 1)).expect("path edge");
+                b.add_edge(path_id(i, j), path_id(i, j + 1))
+                    .expect("path edge");
             }
         }
         paths.push(row);
     }
     // Heap-shaped complete binary tree.
     for t in 1..tree_size {
-        b.add_edge(tree_id(t), tree_id((t - 1) / 2)).expect("tree edge");
+        b.add_edge(tree_id(t), tree_id((t - 1) / 2))
+            .expect("tree edge");
     }
     // Leaves are the last `leaf_count` heap slots; attach the first l.
     let first_leaf = leaf_count - 1;

@@ -54,7 +54,8 @@ pub fn add_random_apices<R: Rng + ?Sized>(
             }
         }
         if !attached {
-            b.add_edge(a, rng.random_range(0..base_n)).expect("forced apex edge");
+            b.add_edge(a, rng.random_range(0..base_n))
+                .expect("forced apex edge");
         }
         for &a2 in &apices[..i] {
             b.add_edge(a, a2).expect("apex-apex edge");
@@ -106,7 +107,9 @@ impl VortexRecord {
     pub fn arc_nodes(&self, i: usize) -> Vec<NodeId> {
         let (start, len) = self.arcs[i];
         let l = self.boundary.len();
-        (0..len).map(|off| self.boundary[(start + off) % l]).collect()
+        (0..len)
+            .map(|off| self.boundary[(start + off) % l])
+            .collect()
     }
 }
 
@@ -281,12 +284,18 @@ impl CliqueSumBuilder {
         assert!(!host_clique.is_empty(), "cliques must be non-empty");
         for &v in host_clique {
             if v >= self.builder.n() {
-                return Err(GraphError::NodeOutOfRange { node: v, n: self.builder.n() });
+                return Err(GraphError::NodeOutOfRange {
+                    node: v,
+                    n: self.builder.n(),
+                });
             }
         }
         for &v in comp_clique {
             if v >= comp.n() {
-                return Err(GraphError::NodeOutOfRange { node: v, n: comp.n() });
+                return Err(GraphError::NodeOutOfRange {
+                    node: v,
+                    n: comp.n(),
+                });
             }
         }
         // Validate cliques.
@@ -337,7 +346,11 @@ impl CliqueSumBuilder {
     pub fn build(self) -> (Graph, CliqueSumRecord) {
         (
             self.builder.build(),
-            CliqueSumRecord { k: self.k, bags: self.bags, links: self.links },
+            CliqueSumRecord {
+                k: self.k,
+                bags: self.bags,
+                links: self.links,
+            },
         )
     }
 }
@@ -389,8 +402,7 @@ pub fn random_clique_sum<R: Rng + ?Sized>(
     assert!(count >= 1, "need at least one bag");
     let first = &components[rng.random_range(0..components.len())];
     let mut builder = CliqueSumBuilder::new(first, k);
-    let mut bag_graphs: Vec<(Graph, Vec<NodeId>)> =
-        vec![(first.clone(), (0..first.n()).collect())];
+    let mut bag_graphs: Vec<(Graph, Vec<NodeId>)> = vec![(first.clone(), (0..first.n()).collect())];
     for _ in 1..count {
         let comp = &components[rng.random_range(0..components.len())];
         // Pick a random host bag and a random clique inside it.
@@ -468,7 +480,10 @@ mod tests {
             let arc = rec.arc_nodes(i);
             for (u, _) in vg.neighbors(va) {
                 if rec.boundary.contains(&u) {
-                    assert!(arc.contains(&u), "neighbor {u} outside arc of internal {va}");
+                    assert!(
+                        arc.contains(&u),
+                        "neighbor {u} outside arc of internal {va}"
+                    );
                 }
             }
         }

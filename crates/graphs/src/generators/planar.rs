@@ -96,7 +96,8 @@ pub fn cylinder(rows: usize, cols: usize) -> Graph {
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
         for c in 0..cols {
-            b.add_edge(id(r, c), id(r, (c + 1) % cols)).expect("ring edge");
+            b.add_edge(id(r, c), id(r, (c + 1) % cols))
+                .expect("ring edge");
             if r + 1 < rows {
                 b.add_edge(id(r, c), id(r + 1, c)).expect("rung edge");
             }

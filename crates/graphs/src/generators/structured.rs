@@ -53,7 +53,13 @@ pub fn k_tree<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> (Graph, KTree
         }
         attach.push(c);
     }
-    (b.build(), KTreeRecord { k, attach_clique: attach })
+    (
+        b.build(),
+        KTreeRecord {
+            k,
+            attach_clique: attach,
+        },
+    )
 }
 
 /// Partial k-tree: a random k-tree with each non-seed edge kept with
@@ -131,7 +137,13 @@ pub fn series_parallel<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
 fn k_subsets(items: &[NodeId], size: usize) -> Vec<Vec<NodeId>> {
     let mut out = Vec::new();
     let mut cur = Vec::with_capacity(size);
-    fn rec(items: &[NodeId], size: usize, start: usize, cur: &mut Vec<NodeId>, out: &mut Vec<Vec<NodeId>>) {
+    fn rec(
+        items: &[NodeId],
+        size: usize,
+        start: usize,
+        cur: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
         if cur.len() == size {
             out.push(cur.clone());
             return;

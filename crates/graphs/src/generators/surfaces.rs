@@ -25,8 +25,10 @@ pub fn toroidal_grid_with_rotation(rows: usize, cols: usize) -> (Graph, Rotation
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
         for c in 0..cols {
-            b.add_edge(id(r, c), id(r, (c + 1) % cols)).expect("row edge");
-            b.add_edge(id(r, c), id((r + 1) % rows, c)).expect("col edge");
+            b.add_edge(id(r, c), id(r, (c + 1) % cols))
+                .expect("row edge");
+            b.add_edge(id(r, c), id((r + 1) % rows, c))
+                .expect("col edge");
         }
     }
     let g = b.build();

@@ -88,8 +88,8 @@ pub fn point_in_polygon(poly: &[(i64, i64)], p: (i64, i64)) -> Containment {
             // x coordinate of the edge at height p.y, compared to p.x with
             // exact arithmetic: intersect_x - p.x has the sign of
             // ((b.x-a.x)(p.y-a.y) - (p.x-a.x)(b.y-a.y)) / (b.y-a.y).
-            let num =
-                (b.0 - a.0) as i128 * (p.1 - a.1) as i128 - (p.0 - a.0) as i128 * (b.1 - a.1) as i128;
+            let num = (b.0 - a.0) as i128 * (p.1 - a.1) as i128
+                - (p.0 - a.0) as i128 * (b.1 - a.1) as i128;
             let den = (b.1 - a.1) as i128;
             if (num > 0 && den > 0) || (num < 0 && den < 0) {
                 inside = !inside;
@@ -168,7 +168,16 @@ mod tests {
     #[test]
     fn concave_polygon() {
         // A "U" shape.
-        let u = [(0, 0), (6, 0), (6, 4), (4, 4), (4, 2), (2, 2), (2, 4), (0, 4)];
+        let u = [
+            (0, 0),
+            (6, 0),
+            (6, 4),
+            (4, 4),
+            (4, 2),
+            (2, 2),
+            (2, 4),
+            (0, 4),
+        ];
         assert_eq!(point_in_polygon(&u, (1, 3)), Containment::Inside);
         assert_eq!(point_in_polygon(&u, (3, 3)), Containment::Outside);
         assert_eq!(point_in_polygon(&u, (5, 3)), Containment::Inside);
@@ -201,7 +210,16 @@ mod tests {
         assert!(!segment_in_polygon(&SQUARE, (4, 2), (5, 2)));
         // Pinch case: both endpoints on the boundary of a U but the segment
         // crosses the notch outside.
-        let u = [(0, 0), (6, 0), (6, 4), (4, 4), (4, 2), (2, 2), (2, 4), (0, 4)];
+        let u = [
+            (0, 0),
+            (6, 0),
+            (6, 4),
+            (4, 4),
+            (4, 2),
+            (2, 2),
+            (2, 4),
+            (0, 4),
+        ];
         assert!(!segment_in_polygon(&u, (2, 4), (4, 4)));
     }
 }

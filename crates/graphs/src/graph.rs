@@ -238,7 +238,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -288,7 +291,10 @@ impl GraphBuilder {
         for list in &mut adj {
             list.sort_unstable();
         }
-        Graph { adj, edges: self.edges }
+        Graph {
+            adj,
+            edges: self.edges,
+        }
     }
 }
 
@@ -329,7 +335,10 @@ impl WeightedGraph {
     /// Wraps `graph` with all weights equal to 1.
     pub fn unit(graph: Graph) -> Self {
         let m = graph.m();
-        WeightedGraph { graph, weights: vec![1; m] }
+        WeightedGraph {
+            graph,
+            weights: vec![1; m],
+        }
     }
 
     /// The underlying unweighted graph.

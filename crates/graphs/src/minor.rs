@@ -162,11 +162,8 @@ mod tests {
         assert!(!is_k4_minor_free(&generators::complete(4)));
         assert!(is_k4_minor_free(&generators::complete(3)));
         // K4 with one subdivided edge still has a K4 minor.
-        let sub = Graph::from_edges(
-            5,
-            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (0, 4), (4, 3)],
-        )
-        .unwrap();
+        let sub =
+            Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (0, 4), (4, 3)]).unwrap();
         assert!(!is_k4_minor_free(&sub));
         // Wheels beyond W3 contain K4.
         assert!(!is_k4_minor_free(&generators::wheel(6)));

@@ -98,7 +98,13 @@ pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> BfsResult {
             }
         }
     }
-    BfsResult { dist, parent, parent_edge, source_of, order }
+    BfsResult {
+        dist,
+        parent,
+        parent_edge,
+        source_of,
+        order,
+    }
 }
 
 /// Whether the graph is connected. Empty graphs count as connected.

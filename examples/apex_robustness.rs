@@ -33,7 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let values: Vec<u64> = (0..g.n() as u64).rev().collect();
 
     // Without shortcuts each part crawls around the rim.
-    let naked = partwise_min(&g, &parts, &Shortcut::empty(parts.len()), &values, 32, config)?;
+    let naked = partwise_min(
+        &g,
+        &parts,
+        &Shortcut::empty(parts.len()),
+        &values,
+        32,
+        config,
+    )?;
     // With the Lemma 9 apex construction the hub relays everyone.
     let apex_builder = ApexBuilder::new(vec![hub], SteinerBuilder);
     let shortcut = apex_builder.build(&g, &tree, &parts);
@@ -54,7 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         traversal::diameter_exact(&ag).expect("connected"),
     );
     let atree = RootedTree::bfs(&ag, apex);
-    let cols: Vec<Vec<usize>> = (0..24).map(|c| (0..24).map(|r| r * 24 + c).collect()).collect();
+    let cols: Vec<Vec<usize>> = (0..24)
+        .map(|c| (0..24).map(|r| r * 24 + c).collect())
+        .collect();
     let aparts = minex::core::Partition::new(&ag, cols)?;
     let ashortcut = ApexBuilder::new(vec![apex], SteinerBuilder).build(&ag, &atree, &aparts);
     let aq = measure_quality(&ag, &atree, &aparts, &ashortcut);

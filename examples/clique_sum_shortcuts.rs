@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         last = builder.glue(&piece, &host, &[0, 1])?;
     }
     let (g, record) = builder.build();
-    println!("clique-sum network: n={} m={} bags={}", g.n(), g.m(), record.bags.len());
+    println!(
+        "clique-sum network: n={} m={} bags={}",
+        g.n(),
+        g.m(),
+        record.bags.len()
+    );
 
     // Validate the five Definition 8 properties, then fold (Theorem 7).
     let cst = CliqueSumTree::new(record)?;
@@ -43,8 +48,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(3);
     let parts = workloads::voronoi_parts(&g, 40, &mut rng);
     for (label, b) in [
-        ("Lemma 1 (unfolded)", CliqueSumShortcutBuilder::unfolded(cst.clone(), SteinerBuilder)),
-        ("Theorem 7 (folded)", CliqueSumShortcutBuilder::folded(cst.clone(), SteinerBuilder)),
+        (
+            "Lemma 1 (unfolded)",
+            CliqueSumShortcutBuilder::unfolded(cst.clone(), SteinerBuilder),
+        ),
+        (
+            "Theorem 7 (folded)",
+            CliqueSumShortcutBuilder::folded(cst.clone(), SteinerBuilder),
+        ),
     ] {
         let s = b.build(&g, &tree, &parts);
         let q = measure_quality(&g, &tree, &parts, &s);

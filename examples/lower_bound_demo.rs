@@ -15,7 +15,10 @@ use minex::core::{measure_quality, RootedTree};
 use minex::graphs::traversal;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:>12} {:>6} {:>4} {:>8} {:>10}", "graph", "n", "D", "quality", "agg rounds");
+    println!(
+        "{:>12} {:>6} {:>4} {:>8} {:>10}",
+        "graph", "n", "D", "quality", "agg rounds"
+    );
     for s in [8usize, 16, 24] {
         // Γ(s, s): s paths of length s + binary tree over columns.
         let (g, parts) = workloads::lower_bound_path_parts(s, s);

@@ -7,8 +7,7 @@ use minex::algo::partwise::{partwise_min, partwise_min_reference};
 use minex::algo::workloads;
 use minex::congest::CongestConfig;
 use minex::core::construct::{
-    AutoCappedBuilder, CliqueSumShortcutBuilder, ShortcutBuilder, SteinerBuilder,
-    TreewidthBuilder,
+    AutoCappedBuilder, CliqueSumShortcutBuilder, ShortcutBuilder, SteinerBuilder, TreewidthBuilder,
 };
 use minex::core::{measure_quality, validate_tree_restricted, RootedTree};
 use minex::decomp::{CliqueSumTree, TreeDecomposition};
@@ -31,7 +30,11 @@ fn planar_pipeline() {
     let shortcut = AutoCappedBuilder.build(&g, &tree, &parts);
     validate_tree_restricted(&shortcut, &tree).unwrap();
     let q = measure_quality(&g, &tree, &parts, &shortcut);
-    assert!(q.quality <= 4 * q.tree_diameter, "quality {} too high", q.quality);
+    assert!(
+        q.quality <= 4 * q.tree_diameter,
+        "quality {} too high",
+        q.quality
+    );
     // Aggregation agrees with the centralized reference.
     let values: Vec<u64> = (0..g.n() as u64).map(|v| v * 17 % 101).collect();
     let agg = partwise_min(&g, &parts, &shortcut, &values, 32, config(g.n())).unwrap();

@@ -77,6 +77,10 @@ fn theorem6_composed_pipeline() {
             q.tree_diameter
         );
         let agg = partwise_min(&g, &parts, &shortcut, &values, 32, config).unwrap();
-        assert_eq!(agg.minima, partwise_min_reference(&parts, &values), "{name}");
+        assert_eq!(
+            agg.minima,
+            partwise_min_reference(&parts, &values),
+            "{name}"
+        );
     }
 }
