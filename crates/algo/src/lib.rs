@@ -13,8 +13,13 @@
 //!   comparisons;
 //! * [`mincut`] — `(1+ε)`-approximate min-cut via greedy tree packing and
 //!   tree-respecting cuts, with exact Stoer–Wagner as reference;
+//! * [`sssp`] — single-source shortest paths in three tiers (E11/E12):
+//!   exact Bellman–Ford, BFS-tree-scaled `(1+ε)` Bellman–Ford, and
+//!   shortcut-accelerated overlay SSSP via part-wise aggregation, all
+//!   validated against a sequential Dijkstra reference;
 //! * [`pipeline`] — pipelined `O(depth + k)` convergecast/broadcast;
-//! * [`workloads`] — part-family generators for the experiments.
+//! * [`workloads`] — part-family and weighted-workload generators for the
+//!   experiments.
 //!
 //! ## Example
 //!
@@ -43,4 +48,5 @@ pub mod mincut;
 pub mod mst;
 pub mod partwise;
 pub mod pipeline;
+pub mod sssp;
 pub mod workloads;

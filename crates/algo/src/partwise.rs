@@ -148,22 +148,7 @@ pub fn partwise_min(
     assert_eq!(values.len(), g.n(), "one value per node required");
     assert_eq!(shortcut.len(), parts.len(), "shortcut/partition mismatch");
     let part_bits = bits_for(parts.len().max(2));
-    // Edge -> parts using it (shortcut edges plus intra-part graph edges).
-    let mut parts_of_edge: Vec<Vec<u32>> = vec![Vec::new(); g.m()];
-    for (i, e) in shortcut.assignments() {
-        parts_of_edge[e].push(i as u32);
-    }
-    for (e, u, v) in g.edges() {
-        if let (Some(a), Some(b)) = (parts.part_of(u), parts.part_of(v)) {
-            if a == b {
-                parts_of_edge[e].push(a as u32);
-            }
-        }
-    }
-    for list in &mut parts_of_edge {
-        list.sort_unstable();
-        list.dedup();
-    }
+    let parts_of_edge = parts_of_edge(g, parts, shortcut);
     // Per-node link lists.
     let mut programs: Vec<AggNode> = (0..g.n())
         .map(|v| {
@@ -206,6 +191,28 @@ pub fn partwise_min(
         minima.push(m0);
     }
     Ok(AggregationResult { minima, stats })
+}
+
+/// Edge → parts map shared by every part-wise engine: edge `e` carries part
+/// `i` if `e ∈ H_i` (a shortcut assignment) or both endpoints lie in `P_i`
+/// (an intra-part graph edge). Each list is sorted and deduplicated.
+pub(crate) fn parts_of_edge(g: &Graph, parts: &Partition, shortcut: &Shortcut) -> Vec<Vec<u32>> {
+    let mut map: Vec<Vec<u32>> = vec![Vec::new(); g.m()];
+    for (i, e) in shortcut.assignments() {
+        map[e].push(i as u32);
+    }
+    for (e, u, v) in g.edges() {
+        if let (Some(a), Some(b)) = (parts.part_of(u), parts.part_of(v)) {
+            if a == b {
+                map[e].push(a as u32);
+            }
+        }
+    }
+    for list in &mut map {
+        list.sort_unstable();
+        list.dedup();
+    }
+    map
 }
 
 /// Centralized reference for [`partwise_min`].

@@ -1,0 +1,812 @@
+//! Single-source shortest paths in the CONGEST simulator — the third payoff
+//! problem the paper's abstract names (after MST and min-cut).
+//!
+//! Three tiers, each validated against the sequential Dijkstra reference in
+//! [`minex_graphs::traversal::dijkstra`]:
+//!
+//! 1. [`bellman_ford_sssp`] — exact distributed Bellman–Ford (the
+//!    shortcut-free baseline). Rounds track the maximum *hop length* of a
+//!    shortest path, which can far exceed the hop diameter when weights make
+//!    shortest paths snake (heavy-hub wheels, mazes).
+//! 2. [`scaled_sssp`] — BFS-tree-scaled `(1+ε)`-approximate Bellman–Ford:
+//!    weights are rounded up to multiples of `k = ⌊ε·w_min⌋`, and the flood
+//!    is hop-bounded by a budget certified from the BFS tree. At
+//!    convergence the estimate is provably within `(1+ε)` (see
+//!    [`scale_for`]).
+//! 3. [`shortcut_sssp`] — the shortcut-accelerated tier. A one-time
+//!    part-wise *center-distance flood* over each part's augmented subgraph
+//!    `G[P_i] + H_i` computes center potentials `ρ`, then each overlay phase
+//!    runs the existing [`partwise_min`](crate::partwise::partwise_min)
+//!    aggregation on `D(v) + ρ(v)` (short-circuiting long-range distance
+//!    propagation through the shortcut edges) followed by a single
+//!    [`distance_broadcast_round`] that stitches parts together. Every
+//!    update is a real path bound, so estimates are always sound upper
+//!    bounds; on reaching the fixpoint the scaled distances are exact and
+//!    the `(1+ε)` scaling bound applies. Truncating the phase budget trades
+//!    the leftover error for rounds — the E12 ablation measures exactly
+//!    this trade.
+//!
+//! The shortcut construction itself is charged analytically at
+//! `quality · ⌈log₂ n⌉` rounds per [HIZ16a], mirroring [`crate::mst`].
+
+use std::collections::HashMap;
+
+use minex_congest::primitives::{
+    build_bfs_tree, distance_broadcast_round, weighted_distance_flood,
+};
+use minex_congest::{bits_for, run, CongestConfig, Ctx, NodeProgram, Payload, RunStats, SimError};
+use minex_core::construct::ShortcutBuilder;
+use minex_core::{measure_quality, Partition, RootedTree, Shortcut};
+use minex_graphs::{traversal, Graph, NodeId, WeightedGraph};
+
+use crate::partwise::partwise_min;
+
+/// Honest bit width for distance values on `wg`: enough for the total graph
+/// weight (the coarsest a-priori distance bound), floored at one byte.
+fn dist_value_bits(wg: &WeightedGraph) -> usize {
+    let total = wg.total_weight().min(usize::MAX as u64 - 1) as usize;
+    bits_for(total + 1).max(8)
+}
+
+/// The weight scale realizing a `(1+ε)` guarantee: `k = max(1, ⌊ε·w_min⌋)`.
+///
+/// Rounding weights up to multiples of `k` (`w' = ⌈w/k⌉`) keeps every path
+/// estimate an upper bound, and overshoots a shortest path with `h` hops by
+/// at most `k·h ≤ ε·w_min·h ≤ ε·dist`, so the rescaled exact distance on the
+/// scaled graph is within `(1+ε)` of the true distance. When `ε·w_min < 1`
+/// the scale degenerates to 1 and the computation is exact.
+pub fn scale_for(epsilon: f64, min_weight: u64) -> u64 {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    let k = (epsilon * min_weight as f64).floor();
+    if k < 1.0 {
+        1
+    } else if k >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        k as u64
+    }
+}
+
+/// Rounds every weight up to the next multiple of `scale`, in units of
+/// `scale` (`w' = ⌈w/scale⌉`).
+fn scale_weights(wg: &WeightedGraph, scale: u64) -> WeightedGraph {
+    assert!(scale >= 1, "scale must be positive");
+    let weights = wg
+        .weights()
+        .iter()
+        .map(|&w| w / scale + u64::from(w % scale != 0))
+        .collect();
+    WeightedGraph::new(wg.graph().clone(), weights)
+}
+
+/// Maps scaled distances back to weight units (`u64::MAX` stays unreached).
+fn rescale(dist: &[u64], scale: u64) -> Vec<u64> {
+    dist.iter()
+        .map(|&d| {
+            if d == u64::MAX {
+                u64::MAX
+            } else {
+                d.saturating_mul(scale)
+            }
+        })
+        .collect()
+}
+
+/// The worst multiplicative overshoot `est[v] / exact[v]` over all nodes.
+///
+/// Both vectors must mark unreachable nodes as `u64::MAX` in the same
+/// places. `0/0` counts as stretch 1.
+///
+/// # Panics
+///
+/// Panics on length mismatch, on an estimate below the exact distance
+/// (estimates must be sound upper bounds), or when exactly one side marks a
+/// node unreachable.
+pub fn max_stretch(est: &[u64], exact: &[u64]) -> f64 {
+    assert_eq!(est.len(), exact.len(), "length mismatch");
+    let mut worst: f64 = 1.0;
+    for (v, (&e, &x)) in est.iter().zip(exact.iter()).enumerate() {
+        if x == u64::MAX || e == u64::MAX {
+            assert_eq!(e, x, "reachability disagrees at node {v}");
+            continue;
+        }
+        assert!(e >= x, "estimate {e} below exact {x} at node {v}");
+        if x == 0 {
+            assert_eq!(e, 0, "source estimate must be 0");
+            continue;
+        }
+        worst = worst.max(e as f64 / x as f64);
+    }
+    worst
+}
+
+/// Outcome of the exact Bellman–Ford tier.
+#[derive(Debug, Clone)]
+pub struct SsspOutcome {
+    /// Exact weighted distances (`u64::MAX` unreached).
+    pub dist: Vec<u64>,
+    /// Shortest-path-tree parents.
+    pub parent: Vec<Option<NodeId>>,
+    /// Simulation statistics; `stats.rounds` is the baseline round count.
+    pub stats: RunStats,
+}
+
+/// Exact SSSP by distributed Bellman–Ford flooding — the shortcut-free
+/// baseline every other tier is measured against (E11).
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+///
+/// # Panics
+///
+/// Panics if `source >= n`.
+pub fn bellman_ford_sssp(
+    wg: &WeightedGraph,
+    source: NodeId,
+    config: CongestConfig,
+) -> Result<SsspOutcome, SimError> {
+    let flood = weighted_distance_flood(wg, source, dist_value_bits(wg), config)?;
+    Ok(SsspOutcome {
+        dist: flood.dist,
+        parent: flood.parent,
+        stats: flood.stats,
+    })
+}
+
+/// Outcome of the BFS-tree-scaled approximate tier.
+#[derive(Debug, Clone)]
+pub struct ScaledSsspOutcome {
+    /// `(1+ε)` distance upper bounds, in original weight units.
+    pub dist: Vec<u64>,
+    /// The weight scale used (`1` means the run was exact).
+    pub scale: u64,
+    /// Rounds of the BFS-tree construction that certifies the hop budget.
+    pub bfs_rounds: usize,
+    /// Rounds of the hop-bounded scaled flood.
+    pub flood_rounds: usize,
+    /// The certified hop budget (the flood provably settles within it).
+    pub hop_budget: usize,
+    /// Statistics of the scaled flood.
+    pub flood_stats: RunStats,
+}
+
+impl ScaledSsspOutcome {
+    /// Total simulated rounds (BFS + flood).
+    pub fn simulated_rounds(&self) -> usize {
+        self.bfs_rounds + self.flood_rounds
+    }
+}
+
+/// `(1+ε)`-approximate SSSP by hop-bounded Bellman–Ford on `k`-scaled
+/// weights (tier 2).
+///
+/// First builds a BFS tree from `source` (simulated, rounds counted): its
+/// eccentricity `R` certifies the hop budget `R · w'_max + 2` for the scaled
+/// flood — every scaled shortest path has weight at most `R · w'_max` (the
+/// BFS-tree path bound) and each hop costs at least one unit, so the flood
+/// provably settles within the budget. Then floods the `⌈w/k⌉`-scaled
+/// weights with `k =`[`scale_for`]`(ε, w_min)` and rescales, which
+/// guarantees `dist ≤ est ≤ (1+ε)·dist`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+///
+/// # Panics
+///
+/// Panics if the graph is empty or disconnected, if `source` is out of
+/// range, or if any weight is zero (positive weights underpin the hop-budget
+/// certificate).
+pub fn scaled_sssp(
+    wg: &WeightedGraph,
+    source: NodeId,
+    epsilon: f64,
+    config: CongestConfig,
+) -> Result<ScaledSsspOutcome, SimError> {
+    let g = wg.graph();
+    assert!(g.n() > 0, "graph must be non-empty");
+    assert!(
+        traversal::is_connected(g),
+        "scaled SSSP requires a connected graph"
+    );
+    let w_min = wg.weights().iter().copied().min().unwrap_or(1);
+    assert!(w_min >= 1, "positive weights required");
+    let scale = scale_for(epsilon, w_min);
+    let scaled = scale_weights(wg, scale);
+    let bfs = build_bfs_tree(g, source, config)?;
+    let radius = bfs
+        .dist
+        .iter()
+        .copied()
+        .filter(|&d| d != usize::MAX)
+        .max()
+        .unwrap_or(0);
+    let w_max_scaled = scaled.weights().iter().copied().max().unwrap_or(1) as usize;
+    let hop_budget = radius.saturating_mul(w_max_scaled).saturating_add(2);
+    let flood_config = config.with_max_rounds(config.max_rounds.min(hop_budget));
+    let flood = weighted_distance_flood(&scaled, source, dist_value_bits(&scaled), flood_config)?;
+    Ok(ScaledSsspOutcome {
+        dist: rescale(&flood.dist, scale),
+        scale,
+        bfs_rounds: bfs.stats.rounds,
+        flood_rounds: flood.stats.rounds,
+        hop_budget,
+        flood_stats: flood.stats,
+    })
+}
+
+/// A `(channel, value)` flood message with honest bit accounting, used by
+/// the part-wise center-distance flood.
+#[derive(Debug, Clone)]
+pub struct ChannelMsg {
+    channel: u32,
+    value: u64,
+    channel_bits: usize,
+    value_bits: usize,
+}
+
+impl Payload for ChannelMsg {
+    fn bit_size(&self) -> usize {
+        self.channel_bits + self.value_bits
+    }
+}
+
+/// Per-node program of the channel distance flood: like
+/// [`partwise_min`]'s engine, but values accumulate edge weights as they
+/// travel, so channel `i` converges to distances from its seeds inside
+/// `G[P_i] + H_i`. One message per incident edge per round; parts sharing an
+/// edge queue behind each other — the congestion mechanism of Theorem 1.
+#[derive(Debug, Clone)]
+struct ChannelFloodNode {
+    /// Sorted `(neighbor, edge weight, channels shared with that neighbor)`.
+    links: Vec<(NodeId, u64, Vec<u32>)>,
+    /// Best known value per channel.
+    best: HashMap<u32, u64>,
+    /// Outgoing queues: per link index, pending per-channel updates.
+    pending: Vec<HashMap<u32, u64>>,
+    channel_bits: usize,
+    value_bits: usize,
+}
+
+impl ChannelFloodNode {
+    fn enqueue_update(&mut self, channel: u32, value: u64, skip: Option<NodeId>) {
+        for (li, (nb, _, channels)) in self.links.iter().enumerate() {
+            if Some(*nb) == skip {
+                continue;
+            }
+            if channels.binary_search(&channel).is_ok() {
+                let entry = self.pending[li].entry(channel).or_insert(u64::MAX);
+                if value < *entry {
+                    *entry = value;
+                }
+            }
+        }
+    }
+
+    fn absorb(&mut self, channel: u32, value: u64, skip: Option<NodeId>) {
+        let improves = self.best.get(&channel).map_or(true, |&cur| value < cur);
+        if improves {
+            self.best.insert(channel, value);
+            self.enqueue_update(channel, value, skip);
+        }
+    }
+}
+
+impl NodeProgram for ChannelFloodNode {
+    type Msg = ChannelMsg;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        for (from, msg) in ctx.inbox().to_vec() {
+            let w = self
+                .links
+                .binary_search_by_key(&from, |&(nb, _, _)| nb)
+                .map(|i| self.links[i].1)
+                .expect("sender is a neighbor");
+            self.absorb(msg.channel, msg.value.saturating_add(w), Some(from));
+        }
+        for li in 0..self.links.len() {
+            if self.pending[li].is_empty() {
+                continue;
+            }
+            let (&channel, &value) = self.pending[li]
+                .iter()
+                .min_by_key(|(&c, &v)| (v, c))
+                .expect("non-empty queue");
+            self.pending[li].remove(&channel);
+            // Drop values a better flood already beat.
+            if self.best.get(&channel).map_or(false, |&b| b < value) {
+                continue;
+            }
+            let to = self.links[li].0;
+            ctx.send(
+                to,
+                ChannelMsg {
+                    channel,
+                    value,
+                    channel_bits: self.channel_bits,
+                    value_bits: self.value_bits,
+                },
+            );
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.pending.iter().all(HashMap::is_empty)
+    }
+}
+
+/// Floods weighted distances from per-channel seeds over each part's
+/// augmented subgraph `G[P_i] + H_i`, all parts concurrently under the
+/// global CONGEST budget. Returns each node's best value per channel.
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+fn channel_distance_flood(
+    wg: &WeightedGraph,
+    parts: &Partition,
+    shortcut: &Shortcut,
+    seeds: &[(NodeId, u32, u64)],
+    value_bits: usize,
+    config: CongestConfig,
+) -> Result<(Vec<HashMap<u32, u64>>, RunStats), SimError> {
+    let g = wg.graph();
+    let channel_bits = bits_for(parts.len().max(2));
+    // Same edge → parts rule as partwise_min: e ∈ H_i or both ends in P_i.
+    let channels = crate::partwise::parts_of_edge(g, parts, shortcut);
+    let mut programs: Vec<ChannelFloodNode> = (0..g.n())
+        .map(|v| {
+            let mut links: Vec<(NodeId, u64, Vec<u32>)> = Vec::new();
+            for (w, e) in g.neighbors(v) {
+                if !channels[e].is_empty() {
+                    links.push((w, wg.weight(e), channels[e].clone()));
+                }
+            }
+            links.sort_by_key(|&(nb, _, _)| nb);
+            ChannelFloodNode {
+                pending: vec![HashMap::new(); links.len()],
+                links,
+                best: HashMap::new(),
+                channel_bits,
+                value_bits,
+            }
+        })
+        .collect();
+    for &(v, channel, value) in seeds {
+        programs[v].absorb(channel, value, None);
+    }
+    let stats = run(g, &mut programs, config)?;
+    Ok((programs.into_iter().map(|p| p.best).collect(), stats))
+}
+
+/// Per-part centers: the node of minimum hop eccentricity within the
+/// induced part subgraph (ties to the smallest id), except that the part
+/// containing `source` is centered at `source` itself so near-source
+/// potentials are exact.
+fn part_centers(g: &Graph, parts: &Partition, source: NodeId) -> Vec<NodeId> {
+    parts
+        .parts()
+        .iter()
+        .map(|part| {
+            if part.contains(&source) {
+                return source;
+            }
+            let (sub, map) = g.induced_subgraph(part);
+            let mut sorted: Vec<NodeId> = part.clone();
+            sorted.sort_unstable();
+            let mut best = (usize::MAX, usize::MAX);
+            for (local, &global) in sorted.iter().enumerate() {
+                let ecc = traversal::bfs(&sub, local).eccentricity();
+                if (ecc, global) < best {
+                    best = (ecc, global);
+                }
+                debug_assert_eq!(map[global], Some(local));
+            }
+            best.1
+        })
+        .collect()
+}
+
+/// Outcome of the shortcut-accelerated tier.
+#[derive(Debug, Clone)]
+pub struct ShortcutSsspOutcome {
+    /// Distance upper bounds, in original weight units.
+    pub dist: Vec<u64>,
+    /// The weight scale used.
+    pub scale: u64,
+    /// Overlay phases executed.
+    pub phases: usize,
+    /// Whether the overlay reached its fixpoint (scaled distances exact,
+    /// hence the full `(1+ε)` scaling guarantee) before the phase budget.
+    pub converged: bool,
+    /// Rounds of the one-time center-potential flood.
+    pub rho_rounds: usize,
+    /// Per-phase `(aggregation, relax)` round pairs.
+    pub phase_rounds: Vec<(usize, usize)>,
+    /// Total simulated rounds (ρ flood + all phases).
+    pub simulated_rounds: usize,
+    /// Analytic charge for the distributed shortcut construction:
+    /// `quality · ⌈log₂ n⌉` per [HIZ16a], as in [`crate::mst`].
+    pub charged_construction_rounds: usize,
+    /// Measured quality of the shortcut used.
+    pub shortcut_quality: usize,
+}
+
+/// Shortcut-accelerated `(1+ε)`-approximate SSSP (tier 3).
+///
+/// Runs on `k`-scaled weights (`k =`[`scale_for`]`(ε, w_min)`). One
+/// [`channel_distance_flood`] computes center potentials `ρ(v)` (distance
+/// from the part center inside `G[P_i] + H_i`), then up to `max_phases`
+/// overlay phases each run
+///
+/// 1. [`partwise_min`] over `x_v = D(v) + ρ(v)` — every part learns
+///    `M_i = min_v x_v` through its shortcut, and each node lowers
+///    `D(v) ← M_i + ρ(v)` (a real path bound through the center);
+/// 2. one [`distance_broadcast_round`] that relaxes every graph edge once,
+///    carrying estimates across part boundaries.
+///
+/// Estimates only ever decrease and every update is witnessed by a real
+/// path, so `D` stays a sound upper bound throughout. If a full phase
+/// changes nothing the scaled estimates are at the Bellman–Ford fixpoint —
+/// exact — and the scaling argument certifies `est ≤ (1+ε)·dist`. A phase
+/// budget smaller than required for convergence trades leftover
+/// approximation error for rounds (measured in E12).
+///
+/// Hop-hungry workloads (heavy-hub wheels and fans, maze apex grids) are
+/// where this tier beats [`bellman_ford_sssp`]: information crosses each
+/// part in `O(quality)` aggregation rounds instead of hop by hop.
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+///
+/// # Panics
+///
+/// Panics if the graph is empty or disconnected, `source` is out of range,
+/// any weight is zero, or `max_phases == 0`.
+pub fn shortcut_sssp<B: ShortcutBuilder>(
+    wg: &WeightedGraph,
+    source: NodeId,
+    parts: &Partition,
+    builder: &B,
+    epsilon: f64,
+    max_phases: usize,
+    config: CongestConfig,
+) -> Result<ShortcutSsspOutcome, SimError> {
+    let g = wg.graph();
+    assert!(g.n() > 0, "graph must be non-empty");
+    assert!(source < g.n(), "source out of range");
+    assert!(
+        traversal::is_connected(g),
+        "shortcut SSSP requires a connected graph"
+    );
+    assert!(max_phases >= 1, "need at least one phase");
+    let w_min = wg.weights().iter().copied().min().unwrap_or(1);
+    assert!(w_min >= 1, "positive weights required");
+    let scale = scale_for(epsilon, w_min);
+    let scaled = scale_weights(wg, scale);
+    let n = g.n();
+    let value_bits = dist_value_bits(&scaled) + 1;
+
+    let tree = RootedTree::bfs(g, source);
+    let shortcut = builder.build(g, &tree, parts);
+    let quality = measure_quality(g, &tree, parts, &shortcut).quality;
+    let charged = quality * bits_for(n.max(2));
+
+    // One-time center potentials ρ: distance from the part center inside the
+    // augmented part, all parts concurrently.
+    let centers = part_centers(g, parts, source);
+    let seeds: Vec<(NodeId, u32, u64)> = centers
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i as u32, 0))
+        .collect();
+    let (best, rho_stats) =
+        channel_distance_flood(&scaled, parts, &shortcut, &seeds, value_bits, config)?;
+    let rho: Vec<u64> = (0..n)
+        .map(|v| match parts.part_of(v) {
+            Some(i) => *best[v]
+                .get(&(i as u32))
+                .expect("part is connected, so its flood reaches every node"),
+            None => u64::MAX,
+        })
+        .collect();
+
+    let mut dist = vec![u64::MAX; n];
+    dist[source] = 0;
+    let mut phase_rounds = Vec::new();
+    let mut simulated_rounds = rho_stats.rounds;
+    let mut converged = false;
+    for _ in 0..max_phases {
+        let before = dist.clone();
+        // Overlay aggregation: part minima of D + ρ, through the shortcut.
+        let values: Vec<u64> = (0..n)
+            .map(|v| {
+                if dist[v] == u64::MAX || rho[v] == u64::MAX {
+                    u64::MAX
+                } else {
+                    dist[v].saturating_add(rho[v])
+                }
+            })
+            .collect();
+        let agg = partwise_min(g, parts, &shortcut, &values, value_bits, config)?;
+        for (i, part) in parts.parts().iter().enumerate() {
+            let m = agg.minima[i];
+            if m == u64::MAX {
+                continue;
+            }
+            for &v in part {
+                let cand = m.saturating_add(rho[v]);
+                if cand < dist[v] {
+                    dist[v] = cand;
+                }
+            }
+        }
+        // Boundary stitch: one global relaxation round.
+        let (relaxed, relax_stats) = distance_broadcast_round(&scaled, &dist, value_bits, config)?;
+        dist = relaxed;
+        phase_rounds.push((agg.stats.rounds, relax_stats.rounds));
+        simulated_rounds += agg.stats.rounds + relax_stats.rounds;
+        if dist == before {
+            converged = true;
+            break;
+        }
+    }
+
+    Ok(ShortcutSsspOutcome {
+        dist: rescale(&dist, scale),
+        scale,
+        phases: phase_rounds.len(),
+        converged,
+        rho_rounds: rho_stats.rounds,
+        phase_rounds,
+        simulated_rounds,
+        charged_construction_rounds: charged,
+        shortcut_quality: quality,
+    })
+}
+
+/// Round counts and measured approximation quality of all three tiers on
+/// one input, cross-checked against Dijkstra — the E11 row generator.
+#[derive(Debug, Clone)]
+pub struct SsspComparison {
+    /// Exact Bellman–Ford rounds (the baseline).
+    pub exact_rounds: usize,
+    /// Scaled-tier rounds (BFS + hop-bounded flood).
+    pub scaled_rounds: usize,
+    /// Measured worst-case stretch of the scaled tier.
+    pub scaled_stretch: f64,
+    /// Shortcut-tier rounds (ρ flood + phases).
+    pub shortcut_rounds: usize,
+    /// The analytic construction charge of the shortcut tier.
+    pub shortcut_charged: usize,
+    /// Measured worst-case stretch of the shortcut tier.
+    pub shortcut_stretch: f64,
+    /// Phases the shortcut tier used.
+    pub shortcut_phases: usize,
+    /// Whether the shortcut tier converged within its budget.
+    pub shortcut_converged: bool,
+}
+
+/// Runs all three tiers plus Dijkstra and cross-checks them: the exact tier
+/// must match Dijkstra node for node, and both approximate tiers must stay
+/// sound upper bounds.
+///
+/// # Errors
+///
+/// Propagates [`SimError`].
+///
+/// # Panics
+///
+/// Panics if the exact tier disagrees with Dijkstra or an approximate tier
+/// undercuts it (via [`max_stretch`]). The same check also fires when
+/// `max_phases` is too small for the shortcut tier's estimates to reach
+/// every node Dijkstra reaches: an unreached node shows up as a
+/// reachability disagreement. Give the tier enough phases for information
+/// to cross every part on some path from the source (one aggregation plus
+/// one relax hop per phase) — `parts.len() + 2` always suffices on
+/// connected, fully covered inputs.
+pub fn compare_sssp<B: ShortcutBuilder>(
+    wg: &WeightedGraph,
+    source: NodeId,
+    parts: &Partition,
+    builder: &B,
+    epsilon: f64,
+    max_phases: usize,
+    config: CongestConfig,
+) -> Result<SsspComparison, SimError> {
+    let reference = traversal::dijkstra(wg, source);
+    let exact = bellman_ford_sssp(wg, source, config)?;
+    assert_eq!(exact.dist, reference.dist, "exact tier must match Dijkstra");
+    let scaled = scaled_sssp(wg, source, epsilon, config)?;
+    let shortcut = shortcut_sssp(wg, source, parts, builder, epsilon, max_phases, config)?;
+    Ok(SsspComparison {
+        exact_rounds: exact.stats.rounds,
+        scaled_rounds: scaled.simulated_rounds(),
+        scaled_stretch: max_stretch(&scaled.dist, &reference.dist),
+        shortcut_rounds: shortcut.simulated_rounds,
+        shortcut_charged: shortcut.charged_construction_rounds,
+        shortcut_stretch: max_stretch(&shortcut.dist, &reference.dist),
+        shortcut_phases: shortcut.phases,
+        shortcut_converged: shortcut.converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use minex_core::construct::{AutoCappedBuilder, WholeTreeBuilder};
+    use minex_graphs::{generators, WeightModel};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn cfg(n: usize) -> CongestConfig {
+        CongestConfig::for_nodes(n)
+            .with_bandwidth(192)
+            .with_max_rounds(500_000)
+    }
+
+    #[test]
+    fn bellman_ford_matches_dijkstra() {
+        let g = generators::triangulated_grid(7, 7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+        let out = bellman_ford_sssp(&wg, 3, cfg(g.n())).unwrap();
+        let d = traversal::dijkstra(&wg, 3);
+        assert_eq!(out.dist, d.dist);
+        assert!(out.stats.rounds > 0);
+    }
+
+    #[test]
+    fn scale_for_boundaries() {
+        assert_eq!(scale_for(0.0, 64), 1);
+        assert_eq!(scale_for(0.001, 64), 1);
+        assert_eq!(scale_for(0.25, 64), 16);
+        assert_eq!(scale_for(1.0, 64), 64);
+        assert_eq!(scale_for(0.5, 1), 1);
+    }
+
+    #[test]
+    fn scale_weights_rounds_up() {
+        let g = generators::path(4);
+        let wg = WeightedGraph::new(g, vec![15, 16, 17]);
+        let s = scale_weights(&wg, 16);
+        assert_eq!(s.weights(), &[1, 1, 2]);
+    }
+
+    #[test]
+    fn scaled_sssp_respects_epsilon_bound() {
+        let g = generators::triangulated_grid(8, 8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let wg = WeightModel::Uniform { lo: 64, hi: 512 }.apply(&g, &mut rng);
+        let d = traversal::dijkstra(&wg, 0);
+        for eps in [0.1, 0.25, 0.5, 1.0] {
+            let out = scaled_sssp(&wg, 0, eps, cfg(g.n())).unwrap();
+            let stretch = max_stretch(&out.dist, &d.dist);
+            assert!(stretch <= 1.0 + eps + 1e-9, "eps={eps}: stretch {stretch}");
+            assert!(out.flood_rounds <= out.hop_budget);
+        }
+        // With epsilon 0 the tier degenerates to exact.
+        let out = scaled_sssp(&wg, 0, 0.0, cfg(g.n())).unwrap();
+        assert_eq!(out.scale, 1);
+        assert_eq!(out.dist, d.dist);
+    }
+
+    #[test]
+    fn channel_flood_whole_graph_part_is_exact() {
+        // One part covering everything: the channel subgraph is all of G, so
+        // the flood from a 0-seed computes plain SSSP.
+        let g = generators::triangulated_grid(5, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let wg = WeightModel::Uniform { lo: 1, hi: 30 }.apply(&g, &mut rng);
+        let parts = Partition::new(&g, vec![(0..g.n()).collect()]).unwrap();
+        let shortcut = Shortcut::empty(1);
+        let (best, stats) =
+            channel_distance_flood(&wg, &parts, &shortcut, &[(4, 0, 0)], 24, cfg(g.n())).unwrap();
+        let d = traversal::dijkstra(&wg, 4);
+        for v in 0..g.n() {
+            assert_eq!(best[v][&0], d.dist[v], "node {v}");
+        }
+        assert!(stats.rounds > 0);
+    }
+
+    #[test]
+    fn part_centers_prefer_source_and_middles() {
+        let g = generators::path(9);
+        let parts = Partition::new(&g, vec![(0..4).collect(), (4..9).collect()]).unwrap();
+        let centers = part_centers(&g, &parts, 0);
+        // Source part centered at the source, the other at its midpoint.
+        assert_eq!(centers[0], 0);
+        assert_eq!(centers[1], 6);
+    }
+
+    #[test]
+    fn shortcut_sssp_converges_exactly_on_small_grid() {
+        let g = generators::grid(5, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let wg = WeightModel::Uniform { lo: 64, hi: 256 }.apply(&g, &mut rng);
+        let parts = workloads::voronoi_parts(&g, 4, &mut rng);
+        let d = traversal::dijkstra(&wg, 0);
+        // Epsilon 0: exact at convergence.
+        let out = shortcut_sssp(&wg, 0, &parts, &AutoCappedBuilder, 0.0, 40, cfg(g.n())).unwrap();
+        assert!(out.converged, "small grid must converge in 40 phases");
+        assert_eq!(out.scale, 1);
+        assert_eq!(out.dist, d.dist);
+    }
+
+    #[test]
+    fn shortcut_sssp_beats_bellman_ford_on_heavy_hub_wheel() {
+        let (wg, parts) = workloads::heavy_hub_wheel(192, 16, 64, 8192);
+        let cmp = compare_sssp(
+            &wg,
+            0,
+            &parts,
+            &minex_core::construct::SteinerBuilder,
+            0.5,
+            parts.len() + 2,
+            cfg(wg.graph().n()),
+        )
+        .unwrap();
+        assert!(
+            cmp.shortcut_rounds < cmp.exact_rounds,
+            "shortcut {} vs exact {}",
+            cmp.shortcut_rounds,
+            cmp.exact_rounds
+        );
+        assert!(
+            cmp.shortcut_stretch <= 1.5 + 1e-9,
+            "stretch {}",
+            cmp.shortcut_stretch
+        );
+    }
+
+    #[test]
+    fn shortcut_sssp_upper_bounds_even_when_truncated() {
+        // One phase only: far nodes keep crude (but sound) estimates.
+        let (wg, parts) = workloads::heavy_hub_wheel(96, 8, 64, 4096);
+        let d = traversal::dijkstra(&wg, 0);
+        let out = shortcut_sssp(
+            &wg,
+            0,
+            &parts,
+            &WholeTreeBuilder,
+            0.25,
+            1,
+            cfg(wg.graph().n()),
+        )
+        .unwrap();
+        assert!(!out.converged);
+        for v in 0..wg.graph().n() {
+            if out.dist[v] != u64::MAX {
+                assert!(out.dist[v] >= d.dist[v], "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_sssp() {
+        let g = generators::path(1);
+        let wg = WeightedGraph::unit(g.clone());
+        let out = bellman_ford_sssp(&wg, 0, cfg(1)).unwrap();
+        assert_eq!(out.dist, vec![0]);
+        let out = scaled_sssp(&wg, 0, 0.5, cfg(1)).unwrap();
+        assert_eq!(out.dist, vec![0]);
+        let parts = Partition::new(&g, vec![vec![0]]).unwrap();
+        let out = shortcut_sssp(&wg, 0, &parts, &WholeTreeBuilder, 0.5, 3, cfg(1)).unwrap();
+        assert_eq!(out.dist, vec![0]);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn max_stretch_basics() {
+        assert_eq!(max_stretch(&[0, 10, u64::MAX], &[0, 10, u64::MAX]), 1.0);
+        assert!((max_stretch(&[0, 15], &[0, 10]) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "below exact")]
+    fn max_stretch_rejects_undercuts() {
+        let _ = max_stretch(&[0, 5], &[0, 10]);
+    }
+}

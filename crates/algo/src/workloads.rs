@@ -1,10 +1,11 @@
-//! Part-family workload generators for the experiments.
+//! Part-family workload generators for the experiments, including the
+//! weighted path-heavy workloads of the SSSP experiments (E11/E12).
 
 use rand::seq::SliceRandom;
 use rand::{Rng, RngExt};
 
 use minex_core::Partition;
-use minex_graphs::{traversal, Graph, NodeId, UnionFind};
+use minex_graphs::{traversal, Graph, NodeId, UnionFind, WeightModel, WeightedGraph};
 
 /// Voronoi parts: multi-source BFS from `k` random seeds; every node joins
 /// the seed that reaches it first (the concurrent-BFS partition of
@@ -81,6 +82,114 @@ pub fn lower_bound_path_parts(paths: usize, len: usize) -> (Graph, Partition) {
     (g, p)
 }
 
+/// Heavy-hub wheel SSSP workload: light rim edges, heavy spokes, contiguous
+/// rim segments as parts (the hub stays unassigned). Shortest paths between
+/// rim nodes snake around the rim — `Θ(n)` Bellman–Ford hops at hop
+/// diameter 2 — which is exactly the gap shortcut-accelerated SSSP closes.
+pub fn heavy_hub_wheel(
+    n: usize,
+    segment: usize,
+    light: u64,
+    heavy: u64,
+) -> (WeightedGraph, Partition) {
+    let (g, parts) = wheel_rim_parts(n, segment);
+    let hub = n - 1;
+    let weights: Vec<u64> = g
+        .edges()
+        .map(|(_, _, v)| if v == hub { heavy } else { light })
+        .collect();
+    (WeightedGraph::new(g, weights), parts)
+}
+
+/// Heavy-hub outerplanar fan (treewidth 2): the outer cycle path `1..n-1`
+/// is light and split into contiguous segment parts; every edge at the fan
+/// center (node 0) is heavy. The bounded-treewidth counterpart of
+/// [`heavy_hub_wheel`].
+pub fn heavy_hub_fan(
+    n: usize,
+    segment: usize,
+    light: u64,
+    heavy: u64,
+) -> (WeightedGraph, Partition) {
+    assert!(segment >= 1, "segment length must be positive");
+    let g = minex_graphs::generators::outerplanar_fan(n);
+    let weights: Vec<u64> = g
+        .edges()
+        .map(|(_, u, _)| if u == 0 { heavy } else { light })
+        .collect();
+    let mut part_sets = Vec::new();
+    let mut start = 1;
+    while start < n {
+        let end = (start + segment).min(n);
+        part_sets.push((start..end).collect::<Vec<_>>());
+        start = end;
+    }
+    let parts = Partition::new(&g, part_sets).expect("fan segments are connected");
+    (WeightedGraph::new(g, weights), parts)
+}
+
+/// Maze grid SSSP workload: a `rows × cols` grid with
+/// [`WeightModel::Bimodal`] weights (shortest paths snake around heavy
+/// edges) and `k` Voronoi parts.
+pub fn maze_grid<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    k: usize,
+    rng: &mut R,
+) -> (WeightedGraph, Partition) {
+    let g = minex_graphs::generators::grid(rows, cols);
+    let parts = voronoi_parts(&g, k, rng);
+    let wg = WeightModel::Bimodal {
+        light: 64,
+        heavy: 8192,
+        heavy_permille: 450,
+    }
+    .apply(&g, rng);
+    (wg, parts)
+}
+
+/// Maze apex grid (Theorem 8's family): a Bimodal-weighted grid plus one
+/// apex whose edges are all heavy. The apex collapses the hop diameter to
+/// `O(1)` while weighted shortest paths still take grid-scale hops — the
+/// strongest separation between hop-limited Bellman–Ford and the shortcut
+/// tier. Parts are Voronoi cells of the base grid; the apex stays
+/// unassigned.
+pub fn maze_apex_grid<R: Rng + ?Sized>(
+    side: usize,
+    stride: usize,
+    k: usize,
+    rng: &mut R,
+) -> (WeightedGraph, Partition) {
+    let (g, apex) = minex_graphs::generators::apex_grid(side, side, stride);
+    let base = WeightModel::Bimodal {
+        light: 64,
+        heavy: 8192,
+        heavy_permille: 450,
+    }
+    .apply(&g, rng);
+    let weights: Vec<u64> = g
+        .edges()
+        .map(|(e, u, v)| {
+            if u == apex || v == apex {
+                8192
+            } else {
+                base.weight(e)
+            }
+        })
+        .collect();
+    // Voronoi cells over the base grid only (the apex would otherwise make
+    // one giant cell); grid nodes keep their ids in the apex graph.
+    let grid = minex_graphs::generators::grid(side, side);
+    let seeds: Vec<NodeId> = (0..k.max(1))
+        .map(|_| rng.random_range(0..grid.n()))
+        .collect();
+    let bfs = traversal::multi_source_bfs(&grid, &seeds);
+    let mut labels: Vec<Option<usize>> = bfs.source_of.iter().map(|&s| Some(s)).collect();
+    labels.push(None); // the apex
+    let parts = Partition::from_labels(&g, &labels).expect("grid cells stay connected");
+    (WeightedGraph::new(g, weights), parts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +229,58 @@ mod tests {
         let (_, parts) = grid_row_parts(4, 7);
         assert_eq!(parts.len(), 4);
         assert_eq!(parts.part(2).len(), 7);
+    }
+
+    #[test]
+    fn heavy_hub_wheel_weights_and_parts() {
+        let (wg, parts) = heavy_hub_wheel(65, 8, 64, 4096);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts.part_of(64), None); // hub unassigned
+        let g = wg.graph();
+        for (e, u, v) in g.edges() {
+            let expect = if u == 64 || v == 64 { 4096 } else { 64 };
+            assert_eq!(wg.weight(e), expect);
+        }
+    }
+
+    #[test]
+    fn heavy_hub_fan_weights_and_parts() {
+        let (wg, parts) = heavy_hub_fan(50, 7, 64, 4096);
+        assert_eq!(parts.len(), 7);
+        assert_eq!(parts.part_of(0), None); // fan center unassigned
+        let covered: usize = parts.parts().iter().map(Vec::len).sum();
+        assert_eq!(covered, 49);
+        let g = wg.graph();
+        for (e, u, v) in g.edges() {
+            let expect = if u == 0 || v == 0 { 4096 } else { 64 };
+            assert_eq!(wg.weight(e), expect);
+        }
+    }
+
+    #[test]
+    fn maze_grid_covers_and_is_bimodal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (wg, parts) = maze_grid(8, 8, 5, &mut rng);
+        let covered: usize = parts.parts().iter().map(Vec::len).sum();
+        assert_eq!(covered, 64);
+        assert!(wg.weights().iter().all(|&w| w == 64 || w == 8192));
+    }
+
+    #[test]
+    fn maze_apex_grid_isolates_the_apex() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (wg, parts) = maze_apex_grid(8, 4, 5, &mut rng);
+        let g = wg.graph();
+        let apex = g.n() - 1;
+        assert_eq!(parts.part_of(apex), None);
+        let covered: usize = parts.parts().iter().map(Vec::len).sum();
+        assert_eq!(covered, 64);
+        // Every apex edge is heavy.
+        for (e, u, v) in g.edges() {
+            if u == apex || v == apex {
+                assert_eq!(wg.weight(e), 8192);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! E11 — SSSP tier comparison (wall-clock of the simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minex_algo::sssp::{bellman_ford_sssp, shortcut_sssp};
+use minex_algo::workloads;
+use minex_congest::CongestConfig;
+use minex_core::construct::SteinerBuilder;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_sssp");
+    group.sample_size(10);
+    let (wg, parts) = workloads::heavy_hub_wheel(256, 16, 64, 8192);
+    let config = CongestConfig::for_nodes(wg.graph().n())
+        .with_bandwidth(192)
+        .with_max_rounds(1_000_000);
+    group.bench_function("bellman_ford_wheel256", |b| {
+        b.iter(|| bellman_ford_sssp(&wg, 0, config).unwrap().stats.rounds)
+    });
+    let budget = parts.len() + 2;
+    group.bench_function("shortcut_sssp_wheel256", |b| {
+        b.iter(|| {
+            shortcut_sssp(&wg, 0, &parts, &SteinerBuilder, 0.5, budget, config)
+                .unwrap()
+                .simulated_rounds
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

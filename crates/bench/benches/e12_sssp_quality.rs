@@ -1,0 +1,25 @@
+//! E12 — scaled SSSP quality/rounds trade (wall-clock of the simulation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minex_algo::sssp::scaled_sssp;
+use minex_algo::workloads;
+use minex_congest::CongestConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_sssp_quality");
+    group.sample_size(10);
+    let (wg, _) = workloads::heavy_hub_wheel(256, 16, 64, 8192);
+    let config = CongestConfig::for_nodes(wg.graph().n())
+        .with_bandwidth(192)
+        .with_max_rounds(1_000_000);
+    for eps_pct in [10u64, 50, 100] {
+        let eps = eps_pct as f64 / 100.0;
+        group.bench_with_input(BenchmarkId::new("wheel256", eps_pct), &eps, |b, &eps| {
+            b.iter(|| scaled_sssp(&wg, 0, eps, config).unwrap().simulated_rounds())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,25 +1,54 @@
-//! Prints every experiment table (E1–E10). Pass `--full` for the larger
+//! Prints every experiment table (E1–E12). Pass `--full` for the larger
 //! sweeps used in `EXPERIMENTS.md`; name ids (e.g. `E6 E7`) to run a
-//! subset; the default is a quick pass over everything.
+//! subset; pass `--csv <dir>` to also dump each table as `<dir>/<id>.csv`
+//! so bench trajectories can be tracked across PRs.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let selected: Vec<String> = std::env::args()
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let csv_pos = args.iter().position(|a| a == "--csv");
+    let csv_dir: Option<PathBuf> = csv_pos.map(|i| {
+        let dir = args.get(i + 1).filter(|a| !a.starts_with('-'));
+        PathBuf::from(dir.unwrap_or_else(|| {
+            eprintln!("--csv requires a directory argument");
+            std::process::exit(2);
+        }))
+    });
+    let selected: Vec<&String> = args
+        .iter()
+        .enumerate()
+        // The token after --csv is the output directory, never a table id.
+        .filter(|&(i, _)| csv_pos.map_or(true, |p| i != p + 1))
+        .map(|(_, a)| a)
         .filter(|a| a.starts_with('E') && a[1..].chars().all(|c| c.is_ascii_digit()))
         .collect();
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(2);
+        });
+    }
     println!(
         "# minex experiments ({} sweep)\n",
         if full { "full" } else { "quick" }
     );
     for (id, runner) in minex_bench::experiments() {
-        if !selected.is_empty() && !selected.iter().any(|s| s == id) {
+        if !selected.is_empty() && !selected.iter().any(|s| *s == id) {
             continue;
         }
         let start = Instant::now();
         let table = runner(full);
         println!("{}", table.render());
         println!("_(computed in {:.1?})_\n", start.elapsed());
+        if let Some(dir) = &csv_dir {
+            let path = dir.join(format!("{id}.csv"));
+            std::fs::write(&path, table.to_csv()).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            });
+        }
     }
 }

@@ -17,6 +17,7 @@ use rand::SeedableRng;
 use minex_algo::baselines::{compare_mst, NoShortcutBuilder};
 use minex_algo::mincut::approx_min_cut;
 use minex_algo::partwise::partwise_min;
+use minex_algo::sssp::compare_sssp;
 use minex_algo::workloads;
 use minex_congest::CongestConfig;
 use minex_core::cells::{assign_cells, CellPartition};
@@ -33,7 +34,7 @@ use minex_graphs::{traversal, Graph, NodeId, WeightModel, WeightedGraph};
 /// A rendered experiment table.
 #[derive(Debug, Clone)]
 pub struct Table {
-    /// Experiment id (E1..E10).
+    /// Experiment id (E1..E12).
     pub id: &'static str,
     /// Human title, naming the theorem being exercised.
     pub title: String,
@@ -44,6 +45,36 @@ pub struct Table {
 }
 
 impl Table {
+    /// Renders as CSV (header row first). Fields containing commas, quotes,
+    /// or newlines are quoted per RFC 4180.
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
     /// Renders as a Markdown table with a heading.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -627,6 +658,238 @@ pub fn e10_folding_ablation(full: bool) -> Table {
     }
 }
 
+/// One E11 row: runs all three SSSP tiers via [`compare_sssp`] and formats
+/// the comparison.
+fn e11_row<B: ShortcutBuilder>(
+    family: &str,
+    wg: &WeightedGraph,
+    parts: &Partition,
+    builder: &B,
+    source: NodeId,
+    epsilon: f64,
+    max_phases: usize,
+) -> Vec<String> {
+    let g = wg.graph();
+    let cmp = compare_sssp(
+        wg,
+        source,
+        parts,
+        builder,
+        epsilon,
+        max_phases,
+        config(g.n()),
+    )
+    .expect("sssp comparison");
+    vec![
+        family.to_string(),
+        g.n().to_string(),
+        diameter(g).to_string(),
+        cmp.exact_rounds.to_string(),
+        cmp.scaled_rounds.to_string(),
+        format!("{:.3}", cmp.scaled_stretch),
+        cmp.shortcut_rounds.to_string(),
+        format!("{:.3}", cmp.shortcut_stretch),
+        cmp.shortcut_phases.to_string(),
+        if cmp.shortcut_converged { "yes" } else { "no" }.to_string(),
+    ]
+}
+
+/// Comb workload for E11: each tooth (plus its spine node) is one part.
+fn comb_parts(teeth: usize, tooth_len: usize) -> (Graph, Partition) {
+    let g = generators::comb(teeth, tooth_len);
+    let parts: Vec<Vec<NodeId>> = (0..teeth)
+        .map(|i| {
+            let mut p = vec![i];
+            p.extend(teeth + i * tooth_len..teeth + (i + 1) * tooth_len);
+            p
+        })
+        .collect();
+    let p = Partition::new(&g, parts).expect("tooth parts are connected");
+    (g, p)
+}
+
+/// E11 — SSSP rounds vs the Bellman–Ford baseline across families
+/// (the paper's third payoff problem). Heavy-hub wheels (planar) and fans
+/// (treewidth 2) are where shortest paths take `Θ(n)` hops at hop diameter
+/// 2 and the shortcut tier wins outright; maze grids, apex grids, and combs
+/// are the controls where Bellman–Ford is already hop-optimal.
+pub fn e11_sssp_rounds(full: bool) -> Table {
+    let eps = 0.5;
+    let mut rows = Vec::new();
+    // Planar heavy-hub wheels.
+    let wheels: &[(usize, usize)] = if full {
+        &[(192, 16), (256, 16), (384, 32)]
+    } else {
+        &[(192, 16), (256, 16)]
+    };
+    for &(n, seg) in wheels {
+        let (wg, parts) = workloads::heavy_hub_wheel(n, seg, 64, 8192);
+        let budget = parts.len() + 2;
+        rows.push(e11_row(
+            &format!("wheel({n},{seg})"),
+            &wg,
+            &parts,
+            &SteinerBuilder,
+            0,
+            eps,
+            budget,
+        ));
+    }
+    // Bounded-treewidth heavy-hub fans (treewidth 2).
+    let fans: &[(usize, usize)] = if full {
+        &[(192, 16), (256, 16), (320, 20)]
+    } else {
+        &[(192, 16)]
+    };
+    for &(n, seg) in fans {
+        let (wg, parts) = workloads::heavy_hub_fan(n, seg, 64, 8192);
+        let budget = parts.len() + 2;
+        rows.push(e11_row(
+            &format!("fan({n},{seg})"),
+            &wg,
+            &parts,
+            &SteinerBuilder,
+            1,
+            eps,
+            budget,
+        ));
+    }
+    // Controls: maze grid, maze apex grid, comb — Bellman–Ford rounds are
+    // already near the hop diameter there.
+    let mut rng = StdRng::seed_from_u64(11);
+    let (wg, parts) = workloads::maze_grid(12, 12, 6, &mut rng);
+    let budget = parts.len() + 2;
+    rows.push(e11_row(
+        "maze-grid(12x12)",
+        &wg,
+        &parts,
+        &AutoCappedBuilder,
+        0,
+        eps,
+        budget,
+    ));
+    if full {
+        let (wg, parts) = workloads::maze_apex_grid(16, 4, 8, &mut rng);
+        let budget = parts.len() + 2;
+        rows.push(e11_row(
+            "maze-apex(16x16)",
+            &wg,
+            &parts,
+            &AutoCappedBuilder,
+            0,
+            eps,
+            budget,
+        ));
+    }
+    let (comb, parts) = comb_parts(12, 6);
+    let wg = WeightModel::Uniform { lo: 64, hi: 512 }.apply(&comb, &mut rng);
+    let budget = parts.len() + 2;
+    rows.push(e11_row(
+        "comb(12,6)",
+        &wg,
+        &parts,
+        &SteinerBuilder,
+        0,
+        eps,
+        budget,
+    ));
+    Table {
+        id: "E11",
+        title: "SSSP rounds vs Bellman-Ford baseline (ε=0.5; wheels/fans: SP hops ≫ D)".into(),
+        headers: [
+            "family",
+            "n",
+            "D",
+            "bf rounds",
+            "scaled rounds",
+            "scaled str",
+            "shortcut rounds",
+            "shortcut str",
+            "phases",
+            "conv",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
+/// E12 — approximation quality vs ε: the scaled tier's provable `(1+ε)`
+/// bound and the shortcut tier's measured stretch under tight and generous
+/// phase budgets.
+pub fn e12_sssp_quality(full: bool) -> Table {
+    let epsilons: &[f64] = if full {
+        &[0.05, 0.1, 0.25, 0.5, 1.0]
+    } else {
+        &[0.1, 0.5, 1.0]
+    };
+    let mut rows = Vec::new();
+    let cases: Vec<(String, WeightedGraph, Partition, NodeId)> = {
+        let mut v = Vec::new();
+        let (wg, parts) = workloads::heavy_hub_wheel(256, 16, 64, 8192);
+        v.push(("wheel(256,16)".to_string(), wg, parts, 0));
+        if full {
+            let (wg, parts) = workloads::heavy_hub_fan(256, 16, 64, 8192);
+            v.push(("fan(256,16)".to_string(), wg, parts, 1));
+        }
+        v
+    };
+    for (name, wg, parts, src) in cases {
+        let reference = traversal::dijkstra(&wg, src);
+        for &eps in epsilons {
+            let scaled = minex_algo::sssp::scaled_sssp(&wg, src, eps, config(wg.graph().n()))
+                .expect("scaled sssp");
+            let scale = scaled.scale;
+            let scaled_stretch = minex_algo::sssp::max_stretch(&scaled.dist, &reference.dist);
+            for budget in [parts.len() / 2 + 1, parts.len() + 2] {
+                let out = minex_algo::sssp::shortcut_sssp(
+                    &wg,
+                    src,
+                    &parts,
+                    &SteinerBuilder,
+                    eps,
+                    budget,
+                    config(wg.graph().n()),
+                )
+                .expect("shortcut sssp");
+                let stretch = minex_algo::sssp::max_stretch(&out.dist, &reference.dist);
+                rows.push(vec![
+                    name.clone(),
+                    format!("{eps:.2}"),
+                    scale.to_string(),
+                    budget.to_string(),
+                    scaled.simulated_rounds().to_string(),
+                    format!("{scaled_stretch:.4}"),
+                    out.simulated_rounds.to_string(),
+                    format!("{stretch:.4}"),
+                    format!("{:.2}", 1.0 + eps),
+                    if out.converged { "yes" } else { "no" }.to_string(),
+                ]);
+            }
+        }
+    }
+    Table {
+        id: "E12",
+        title: "SSSP approximation quality vs ε (scaled tier provable, shortcut tier measured)"
+            .into(),
+        headers: [
+            "graph",
+            "eps",
+            "scale",
+            "budget",
+            "scaled rounds",
+            "scaled str",
+            "shortcut rounds",
+            "shortcut str",
+            "1+eps",
+            "conv",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
 /// The experiment registry: `(id, runner)` pairs, lazily invocable.
 pub fn experiments() -> Vec<(&'static str, fn(bool) -> Table)> {
     vec![
@@ -640,6 +903,8 @@ pub fn experiments() -> Vec<(&'static str, fn(bool) -> Table)> {
         ("E8", e8_aggregation),
         ("E9", e9_mincut),
         ("E10", e10_folding_ablation),
+        ("E11", e11_sssp_rounds),
+        ("E12", e12_sssp_quality),
     ]
 }
 
@@ -674,5 +939,34 @@ mod tests {
     fn quick_experiments_smoke() {
         assert!(!e1_planar_quality(false).rows.is_empty());
         assert!(!e10_folding_ablation(false).rows.is_empty());
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let t = Table {
+            id: "E0",
+            title: "demo".into(),
+            headers: vec!["a".into(), "b,c".into()],
+            rows: vec![vec!["plain".into(), "says \"hi\", twice".into()]],
+        };
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,\"b,c\"\nplain,\"says \"\"hi\"\", twice\"\n");
+    }
+
+    #[test]
+    fn e11_shortcut_tier_beats_baseline_on_hub_families() {
+        let t = e11_sssp_rounds(false);
+        assert_eq!(t.headers.len(), 10);
+        for row in &t.rows {
+            let family = &row[0];
+            let bf: usize = row[3].parse().unwrap();
+            let shortcut: usize = row[6].parse().unwrap();
+            let stretch: f64 = row[7].parse().unwrap();
+            assert!(stretch >= 1.0);
+            if family.starts_with("wheel") || family.starts_with("fan") {
+                assert!(shortcut < bf, "{family}: shortcut {shortcut} vs bf {bf}");
+                assert!(stretch <= 1.5, "{family}: stretch {stretch}");
+            }
+        }
     }
 }

@@ -24,12 +24,14 @@ impl CongestConfig {
     ///
     /// `n = 0` (an empty network) is clamped to `n = 1` so degenerate inputs
     /// still produce the same well-formed budgets as a singleton network
-    /// instead of a `bits_for(1)`-derived artifact.
+    /// instead of a `bits_for(1)`-derived artifact. At the other extreme the
+    /// round guard saturates instead of wrapping, so absurd `n` (e.g.
+    /// `usize::MAX`) yields a maximal guard rather than a tiny one.
     pub fn for_nodes(n: usize) -> Self {
         let n = n.max(1);
         CongestConfig {
-            bandwidth_bits: 8 * bits_for(n + 1).max(8),
-            max_rounds: 64 * n + 1024,
+            bandwidth_bits: 8 * bits_for(n.saturating_add(1)).max(8),
+            max_rounds: n.saturating_mul(64).saturating_add(1024),
         }
     }
 
@@ -502,6 +504,21 @@ mod tests {
         // n = 2: bits_for(3) = 2, floored to the 8-bit minimum word.
         let c2 = CongestConfig::for_nodes(2);
         assert_eq!((c2.bandwidth_bits, c2.max_rounds), (64, 1152));
+    }
+
+    #[test]
+    fn for_nodes_huge_n_saturates_instead_of_wrapping() {
+        // 64·n + 1024 would wrap for n near usize::MAX and leave a tiny (or
+        // zero) round guard; the saturating form pins it to the maximum.
+        for n in [usize::MAX, usize::MAX / 2, usize::MAX / 64 + 1] {
+            let c = CongestConfig::for_nodes(n);
+            assert_eq!(c.max_rounds, usize::MAX, "n={n}");
+            assert!(c.bandwidth_bits >= 64);
+        }
+        // Just below the saturation point the exact formula still applies.
+        let n = (usize::MAX - 1024) / 64;
+        let c = CongestConfig::for_nodes(n);
+        assert_eq!(c.max_rounds, n * 64 + 1024);
     }
 
     #[test]

@@ -137,6 +137,35 @@ pub fn spider(legs: usize, leg_len: usize) -> Graph {
     b.build()
 }
 
+/// Comb: a spine path of `teeth` nodes, each growing a pendant path
+/// ("tooth") of `tooth_len` nodes. Node ids: spine is `0..teeth`, tooth `i`
+/// occupies `teeth + i*tooth_len ..` outward from the spine.
+///
+/// A planar (indeed outerplanar) path-heavy family for the shortest-path
+/// workloads: distances are dominated by long induced paths, so each tooth
+/// makes a natural long-and-skinny part.
+///
+/// # Panics
+///
+/// Panics if `teeth == 0`.
+pub fn comb(teeth: usize, tooth_len: usize) -> Graph {
+    assert!(teeth >= 1, "comb needs at least one spine node");
+    let n = teeth * (1 + tooth_len);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..teeth.saturating_sub(1) {
+        b.add_edge(i, i + 1).expect("spine edge valid");
+    }
+    for i in 0..teeth {
+        let mut prev = i;
+        for j in 0..tooth_len {
+            let next = teeth + i * tooth_len + j;
+            b.add_edge(prev, next).expect("tooth edge valid");
+            prev = next;
+        }
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +232,27 @@ mod tests {
         assert_eq!(g.n(), 13);
         assert_eq!(g.degree(0), 3);
         assert_eq!(diameter_exact(&g), Some(8));
+    }
+
+    #[test]
+    fn comb_shape() {
+        let g = comb(5, 3);
+        assert_eq!((g.n(), g.m()), (20, 19));
+        assert!(is_connected(&g));
+        // Tree: m = n - 1. Diameter: tooth + spine + tooth = 3 + 4 + 3.
+        assert_eq!(diameter_exact(&g), Some(10));
+        // Spine interior nodes have degree 3 (two spine, one tooth).
+        assert_eq!(g.degree(2), 3);
+        // Tooth tips have degree 1.
+        assert_eq!(g.degree(5 + 2), 1);
+    }
+
+    #[test]
+    fn comb_degenerate() {
+        let g = comb(1, 0);
+        assert_eq!((g.n(), g.m()), (1, 0));
+        let g = comb(4, 0);
+        assert_eq!((g.n(), g.m()), (4, 3));
     }
 
     #[test]

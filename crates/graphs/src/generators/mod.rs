@@ -16,8 +16,8 @@ mod surfaces;
 
 pub use adversarial::{erdos_renyi, lower_bound_family, random_connected, LowerBoundLayout};
 pub use basic::{
-    binary_tree, complete, complete_bipartite, cycle, hypercube, path, random_tree, spider, star,
-    wheel,
+    binary_tree, comb, complete, complete_bipartite, cycle, hypercube, path, random_tree, spider,
+    star, wheel,
 };
 pub use minor_free::{
     add_apex, add_random_apices, add_vortex, apex_grid, find_cliques, random_clique_sum,

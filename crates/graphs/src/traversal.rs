@@ -1,8 +1,9 @@
 //! Breadth-first search, connectivity, and distance utilities.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Graph, NodeId, WeightedGraph};
 
 /// The result of a (multi-source) BFS: distances and BFS-tree parents.
 #[derive(Debug, Clone)]
@@ -205,6 +206,70 @@ pub fn diameter_double_sweep(g: &Graph) -> Option<usize> {
     Some(second.eccentricity())
 }
 
+/// The result of a sequential Dijkstra run: the weighted-distance reference
+/// for every distributed SSSP tier in `minex-algo`.
+#[derive(Debug, Clone)]
+pub struct DijkstraResult {
+    /// `dist[v]` is the weighted distance from the source, or `u64::MAX` if
+    /// `v` is unreachable.
+    pub dist: Vec<u64>,
+    /// `parent[v]` is the shortest-path-tree parent, `None` for the source
+    /// and unreachable nodes.
+    pub parent: Vec<Option<NodeId>>,
+}
+
+impl DijkstraResult {
+    /// Whether node `v` was reached.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.dist[v] != u64::MAX
+    }
+}
+
+/// Sequential Dijkstra from `src` — the centralized correctness reference
+/// for the distributed SSSP algorithms.
+///
+/// Weights may be zero; ties are broken deterministically by node id (the
+/// binary heap pops the smallest `(distance, node)` pair).
+///
+/// # Panics
+///
+/// Panics if `src >= g.n()`.
+///
+/// # Examples
+///
+/// ```
+/// use minex_graphs::{traversal, Graph, WeightedGraph};
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+/// // Edge ids are sorted by endpoints: (0,1)=0, (0,2)=1, (1,2)=2.
+/// let wg = WeightedGraph::new(g, vec![1, 10, 2]);
+/// let d = traversal::dijkstra(&wg, 0);
+/// assert_eq!(d.dist, vec![0, 1, 3]);
+/// assert_eq!(d.parent[2], Some(1));
+/// ```
+pub fn dijkstra(wg: &WeightedGraph, src: NodeId) -> DijkstraResult {
+    let g = wg.graph();
+    assert!(src < g.n(), "source {src} out of range");
+    let mut dist = vec![u64::MAX; g.n()];
+    let mut parent = vec![None; g.n()];
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    dist[src] = 0;
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v] {
+            continue;
+        }
+        for (w, e) in g.neighbors(v) {
+            let cand = d.saturating_add(wg.weight(e));
+            if cand < dist[w] {
+                dist[w] = cand;
+                parent[w] = Some(v);
+                heap.push(Reverse((cand, w)));
+            }
+        }
+    }
+    DijkstraResult { dist, parent }
+}
+
 /// Single-source shortest path distances restricted to a subgraph given by an
 /// edge mask: only edges `e` with `allowed[e] == true` may be traversed.
 pub fn bfs_masked(g: &Graph, src: NodeId, allowed: &[bool]) -> Vec<usize> {
@@ -294,6 +359,47 @@ mod tests {
         let disc = Graph::from_edges(3, [(0, 1)]).unwrap();
         assert_eq!(diameter_exact(&disc), None);
         assert_eq!(diameter_double_sweep(&disc), None);
+    }
+
+    #[test]
+    fn dijkstra_on_weighted_cycle() {
+        let g = generators::cycle(5);
+        // Edges sorted: (0,1)=0, (0,4)=1, (1,2)=2, (2,3)=3, (3,4)=4.
+        let wg = WeightedGraph::new(g, vec![1, 10, 1, 1, 1]);
+        let r = dijkstra(&wg, 0);
+        // Going the long way round (total 4) beats the weight-10 edge.
+        assert_eq!(r.dist, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.parent[4], Some(3));
+        assert_eq!(r.parent[0], None);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_and_unit_matches_bfs() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let wg = WeightedGraph::unit(g.clone());
+        let r = dijkstra(&wg, 0);
+        assert!(!r.reached(2));
+        assert_eq!(r.dist[2], u64::MAX);
+        assert_eq!(r.parent[2], None);
+        let grid = generators::triangulated_grid(5, 6);
+        let r2 = dijkstra(&WeightedGraph::unit(grid.clone()), 3);
+        let b = bfs(&grid, 3);
+        for v in 0..grid.n() {
+            assert_eq!(r2.dist[v], b.dist[v] as u64);
+        }
+    }
+
+    #[test]
+    fn dijkstra_tree_edges_realize_distances() {
+        let g = generators::triangulated_grid(4, 5);
+        let weights: Vec<u64> = (0..g.m() as u64).map(|e| 1 + (e * 7) % 13).collect();
+        let wg = WeightedGraph::new(g.clone(), weights);
+        let r = dijkstra(&wg, 0);
+        for v in 1..g.n() {
+            let p = r.parent[v].expect("connected");
+            let e = g.edge_between(p, v).expect("tree edge exists");
+            assert_eq!(r.dist[p] + wg.weight(e), r.dist[v]);
+        }
     }
 
     #[test]

@@ -20,6 +20,22 @@ pub enum WeightModel {
     /// A random permutation of `1..=m` — all weights distinct, which makes
     /// the MST unique and exercises Borůvka worst cases.
     DistinctShuffled,
+    /// Maze weights: each edge is independently `light` or `heavy`, with
+    /// `heavy_permille`/1000 probability of `heavy`. With a large
+    /// `heavy/light` ratio, shortest paths snake around heavy edges and use
+    /// far more hops than BFS paths — the workload where hop-limited
+    /// Bellman–Ford is slow and shortcut-accelerated SSSP shines (E11).
+    ///
+    /// Keeping `light` well above 1 also gives the `(1+ε)` scaled SSSP tiers
+    /// room to round weights: a scale of `⌊ε·light⌋` stays relatively small.
+    Bimodal {
+        /// Weight of a light (common-case) edge; must be positive.
+        light: u64,
+        /// Weight of a heavy (obstacle) edge; must be `>= light`.
+        heavy: u64,
+        /// Probability of an edge being heavy, in thousandths (0..=1000).
+        heavy_permille: u16,
+    },
 }
 
 impl WeightModel {
@@ -49,6 +65,24 @@ impl WeightModel {
                 let mut ws: Vec<u64> = (1..=m as u64).collect();
                 ws.shuffle(rng);
                 ws
+            }
+            WeightModel::Bimodal {
+                light,
+                heavy,
+                heavy_permille,
+            } => {
+                assert!(light > 0, "light weight must be positive");
+                assert!(light <= heavy, "light must not exceed heavy");
+                assert!(heavy_permille <= 1000, "heavy_permille is out of 1000");
+                (0..m)
+                    .map(|_| {
+                        if rng.random_range(0..1000) < heavy_permille as usize {
+                            heavy
+                        } else {
+                            light
+                        }
+                    })
+                    .collect()
             }
         };
         WeightedGraph::new(g.clone(), weights)
@@ -94,6 +128,55 @@ mod tests {
         let a = WeightModel::Uniform { lo: 0, hi: 100 }.apply(&g, &mut StdRng::seed_from_u64(9));
         let b = WeightModel::Uniform { lo: 0, hi: 100 }.apply(&g, &mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bimodal_uses_both_modes() {
+        let g = generators::triangulated_grid(8, 8);
+        let mut rng = StdRng::seed_from_u64(11);
+        let wg = WeightModel::Bimodal {
+            light: 64,
+            heavy: 8192,
+            heavy_permille: 450,
+        }
+        .apply(&g, &mut rng);
+        assert!(wg.weights().iter().all(|&w| w == 64 || w == 8192));
+        let heavies = wg.weights().iter().filter(|&&w| w == 8192).count();
+        // 45% of ~180 edges: comfortably away from 0 and m.
+        assert!(heavies > g.m() / 5 && heavies < 4 * g.m() / 5);
+    }
+
+    #[test]
+    fn bimodal_extremes() {
+        let g = generators::path(6);
+        let mut rng = StdRng::seed_from_u64(0);
+        let all_light = WeightModel::Bimodal {
+            light: 3,
+            heavy: 9,
+            heavy_permille: 0,
+        }
+        .apply(&g, &mut rng);
+        assert!(all_light.weights().iter().all(|&w| w == 3));
+        let all_heavy = WeightModel::Bimodal {
+            light: 3,
+            heavy: 9,
+            heavy_permille: 1000,
+        }
+        .apply(&g, &mut rng);
+        assert!(all_heavy.weights().iter().all(|&w| w == 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "light must not exceed heavy")]
+    fn bimodal_validates_order() {
+        let g = generators::path(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = WeightModel::Bimodal {
+            light: 10,
+            heavy: 2,
+            heavy_permille: 500,
+        }
+        .apply(&g, &mut rng);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! * [`congest`] — the CONGEST-model simulator;
 //! * [`decomp`] — tree decompositions, clique-sum trees, folding;
 //! * [`core`] — the shortcut framework and constructions;
-//! * [`algo`] — part-wise aggregation, MST, min-cut, baselines.
+//! * [`algo`] — part-wise aggregation, MST, min-cut, SSSP, baselines.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
