@@ -70,9 +70,9 @@ pub fn connected_components<B: ShortcutBuilder>(
             let agg = partwise_min(g, &parts, &shortcut, &ids, bits_for(n.max(2)), config)?;
             rounds += agg.stats.rounds;
             let mut label = vec![0usize; n];
-            for v in 0..n {
+            for (v, slot) in label.iter_mut().enumerate() {
                 let p = parts.part_of(v).expect("all nodes in fragments");
-                label[v] = agg.minima[p] as usize;
+                *slot = agg.minima[p] as usize;
             }
             forest.sort_unstable();
             forest.dedup();
@@ -87,10 +87,10 @@ pub fn connected_components<B: ShortcutBuilder>(
         let shortcut = build_per_component(g, &comp_of, comp_count, builder, &parts);
         // Candidate: minimum-id incident edge leaving the fragment.
         let mut values = vec![u64::MAX; n];
-        for v in 0..n {
+        for (v, value) in values.iter_mut().enumerate() {
             for (w, e) in g.neighbors(v) {
                 if uf.find(v) != uf.find(w) {
-                    values[v] = values[v].min(e as u64);
+                    *value = (*value).min(e as u64);
                 }
             }
         }

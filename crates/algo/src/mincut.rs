@@ -67,8 +67,7 @@ pub fn stoer_wagner(wg: &WeightedGraph) -> u64 {
         best = best.min(cut_of_phase);
         // Merge t into s.
         let (vs, vt) = (active[s], active[t]);
-        for i in 0..k {
-            let vi = active[i];
+        for &vi in &active {
             if vi != vs && vi != vt {
                 w[vs][vi] += w[vt][vi];
                 w[vi][vs] = w[vs][vi];

@@ -102,12 +102,12 @@ pub fn boruvka_mst<B: ShortcutBuilder>(
         charged += quality * log_n;
         // Per-node candidate: lightest incident edge leaving the fragment.
         let mut values = vec![u64::MAX; n];
-        for v in 0..n {
+        for (v, value) in values.iter_mut().enumerate() {
             for (w, e) in g.neighbors(v) {
                 if uf.find(v) != uf.find(w) {
                     let enc = encode(wg.weight(e), e, m);
-                    if enc < values[v] {
-                        values[v] = enc;
+                    if enc < *value {
+                        *value = enc;
                     }
                 }
             }

@@ -92,8 +92,8 @@ pub fn pipelined_convergecast(
     assert_eq!(items.len(), g.n(), "one item list per node");
     let mut child_count = vec![0usize; g.n()];
     let mut root = None;
-    for v in 0..g.n() {
-        match parent[v] {
+    for (v, pv) in parent.iter().enumerate() {
+        match *pv {
             Some(p) => child_count[p] += 1,
             None => root = Some(v),
         }
@@ -167,6 +167,10 @@ impl NodeProgram for DownNode {
 /// pipeline the count is announced with the phase kickoff; charging it is
 /// one extra broadcast of a single number, absorbed in the `O(D)` term).
 ///
+/// Per-node delivery lists produced by [`pipelined_broadcast`]: for each
+/// node, the `(key, value)` items it received, in arrival order.
+pub type DeliveredItems = Vec<Vec<(u64, u64)>>;
+
 /// # Errors
 ///
 /// Propagates [`SimError`].
@@ -176,12 +180,12 @@ pub fn pipelined_broadcast(
     items: &[(u64, u64)],
     item_bits: usize,
     config: CongestConfig,
-) -> Result<(Vec<Vec<(u64, u64)>>, RunStats), SimError> {
+) -> Result<(DeliveredItems, RunStats), SimError> {
     assert_eq!(parent.len(), g.n(), "one parent entry per node");
     let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); g.n()];
     let mut root = None;
-    for v in 0..g.n() {
-        match parent[v] {
+    for (v, pv) in parent.iter().enumerate() {
+        match *pv {
             Some(p) => children[p].push(v),
             None => root = Some(v),
         }

@@ -315,7 +315,7 @@ impl NodeProgram for ChannelFloodNode {
                 .expect("non-empty queue");
             self.pending[li].remove(&channel);
             // Drop values a better flood already beat.
-            if self.best.get(&channel).map_or(false, |&b| b < value) {
+            if self.best.get(&channel).is_some_and(|&b| b < value) {
                 continue;
             }
             let to = self.links[li].0;
@@ -705,8 +705,8 @@ mod tests {
         let (best, stats) =
             channel_distance_flood(&wg, &parts, &shortcut, &[(4, 0, 0)], 24, cfg(g.n())).unwrap();
         let d = traversal::dijkstra(&wg, 4);
-        for v in 0..g.n() {
-            assert_eq!(best[v][&0], d.dist[v], "node {v}");
+        for (v, channels) in best.iter().enumerate() {
+            assert_eq!(channels[&0], d.dist[v], "node {v}");
         }
         assert!(stats.rounds > 0);
     }

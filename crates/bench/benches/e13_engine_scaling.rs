@@ -1,0 +1,42 @@
+//! E13 — engine scaling: wall-clock of one Bellman–Ford workload per family
+//! under the sequential and multi-threaded engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minex_algo::sssp::bellman_ford_sssp;
+use minex_algo::workloads;
+use minex_congest::CongestConfig;
+use minex_graphs::{generators, WeightModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_engine_scaling");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(13);
+    let grid =
+        WeightModel::DistinctShuffled.apply(&generators::triangulated_grid(48, 48), &mut rng);
+    let (maze, _) = workloads::maze_grid(32, 32, 8, &mut rng);
+    for (family, wg) in [("tri_grid_48", &grid), ("maze_32", &maze)] {
+        let config = CongestConfig::for_nodes(wg.graph().n())
+            .with_bandwidth(192)
+            .with_max_rounds(2_000_000);
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(family, threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        bellman_ford_sssp(wg, 0, config.with_threads(threads))
+                            .unwrap()
+                            .stats
+                            .rounds
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

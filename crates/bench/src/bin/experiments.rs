@@ -1,27 +1,54 @@
-//! Prints every experiment table (E1–E12). Pass `--full` for the larger
+//! Prints every experiment table (E1–E13). Pass `--full` for the larger
 //! sweeps used in `EXPERIMENTS.md`; name ids (e.g. `E6 E7`) to run a
 //! subset; pass `--csv <dir>` to also dump each table as `<dir>/<id>.csv`
-//! so bench trajectories can be tracked across PRs.
+//! so bench trajectories can be tracked across PRs; `--threads <n>` runs
+//! every simulation on the n-worker engine (0 = all cores; results are
+//! byte-identical to the sequential engine, only wall time changes);
+//! `--perf-json <file>` writes a machine-readable wall-time summary
+//! (`BENCH_pr.json` in CI).
 
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Extracts the value following `--flag`, erroring out if it is missing or
+/// looks like another flag.
+fn flag_value(args: &[String], pos: usize, flag: &str) -> String {
+    match args.get(pos + 1).filter(|a| !a.starts_with('-')) {
+        Some(v) => v.clone(),
+        None => {
+            eprintln!("{flag} requires an argument");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let csv_pos = args.iter().position(|a| a == "--csv");
-    let csv_dir: Option<PathBuf> = csv_pos.map(|i| {
-        let dir = args.get(i + 1).filter(|a| !a.starts_with('-'));
-        PathBuf::from(dir.unwrap_or_else(|| {
-            eprintln!("--csv requires a directory argument");
+    let csv_dir: Option<PathBuf> = csv_pos.map(|i| PathBuf::from(flag_value(&args, i, "--csv")));
+    let perf_pos = args.iter().position(|a| a == "--perf-json");
+    let perf_path: Option<PathBuf> =
+        perf_pos.map(|i| PathBuf::from(flag_value(&args, i, "--perf-json")));
+    let threads_pos = args.iter().position(|a| a == "--threads");
+    let threads: Option<usize> = threads_pos.map(|i| {
+        let raw = flag_value(&args, i, "--threads");
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("--threads requires an integer, got {raw:?}");
             std::process::exit(2);
-        }))
+        })
     });
+    let value_positions: Vec<usize> = [csv_pos, perf_pos, threads_pos]
+        .iter()
+        .flatten()
+        .map(|p| p + 1)
+        .collect();
     let selected: Vec<&String> = args
         .iter()
         .enumerate()
-        // The token after --csv is the output directory, never a table id.
-        .filter(|&(i, _)| csv_pos.map_or(true, |p| i != p + 1))
+        // Tokens after --csv/--perf-json/--threads are values, never ids.
+        .filter(|(i, _)| !value_positions.contains(i))
         .map(|(_, a)| a)
         .filter(|a| a.starts_with('E') && a[1..].chars().all(|c| c.is_ascii_digit()))
         .collect();
@@ -31,24 +58,72 @@ fn main() {
             std::process::exit(2);
         });
     }
-    println!(
-        "# minex experiments ({} sweep)\n",
-        if full { "full" } else { "quick" }
-    );
-    for (id, runner) in minex_bench::experiments() {
-        if !selected.is_empty() && !selected.iter().any(|s| *s == id) {
-            continue;
-        }
-        let start = Instant::now();
-        let table = runner(full);
-        println!("{}", table.render());
-        println!("_(computed in {:.1?})_\n", start.elapsed());
-        if let Some(dir) = &csv_dir {
-            let path = dir.join(format!("{id}.csv"));
-            std::fs::write(&path, table.to_csv()).unwrap_or_else(|e| {
-                eprintln!("cannot write {}: {e}", path.display());
+    // Fail on an unwritable perf path now, not after the whole sweep ran.
+    if let Some(path) = &perf_path {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                eprintln!("cannot create {}: {e}", parent.display());
                 std::process::exit(2);
             });
         }
+    }
+    println!(
+        "# minex experiments ({} sweep{})\n",
+        if full { "full" } else { "quick" },
+        threads.map_or(String::new(), |t| format!(", {t}-thread engine")),
+    );
+    let run = || {
+        let mut perf: Vec<(&'static str, f64)> = Vec::new();
+        for (id, runner) in minex_bench::experiments() {
+            if !selected.is_empty() && !selected.iter().any(|s| *s == id) {
+                continue;
+            }
+            let start = Instant::now();
+            let table = runner(full);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            println!("{}", table.render());
+            println!("_(computed in {wall_ms:.1}ms)_\n");
+            perf.push((id, wall_ms));
+            if let Some(dir) = &csv_dir {
+                let path = dir.join(format!("{id}.csv"));
+                std::fs::write(&path, table.to_csv()).unwrap_or_else(|e| {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    std::process::exit(2);
+                });
+            }
+        }
+        perf
+    };
+    let perf = match threads {
+        Some(t) => minex_bench::with_engine_threads(t, run),
+        None => run(),
+    };
+    if let Some(path) = &perf_path {
+        let mut json = String::from("{\n");
+        let _ = writeln!(
+            json,
+            "  \"mode\": \"{}\",",
+            if full { "full" } else { "quick" }
+        );
+        let _ = writeln!(
+            json,
+            "  \"threads\": {},",
+            threads.map_or("null".into(), |t| t.to_string())
+        );
+        let total: f64 = perf.iter().map(|(_, ms)| ms).sum();
+        let _ = writeln!(json, "  \"total_wall_ms\": {total:.1},");
+        json.push_str("  \"experiments\": [\n");
+        for (i, (id, ms)) in perf.iter().enumerate() {
+            let comma = if i + 1 < perf.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    {{\"id\": \"{id}\", \"wall_ms\": {ms:.1}}}{comma}"
+            );
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        });
     }
 }

@@ -9,7 +9,9 @@
 
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,7 +36,7 @@ use minex_graphs::{traversal, Graph, NodeId, WeightModel, WeightedGraph};
 /// A rendered experiment table.
 #[derive(Debug, Clone)]
 pub struct Table {
-    /// Experiment id (E1..E12).
+    /// Experiment id (E1..E13).
     pub id: &'static str,
     /// Human title, naming the theorem being exercised.
     pub title: String,
@@ -96,10 +98,36 @@ impl Table {
     }
 }
 
+thread_local! {
+    /// Per-thread engine override consulted by [`config`]; see
+    /// [`with_engine_threads`].
+    static ENGINE_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with every simulator config built by this crate pinned to
+/// `threads` engine workers, overriding the `MINEX_THREADS` default.
+///
+/// Used by the `experiments --threads` flag and by the engine-equivalence
+/// tests that re-run whole experiment tables on both engines. The override
+/// is scoped to the current thread, so concurrently running tests cannot
+/// race each other.
+pub fn with_engine_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    ENGINE_THREADS.with(|cell| {
+        let prev = cell.replace(Some(threads));
+        let out = f();
+        cell.set(prev);
+        out
+    })
+}
+
 fn config(n: usize) -> CongestConfig {
-    CongestConfig::for_nodes(n)
+    let config = CongestConfig::for_nodes(n)
         .with_bandwidth(192)
-        .with_max_rounds(2_000_000)
+        .with_max_rounds(2_000_000);
+    match ENGINE_THREADS.with(Cell::get) {
+        Some(threads) => config.with_threads(threads),
+        None => config,
+    }
 }
 
 fn diameter(g: &Graph) -> usize {
@@ -890,10 +918,91 @@ pub fn e12_sssp_quality(full: bool) -> Table {
     }
 }
 
+/// E13 — engine scaling: wall-clock throughput (rounds/sec) of the CONGEST
+/// execution engine vs thread count on the largest benchmarked families
+/// (planar triangulated grid, k-tree, maze grid), with `RunStats` equality
+/// across engines asserted on every row.
+///
+/// The timing columns are machine-dependent, so E13 is **excluded from the
+/// golden-CSV regression gate** (`expected/` holds E1–E12 only). Speedups
+/// only materialize on multicore hardware; on a single-core box the extra
+/// thread counts measure pure engine overhead.
+pub fn e13_engine_scaling(full: bool) -> Table {
+    let thread_counts: &[usize] = if full { &[1, 2, 4, 8] } else { &[1, 2, 4] };
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut cases: Vec<(String, WeightedGraph)> = Vec::new();
+    let side = if full { 96 } else { 64 };
+    cases.push((
+        format!("tri-grid {side}x{side}"),
+        WeightModel::DistinctShuffled.apply(&generators::triangulated_grid(side, side), &mut rng),
+    ));
+    let kn = if full { 8192 } else { 4096 };
+    let (kt, _) = generators::k_tree(kn, 3, &mut rng);
+    cases.push((
+        format!("k-tree({kn},3)"),
+        WeightModel::DistinctShuffled.apply(&kt, &mut rng),
+    ));
+    let mside = if full { 64 } else { 32 };
+    let (mg, _) = workloads::maze_grid(mside, mside, 8, &mut rng);
+    cases.push((format!("maze {mside}x{mside}"), mg));
+    let mut rows = Vec::new();
+    for (family, wg) in cases {
+        let n = wg.graph().n();
+        let mut reference = None;
+        let mut base_secs = f64::NAN;
+        for &threads in thread_counts {
+            let start = Instant::now();
+            let out = minex_algo::sssp::bellman_ford_sssp(&wg, 0, config(n).with_threads(threads))
+                .expect("bellman-ford");
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            match reference {
+                None => {
+                    reference = Some(out.stats);
+                    base_secs = secs;
+                }
+                Some(r) => assert_eq!(
+                    r, out.stats,
+                    "{family}: engine stats diverge at {threads} threads"
+                ),
+            }
+            rows.push(vec![
+                family.clone(),
+                n.to_string(),
+                threads.to_string(),
+                out.stats.rounds.to_string(),
+                out.stats.messages.to_string(),
+                format!("{:.1}", secs * 1e3),
+                format!("{:.1}", out.stats.rounds as f64 / secs / 1e3),
+                format!("{:.2}", base_secs / secs),
+            ]);
+        }
+    }
+    Table {
+        id: "E13",
+        title: "Engine scaling: rounds/sec vs threads (byte-identical RunStats asserted)".into(),
+        headers: [
+            "family",
+            "n",
+            "threads",
+            "rounds",
+            "messages",
+            "wall ms",
+            "krounds/s",
+            "speedup",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
+/// An experiment runner: `full` selects the larger parameter sweep.
+pub type ExperimentFn = fn(bool) -> Table;
+
 /// The experiment registry: `(id, runner)` pairs, lazily invocable.
-pub fn experiments() -> Vec<(&'static str, fn(bool) -> Table)> {
+pub fn experiments() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("E1", e1_planar_quality as fn(bool) -> Table),
+        ("E1", e1_planar_quality as ExperimentFn),
         ("E2", e2_treewidth),
         ("E3", e3_clique_sum),
         ("E4", e4_genus_vortex),
@@ -905,6 +1014,7 @@ pub fn experiments() -> Vec<(&'static str, fn(bool) -> Table)> {
         ("E10", e10_folding_ablation),
         ("E11", e11_sssp_rounds),
         ("E12", e12_sssp_quality),
+        ("E13", e13_engine_scaling),
     ]
 }
 

@@ -9,6 +9,13 @@
 //! bits and per-edge-per-round uniqueness is checked — so the *round counts*
 //! it reports are the model's true cost measure.
 //!
+//! Two execution engines share those semantics: the sequential round loop
+//! (default) and a deterministic multi-threaded engine selected via
+//! [`CongestConfig::with_threads`] (or the `MINEX_THREADS` environment
+//! variable). Successful runs are byte-identical across engines —
+//! [`RunStats`], program outputs, and the error *selection* on failing runs
+//! (see [`run`]); threads only trade wall-clock time.
+//!
 //! ## Example
 //!
 //! ```
@@ -25,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 mod message;
+mod parallel;
 pub mod primitives;
 mod program;
 mod runtime;

@@ -422,8 +422,8 @@ pub fn convergecast_sum(
     assert_eq!(values.len(), g.n(), "value vector must cover all nodes");
     let mut child_count = vec![0usize; g.n()];
     let mut roots = 0;
-    for v in 0..g.n() {
-        match parent[v] {
+    for (v, pv) in parent.iter().enumerate() {
+        match *pv {
             Some(p) => {
                 assert!(
                     g.has_edge(v, p),
@@ -496,8 +496,8 @@ pub fn broadcast_down_tree(
     assert_eq!(parent.len(), g.n(), "parent vector must cover all nodes");
     let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); g.n()];
     let mut root = None;
-    for v in 0..g.n() {
-        match parent[v] {
+    for (v, pv) in parent.iter().enumerate() {
+        match *pv {
             Some(p) => children[p].push(v),
             None => {
                 assert!(root.is_none(), "exactly one root required");
@@ -598,7 +598,7 @@ mod tests {
     fn convergecast_rejects_forests() {
         let g = generators::path(4);
         let parent = vec![None, Some(0), None, Some(2)];
-        let _ = convergecast_sum(&g, &parent, &vec![1; 4], cfg(4));
+        let _ = convergecast_sum(&g, &parent, &[1; 4], cfg(4));
     }
 
     #[test]

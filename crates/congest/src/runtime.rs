@@ -15,12 +15,33 @@ pub struct CongestConfig {
     pub bandwidth_bits: usize,
     /// Abort the run after this many rounds (guards against livelock).
     pub max_rounds: usize,
+    /// Worker threads for the execution engine: `1` runs the sequential
+    /// engine, larger values shard each round across that many workers, and
+    /// `0` resolves to the machine's available parallelism. Both engines
+    /// produce byte-identical [`RunStats`], program outputs, and errors.
+    pub threads: usize,
+}
+
+/// The process-wide default thread count used by
+/// [`CongestConfig::for_nodes`]: the `MINEX_THREADS` environment variable if
+/// set to a parseable integer (read once, at first use), else `1`.
+fn default_threads() -> usize {
+    static ENV_DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *ENV_DEFAULT.get_or_init(|| {
+        std::env::var("MINEX_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(1)
+    })
 }
 
 impl CongestConfig {
     /// The standard model parameters for an `n`-node network:
     /// `B = 8·⌈log₂(n+1)⌉` bits (a generous constant, enough for a tagged
-    /// id/weight pair) and a `64·n + 1024` round guard.
+    /// id/weight pair) and a `64·n + 1024` round guard. The engine thread
+    /// count defaults to the `MINEX_THREADS` environment variable (else 1),
+    /// so a test matrix can exercise the parallel engine without touching
+    /// call sites.
     ///
     /// `n = 0` (an empty network) is clamped to `n = 1` so degenerate inputs
     /// still produce the same well-formed budgets as a singleton network
@@ -32,6 +53,7 @@ impl CongestConfig {
         CongestConfig {
             bandwidth_bits: 8 * bits_for(n.saturating_add(1)).max(8),
             max_rounds: n.saturating_mul(64).saturating_add(1024),
+            threads: default_threads(),
         }
     }
 
@@ -46,9 +68,32 @@ impl CongestConfig {
         self.max_rounds = rounds;
         self
     }
+
+    /// Overrides the engine thread count (`1` = sequential engine, `0` =
+    /// available parallelism). Results are identical either way; threads only
+    /// trade wall-clock time.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker count the engine will actually use: `0` resolves to
+    /// [`std::thread::available_parallelism`] (or 1 if that is unknowable).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.threads
+        }
+    }
 }
 
 /// Cost and volume statistics of a completed run.
+///
+/// Every counter is **engine-independent**: the sequential and the
+/// multi-threaded engine produce byte-identical `RunStats` for the same
+/// graph, programs, and config — [`threads`](CongestConfig::threads) only
+/// changes wall-clock time, never what is measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunStats {
     /// Number of synchronous rounds executed until global quiescence.
@@ -123,30 +168,121 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
+/// Per-sender send validation shared by both engines, so the CONGEST
+/// constraints are checked in exactly the same order (neighborship, then
+/// per-edge-per-round uniqueness, then bandwidth) regardless of engine.
+#[derive(Debug)]
+pub(crate) struct SendValidator {
+    /// Destinations already used by the current sender this round.
+    seen_dest: Vec<bool>,
+    /// The set bits of `seen_dest`, for O(degree) reset.
+    used: Vec<NodeId>,
+}
+
+impl SendValidator {
+    pub(crate) fn new(n: usize) -> Self {
+        SendValidator {
+            seen_dest: vec![false; n],
+            used: Vec::new(),
+        }
+    }
+
+    /// Validates one queued send of `bits` bits from `from` to `to`.
+    #[inline]
+    pub(crate) fn check(
+        &mut self,
+        graph: &Graph,
+        config: &CongestConfig,
+        from: NodeId,
+        to: NodeId,
+        bits: usize,
+    ) -> Result<(), SimError> {
+        if graph.edge_between(from, to).is_none() {
+            return Err(SimError::NotANeighbor { from, to });
+        }
+        if self.seen_dest[to] {
+            return Err(SimError::DuplicateSend { from, to });
+        }
+        self.seen_dest[to] = true;
+        self.used.push(to);
+        if bits > config.bandwidth_bits {
+            return Err(SimError::BandwidthExceeded {
+                from,
+                to,
+                bits,
+                budget: config.bandwidth_bits,
+            });
+        }
+        Ok(())
+    }
+
+    /// Clears the per-sender state; call once the sender's outbox is drained.
+    #[inline]
+    pub(crate) fn finish_sender(&mut self) {
+        for &to in &self.used {
+            self.seen_dest[to] = false;
+        }
+        self.used.clear();
+    }
+}
+
 /// Runs one node program per node until global quiescence: every program
 /// reports [`NodeProgram::is_done`] and no messages are in flight.
 ///
 /// Returns the run statistics. Programs can be inspected afterwards to
 /// extract their outputs.
 ///
+/// [`CongestConfig::threads`] selects the execution engine: `1` (the
+/// default) is the sequential round loop, anything larger shards each round
+/// across that many worker threads. On every successful run the engines are
+/// observationally identical — same `RunStats`, same program states — because
+/// CONGEST rounds are embarrassingly parallel: every node reads only its own
+/// inbox and writes only its own outbox, and the parallel engine merges
+/// outboxes into the next round's inboxes in node-id order.
+///
 /// # Errors
 ///
 /// Returns a [`SimError`] if a program violates the CONGEST constraints or
-/// the round guard fires.
+/// the round guard fires. Error selection is deterministic on both engines:
+/// the violation with the smallest sender id (and, within one sender, the
+/// earliest queued message) is the one reported. After an `Err`, though,
+/// the *program states* are engine-dependent (the sequential engine stops
+/// mid-round at the offender; a parallel run's other shards finish their
+/// nodes first) — only inspect `programs` after an `Ok`.
 ///
 /// # Panics
 ///
 /// Panics if `programs.len() != graph.n()`.
-pub fn run<P: NodeProgram>(
+pub fn run<P>(
     graph: &Graph,
     programs: &mut [P],
     config: CongestConfig,
-) -> Result<RunStats, SimError> {
+) -> Result<RunStats, SimError>
+where
+    P: NodeProgram + Send,
+    P::Msg: Send,
+{
     assert_eq!(
         programs.len(),
         graph.n(),
         "one program per node is required"
     );
+    // More workers than nodes cannot help; empty networks and singletons
+    // always take the sequential path.
+    let threads = config.resolved_threads().min(graph.n().max(1));
+    if threads <= 1 {
+        run_sequential(graph, programs, config)
+    } else {
+        crate::parallel::run_parallel(graph, programs, config, threads)
+    }
+}
+
+/// The single-threaded engine: the reference semantics.
+fn run_sequential<P: NodeProgram>(
+    graph: &Graph,
+    programs: &mut [P],
+    config: CongestConfig,
+) -> Result<RunStats, SimError> {
     let n = graph.n();
     let mut stats = RunStats::default();
     // Batched delivery via double-buffered inboxes: `inboxes[v]` holds the
@@ -157,9 +293,7 @@ pub fn run<P: NodeProgram>(
     let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
     let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
     let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
-    // Tracks (from) -> set of destinations used this round, reset per node.
-    let mut seen_dest: Vec<bool> = vec![false; n];
-    let mut used: Vec<NodeId> = Vec::new();
+    let mut validator = SendValidator::new(n);
     for round in 0..config.max_rounds {
         let mut any_message = false;
         for v in 0..n {
@@ -177,34 +311,16 @@ pub fn run<P: NodeProgram>(
             // for the swap two rounds from now.
             inboxes[v].clear();
             // Validate and enqueue.
-            used.clear();
             for (to, msg) in outbox.drain(..) {
-                if graph.edge_between(v, to).is_none() {
-                    return Err(SimError::NotANeighbor { from: v, to });
-                }
-                if seen_dest[to] {
-                    return Err(SimError::DuplicateSend { from: v, to });
-                }
-                seen_dest[to] = true;
-                used.push(to);
                 let bits = msg.bit_size();
-                if bits > config.bandwidth_bits {
-                    return Err(SimError::BandwidthExceeded {
-                        from: v,
-                        to,
-                        bits,
-                        budget: config.bandwidth_bits,
-                    });
-                }
+                validator.check(graph, &config, v, to, bits)?;
                 stats.messages += 1;
                 stats.total_bits += bits as u64;
                 stats.max_message_bits = stats.max_message_bits.max(bits);
                 next_inboxes[to].push((v, msg));
                 any_message = true;
             }
-            for &to in &used {
-                seen_dest[to] = false;
-            }
+            validator.finish_sender();
         }
         let all_done = (0..n).all(|v| programs[v].is_done());
         // Every processed slot of `inboxes` was cleared above and skipped
@@ -492,6 +608,145 @@ mod tests {
         fn is_done(&self) -> bool {
             self.rounds_left == 0
         }
+    }
+
+    /// Sends one oversized message from a configurable node — used to plant
+    /// violations at several places in one round.
+    #[derive(Debug, Clone)]
+    struct BlastFrom {
+        active: bool,
+    }
+    impl NodeProgram for BlastFrom {
+        type Msg = (u64, u64);
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+            if ctx.round() == 0 && self.active {
+                ctx.broadcast((1, 2));
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential() {
+        for g in [
+            generators::cycle(16),
+            generators::path(12),
+            generators::grid(6, 9),
+            generators::complete(9),
+            generators::wheel(17),
+        ] {
+            let n = g.n();
+            for threads in [2usize, 3, 4, 7, 0] {
+                let mut seq = vec![
+                    MinFlood {
+                        best: usize::MAX,
+                        dirty: true
+                    };
+                    n
+                ];
+                let mut par = seq.clone();
+                let a = run(&g, &mut seq, CongestConfig::for_nodes(n).with_threads(1)).unwrap();
+                let b = run(
+                    &g,
+                    &mut par,
+                    CongestConfig::for_nodes(n).with_threads(threads),
+                )
+                .unwrap();
+                assert_eq!(a, b, "MinFlood stats diverge on n={n}, threads={threads}");
+                assert!(
+                    seq.iter().zip(&par).all(|(x, y)| x.best == y.best),
+                    "MinFlood outputs diverge on n={n}, threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_handles_more_threads_than_nodes() {
+        let g = generators::path(3);
+        let mut programs = vec![
+            MinFlood {
+                best: usize::MAX,
+                dirty: true
+            };
+            3
+        ];
+        let stats = run(
+            &g,
+            &mut programs,
+            CongestConfig::for_nodes(3).with_threads(64),
+        )
+        .unwrap();
+        assert!(programs.iter().all(|p| p.best == 0));
+        assert!(stats.messages > 0);
+    }
+
+    #[test]
+    fn error_selection_is_deterministic_across_engines() {
+        // Nodes 2 and 14 both blast oversized broadcasts in round 0. The
+        // sequential engine reports node 2's first send; any sharding of the
+        // parallel engine must report the identical (from, to) pair even
+        // though node 14 lives in a later shard that may finish first.
+        let g = generators::cycle(16);
+        let make = || {
+            (0..16)
+                .map(|v| BlastFrom {
+                    active: v == 2 || v == 14,
+                })
+                .collect::<Vec<_>>()
+        };
+        let config = CongestConfig::for_nodes(16).with_bandwidth(64);
+        let seq_err = run(&g, &mut make(), config.with_threads(1)).unwrap_err();
+        for threads in [2usize, 3, 4, 8, 16] {
+            let par_err = run(&g, &mut make(), config.with_threads(threads)).unwrap_err();
+            assert_eq!(seq_err, par_err, "threads={threads}");
+        }
+        assert!(
+            matches!(seq_err, SimError::BandwidthExceeded { from: 2, .. }),
+            "{seq_err:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_and_non_neighbor_errors_match_across_engines() {
+        let g = generators::path(8);
+        let mut seq = vec![DoubleSend; 8];
+        let seq_err = run(&g, &mut seq, CongestConfig::for_nodes(8).with_threads(1)).unwrap_err();
+        let mut par = vec![DoubleSend; 8];
+        let par_err = run(&g, &mut par, CongestConfig::for_nodes(8).with_threads(4)).unwrap_err();
+        assert_eq!(seq_err, par_err);
+
+        let mut seq = vec![Teleporter; 8];
+        let seq_err = run(&g, &mut seq, CongestConfig::for_nodes(8).with_threads(1)).unwrap_err();
+        let mut par = vec![Teleporter; 8];
+        let par_err = run(&g, &mut par, CongestConfig::for_nodes(8).with_threads(4)).unwrap_err();
+        assert_eq!(seq_err, par_err);
+    }
+
+    #[test]
+    fn round_guard_fires_on_parallel_engine() {
+        let g = generators::path(4);
+        let mut programs = vec![Livelock; 4];
+        let err = run(
+            &g,
+            &mut programs,
+            CongestConfig::for_nodes(4)
+                .with_max_rounds(10)
+                .with_threads(2),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::MaxRoundsExceeded { limit: 10 });
+    }
+
+    #[test]
+    fn with_threads_and_resolution() {
+        let c = CongestConfig::for_nodes(8);
+        assert_eq!(c.with_threads(3).threads, 3);
+        assert_eq!(c.with_threads(3).resolved_threads(), 3);
+        // `0` resolves to the machine's parallelism, which is at least 1.
+        assert!(c.with_threads(0).resolved_threads() >= 1);
     }
 
     #[test]

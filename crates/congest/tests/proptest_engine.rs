@@ -1,0 +1,176 @@
+//! Property tests of the engine equivalence contract: for any graph,
+//! program, and thread count, the multi-threaded engine must produce the
+//! same [`RunStats`], the same final program states, and the same error as
+//! the sequential engine.
+
+use proptest::prelude::*;
+
+use minex_congest::{run, CongestConfig, Ctx, NodeProgram, RunStats, SimError};
+use minex_graphs::{generators, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Floods the minimum id seen so far (leader election).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MinFlood {
+    best: usize,
+    dirty: bool,
+}
+
+impl MinFlood {
+    fn fresh() -> Self {
+        MinFlood {
+            best: usize::MAX,
+            dirty: true,
+        }
+    }
+}
+
+impl NodeProgram for MinFlood {
+    type Msg = usize;
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        if ctx.round() == 0 {
+            self.best = ctx.node();
+            self.dirty = true;
+        }
+        for &(_, msg) in ctx.inbox() {
+            if msg < self.best {
+                self.best = msg;
+                self.dirty = true;
+            }
+        }
+        if self.dirty {
+            self.dirty = false;
+            ctx.broadcast(self.best);
+        }
+    }
+    fn is_done(&self) -> bool {
+        !self.dirty
+    }
+}
+
+/// A deliberately irregular gossip: every node accumulates a rolling hash of
+/// `(sender, payload)` pairs and keeps chattering to a data-dependent subset
+/// of neighbors for a node-dependent number of bursts. Exercises uneven
+/// per-node work, selective sends, and reawakening of done nodes — the
+/// cases where a sloppy parallel engine would diverge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Gossip {
+    acc: u64,
+    bursts_left: usize,
+}
+
+impl NodeProgram for Gossip {
+    type Msg = u64;
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        for &(from, msg) in ctx.inbox() {
+            self.acc = self
+                .acc
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(msg ^ from as u64);
+        }
+        if self.bursts_left > 0 {
+            self.bursts_left -= 1;
+            let v = ctx.node() as u64;
+            let targets: Vec<NodeId> = ctx
+                .neighbors()
+                .filter(|&(w, _)| (self.acc ^ w as u64 ^ v) % 3 != 0)
+                .map(|(w, _)| w)
+                .collect();
+            for w in targets {
+                ctx.send(w, self.acc ^ w as u64);
+            }
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.bursts_left == 0
+    }
+}
+
+/// Every node whose id is `node_mod - 1 (mod node_mod)` blasts an oversized
+/// broadcast in round 0, so many nodes across many shards violate the
+/// bandwidth budget in the same round and the engines must agree on which
+/// single violation gets reported.
+#[derive(Debug, Clone)]
+struct Offender {
+    node_mod: usize,
+}
+
+impl NodeProgram for Offender {
+    type Msg = (u64, u64);
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        if ctx.round() == 0 && ctx.node() % self.node_mod == self.node_mod - 1 {
+            ctx.broadcast((1, 2));
+        }
+    }
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+fn run_both<P: NodeProgram + Send + Clone + PartialEq + std::fmt::Debug>(
+    graph: &minex_graphs::Graph,
+    fresh: &[P],
+    config: CongestConfig,
+    threads: usize,
+) -> (Result<RunStats, SimError>, Result<RunStats, SimError>)
+where
+    P::Msg: Send,
+{
+    let mut seq = fresh.to_vec();
+    let mut par = fresh.to_vec();
+    let a = run(graph, &mut seq, config.with_threads(1));
+    let b = run(graph, &mut par, config.with_threads(threads));
+    assert_eq!(seq, par, "final program states diverge (threads={threads})");
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn min_flood_is_engine_independent(
+        n in 4usize..80, extra in 0usize..60, seed in 0u64..1000, threads in 2usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_connected(n, extra, &mut rng);
+        let fresh = vec![MinFlood::fresh(); n];
+        let (a, b) = run_both(&g, &fresh, CongestConfig::for_nodes(n), threads);
+        prop_assert_eq!(a.unwrap(), b.unwrap());
+    }
+
+    #[test]
+    fn gossip_is_engine_independent(
+        n in 4usize..60, extra in 0usize..40, seed in 0u64..1000, threads in 2usize..9,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_connected(n, extra, &mut rng);
+        let fresh: Vec<Gossip> = (0..n)
+            .map(|v| Gossip { acc: v as u64, bursts_left: 1 + v % 5 })
+            .collect();
+        let (a, b) = run_both(&g, &fresh, CongestConfig::for_nodes(n), threads);
+        prop_assert_eq!(a.unwrap(), b.unwrap());
+    }
+
+    #[test]
+    fn error_selection_is_engine_independent(
+        n in 4usize..60, extra in 0usize..40, seed in 0u64..1000,
+        threads in 2usize..9, node_mod in 2usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_connected(n, extra, &mut rng);
+        let fresh = vec![Offender { node_mod }; n];
+        // 64-bit budget: the (u64, u64) blast is twice over it.
+        let config = CongestConfig::for_nodes(n).with_bandwidth(64);
+        let mut seq = fresh.clone();
+        let mut par = fresh;
+        let a = run(&g, &mut seq, config.with_threads(1));
+        let b = run(&g, &mut par, config.with_threads(threads));
+        prop_assert_eq!(a.clone().unwrap_err(), b.unwrap_err());
+        let SimError::BandwidthExceeded { from, .. } = a.unwrap_err() else {
+            panic!("expected a bandwidth violation");
+        };
+        // The reported offender is the smallest violating node id.
+        prop_assert_eq!(from, node_mod - 1);
+    }
+}

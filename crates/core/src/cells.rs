@@ -78,8 +78,8 @@ impl CellPartition {
             }
         }
         let mut cells_map: std::collections::HashMap<usize, Vec<NodeId>> = Default::default();
-        for v in 0..g.n() {
-            if !is_removed[v] {
+        for (v, &removed) in is_removed.iter().enumerate() {
+            if !removed {
                 cells_map.entry(uf.find(v)).or_default().push(v);
             }
         }

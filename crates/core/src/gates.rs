@@ -254,12 +254,12 @@ pub fn planar_gates(
             }
             match region_relation(&polys[i], &polys[j]) {
                 RegionRelation::Crossing => return Err(GateError::NotLaminar { gates: (i, j) }),
-                RegionRelation::FirstInsideSecond => {
+                RegionRelation::FirstInsideSecond
                     if nested_in[i].map_or(true, |cur| {
                         polygon_area2(&polys[j]) < polygon_area2(&polys[cur])
-                    }) {
-                        nested_in[i] = Some(j);
-                    }
+                    }) =>
+                {
+                    nested_in[i] = Some(j);
                 }
                 _ => {}
             }
@@ -413,8 +413,8 @@ pub fn validate_gates(
         }
     }
     // Property 5: non-fence vertices belong to at most one gate.
-    for v in 0..g.n() {
-        let non_fence: Vec<usize> = gate_membership[v]
+    for (v, membership) in gate_membership.iter().enumerate() {
+        let non_fence: Vec<usize> = membership
             .iter()
             .copied()
             .filter(|&gi| !collection.gates[gi].fence.contains(&v))

@@ -55,8 +55,8 @@ impl RootedTree {
         }
         // Preorder via repeated relaxation (children after parents).
         let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); g.n()];
-        for v in 0..g.n() {
-            if let Some(p) = parent[v] {
+        for (v, pv) in parent.iter().enumerate() {
+            if let Some(p) = *pv {
                 children[p].push(v);
             }
         }

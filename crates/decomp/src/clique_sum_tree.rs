@@ -239,8 +239,8 @@ impl CliqueSumTree {
         let fn_count = groups.len();
         let mut children: Vec<Vec<usize>> = vec![Vec::new(); fn_count];
         let mut root = None;
-        for f in 0..fn_count {
-            match fparent[f] {
+        for (f, fp) in fparent.iter().enumerate() {
+            match *fp {
                 Some(p) => children[p].push(f),
                 None => root = Some(f),
             }

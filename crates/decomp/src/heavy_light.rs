@@ -25,8 +25,8 @@ impl HeavyLight {
         let n = parent.len();
         let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut root = None;
-        for v in 0..n {
-            match parent[v] {
+        for (v, pv) in parent.iter().enumerate() {
+            match *pv {
                 Some(p) => {
                     assert!(p < n, "parent out of range");
                     children[p].push(v);

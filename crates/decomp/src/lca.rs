@@ -24,8 +24,8 @@ impl Lca {
         assert!(n > 0, "tree must be non-empty");
         let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut root = None;
-        for v in 0..n {
-            match parent[v] {
+        for (v, pv) in parent.iter().enumerate() {
+            match *pv {
                 Some(p) => children[p].push(v),
                 None => {
                     assert!(root.is_none(), "exactly one root required");

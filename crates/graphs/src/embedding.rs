@@ -30,8 +30,8 @@ impl RotationSystem {
     /// its adjacency in `g` as a set.
     pub fn new(g: &Graph, order: Vec<Vec<(NodeId, EdgeId)>>) -> Self {
         assert_eq!(order.len(), g.n(), "rotation system must cover every node");
-        for v in 0..g.n() {
-            let mut got: Vec<_> = order[v].clone();
+        for (v, rotation) in order.iter().enumerate() {
+            let mut got: Vec<_> = rotation.clone();
             got.sort_unstable();
             let mut want: Vec<_> = g.neighbors(v).collect();
             want.sort_unstable();

@@ -322,9 +322,9 @@ impl CliqueSumBuilder {
         for (i, &c) in comp_clique.iter().enumerate() {
             map[c] = Some(host_clique[i]);
         }
-        for c in 0..comp.n() {
-            if map[c].is_none() {
-                map[c] = Some(self.builder.add_node());
+        for slot in &mut map {
+            if slot.is_none() {
+                *slot = Some(self.builder.add_node());
             }
         }
         for (_, u, v) in comp.edges() {

@@ -30,7 +30,7 @@ pub struct KTreeRecord {
 /// Panics if `n < k + 1` or `k == 0`.
 pub fn k_tree<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> (Graph, KTreeRecord) {
     assert!(k >= 1, "k must be positive");
-    assert!(n >= k + 1, "k-tree needs at least k+1 nodes");
+    assert!(n > k, "k-tree needs at least k+1 nodes");
     let mut b = GraphBuilder::new(n);
     for u in 0..=k {
         for v in (u + 1)..=k {

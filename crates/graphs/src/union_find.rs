@@ -95,13 +95,13 @@ impl UnionFind {
         let mut label = vec![usize::MAX; n];
         let mut next = 0;
         let mut out = vec![0; n];
-        for v in 0..n {
+        for (v, slot) in out.iter_mut().enumerate() {
             let r = self.find(v);
             if label[r] == usize::MAX {
                 label[r] = next;
                 next += 1;
             }
-            out[v] = label[r];
+            *slot = label[r];
         }
         (out, next)
     }

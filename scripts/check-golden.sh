@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Round-count regression gate: re-runs the quick experiment sweep and fails
+# if any E1–E12 CSV drifts from the checked-in goldens under expected/.
+#
+# Usage: scripts/check-golden.sh [csv-dir]
+#   csv-dir  a directory already populated by `experiments --csv` (e.g. the
+#            one CI just produced); omitted, the sweep is run into a tempdir.
+#
+# E13 is timing-based (machine-dependent columns) and deliberately has no
+# golden. To accept an intentional round-count change, run
+# scripts/refresh-golden.sh and commit the updated expected/ files.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir="${1:-}"
+if [ -z "$dir" ]; then
+    dir="$(mktemp -d)"
+    cargo run --release -q -p minex-bench --bin experiments -- --csv "$dir" >/dev/null
+fi
+
+status=0
+for want in expected/*.csv; do
+    id="$(basename "$want")"
+    if ! diff -u "$want" "$dir/$id"; then
+        echo "::error::round counts drifted in ${id%.csv}" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo >&2
+    echo "Experiment tables drifted from expected/." >&2
+    echo "If the change is intentional: scripts/refresh-golden.sh, then commit expected/." >&2
+    exit 1
+fi
+echo "Golden CSVs match ($(ls expected/*.csv | wc -l) tables)."

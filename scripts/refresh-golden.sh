@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Regenerates the golden round-count CSVs under expected/ (E1–E12, quick
+# sweep — the exact configuration CI's gate replays). Run this after an
+# intentional round-count change and commit the result.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -q -p minex-bench --bin experiments -- \
+    E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 E12 --csv expected >/dev/null
+echo "Refreshed $(ls expected/*.csv | wc -l) golden CSVs under expected/."
+git --no-pager diff --stat -- expected || true

@@ -40,7 +40,7 @@ proptest! {
             prop_assert_eq!(q.quality, q.block * q.tree_diameter + q.congestion);
             // Congestion is witnessed by some edge.
             if q.congestion > 0 {
-                prop_assert!(q.per_edge_congestion.iter().any(|&c| c == q.congestion));
+                prop_assert!(q.per_edge_congestion.contains(&q.congestion));
             }
             // Per-part blocks never exceed part size.
             for (i, &b) in q.per_part_blocks.iter().enumerate() {

@@ -32,10 +32,10 @@ fn facade_reexports_resolve() {
 }
 
 #[test]
-fn experiment_registry_lists_all_twelve() {
+fn experiment_registry_lists_all_thirteen() {
     let exps = bench::experiments();
-    assert_eq!(exps.len(), 12, "E1..E12 must all be registered");
+    assert_eq!(exps.len(), 13, "E1..E13 must all be registered");
     let ids: Vec<&str> = exps.iter().map(|(id, _)| *id).collect();
-    let expected: Vec<String> = (1..=12).map(|i| format!("E{i}")).collect();
+    let expected: Vec<String> = (1..=13).map(|i| format!("E{i}")).collect();
     assert_eq!(ids, expected.iter().map(String::as_str).collect::<Vec<_>>());
 }
