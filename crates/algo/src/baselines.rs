@@ -10,9 +10,10 @@ use minex_core::construct::ShortcutBuilder;
 use minex_core::{Partition, RootedTree, Shortcut};
 use minex_graphs::{EdgeId, Graph, UnionFind, WeightedGraph};
 
-use crate::mst::{boruvka_mst, MstOutcome};
-use crate::partwise::partwise_min;
+use crate::mst::MstOutcome;
+use crate::partwise::partwise_min_impl;
 use crate::pipeline::{pipelined_broadcast, pipelined_convergecast};
+use crate::solver::{into_sim, one_shot};
 
 /// A builder that never assigns shortcut edges — parts communicate over
 /// `G[P_i]` alone.
@@ -39,7 +40,7 @@ pub fn mst_without_shortcuts(
     wg: &WeightedGraph,
     config: CongestConfig,
 ) -> Result<MstOutcome, SimError> {
-    boruvka_mst(wg, &NoShortcutBuilder, config)
+    into_sim(one_shot(wg, &NoShortcutBuilder, config).mst_full()).map(|(outcome, _)| outcome)
 }
 
 /// Outcome of the two-phase `Õ(D + √n)` algorithm.
@@ -123,7 +124,7 @@ pub fn gkp_mst(wg: &WeightedGraph, config: CongestConfig) -> Result<GkpOutcome, 
             }
         }
         let shortcut = Shortcut::empty(parts.len());
-        let agg = partwise_min(g, &parts, &shortcut, &values, value_bits, config)?;
+        let agg = partwise_min_impl(g, &parts, &shortcut, &values, value_bits, config)?;
         phase1_rounds += agg.stats.rounds;
         let mut merged = false;
         for &best in &agg.minima {
@@ -230,7 +231,7 @@ pub fn compare_mst<B: ShortcutBuilder>(
     builder: &B,
     config: CongestConfig,
 ) -> Result<MstComparison, SimError> {
-    let with = boruvka_mst(wg, builder, config)?;
+    let with = into_sim(one_shot(wg, builder, config).mst_full())?.0;
     let gkp = gkp_mst(wg, config)?;
     let naive = mst_without_shortcuts(wg, config)?;
     assert_eq!(with.total_weight, gkp.total_weight, "MST weight mismatch");

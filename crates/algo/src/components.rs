@@ -3,12 +3,12 @@
 //! Theorem 1 serves (component identification is exactly part-wise minimum
 //! of node ids).
 
-use minex_congest::{bits_for, CongestConfig, SimError};
+use minex_congest::{CongestConfig, SimError};
 use minex_core::construct::ShortcutBuilder;
 use minex_core::{Partition, RootedTree, Shortcut};
-use minex_graphs::{EdgeId, Graph, UnionFind};
+use minex_graphs::{EdgeId, Graph};
 
-use crate::partwise::partwise_min;
+use crate::solver::{into_sim, one_shot_graph};
 
 /// Outcome of the distributed spanning-forest computation.
 #[derive(Debug, Clone)]
@@ -29,100 +29,34 @@ pub struct ComponentsOutcome {
 /// Works on disconnected graphs — this is the one driver that must not
 /// assume connectivity, so it maintains fragments per component.
 ///
+/// # Deprecation
+///
+/// Each call rebuilds every per-fragmentation shortcut. A
+/// [`crate::solver::Solver`] session caches them
+/// (`Solver::for_graph(g).build()?.components()`), byte-identically.
+///
 /// # Errors
 ///
 /// Propagates [`SimError`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `minex_algo::solver::Solver` session (`Solver::for_graph`) and call `.components()` — per-fragmentation shortcuts are cached across queries"
+)]
 pub fn connected_components<B: ShortcutBuilder>(
     g: &Graph,
     builder: &B,
     config: CongestConfig,
 ) -> Result<ComponentsOutcome, SimError> {
-    let n = g.n();
-    if n == 0 {
-        return Ok(ComponentsOutcome {
-            label: Vec::new(),
-            forest_edges: Vec::new(),
-            phases: 0,
-            simulated_rounds: 0,
-        });
-    }
-    let m = g.m().max(1) as u64;
-    // The spanning tree for shortcuts must span each component; build one
-    // BFS tree per component and join them virtually by rooting each
-    // component at its minimum node (shortcut builders only need parent
-    // structure within components — use a forest-as-tree trick: run on each
-    // component separately).
-    let (comp_of, comp_count) = minex_graphs::traversal::components(g);
-    let mut uf = UnionFind::new(n);
-    let mut forest: Vec<EdgeId> = Vec::new();
-    let mut phases = 0;
-    let mut rounds = 0;
-    loop {
-        // Fragment partition (within components).
-        let (labels, _) = uf.labels();
-        let options: Vec<Option<usize>> = labels.iter().map(|&l| Some(l)).collect();
-        let parts = Partition::from_labels(g, &options).expect("fragments connected");
-        if parts.len() == comp_count {
-            // One fragment per component: done. Final labels = min node id,
-            // flooded once more for the output.
-            let shortcut = build_per_component(g, &comp_of, comp_count, builder, &parts);
-            let ids: Vec<u64> = (0..n as u64).collect();
-            let agg = partwise_min(g, &parts, &shortcut, &ids, bits_for(n.max(2)), config)?;
-            rounds += agg.stats.rounds;
-            let mut label = vec![0usize; n];
-            for (v, slot) in label.iter_mut().enumerate() {
-                let p = parts.part_of(v).expect("all nodes in fragments");
-                *slot = agg.minima[p] as usize;
-            }
-            forest.sort_unstable();
-            forest.dedup();
-            return Ok(ComponentsOutcome {
-                label,
-                forest_edges: forest,
-                phases,
-                simulated_rounds: rounds,
-            });
-        }
-        phases += 1;
-        let shortcut = build_per_component(g, &comp_of, comp_count, builder, &parts);
-        // Candidate: minimum-id incident edge leaving the fragment.
-        let mut values = vec![u64::MAX; n];
-        for (v, value) in values.iter_mut().enumerate() {
-            for (w, e) in g.neighbors(v) {
-                if uf.find(v) != uf.find(w) {
-                    *value = (*value).min(e as u64);
-                }
-            }
-        }
-        let agg = partwise_min(
-            g,
-            &parts,
-            &shortcut,
-            &values,
-            bits_for(g.m().max(2)),
-            config,
-        )?;
-        rounds += agg.stats.rounds;
-        for &best in &agg.minima {
-            if best == u64::MAX {
-                continue;
-            }
-            let e = (best % m) as EdgeId;
-            let (u, v) = g.endpoints(e);
-            if uf.union(u, v) {
-                forest.push(e);
-            }
-        }
-    }
+    into_sim(one_shot_graph(g, builder, config).components_full()).map(|(outcome, _)| outcome)
 }
 
 /// Builds shortcuts per connected component and merges them (builders
 /// require a connected spanning tree, so run them component-wise).
-fn build_per_component<B: ShortcutBuilder>(
+pub(crate) fn build_per_component(
     g: &Graph,
     comp_of: &[usize],
     comp_count: usize,
-    builder: &B,
+    builder: &dyn ShortcutBuilder,
     parts: &Partition,
 ) -> Shortcut {
     let mut per_part: Vec<Vec<EdgeId>> = vec![Vec::new(); parts.len()];
@@ -161,6 +95,9 @@ fn build_per_component<B: ShortcutBuilder>(
 }
 
 #[cfg(test)]
+// The legacy entry point is deprecated in favour of `solver::Solver`, but
+// it must keep passing its tests as a shim — so the suite calls it as-is.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use minex_core::construct::SteinerBuilder;

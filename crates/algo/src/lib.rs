@@ -3,6 +3,12 @@
 //! Distributed CONGEST algorithms built on low-congestion shortcuts — the
 //! algorithmic payoff of Haeupler–Li–Zuzic (PODC 2018):
 //!
+//! * [`solver`] — **the front door**: the plan-once / query-many
+//!   [`Solver`](solver::Solver) session API. One builder-configured session
+//!   computes the shortcut plan (tree, partition, shortcut, quality) once
+//!   and serves repeated `mst` / `min_cut` / `sssp` / `components` /
+//!   `partwise_min` queries, each returning a unified
+//!   [`Report`](solver::Report);
 //! * [`partwise`] — the part-wise MIN aggregation primitive (Theorem 1's
 //!   engine), simulated faithfully with per-edge queueing so that measured
 //!   rounds reflect `O(b·d_T + c)`;
@@ -24,7 +30,8 @@
 //! ## Example
 //!
 //! ```
-//! use minex_algo::mst::{boruvka_mst, kruskal};
+//! use minex_algo::mst::kruskal;
+//! use minex_algo::solver::Solver;
 //! use minex_congest::CongestConfig;
 //! use minex_core::construct::AutoCappedBuilder;
 //! use minex_graphs::{generators, WeightModel};
@@ -34,9 +41,13 @@
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
 //! let config = CongestConfig::for_nodes(g.n()).with_bandwidth(128);
-//! let outcome = boruvka_mst(&wg, &AutoCappedBuilder, config)?;
-//! assert_eq!(outcome.total_weight, kruskal(&wg).1);
-//! # Ok::<(), minex_congest::SimError>(())
+//! let mut solver = Solver::builder(&wg)
+//!     .shortcut_builder(AutoCappedBuilder)
+//!     .config(config)
+//!     .build()?;
+//! let mst = solver.mst()?;
+//! assert_eq!(mst.value.total_weight, kruskal(&wg).1);
+//! # Ok::<(), minex_algo::solver::AlgoError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -48,5 +59,6 @@ pub mod mincut;
 pub mod mst;
 pub mod partwise;
 pub mod pipeline;
+pub mod solver;
 pub mod sssp;
 pub mod workloads;

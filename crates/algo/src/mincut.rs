@@ -2,7 +2,7 @@
 //!
 //! The paper invokes min-cut via the shortcut framework as a black box
 //! ([NS14, GK13]); we realize the standard tree-packing route those results
-//! build on [Karger, Thorup]:
+//! build on \[Karger, Thorup\]:
 //!
 //! 1. greedily pack spanning trees — tree `t` is an MST under edge keys
 //!    `(load so far, weight)`, computed distributively by the Borůvka driver
@@ -13,11 +13,11 @@
 //!    2-respecting evaluation of later work is out of scope; ratios are
 //!    reported against exact Stoer–Wagner either way).
 
-use minex_congest::{primitives, CongestConfig, SimError};
+use minex_congest::{CongestConfig, SimError};
 use minex_core::construct::ShortcutBuilder;
 use minex_graphs::{traversal, NodeId, WeightedGraph};
 
-use crate::mst::boruvka_mst;
+use crate::solver::{into_sim, one_shot};
 
 /// Exact global minimum cut by Stoer–Wagner (`O(n³)`), the correctness
 /// reference.
@@ -281,9 +281,25 @@ pub struct MinCutOutcome {
 /// identities above); the distributed *cost* is simulated: each packed tree
 /// charges one shortcut-Borůvka run plus two tree convergecasts.
 ///
+/// # Deprecation
+///
+/// Each call re-simulates the Borůvka packing profile from scratch. A
+/// [`crate::solver::Solver`] session shares the cached MST plan across
+/// `min_cut` and `mst` queries, byte-identically.
+///
 /// # Errors
 ///
 /// Propagates [`SimError`].
+///
+/// # Panics
+///
+/// Panics on empty, single-node, or disconnected inputs and on
+/// `trees == 0`. The session API reports these as
+/// [`crate::solver::AlgoError`] values instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `minex_algo::solver::Solver` session and call `.min_cut(trees)` (or `.min_cut_with(trees, use_two_respecting)`) — the Borůvka plan is cached and shared with `.mst()`"
+)]
 pub fn approx_min_cut<B: ShortcutBuilder>(
     wg: &WeightedGraph,
     trees: usize,
@@ -291,41 +307,14 @@ pub fn approx_min_cut<B: ShortcutBuilder>(
     builder: &B,
     config: CongestConfig,
 ) -> Result<MinCutOutcome, SimError> {
-    assert!(trees >= 1, "need at least one packed tree");
-    let g = wg.graph();
-    let exact = stoer_wagner(wg);
-    let packing = greedy_tree_packing(wg, trees);
-    let mut best = u64::MAX;
-    let mut simulated = 0usize;
-    let mut charged = 0usize;
-    // Distributed cost of the packing: one Borůvka MST per tree. The load
-    // re-weighting does not change the round profile, so simulate the MST
-    // once and charge it per tree.
-    let mst = boruvka_mst(wg, builder, config)?;
-    simulated += mst.simulated_rounds * trees;
-    charged += mst.charged_construction_rounds * trees;
-    for tree in &packing {
-        for (_, cut) in one_respecting_cuts(wg, tree) {
-            best = best.min(cut);
-        }
-        if use_two_respecting && g.n() >= 3 {
-            best = best.min(min_two_respecting_cut(wg, tree));
-        }
-        // Subtree-sum aggregation cost: two convergecasts over the tree.
-        let (_, stats) = primitives::convergecast_sum(g, &tree.parent, &vec![1u64; g.n()], config)?;
-        simulated += 2 * stats.rounds;
-    }
-    Ok(MinCutOutcome {
-        approx_value: best,
-        exact_value: exact,
-        ratio: best as f64 / exact as f64,
-        trees,
-        simulated_rounds: simulated,
-        charged_construction_rounds: charged,
-    })
+    into_sim(one_shot(wg, builder, config).min_cut_full(trees, use_two_respecting))
+        .map(|(outcome, _)| outcome)
 }
 
 #[cfg(test)]
+// The legacy entry point is deprecated in favour of `solver::Solver`, but
+// it must keep passing its tests as a shim — so the suite calls it as-is.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use minex_core::construct::SteinerBuilder;

@@ -9,15 +9,14 @@
 //! achieves — `Õ(D²)` on excluded-minor families by Theorem 6.
 //!
 //! The shortcut *construction* cost is charged analytically (Theorem 1
-//! cites [HIZ16a]: `Õ(q)` rounds) and reported in a separate field, exactly
+//! cites \[HIZ16a\]: `Õ(q)` rounds) and reported in a separate field, exactly
 //! like the paper treats it.
 
-use minex_congest::{bits_for, CongestConfig, SimError};
+use minex_congest::{CongestConfig, SimError};
 use minex_core::construct::ShortcutBuilder;
-use minex_core::{measure_quality, Partition, RootedTree, Shortcut};
 use minex_graphs::{EdgeId, UnionFind, WeightedGraph};
 
-use crate::partwise::partwise_min;
+use crate::solver::{into_sim, one_shot};
 
 /// Per-phase measurements of the Borůvka driver.
 #[derive(Debug, Clone)]
@@ -44,24 +43,31 @@ pub struct MstOutcome {
     /// Total simulated CONGEST rounds (all aggregations).
     pub simulated_rounds: usize,
     /// Analytic charge for the distributed shortcut constructions:
-    /// `Σ_phases quality · ⌈log₂ n⌉` per [HIZ16a].
+    /// `Σ_phases quality · ⌈log₂ n⌉` per \[HIZ16a\].
     pub charged_construction_rounds: usize,
     /// Per-phase details.
     pub per_phase: Vec<PhaseStats>,
 }
 
-/// Packs `(weight, edge id)` into an order-preserving `u64`.
-fn encode(weight: u64, edge: EdgeId, m: u64) -> u64 {
-    weight * m + edge as u64
-}
-
-/// Inverse of [`encode`].
-fn decode(value: u64, m: u64) -> EdgeId {
-    (value % m) as EdgeId
-}
-
 /// Runs Borůvka's algorithm with shortcuts from `builder`, counting
 /// simulated CONGEST rounds.
+///
+/// # Deprecation
+///
+/// This one-shot entry point rebuilds the spanning tree and every per-phase
+/// shortcut on each call. The session API computes that plan once and
+/// serves repeated queries from it — byte-identically (same edges, same
+/// `RunStats`, same round counts):
+///
+/// ```
+/// # use minex_algo::solver::Solver;
+/// # use minex_core::construct::SteinerBuilder;
+/// # use minex_graphs::{generators, WeightedGraph};
+/// # let wg = WeightedGraph::unit(generators::triangulated_grid(4, 4));
+/// let mut solver = Solver::builder(&wg).shortcut_builder(SteinerBuilder).build()?;
+/// let mst = solver.mst()?; // and again, and again — the plan is cached
+/// # Ok::<(), minex_algo::solver::AlgoError>(())
+/// ```
 ///
 /// # Errors
 ///
@@ -70,106 +76,18 @@ fn decode(value: u64, m: u64) -> EdgeId {
 /// # Panics
 ///
 /// Panics if the graph is empty or disconnected (the CONGEST MST problem is
-/// posed on connected networks).
+/// posed on connected networks). The session API reports these as
+/// [`crate::solver::AlgoError`] values instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `minex_algo::solver::Solver` session and call `.mst()` — the plan (tree, per-fragmentation shortcuts, quality) is computed once and reused across queries"
+)]
 pub fn boruvka_mst<B: ShortcutBuilder>(
     wg: &WeightedGraph,
     builder: &B,
     config: CongestConfig,
 ) -> Result<MstOutcome, SimError> {
-    let g = wg.graph();
-    assert!(g.n() > 0, "graph must be non-empty");
-    assert!(
-        minex_graphs::traversal::is_connected(g),
-        "graph must be connected"
-    );
-    let n = g.n();
-    let m = g.m().max(1) as u64;
-    let max_w = wg.weights().iter().copied().max().unwrap_or(0);
-    let value_bits = bits_for((max_w + 1) as usize) + bits_for(g.m().max(2));
-    let tree = RootedTree::bfs(g, 0);
-    let mut uf = UnionFind::new(n);
-    let mut chosen: Vec<EdgeId> = Vec::new();
-    let mut per_phase = Vec::new();
-    let mut simulated_rounds = 0usize;
-    let mut charged = 0usize;
-    // Shortcut for the current partition; singleton fragments need none.
-    let mut parts = singleton_partition(g);
-    let mut shortcut = Shortcut::empty(parts.len());
-    let log_n = bits_for(n.max(2));
-    while uf.count() > 1 {
-        let fragments = uf.count();
-        let quality = measure_quality(g, &tree, &parts, &shortcut).quality;
-        charged += quality * log_n;
-        // Per-node candidate: lightest incident edge leaving the fragment.
-        let mut values = vec![u64::MAX; n];
-        for (v, value) in values.iter_mut().enumerate() {
-            for (w, e) in g.neighbors(v) {
-                if uf.find(v) != uf.find(w) {
-                    let enc = encode(wg.weight(e), e, m);
-                    if enc < *value {
-                        *value = enc;
-                    }
-                }
-            }
-        }
-        let agg = partwise_min(g, &parts, &shortcut, &values, value_bits, config)?;
-        simulated_rounds += agg.stats.rounds;
-        // Merge along the chosen edges.
-        let mut merged_any = false;
-        for &best in &agg.minima {
-            if best == u64::MAX {
-                continue;
-            }
-            let e = decode(best, m);
-            let (u, v) = g.endpoints(e);
-            if uf.union(u, v) {
-                chosen.push(e);
-                merged_any = true;
-            }
-        }
-        assert!(merged_any, "connected graph must always merge");
-        // New partition + its shortcut; flood new labels (relabel step).
-        let (labels, _) = uf.labels();
-        let label_options: Vec<Option<usize>> = labels.iter().map(|&l| Some(l)).collect();
-        let new_parts = Partition::from_labels(g, &label_options)
-            .expect("fragments are connected by construction");
-        let new_shortcut = builder.build(g, &tree, &new_parts);
-        let ids: Vec<u64> = (0..n as u64).collect();
-        let relabel = partwise_min(
-            g,
-            &new_parts,
-            &new_shortcut,
-            &ids,
-            bits_for(n.max(2)),
-            config,
-        )?;
-        simulated_rounds += relabel.stats.rounds;
-        per_phase.push(PhaseStats {
-            fragments,
-            candidate_rounds: agg.stats.rounds,
-            relabel_rounds: relabel.stats.rounds,
-            shortcut_quality: quality,
-        });
-        parts = new_parts;
-        shortcut = new_shortcut;
-    }
-    chosen.sort_unstable();
-    chosen.dedup();
-    let total_weight = chosen.iter().map(|&e| wg.weight(e)).sum();
-    Ok(MstOutcome {
-        phases: per_phase.len(),
-        edges: chosen,
-        total_weight,
-        simulated_rounds,
-        charged_construction_rounds: charged,
-        per_phase,
-    })
-}
-
-/// One part per node.
-fn singleton_partition(g: &minex_graphs::Graph) -> Partition {
-    Partition::new(g, (0..g.n()).map(|v| vec![v]).collect())
-        .expect("singletons are trivially valid")
+    into_sim(one_shot(wg, builder, config).mst_full()).map(|(outcome, _)| outcome)
 }
 
 /// Kruskal's algorithm — the centralized correctness reference.
@@ -192,6 +110,9 @@ pub fn kruskal(wg: &WeightedGraph) -> (Vec<EdgeId>, u64) {
 }
 
 #[cfg(test)]
+// The legacy entry point is deprecated in favour of `solver::Solver`, but
+// it must keep passing its tests as a shim — so the suite calls it as-is.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use minex_core::construct::{AutoCappedBuilder, SteinerBuilder};
@@ -276,9 +197,25 @@ mod tests {
     }
 
     #[test]
-    fn encode_orders_by_weight_then_edge() {
-        assert!(encode(2, 5, 100) < encode(3, 0, 100));
-        assert!(encode(2, 5, 100) > encode(2, 4, 100));
-        assert_eq!(decode(encode(7, 42, 100), 100), 42);
+    fn shim_matches_solver_session() {
+        // The deprecated shim is *defined* as a one-shot Solver; spot-check
+        // the delegation end to end.
+        let g = generators::triangulated_grid(5, 5);
+        let mut rng = StdRng::seed_from_u64(21);
+        let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+        let legacy = boruvka_mst(&wg, &SteinerBuilder, cfg(g.n())).unwrap();
+        let mut solver = crate::solver::Solver::builder(&wg)
+            .shortcut_builder(SteinerBuilder)
+            .config(cfg(g.n()))
+            .build()
+            .unwrap();
+        let report = solver.mst().unwrap();
+        assert_eq!(report.value.edges, legacy.edges);
+        assert_eq!(report.value.total_weight, legacy.total_weight);
+        assert_eq!(report.stats.simulated_rounds, legacy.simulated_rounds);
+        assert_eq!(
+            report.stats.charged_construction_rounds,
+            legacy.charged_construction_rounds
+        );
     }
 }

@@ -68,7 +68,9 @@ impl NodeProgram for AggNode {
     type Msg = PartMsg;
 
     fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
-        for (from, msg) in ctx.inbox().to_vec() {
+        // Iterate the inbox by reference — the outbox writes below happen
+        // only after every read, so the hot loop allocates nothing.
+        for &(from, ref msg) in ctx.inbox() {
             let improves = self
                 .best
                 .get(&msg.part)
@@ -128,6 +130,19 @@ pub struct AggregationResult {
 /// `value_bits` is the honest encoding width of the values (e.g.
 /// `bits_for(max_weight) + bits_for(m)` for Borůvka's weight/edge pairs).
 ///
+/// # Deprecation
+///
+/// This free function takes a pre-built shortcut per call. The session API
+/// ([`crate::solver::Solver::partwise_min`]) builds the shortcut **once**
+/// per session plan and serves repeated aggregations from it; prefer it for
+/// anything that aggregates more than once. Two niches stay here: sessions
+/// require a connected graph (they anchor a spanning tree), and they build
+/// the shortcut from a [`ShortcutBuilder`](minex_core::construct::ShortcutBuilder)
+/// rather than accepting an arbitrary caller-supplied one — disconnected
+/// aggregation with hand-made per-component shortcuts (what
+/// `Solver::components` does internally) still goes through this entry
+/// point.
+///
 /// # Errors
 ///
 /// Propagates [`SimError`]; in particular, bandwidth violations if
@@ -137,7 +152,25 @@ pub struct AggregationResult {
 ///
 /// Panics if `values.len() != g.n()` or the shortcut does not match the
 /// partition.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `minex_algo::solver::Solver` session and call `.partwise_min(values, value_bits)` — the plan (tree, shortcut, quality) is computed once and reused across queries"
+)]
 pub fn partwise_min(
+    g: &Graph,
+    parts: &Partition,
+    shortcut: &Shortcut,
+    values: &[u64],
+    value_bits: usize,
+    config: CongestConfig,
+) -> Result<AggregationResult, SimError> {
+    partwise_min_impl(g, parts, shortcut, values, value_bits, config)
+}
+
+/// The shared aggregation engine behind both the deprecated free function
+/// and every `Solver` query (MST candidate/relabel floods, SSSP overlay
+/// phases, component labelling).
+pub(crate) fn partwise_min_impl(
     g: &Graph,
     parts: &Partition,
     shortcut: &Shortcut,
@@ -225,6 +258,9 @@ pub fn partwise_min_reference(parts: &Partition, values: &[u64]) -> Vec<u64> {
 }
 
 #[cfg(test)]
+// The legacy entry point is deprecated in favour of `solver::Solver`, but
+// it must keep passing its tests as a shim — so the suite calls it as-is.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use minex_core::construct::{ShortcutBuilder, SteinerBuilder, WholeTreeBuilder};

@@ -42,8 +42,11 @@ impl NodeProgram for UpNode {
     type Msg = PipeMsg;
 
     fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
-        for (_, msg) in ctx.inbox().to_vec() {
-            match msg {
+        // Read the inbox by reference: the outbox write below happens only
+        // after every read, so the hot loop allocates nothing — matching
+        // the runtime's own zero-steady-state-allocation guarantee.
+        for (_, msg) in ctx.inbox() {
+            match *msg {
                 PipeMsg::Item(k, v, _) => {
                     let entry = self.pending.entry(k).or_insert(u64::MAX);
                     if v < *entry {
@@ -139,17 +142,18 @@ impl NodeProgram for DownNode {
     type Msg = PipeMsg;
 
     fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
-        for (_, msg) in ctx.inbox().to_vec() {
-            if let PipeMsg::Item(k, v, _) = msg {
+        // Inbox reads complete before any send; iterating children by index
+        // sidesteps the old per-round `children.clone()` — zero allocation.
+        for (_, msg) in ctx.inbox() {
+            if let PipeMsg::Item(k, v, _) = *msg {
                 self.received.push((k, v));
             }
         }
-        let children = self.children.clone();
-        for (ci, &c) in children.iter().enumerate() {
+        for ci in 0..self.children.len() {
             if self.cursor[ci] < self.received.len() {
                 let (k, v) = self.received[self.cursor[ci]];
                 self.cursor[ci] += 1;
-                ctx.send(c, PipeMsg::Item(k, v, self.item_bits));
+                ctx.send(self.children[ci], PipeMsg::Item(k, v, self.item_bits));
             }
         }
     }

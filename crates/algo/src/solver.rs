@@ -1,0 +1,1884 @@
+//! Plan-once / query-many: the unified [`Solver`] session API.
+//!
+//! The paper's central point is that **one** structural object — a
+//! low-congestion shortcut over a partition of a minor-free network —
+//! simultaneously accelerates MST (Corollary 1), min-cut, shortest paths,
+//! and every other part-wise aggregation problem. The legacy free functions
+//! ([`boruvka_mst`](crate::mst::boruvka_mst),
+//! [`approx_min_cut`](crate::mincut::approx_min_cut),
+//! [`shortcut_sssp`](crate::sssp::shortcut_sssp),
+//! [`connected_components`](crate::components::connected_components),
+//! [`partwise_min`](crate::partwise::partwise_min)) hide that: each call
+//! independently rebuilds trees, partitions, and shortcuts. A [`Solver`]
+//! session instead computes its [`ShortcutPlan`] — BFS tree, partition,
+//! shortcut, quality measurement — **once**, caches it (including
+//! per-fragmentation Borůvka re-plans keyed by partition and per-source
+//! SSSP plans with their center potentials), and serves repeated queries.
+//!
+//! Every query returns a unified [`Report`]: the typed result plus
+//! [`ReportStats`] aggregating per-phase [`RunStats`] and the analytically
+//! charged construction rounds under one roof.
+//!
+//! **Determinism contract:** a `Solver` query is byte-identical — same
+//! outputs, same `RunStats`, same round counts — to the corresponding
+//! legacy free function, and repeated queries on one session return
+//! identical reports (plan reuse skips rebuilding, never re-deciding).
+//!
+//! **Result memoization:** every query is a deterministic pure function of
+//! the plan and its arguments (the simulator has no randomness or hidden
+//! state), so the session also memoizes full query results keyed by their
+//! arguments. An identical repeated query — the common case when serving
+//! many users over one network — returns the cached report instantly; the
+//! reported rounds and statistics are exactly those of the original run
+//! (the CONGEST *model* cost is unchanged; only wall-clock time is saved).
+//! Memos live for the session's lifetime; scope a session to one network
+//! and drop it to release them.
+//!
+//! ```
+//! use minex_algo::solver::{PartsStrategy, Solver, Tier};
+//! use minex_core::construct::SteinerBuilder;
+//! use minex_graphs::{generators, WeightModel};
+//! use rand::SeedableRng;
+//!
+//! let g = generators::triangulated_grid(5, 5);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+//! let mut solver = Solver::builder(&wg)
+//!     .parts(PartsStrategy::Voronoi { parts: 4, seed: 7 })
+//!     .shortcut_builder(SteinerBuilder)
+//!     .build()?;
+//! let mst = solver.mst()?;
+//! let again = solver.mst()?; // served from the cached plan
+//! assert_eq!(mst, again);
+//! let sssp = solver.sssp(0, Tier::Exact)?;
+//! assert_eq!(sssp.value.dist[0], 0);
+//! let minima = solver.partwise_min(&vec![7; g.n()], 16)?;
+//! assert!(minima.value.minima.iter().all(|&m| m == 7));
+//! # Ok::<(), minex_algo::solver::AlgoError>(())
+//! ```
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use minex_congest::{bits_for, primitives, CongestConfig, RunStats, SimError};
+use minex_core::construct::ShortcutBuilder;
+use minex_core::{measure_quality, Partition, RootedTree, Shortcut, ShortcutPlan};
+use minex_graphs::{traversal, EdgeId, Graph, NodeId, UnionFind, WeightedGraph};
+
+use crate::components::{build_per_component, ComponentsOutcome};
+use crate::mincut::{
+    greedy_tree_packing, min_two_respecting_cut, one_respecting_cuts, stoer_wagner, MinCutOutcome,
+};
+use crate::mst::{MstOutcome, PhaseStats};
+use crate::partwise::partwise_min_impl;
+use crate::sssp::{
+    bellman_ford_sssp, channel_distance_flood, dist_value_bits, part_centers, rescale, scale_for,
+    scale_weights, scaled_sssp, ScaledSsspOutcome, ShortcutSsspOutcome, SsspOutcome,
+};
+
+/// Structured errors of the session API. A serving process must never panic
+/// on a bad query: empty or disconnected inputs and malformed parameters
+/// come back as values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgoError {
+    /// The query requires a non-empty graph.
+    EmptyGraph,
+    /// The query requires a connected graph.
+    Disconnected,
+    /// A query parameter is invalid (message explains which).
+    BadQuery(String),
+    /// The CONGEST simulation itself failed (bandwidth, round guard, …).
+    Sim(SimError),
+}
+
+impl fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgoError::EmptyGraph => write!(f, "graph must be non-empty"),
+            AlgoError::Disconnected => write!(f, "graph must be connected"),
+            AlgoError::BadQuery(msg) => write!(f, "{msg}"),
+            AlgoError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for AlgoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AlgoError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for AlgoError {
+    fn from(e: SimError) -> Self {
+        AlgoError::Sim(e)
+    }
+}
+
+/// Converts a session result into the legacy `Result<_, SimError>` shape,
+/// reproducing the legacy functions' documented panics on structural
+/// errors. Only the deprecated shims use this.
+pub(crate) fn into_sim<T>(r: Result<T, AlgoError>) -> Result<T, SimError> {
+    match r {
+        Ok(v) => Ok(v),
+        Err(AlgoError::Sim(e)) => Err(e),
+        Err(AlgoError::EmptyGraph) => panic!("graph must be non-empty"),
+        Err(AlgoError::Disconnected) => panic!("graph must be connected"),
+        Err(AlgoError::BadQuery(msg)) => panic!("{msg}"),
+    }
+}
+
+/// SSSP tier selector for [`Solver::sssp`], mirroring the three-tier design
+/// of [`crate::sssp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tier {
+    /// Exact distributed Bellman–Ford (the shortcut-free baseline).
+    Exact,
+    /// BFS-tree-scaled `(1+ε)` Bellman–Ford.
+    Scaled {
+        /// The approximation parameter (`0.0` degenerates to exact).
+        epsilon: f64,
+    },
+    /// Shortcut-accelerated overlay SSSP over the session partition.
+    Shortcut {
+        /// The approximation parameter of the weight scaling.
+        epsilon: f64,
+        /// Overlay phase budget (`parts + 2` always converges on covered
+        /// connected inputs).
+        max_phases: usize,
+    },
+}
+
+/// How the session partitions the network into parts.
+#[derive(Debug, Clone)]
+pub enum PartsStrategy {
+    /// One part per node (the Borůvka starting point; the default).
+    Singletons,
+    /// A single part covering the whole graph.
+    Whole,
+    /// BFS-Voronoi cells around `parts` random seeds (deterministic in
+    /// `seed`), as in [`crate::workloads::voronoi_parts`].
+    Voronoi {
+        /// Number of Voronoi seeds (clamped to `n`).
+        parts: usize,
+        /// RNG seed: the same seed always yields the same partition.
+        seed: u64,
+    },
+    /// An explicit, caller-constructed partition.
+    Explicit(Partition),
+}
+
+/// One simulator run inside a query, with its full [`RunStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRun {
+    /// What this run computed (e.g. `"mst phase 3: candidate"`).
+    pub label: String,
+    /// The run's statistics.
+    pub stats: RunStats,
+    /// How many times this run is charged (tree packing charges one MST
+    /// profile per packed tree; subtree sums charge two convergecasts).
+    pub repeats: usize,
+}
+
+/// Round and message accounting of one query, aggregating every simulator
+/// run and the analytic construction charge under one type — the unified
+/// replacement for the per-algorithm `*Outcome` bookkeeping fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReportStats {
+    /// Total simulated CONGEST rounds (`Σ runs stats.rounds · repeats`).
+    pub simulated_rounds: usize,
+    /// Analytic charge for distributed shortcut constructions
+    /// (`quality · ⌈log₂ n⌉` per \[HIZ16a\]), as the paper treats it.
+    pub charged_construction_rounds: usize,
+    /// Every simulator run of the query, in execution order.
+    pub runs: Vec<PhaseRun>,
+}
+
+impl ReportStats {
+    fn from_runs(
+        simulated_rounds: usize,
+        charged_construction_rounds: usize,
+        runs: Vec<PhaseRun>,
+    ) -> Self {
+        let stats = ReportStats {
+            simulated_rounds,
+            charged_construction_rounds,
+            runs,
+        };
+        debug_assert_eq!(
+            stats.simulated_rounds,
+            stats
+                .runs
+                .iter()
+                .map(|r| r.stats.rounds * r.repeats)
+                .sum::<usize>(),
+            "per-run rounds must add up to the simulated total"
+        );
+        stats
+    }
+
+    /// Simulated plus charged rounds — the paper's end-to-end figure.
+    pub fn total_rounds(&self) -> usize {
+        self.simulated_rounds + self.charged_construction_rounds
+    }
+
+    /// Aggregates all runs (with their repeat factors) into one
+    /// [`RunStats`].
+    pub fn aggregate(&self) -> RunStats {
+        let mut total = RunStats::default();
+        for run in &self.runs {
+            total.absorb(run.stats.repeated(run.repeats));
+        }
+        total
+    }
+}
+
+/// The unified query result: a typed value plus [`ReportStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report<T> {
+    /// The query's output.
+    pub value: T,
+    /// Round and message accounting.
+    pub stats: ReportStats,
+}
+
+/// Output of [`Solver::mst`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mst {
+    /// The chosen edges (a spanning tree — inputs must be connected).
+    pub edges: Vec<EdgeId>,
+    /// Total weight of the chosen edges.
+    pub total_weight: u64,
+    /// Number of Borůvka phases.
+    pub boruvka_phases: usize,
+}
+
+/// Output of [`Solver::min_cut`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinCut {
+    /// Best cut value found over the tree packing.
+    pub approx_value: u64,
+    /// Exact value (Stoer–Wagner reference).
+    pub exact_value: u64,
+    /// `approx / exact`.
+    pub ratio: f64,
+    /// Number of packed trees.
+    pub trees: usize,
+}
+
+/// Output of [`Solver::sssp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sssp {
+    /// Distance estimates in original weight units (`u64::MAX` unreached);
+    /// exact for [`Tier::Exact`], sound `(1+ε)` upper bounds otherwise.
+    pub dist: Vec<u64>,
+    /// Tier-specific detail.
+    pub detail: SsspDetail,
+}
+
+/// Tier-specific detail of a [`Sssp`] result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsspDetail {
+    /// Exact tier: the shortest-path-tree parents.
+    Exact {
+        /// `parent[v]` on the shortest-path tree (`None` at the source and
+        /// unreached nodes).
+        parent: Vec<Option<NodeId>>,
+    },
+    /// Scaled tier bookkeeping.
+    Scaled {
+        /// The weight scale used (`1` means the run was exact).
+        scale: u64,
+        /// The certified hop budget of the scaled flood.
+        hop_budget: usize,
+    },
+    /// Shortcut tier bookkeeping.
+    Shortcut {
+        /// The weight scale used.
+        scale: u64,
+        /// Overlay phases executed.
+        phases: usize,
+        /// Whether the overlay reached its fixpoint within the budget.
+        converged: bool,
+        /// Measured quality of the shortcut used.
+        shortcut_quality: usize,
+    },
+}
+
+/// Output of [`Solver::components`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component label per node (the minimum node id of its component).
+    pub label: Vec<usize>,
+    /// A spanning forest (one tree per component).
+    pub forest_edges: Vec<EdgeId>,
+    /// Borůvka phases executed.
+    pub boruvka_phases: usize,
+}
+
+/// Output of [`Solver::partwise_min`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartwiseMin {
+    /// The aggregated minimum per part of the session partition.
+    pub minima: Vec<u64>,
+}
+
+enum WeightSource<'a> {
+    Weighted(&'a WeightedGraph),
+    Unit(&'a Graph),
+    Explicit(&'a Graph, Vec<u64>),
+}
+
+impl fmt::Debug for WeightSource<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightSource::Weighted(_) => write!(f, "Weighted"),
+            WeightSource::Unit(_) => write!(f, "Unit"),
+            WeightSource::Explicit(..) => write!(f, "Explicit"),
+        }
+    }
+}
+
+/// Configures and constructs a [`Solver`] session.
+#[derive(Debug)]
+pub struct SolverBuilder<'a> {
+    weights: WeightSource<'a>,
+    parts: PartsStrategy,
+    builder: Box<dyn ShortcutBuilder + 'a>,
+    config: Option<CongestConfig>,
+    threads: Option<usize>,
+    root: NodeId,
+}
+
+impl<'a> SolverBuilder<'a> {
+    fn new(weights: WeightSource<'a>) -> Self {
+        SolverBuilder {
+            weights,
+            parts: PartsStrategy::Singletons,
+            builder: Box::new(minex_core::construct::AutoCappedBuilder),
+            config: None,
+            threads: None,
+            root: 0,
+        }
+    }
+
+    /// Replaces the edge weights (one per edge; overrides the source the
+    /// builder was created from).
+    pub fn weights(mut self, weights: Vec<u64>) -> Self {
+        let graph = match self.weights {
+            WeightSource::Weighted(wg) => wg.graph(),
+            WeightSource::Unit(g) | WeightSource::Explicit(g, _) => g,
+        };
+        // Borrow gymnastics: re-point at the graph with the new weights.
+        self.weights = WeightSource::Explicit(graph, weights);
+        self
+    }
+
+    /// Sets the session partition strategy (default:
+    /// [`PartsStrategy::Singletons`]).
+    pub fn parts(mut self, strategy: PartsStrategy) -> Self {
+        self.parts = strategy;
+        self
+    }
+
+    /// Sets the shortcut construction (default
+    /// [`minex_core::construct::AutoCappedBuilder`]). Accepts any
+    /// [`ShortcutBuilder`], including `&B` references and already boxed
+    /// `Box<dyn ShortcutBuilder>` values — the session stores it dyn-erased.
+    pub fn shortcut_builder<B: ShortcutBuilder + 'a>(mut self, builder: B) -> Self {
+        self.builder = Box::new(builder);
+        self
+    }
+
+    /// Sets the simulator configuration (default
+    /// [`CongestConfig::for_nodes`] for the graph's size).
+    pub fn config(mut self, config: CongestConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Overrides the execution-engine thread count of the session config
+    /// (`1` = sequential, `0` = all cores); results are engine-independent.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the root of the session's BFS spanning tree (default `0`).
+    pub fn root(mut self, root: NodeId) -> Self {
+        self.root = root;
+        self
+    }
+
+    /// Validates the configuration and constructs the session.
+    ///
+    /// The heavy plan pieces (BFS tree, shortcut, quality) are computed
+    /// lazily on the first query that needs them, then cached — so a
+    /// one-shot session costs exactly what the legacy free function cost.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::BadQuery`] on malformed configuration (weights length
+    /// mismatch, out-of-range root, a partition strategy that does not fit
+    /// the graph). Empty or disconnected graphs are *not* build errors —
+    /// queries that need connectivity report it per query, and
+    /// [`Solver::components`] works regardless.
+    pub fn build(self) -> Result<Solver<'a>, AlgoError> {
+        let wg: Cow<'a, WeightedGraph> = match self.weights {
+            WeightSource::Weighted(wg) => Cow::Borrowed(wg),
+            WeightSource::Unit(g) => Cow::Owned(WeightedGraph::unit(g.clone())),
+            WeightSource::Explicit(g, w) => {
+                if w.len() != g.m() {
+                    return Err(AlgoError::BadQuery(format!(
+                        "{} weights for {} edges",
+                        w.len(),
+                        g.m()
+                    )));
+                }
+                Cow::Owned(WeightedGraph::new(g.clone(), w))
+            }
+        };
+        let n = wg.graph().n();
+        if n > 0 && self.root >= n {
+            return Err(AlgoError::BadQuery(format!(
+                "root {} out of range for {n} nodes",
+                self.root
+            )));
+        }
+        let connected = n > 0 && traversal::is_connected(wg.graph());
+        let parts = resolve_parts(wg.graph(), self.parts, connected)?;
+        let mut config = self.config.unwrap_or_else(|| CongestConfig::for_nodes(n));
+        if let Some(t) = self.threads {
+            config = config.with_threads(t);
+        }
+        Ok(Solver {
+            wg,
+            parts,
+            builder: self.builder,
+            config,
+            root: self.root,
+            connected,
+            tree: None,
+            plan: None,
+            caches: Caches::default(),
+        })
+    }
+}
+
+fn resolve_parts(
+    g: &Graph,
+    strategy: PartsStrategy,
+    connected: bool,
+) -> Result<Partition, AlgoError> {
+    let n = g.n();
+    let parts = match strategy {
+        PartsStrategy::Singletons => (0..n).map(|v| vec![v]).collect(),
+        PartsStrategy::Whole => {
+            if n == 0 {
+                Vec::new()
+            } else if !connected {
+                return Err(AlgoError::BadQuery(
+                    "a whole-graph part requires a connected graph".into(),
+                ));
+            } else {
+                vec![(0..n).collect()]
+            }
+        }
+        PartsStrategy::Voronoi { parts, seed } => {
+            if n == 0 {
+                Vec::new()
+            } else if !connected {
+                return Err(AlgoError::BadQuery(
+                    "voronoi parts require a connected graph".into(),
+                ));
+            } else if parts == 0 {
+                // voronoi_parts asserts on zero seeds — a server must get a
+                // value back instead.
+                return Err(AlgoError::BadQuery(
+                    "voronoi parts require at least one seed".into(),
+                ));
+            } else {
+                let mut rng = StdRng::seed_from_u64(seed);
+                return Ok(crate::workloads::voronoi_parts(g, parts.min(n), &mut rng));
+            }
+        }
+        PartsStrategy::Explicit(p) => {
+            // Re-validate against *this* graph: the caller may have built
+            // the partition for a different graph with the same node count,
+            // where "connected part" meant something else. Re-wrapping an
+            // already-valid partition is the identity (parts are kept
+            // sorted), so byte-equivalence with legacy callers holds.
+            return Partition::new(g, p.parts().to_vec()).map_err(|e| {
+                AlgoError::BadQuery(format!("explicit partition invalid for this graph: {e}"))
+            });
+        }
+    };
+    Partition::new(g, parts)
+        .map_err(|e| AlgoError::BadQuery(format!("partition strategy failed: {e:?}")))
+}
+
+/// The scale-independent half of a per-source shortcut-SSSP plan: the
+/// source-rooted shortcut over the session partition and its measured
+/// quality (the BFS tree is only needed during construction).
+#[derive(Debug, Clone)]
+struct SsspStructure {
+    shortcut: Shortcut,
+    quality: usize,
+}
+
+/// The scale-dependent half, keyed by `(source, scale)`: the scaled
+/// weights and the center potentials `ρ` with the stats of the flood that
+/// computed them. Replaying the cached flood stats keeps repeated queries
+/// byte-identical to a fresh run.
+#[derive(Debug, Clone)]
+struct SsspPlanEntry {
+    scaled: WeightedGraph,
+    rho: Vec<u64>,
+    rho_stats: RunStats,
+    value_bits: usize,
+}
+
+/// Cap on the number of memoized part-wise aggregations: each entry owns
+/// two `O(n)` vectors (the values key and the minima), so a long-lived
+/// session serving many *distinct* value vectors must not grow without
+/// bound. Past the cap new results are recomputed instead of stored —
+/// correctness is unaffected, repeats of the cached queries stay fast.
+const PARTWISE_MEMO_CAP: usize = 256;
+
+/// Cap on the per-query result memos (min-cut and the three SSSP tiers):
+/// each entry owns `O(n)` vectors. Past the cap a fresh argument tuple is
+/// recomputed instead of stored.
+const RESULT_MEMO_CAP: usize = 256;
+
+/// Cap on the per-source SSSP plan caches (`sssp_structure`,
+/// `sssp_plans`), whose entries own a `Shortcut` resp. a scaled
+/// `WeightedGraph` + ρ vector. These are indexed unconditionally after
+/// `ensure_sssp_plan`, so instead of skipping inserts the maps are cleared
+/// generationally when full — a source sweep stays bounded and the hot
+/// working set immediately repopulates.
+const PLAN_CACHE_CAP: usize = 64;
+
+/// Generational bound: clears `map` when inserting the next entry would
+/// exceed `cap`.
+fn evict_generation<K, V>(map: &mut HashMap<K, V>, cap: usize) {
+    if map.len() >= cap {
+        map.clear();
+    }
+}
+
+#[derive(Debug, Default)]
+struct Caches {
+    /// Borůvka re-plans: fragmentation labels → shortcut built for them.
+    /// With the result memos below, today's query flow runs each Borůvka
+    /// drive at most once per session, so these maps are populated but not
+    /// re-hit; they are the re-plan seam for flows that invalidate or
+    /// bypass the result memos (plan sharding, incremental weights), and
+    /// their size is bounded by the O(log n) phases of one drive.
+    frag_shortcuts: HashMap<Vec<usize>, Shortcut>,
+    /// Fragmentation labels → measured quality of its (parts, shortcut).
+    frag_quality: HashMap<Vec<usize>, usize>,
+    /// Component-wise fragmentation shortcuts of [`Solver::components`].
+    comp_shortcuts: HashMap<Vec<usize>, Shortcut>,
+    /// Component labelling `(comp_of, comp_count)` of the graph.
+    comp_meta: Option<(Vec<usize>, usize)>,
+    /// Scale-independent shortcut-SSSP structure, keyed by source.
+    sssp_structure: HashMap<NodeId, SsspStructure>,
+    /// Scale-dependent shortcut-SSSP plans keyed by `(source, scale)`.
+    sssp_plans: HashMap<(NodeId, u64), SsspPlanEntry>,
+    // ---- Query-result memos. Every query is a deterministic pure function
+    // of (plan, arguments): the simulator has no hidden state and no
+    // randomness, so serving a repeated query from the memo is
+    // byte-identical to re-running it — only the wall clock changes.
+    mst_memo: Option<(MstOutcome, Vec<PhaseRun>)>,
+    components_memo: Option<(ComponentsOutcome, Vec<PhaseRun>)>,
+    min_cut_memo: HashMap<(usize, bool), (MinCutOutcome, Vec<PhaseRun>)>,
+    sssp_exact_memo: HashMap<NodeId, (SsspOutcome, Vec<PhaseRun>)>,
+    /// Keyed by `(source, epsilon.to_bits())`.
+    sssp_scaled_memo: HashMap<(NodeId, u64), (ScaledSsspOutcome, Vec<PhaseRun>)>,
+    /// Keyed by `(source, epsilon.to_bits(), max_phases)`.
+    sssp_shortcut_memo: HashMap<(NodeId, u64, usize), (ShortcutSsspOutcome, Vec<PhaseRun>)>,
+    /// Bounded by [`PARTWISE_MEMO_CAP`].
+    partwise_memo: HashMap<(Vec<u64>, usize), (crate::partwise::AggregationResult, Vec<PhaseRun>)>,
+}
+
+/// A plan-once / query-many session over one network.
+///
+/// Construct with [`Solver::builder`] (weighted) or [`Solver::for_graph`]
+/// (unit weights); see the [module docs](self) for the full contract.
+#[derive(Debug)]
+pub struct Solver<'a> {
+    wg: Cow<'a, WeightedGraph>,
+    parts: Partition,
+    builder: Box<dyn ShortcutBuilder + 'a>,
+    config: CongestConfig,
+    root: NodeId,
+    connected: bool,
+    tree: Option<RootedTree>,
+    plan: Option<ShortcutPlan>,
+    caches: Caches,
+}
+
+/// The canonical cache key of a partition: each node's part index
+/// (`usize::MAX` for uncovered nodes). Equal partitions produce equal keys.
+fn partition_key(parts: &Partition, n: usize) -> Vec<usize> {
+    let mut key = vec![usize::MAX; n];
+    for (i, part) in parts.parts().iter().enumerate() {
+        for &v in part {
+            key[v] = i;
+        }
+    }
+    key
+}
+
+/// One part per node — the Borůvka starting fragmentation.
+fn singleton_partition(g: &Graph) -> Partition {
+    Partition::new(g, (0..g.n()).map(|v| vec![v]).collect())
+        .expect("singletons are trivially valid")
+}
+
+/// Packs `(weight, edge id)` into an order-preserving `u64`.
+fn encode(weight: u64, edge: EdgeId, m: u64) -> u64 {
+    weight * m + edge as u64
+}
+
+impl<'a> Solver<'a> {
+    /// Starts configuring a session over a weighted network.
+    pub fn builder(wg: &'a WeightedGraph) -> SolverBuilder<'a> {
+        SolverBuilder::new(WeightSource::Weighted(wg))
+    }
+
+    /// Starts configuring a session over an unweighted network (unit
+    /// weights; use [`SolverBuilder::weights`] to set real ones).
+    pub fn for_graph(g: &'a Graph) -> SolverBuilder<'a> {
+        SolverBuilder::new(WeightSource::Unit(g))
+    }
+
+    /// The session's network.
+    pub fn graph(&self) -> &Graph {
+        self.wg.graph()
+    }
+
+    /// The session's weighted network.
+    pub fn weighted_graph(&self) -> &WeightedGraph {
+        self.wg.as_ref()
+    }
+
+    /// The session partition.
+    pub fn parts(&self) -> &Partition {
+        &self.parts
+    }
+
+    /// The session simulator configuration.
+    pub fn config(&self) -> CongestConfig {
+        self.config
+    }
+
+    /// The name of the session's shortcut construction.
+    pub fn builder_name(&self) -> &'static str {
+        self.builder.name()
+    }
+
+    /// Whether the session graph is connected.
+    pub fn is_connected(&self) -> bool {
+        self.connected
+    }
+
+    /// The session's [`ShortcutPlan`] (built on first use, then cached):
+    /// BFS tree rooted at the configured root, the session partition, the
+    /// constructed shortcut, and its measured quality.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::EmptyGraph`] / [`AlgoError::Disconnected`] when no
+    /// spanning tree exists.
+    pub fn plan(&mut self) -> Result<&ShortcutPlan, AlgoError> {
+        self.ensure_plan()?;
+        Ok(self.plan.as_ref().expect("ensure_plan filled the plan"))
+    }
+
+    /// The analytic construction charge of the session plan:
+    /// `quality · ⌈log₂ n⌉` rounds per \[HIZ16a\]. Charged once per session,
+    /// not per query.
+    ///
+    /// # Errors
+    ///
+    /// As [`Solver::plan`].
+    pub fn plan_charge(&mut self) -> Result<usize, AlgoError> {
+        let n = self.wg.graph().n();
+        let quality = self.plan()?.quality().quality;
+        Ok(quality * bits_for(n.max(2)))
+    }
+
+    fn ensure_tree(&mut self) -> Result<(), AlgoError> {
+        if self.wg.graph().n() == 0 {
+            return Err(AlgoError::EmptyGraph);
+        }
+        if !self.connected {
+            return Err(AlgoError::Disconnected);
+        }
+        if self.tree.is_none() {
+            self.tree = Some(RootedTree::bfs(self.wg.graph(), self.root));
+        }
+        Ok(())
+    }
+
+    fn ensure_plan(&mut self) -> Result<(), AlgoError> {
+        if self.plan.is_some() {
+            return Ok(());
+        }
+        self.ensure_tree()?;
+        let tree = self.tree.clone().expect("ensure_tree filled the tree");
+        self.plan = Some(ShortcutPlan::with_tree(
+            self.wg.graph(),
+            tree,
+            self.parts.clone(),
+            &self.builder,
+        ));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // MST
+    // ------------------------------------------------------------------
+
+    /// Minimum spanning tree via shortcut-driven Borůvka (Corollary 1).
+    ///
+    /// Per-phase shortcuts are cached keyed by the fragmentation, so
+    /// repeated `mst()` queries (and the tree packing of
+    /// [`Solver::min_cut`]) replay the plan instead of rebuilding it.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::EmptyGraph`] / [`AlgoError::Disconnected`] on
+    /// structurally unfit inputs, [`AlgoError::Sim`] on simulator failures.
+    pub fn mst(&mut self) -> Result<Report<Mst>, AlgoError> {
+        let (out, runs) = self.mst_full()?;
+        Ok(Report {
+            value: Mst {
+                edges: out.edges,
+                total_weight: out.total_weight,
+                boruvka_phases: out.phases,
+            },
+            stats: ReportStats::from_runs(
+                out.simulated_rounds,
+                out.charged_construction_rounds,
+                runs,
+            ),
+        })
+    }
+
+    /// The full legacy-shaped MST run: outcome plus per-run stats. Used by
+    /// [`Solver::mst`], [`Solver::min_cut`], and the deprecated shim.
+    /// Memoized: the run is deterministic, so repeats serve the cached
+    /// result.
+    pub(crate) fn mst_full(&mut self) -> Result<(MstOutcome, Vec<PhaseRun>), AlgoError> {
+        if let Some(memo) = self.caches.mst_memo.clone() {
+            return Ok(memo);
+        }
+        let result = self.mst_compute()?;
+        self.caches.mst_memo = Some(result.clone());
+        Ok(result)
+    }
+
+    fn mst_compute(&mut self) -> Result<(MstOutcome, Vec<PhaseRun>), AlgoError> {
+        self.ensure_tree()?;
+        let Solver {
+            ref wg,
+            ref tree,
+            ref builder,
+            config,
+            ref mut caches,
+            ..
+        } = *self;
+        let wg: &WeightedGraph = wg.as_ref();
+        let g = wg.graph();
+        let tree = tree.as_ref().expect("ensure_tree filled the tree");
+        let n = g.n();
+        let m = g.m().max(1) as u64;
+        let max_w = wg.weights().iter().copied().max().unwrap_or(0);
+        let value_bits = bits_for((max_w + 1) as usize) + bits_for(g.m().max(2));
+        let mut uf = UnionFind::new(n);
+        let mut chosen: Vec<EdgeId> = Vec::new();
+        let mut per_phase = Vec::new();
+        let mut runs = Vec::new();
+        let mut simulated_rounds = 0usize;
+        let mut charged = 0usize;
+        // Shortcut for the current partition; singleton fragments need none.
+        let mut parts = singleton_partition(g);
+        let mut shortcut = Shortcut::empty(parts.len());
+        let log_n = bits_for(n.max(2));
+        while uf.count() > 1 {
+            let phase = per_phase.len();
+            let fragments = uf.count();
+            let key = partition_key(&parts, n);
+            let quality = match caches.frag_quality.get(&key) {
+                Some(&q) => q,
+                None => {
+                    let q = measure_quality(g, tree, &parts, &shortcut).quality;
+                    caches.frag_quality.insert(key, q);
+                    q
+                }
+            };
+            charged += quality * log_n;
+            // Per-node candidate: lightest incident edge leaving the fragment.
+            let mut values = vec![u64::MAX; n];
+            for (v, value) in values.iter_mut().enumerate() {
+                for (w, e) in g.neighbors(v) {
+                    if uf.find(v) != uf.find(w) {
+                        let enc = encode(wg.weight(e), e, m);
+                        if enc < *value {
+                            *value = enc;
+                        }
+                    }
+                }
+            }
+            let agg = partwise_min_impl(g, &parts, &shortcut, &values, value_bits, config)?;
+            simulated_rounds += agg.stats.rounds;
+            runs.push(PhaseRun {
+                label: format!("mst phase {phase}: candidate"),
+                stats: agg.stats,
+                repeats: 1,
+            });
+            // Merge along the chosen edges.
+            let mut merged_any = false;
+            for &best in &agg.minima {
+                if best == u64::MAX {
+                    continue;
+                }
+                let e = (best % m) as EdgeId;
+                let (u, v) = g.endpoints(e);
+                if uf.union(u, v) {
+                    chosen.push(e);
+                    merged_any = true;
+                }
+            }
+            assert!(merged_any, "connected graph must always merge");
+            // New partition + its shortcut; flood new labels (relabel step).
+            let (labels, _) = uf.labels();
+            let label_options: Vec<Option<usize>> = labels.iter().map(|&l| Some(l)).collect();
+            let new_parts = Partition::from_labels(g, &label_options)
+                .expect("fragments are connected by construction");
+            let new_key = partition_key(&new_parts, n);
+            let new_shortcut = match caches.frag_shortcuts.get(&new_key) {
+                Some(s) => s.clone(),
+                None => {
+                    let s = builder.build(g, tree, &new_parts);
+                    caches.frag_shortcuts.insert(new_key, s.clone());
+                    s
+                }
+            };
+            let ids: Vec<u64> = (0..n as u64).collect();
+            let relabel = partwise_min_impl(
+                g,
+                &new_parts,
+                &new_shortcut,
+                &ids,
+                bits_for(n.max(2)),
+                config,
+            )?;
+            simulated_rounds += relabel.stats.rounds;
+            runs.push(PhaseRun {
+                label: format!("mst phase {phase}: relabel"),
+                stats: relabel.stats,
+                repeats: 1,
+            });
+            per_phase.push(PhaseStats {
+                fragments,
+                candidate_rounds: agg.stats.rounds,
+                relabel_rounds: relabel.stats.rounds,
+                shortcut_quality: quality,
+            });
+            parts = new_parts;
+            shortcut = new_shortcut;
+        }
+        chosen.sort_unstable();
+        chosen.dedup();
+        let total_weight = chosen.iter().map(|&e| wg.weight(e)).sum();
+        Ok((
+            MstOutcome {
+                phases: per_phase.len(),
+                edges: chosen,
+                total_weight,
+                simulated_rounds,
+                charged_construction_rounds: charged,
+                per_phase,
+            },
+            runs,
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Min-cut
+    // ------------------------------------------------------------------
+
+    /// `(1+ε)`-approximate minimum cut via greedy tree packing
+    /// (Corollary 1), with 2-respecting cuts enabled.
+    ///
+    /// # Errors
+    ///
+    /// As [`Solver::mst`], plus [`AlgoError::BadQuery`] when `trees == 0`
+    /// or the graph has fewer than two nodes.
+    pub fn min_cut(&mut self, trees: usize) -> Result<Report<MinCut>, AlgoError> {
+        self.min_cut_with(trees, true)
+    }
+
+    /// Like [`Solver::min_cut`] with an explicit 2-respecting-cuts toggle
+    /// (evaluating them is `O(n²)` per tree centrally).
+    ///
+    /// # Errors
+    ///
+    /// As [`Solver::min_cut`].
+    pub fn min_cut_with(
+        &mut self,
+        trees: usize,
+        use_two_respecting: bool,
+    ) -> Result<Report<MinCut>, AlgoError> {
+        let (out, runs) = self.min_cut_full(trees, use_two_respecting)?;
+        Ok(Report {
+            value: MinCut {
+                approx_value: out.approx_value,
+                exact_value: out.exact_value,
+                ratio: out.ratio,
+                trees: out.trees,
+            },
+            stats: ReportStats::from_runs(
+                out.simulated_rounds,
+                out.charged_construction_rounds,
+                runs,
+            ),
+        })
+    }
+
+    pub(crate) fn min_cut_full(
+        &mut self,
+        trees: usize,
+        use_two_respecting: bool,
+    ) -> Result<(MinCutOutcome, Vec<PhaseRun>), AlgoError> {
+        if let Some(memo) = self.caches.min_cut_memo.get(&(trees, use_two_respecting)) {
+            return Ok(memo.clone());
+        }
+        let result = self.min_cut_compute(trees, use_two_respecting)?;
+        if self.caches.min_cut_memo.len() < RESULT_MEMO_CAP {
+            self.caches
+                .min_cut_memo
+                .insert((trees, use_two_respecting), result.clone());
+        }
+        Ok(result)
+    }
+
+    fn min_cut_compute(
+        &mut self,
+        trees: usize,
+        use_two_respecting: bool,
+    ) -> Result<(MinCutOutcome, Vec<PhaseRun>), AlgoError> {
+        if trees < 1 {
+            return Err(AlgoError::BadQuery("need at least one packed tree".into()));
+        }
+        let g = self.wg.graph();
+        if g.n() == 0 {
+            return Err(AlgoError::EmptyGraph);
+        }
+        if g.n() < 2 {
+            return Err(AlgoError::BadQuery(
+                "min cut needs at least two nodes".into(),
+            ));
+        }
+        if !self.connected {
+            return Err(AlgoError::Disconnected);
+        }
+        let exact = stoer_wagner(self.wg.as_ref());
+        let packing = greedy_tree_packing(self.wg.as_ref(), trees);
+        // Distributed cost of the packing: one Borůvka MST per tree. The
+        // load re-weighting does not change the round profile, so simulate
+        // the MST once (cached plan!) and charge it per tree.
+        let (mst, mst_runs) = self.mst_full()?;
+        let mut simulated = mst.simulated_rounds * trees;
+        let charged = mst.charged_construction_rounds * trees;
+        let mut runs: Vec<PhaseRun> = mst_runs
+            .into_iter()
+            .map(|mut r| {
+                r.label = format!("packing {}", r.label);
+                r.repeats *= trees;
+                r
+            })
+            .collect();
+        let wg = self.wg.as_ref();
+        let g = wg.graph();
+        let mut best = u64::MAX;
+        for (t, tree) in packing.iter().enumerate() {
+            for (_, cut) in one_respecting_cuts(wg, tree) {
+                best = best.min(cut);
+            }
+            if use_two_respecting && g.n() >= 3 {
+                best = best.min(min_two_respecting_cut(wg, tree));
+            }
+            // Subtree-sum aggregation cost: two convergecasts over the tree.
+            let (_, stats) =
+                primitives::convergecast_sum(g, &tree.parent, &vec![1u64; g.n()], self.config)?;
+            simulated += 2 * stats.rounds;
+            runs.push(PhaseRun {
+                label: format!("tree {t}: subtree convergecast"),
+                stats,
+                repeats: 2,
+            });
+        }
+        Ok((
+            MinCutOutcome {
+                approx_value: best,
+                exact_value: exact,
+                ratio: best as f64 / exact as f64,
+                trees,
+                simulated_rounds: simulated,
+                charged_construction_rounds: charged,
+            },
+            runs,
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // SSSP
+    // ------------------------------------------------------------------
+
+    /// Single-source shortest paths in the selected [`Tier`].
+    ///
+    /// The shortcut tier runs over the session partition; its per-source
+    /// plan (source-rooted tree, shortcut, center potentials ρ) is cached
+    /// keyed by `(source, weight scale)`, so repeated queries skip the
+    /// construction and the one-time ρ flood while reporting identical
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::EmptyGraph`] on empty inputs; [`AlgoError::BadQuery`]
+    /// on an out-of-range source, non-positive `epsilon`-scaled weights, or
+    /// a zero phase budget; [`AlgoError::Disconnected`] for the scaled and
+    /// shortcut tiers (the exact tier marks unreached nodes instead);
+    /// [`AlgoError::Sim`] on simulator failures.
+    pub fn sssp(&mut self, source: NodeId, tier: Tier) -> Result<Report<Sssp>, AlgoError> {
+        match tier {
+            Tier::Exact => {
+                let (out, runs) = self.sssp_exact_full(source)?;
+                Ok(Report {
+                    value: Sssp {
+                        dist: out.dist,
+                        detail: SsspDetail::Exact { parent: out.parent },
+                    },
+                    stats: ReportStats::from_runs(out.stats.rounds, 0, runs),
+                })
+            }
+            Tier::Scaled { epsilon } => {
+                let (out, runs) = self.sssp_scaled_full(source, epsilon)?;
+                let simulated = out.simulated_rounds();
+                Ok(Report {
+                    value: Sssp {
+                        dist: out.dist,
+                        detail: SsspDetail::Scaled {
+                            scale: out.scale,
+                            hop_budget: out.hop_budget,
+                        },
+                    },
+                    stats: ReportStats::from_runs(simulated, 0, runs),
+                })
+            }
+            Tier::Shortcut {
+                epsilon,
+                max_phases,
+            } => {
+                let (out, runs) = self.sssp_shortcut_full(source, epsilon, max_phases)?;
+                Ok(Report {
+                    value: Sssp {
+                        dist: out.dist,
+                        detail: SsspDetail::Shortcut {
+                            scale: out.scale,
+                            phases: out.phases,
+                            converged: out.converged,
+                            shortcut_quality: out.shortcut_quality,
+                        },
+                    },
+                    stats: ReportStats::from_runs(
+                        out.simulated_rounds,
+                        out.charged_construction_rounds,
+                        runs,
+                    ),
+                })
+            }
+        }
+    }
+
+    fn check_source(&self, source: NodeId) -> Result<(), AlgoError> {
+        if self.wg.graph().n() == 0 {
+            return Err(AlgoError::EmptyGraph);
+        }
+        if source >= self.wg.graph().n() {
+            return Err(AlgoError::BadQuery("source out of range".into()));
+        }
+        Ok(())
+    }
+
+    fn check_positive_weights(&self) -> Result<u64, AlgoError> {
+        let w_min = self.wg.weights().iter().copied().min().unwrap_or(1);
+        if w_min < 1 {
+            return Err(AlgoError::BadQuery("positive weights required".into()));
+        }
+        Ok(w_min)
+    }
+
+    fn sssp_exact_full(
+        &mut self,
+        source: NodeId,
+    ) -> Result<(SsspOutcome, Vec<PhaseRun>), AlgoError> {
+        self.check_source(source)?;
+        if let Some(memo) = self.caches.sssp_exact_memo.get(&source) {
+            return Ok(memo.clone());
+        }
+        let out = bellman_ford_sssp(self.wg.as_ref(), source, self.config)?;
+        let runs = vec![PhaseRun {
+            label: "bellman-ford flood".into(),
+            stats: out.stats,
+            repeats: 1,
+        }];
+        if self.caches.sssp_exact_memo.len() < RESULT_MEMO_CAP {
+            self.caches
+                .sssp_exact_memo
+                .insert(source, (out.clone(), runs.clone()));
+        }
+        Ok((out, runs))
+    }
+
+    fn sssp_scaled_full(
+        &mut self,
+        source: NodeId,
+        epsilon: f64,
+    ) -> Result<(ScaledSsspOutcome, Vec<PhaseRun>), AlgoError> {
+        self.check_source(source)?;
+        if !self.connected {
+            return Err(AlgoError::Disconnected);
+        }
+        if epsilon.is_nan() || epsilon < 0.0 {
+            return Err(AlgoError::BadQuery("epsilon must be non-negative".into()));
+        }
+        self.check_positive_weights()?;
+        if let Some(memo) = self
+            .caches
+            .sssp_scaled_memo
+            .get(&(source, epsilon.to_bits()))
+        {
+            return Ok(memo.clone());
+        }
+        let out = scaled_sssp(self.wg.as_ref(), source, epsilon, self.config)?;
+        let runs = vec![
+            PhaseRun {
+                label: "bfs hop-budget certificate".into(),
+                stats: out.bfs_stats,
+                repeats: 1,
+            },
+            PhaseRun {
+                label: "scaled flood".into(),
+                stats: out.flood_stats,
+                repeats: 1,
+            },
+        ];
+        if self.caches.sssp_scaled_memo.len() < RESULT_MEMO_CAP {
+            self.caches
+                .sssp_scaled_memo
+                .insert((source, epsilon.to_bits()), (out.clone(), runs.clone()));
+        }
+        Ok((out, runs))
+    }
+
+    pub(crate) fn sssp_shortcut_full(
+        &mut self,
+        source: NodeId,
+        epsilon: f64,
+        max_phases: usize,
+    ) -> Result<(ShortcutSsspOutcome, Vec<PhaseRun>), AlgoError> {
+        if let Some(memo) =
+            self.caches
+                .sssp_shortcut_memo
+                .get(&(source, epsilon.to_bits(), max_phases))
+        {
+            return Ok(memo.clone());
+        }
+        let result = self.sssp_shortcut_compute(source, epsilon, max_phases)?;
+        if self.caches.sssp_shortcut_memo.len() < RESULT_MEMO_CAP {
+            self.caches
+                .sssp_shortcut_memo
+                .insert((source, epsilon.to_bits(), max_phases), result.clone());
+        }
+        Ok(result)
+    }
+
+    fn sssp_shortcut_compute(
+        &mut self,
+        source: NodeId,
+        epsilon: f64,
+        max_phases: usize,
+    ) -> Result<(ShortcutSsspOutcome, Vec<PhaseRun>), AlgoError> {
+        self.check_source(source)?;
+        if !self.connected {
+            return Err(AlgoError::Disconnected);
+        }
+        if max_phases < 1 {
+            return Err(AlgoError::BadQuery("need at least one phase".into()));
+        }
+        if epsilon.is_nan() || epsilon < 0.0 {
+            return Err(AlgoError::BadQuery("epsilon must be non-negative".into()));
+        }
+        let w_min = self.check_positive_weights()?;
+        let scale = scale_for(epsilon, w_min);
+        self.ensure_sssp_plan(source, scale)?;
+        let Solver {
+            ref wg,
+            ref parts,
+            config,
+            ref caches,
+            ..
+        } = *self;
+        let structure = &caches.sssp_structure[&source];
+        let entry = &caches.sssp_plans[&(source, scale)];
+        let g = wg.graph();
+        let n = g.n();
+        let charged = structure.quality * bits_for(n.max(2));
+
+        let mut dist = vec![u64::MAX; n];
+        dist[source] = 0;
+        let mut phase_rounds = Vec::new();
+        let mut simulated_rounds = entry.rho_stats.rounds;
+        let mut runs = vec![PhaseRun {
+            label: "center potentials (rho) flood".into(),
+            stats: entry.rho_stats,
+            repeats: 1,
+        }];
+        let mut converged = false;
+        for phase in 0..max_phases {
+            let before = dist.clone();
+            // Overlay aggregation: part minima of D + ρ, through the shortcut.
+            let values: Vec<u64> = (0..n)
+                .map(|v| {
+                    if dist[v] == u64::MAX || entry.rho[v] == u64::MAX {
+                        u64::MAX
+                    } else {
+                        dist[v].saturating_add(entry.rho[v])
+                    }
+                })
+                .collect();
+            let agg = partwise_min_impl(
+                g,
+                parts,
+                &structure.shortcut,
+                &values,
+                entry.value_bits,
+                config,
+            )?;
+            for (i, part) in parts.parts().iter().enumerate() {
+                let m = agg.minima[i];
+                if m == u64::MAX {
+                    continue;
+                }
+                for &v in part {
+                    let cand = m.saturating_add(entry.rho[v]);
+                    if cand < dist[v] {
+                        dist[v] = cand;
+                    }
+                }
+            }
+            // Boundary stitch: one global relaxation round.
+            let (relaxed, relax_stats) = primitives::distance_broadcast_round(
+                &entry.scaled,
+                &dist,
+                entry.value_bits,
+                config,
+            )?;
+            dist = relaxed;
+            phase_rounds.push((agg.stats.rounds, relax_stats.rounds));
+            simulated_rounds += agg.stats.rounds + relax_stats.rounds;
+            runs.push(PhaseRun {
+                label: format!("overlay phase {phase}: aggregate"),
+                stats: agg.stats,
+                repeats: 1,
+            });
+            runs.push(PhaseRun {
+                label: format!("overlay phase {phase}: relax"),
+                stats: relax_stats,
+                repeats: 1,
+            });
+            if dist == before {
+                converged = true;
+                break;
+            }
+        }
+
+        Ok((
+            ShortcutSsspOutcome {
+                dist: rescale(&dist, scale),
+                scale,
+                phases: phase_rounds.len(),
+                converged,
+                rho_rounds: entry.rho_stats.rounds,
+                phase_rounds,
+                simulated_rounds,
+                charged_construction_rounds: charged,
+                shortcut_quality: structure.quality,
+            },
+            runs,
+        ))
+    }
+
+    /// Builds (or reuses) the per-source shortcut-SSSP plan. The
+    /// scale-independent structure (source-rooted shortcut + quality) is
+    /// cached per source; only the scaled weights and the ρ flood are
+    /// per-`(source, scale)`, so an ε sweep over one source builds the
+    /// shortcut exactly once.
+    fn ensure_sssp_plan(&mut self, source: NodeId, scale: u64) -> Result<(), AlgoError> {
+        if !self.caches.sssp_structure.contains_key(&source) {
+            let g = self.wg.graph();
+            let tree = RootedTree::bfs(g, source);
+            let shortcut = self.builder.build(g, &tree, &self.parts);
+            let quality = measure_quality(g, &tree, &self.parts, &shortcut).quality;
+            evict_generation(&mut self.caches.sssp_structure, PLAN_CACHE_CAP);
+            self.caches
+                .sssp_structure
+                .insert(source, SsspStructure { shortcut, quality });
+        }
+        if self.caches.sssp_plans.contains_key(&(source, scale)) {
+            return Ok(());
+        }
+        evict_generation(&mut self.caches.sssp_plans, PLAN_CACHE_CAP);
+        let wg = self.wg.as_ref();
+        let g = wg.graph();
+        let n = g.n();
+        let scaled = scale_weights(wg, scale);
+        let value_bits = dist_value_bits(&scaled) + 1;
+        let shortcut = &self.caches.sssp_structure[&source].shortcut;
+        // One-time center potentials ρ: distance from the part center inside
+        // the augmented part, all parts concurrently.
+        let centers = part_centers(g, &self.parts, source);
+        let seeds: Vec<(NodeId, u32, u64)> = centers
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u32, 0))
+            .collect();
+        let (best, rho_stats) = channel_distance_flood(
+            &scaled,
+            &self.parts,
+            shortcut,
+            &seeds,
+            value_bits,
+            self.config,
+        )?;
+        let rho: Vec<u64> = (0..n)
+            .map(|v| match self.parts.part_of(v) {
+                Some(i) => *best[v]
+                    .get(&(i as u32))
+                    .expect("part is connected, so its flood reaches every node"),
+                None => u64::MAX,
+            })
+            .collect();
+        self.caches.sssp_plans.insert(
+            (source, scale),
+            SsspPlanEntry {
+                scaled,
+                rho,
+                rho_stats,
+                value_bits,
+            },
+        );
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Connected components
+    // ------------------------------------------------------------------
+
+    /// Connected components / spanning forest by shortcut-driven Borůvka
+    /// merging. Works on empty and disconnected graphs — this is the one
+    /// query that must not assume connectivity.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::Sim`] on simulator failures.
+    pub fn components(&mut self) -> Result<Report<Components>, AlgoError> {
+        let (out, runs) = self.components_full()?;
+        Ok(Report {
+            value: Components {
+                label: out.label,
+                forest_edges: out.forest_edges,
+                boruvka_phases: out.phases,
+            },
+            stats: ReportStats::from_runs(out.simulated_rounds, 0, runs),
+        })
+    }
+
+    pub(crate) fn components_full(
+        &mut self,
+    ) -> Result<(ComponentsOutcome, Vec<PhaseRun>), AlgoError> {
+        if let Some(memo) = self.caches.components_memo.clone() {
+            return Ok(memo);
+        }
+        let result = self.components_compute()?;
+        self.caches.components_memo = Some(result.clone());
+        Ok(result)
+    }
+
+    fn components_compute(&mut self) -> Result<(ComponentsOutcome, Vec<PhaseRun>), AlgoError> {
+        let Solver {
+            ref wg,
+            ref builder,
+            config,
+            ref mut caches,
+            ..
+        } = *self;
+        let g = wg.graph();
+        let n = g.n();
+        if n == 0 {
+            return Ok((
+                ComponentsOutcome {
+                    label: Vec::new(),
+                    forest_edges: Vec::new(),
+                    phases: 0,
+                    simulated_rounds: 0,
+                },
+                Vec::new(),
+            ));
+        }
+        let m = g.m().max(1) as u64;
+        let (comp_of, comp_count) = caches
+            .comp_meta
+            .get_or_insert_with(|| traversal::components(g))
+            .clone();
+        let mut uf = UnionFind::new(n);
+        let mut forest: Vec<EdgeId> = Vec::new();
+        let mut phases = 0;
+        let mut rounds = 0;
+        let mut runs = Vec::new();
+        loop {
+            // Fragment partition (within components).
+            let (labels, _) = uf.labels();
+            let options: Vec<Option<usize>> = labels.iter().map(|&l| Some(l)).collect();
+            let parts = Partition::from_labels(g, &options).expect("fragments connected");
+            let key = partition_key(&parts, n);
+            if parts.len() == comp_count {
+                // One fragment per component: done. Final labels = min node
+                // id, flooded once more for the output.
+                let shortcut = match caches.comp_shortcuts.get(&key) {
+                    Some(s) => s.clone(),
+                    None => {
+                        let s = build_per_component(g, &comp_of, comp_count, builder, &parts);
+                        caches.comp_shortcuts.insert(key, s.clone());
+                        s
+                    }
+                };
+                let ids: Vec<u64> = (0..n as u64).collect();
+                let agg =
+                    partwise_min_impl(g, &parts, &shortcut, &ids, bits_for(n.max(2)), config)?;
+                rounds += agg.stats.rounds;
+                runs.push(PhaseRun {
+                    label: "final label flood".into(),
+                    stats: agg.stats,
+                    repeats: 1,
+                });
+                let mut label = vec![0usize; n];
+                for (v, slot) in label.iter_mut().enumerate() {
+                    let p = parts.part_of(v).expect("all nodes in fragments");
+                    *slot = agg.minima[p] as usize;
+                }
+                forest.sort_unstable();
+                forest.dedup();
+                return Ok((
+                    ComponentsOutcome {
+                        label,
+                        forest_edges: forest,
+                        phases,
+                        simulated_rounds: rounds,
+                    },
+                    runs,
+                ));
+            }
+            phases += 1;
+            let shortcut = match caches.comp_shortcuts.get(&key) {
+                Some(s) => s.clone(),
+                None => {
+                    let s = build_per_component(g, &comp_of, comp_count, builder, &parts);
+                    caches.comp_shortcuts.insert(key, s.clone());
+                    s
+                }
+            };
+            // Candidate: minimum-id incident edge leaving the fragment.
+            let mut values = vec![u64::MAX; n];
+            for (v, value) in values.iter_mut().enumerate() {
+                for (w, e) in g.neighbors(v) {
+                    if uf.find(v) != uf.find(w) {
+                        *value = (*value).min(e as u64);
+                    }
+                }
+            }
+            let agg = partwise_min_impl(
+                g,
+                &parts,
+                &shortcut,
+                &values,
+                bits_for(g.m().max(2)),
+                config,
+            )?;
+            rounds += agg.stats.rounds;
+            runs.push(PhaseRun {
+                label: format!("components phase {}: candidate", phases - 1),
+                stats: agg.stats,
+                repeats: 1,
+            });
+            for &best in &agg.minima {
+                if best == u64::MAX {
+                    continue;
+                }
+                let e = (best % m) as EdgeId;
+                let (u, v) = g.endpoints(e);
+                if uf.union(u, v) {
+                    forest.push(e);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Part-wise aggregation
+    // ------------------------------------------------------------------
+
+    /// Part-wise MIN aggregation of `values` over the session plan
+    /// (`G[P_i] + H_i` per part), the Theorem 1 primitive. `value_bits` is
+    /// the honest encoding width of the values.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::BadQuery`] when `values.len() != n`; otherwise as
+    /// [`Solver::plan`] and [`AlgoError::Sim`].
+    pub fn partwise_min(
+        &mut self,
+        values: &[u64],
+        value_bits: usize,
+    ) -> Result<Report<PartwiseMin>, AlgoError> {
+        if values.len() != self.wg.graph().n() {
+            return Err(AlgoError::BadQuery("one value per node required".into()));
+        }
+        self.ensure_plan()?;
+        let memo_key = (values.to_vec(), value_bits);
+        let (agg, runs) = match self.caches.partwise_memo.get(&memo_key) {
+            Some(memo) => memo.clone(),
+            None => {
+                let plan = self.plan.as_ref().expect("ensure_plan filled the plan");
+                let agg = partwise_min_impl(
+                    self.wg.graph(),
+                    plan.parts(),
+                    plan.shortcut(),
+                    values,
+                    value_bits,
+                    self.config,
+                )?;
+                let runs = vec![PhaseRun {
+                    label: "partwise min".into(),
+                    stats: agg.stats,
+                    repeats: 1,
+                }];
+                // Bounded memo: each entry owns O(n) vectors, so past the
+                // cap fresh value vectors are recomputed instead of stored.
+                if self.caches.partwise_memo.len() < PARTWISE_MEMO_CAP {
+                    self.caches
+                        .partwise_memo
+                        .insert(memo_key, (agg.clone(), runs.clone()));
+                }
+                (agg, runs)
+            }
+        };
+        Ok(Report {
+            value: PartwiseMin { minima: agg.minima },
+            stats: ReportStats::from_runs(agg.stats.rounds, 0, runs),
+        })
+    }
+}
+
+/// A one-shot session for the deprecated legacy shims: default (singleton)
+/// partition, the caller's builder by reference, the caller's config.
+pub(crate) fn one_shot<'a, B: ShortcutBuilder + ?Sized>(
+    wg: &'a WeightedGraph,
+    builder: &'a B,
+    config: CongestConfig,
+) -> Solver<'a> {
+    Solver::builder(wg)
+        .shortcut_builder(builder)
+        .config(config)
+        .build()
+        .expect("a default one-shot session cannot fail to configure")
+}
+
+/// One-shot unweighted variant of [`one_shot`].
+pub(crate) fn one_shot_graph<'a, B: ShortcutBuilder + ?Sized>(
+    g: &'a Graph,
+    builder: &'a B,
+    config: CongestConfig,
+) -> Solver<'a> {
+    Solver::for_graph(g)
+        .shortcut_builder(builder)
+        .config(config)
+        .build()
+        .expect("a default one-shot session cannot fail to configure")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minex_core::construct::{AutoCappedBuilder, SteinerBuilder};
+    use minex_graphs::{generators, WeightModel};
+
+    fn cfg(n: usize) -> CongestConfig {
+        CongestConfig::for_nodes(n)
+            .with_bandwidth(192)
+            .with_max_rounds(500_000)
+    }
+
+    fn weighted(seed: u64) -> WeightedGraph {
+        let g = generators::triangulated_grid(6, 6);
+        let mut rng = StdRng::seed_from_u64(seed);
+        WeightModel::DistinctShuffled.apply(&g, &mut rng)
+    }
+
+    #[test]
+    fn repeated_queries_are_identical() {
+        let wg = weighted(3);
+        let mut solver = Solver::builder(&wg)
+            .parts(PartsStrategy::Voronoi { parts: 5, seed: 9 })
+            .shortcut_builder(SteinerBuilder)
+            .config(cfg(wg.graph().n()))
+            .build()
+            .unwrap();
+        let a = solver.mst().unwrap();
+        let b = solver.mst().unwrap();
+        assert_eq!(a, b);
+        let s1 = solver
+            .sssp(
+                0,
+                Tier::Shortcut {
+                    epsilon: 0.5,
+                    max_phases: 16,
+                },
+            )
+            .unwrap();
+        let s2 = solver
+            .sssp(
+                0,
+                Tier::Shortcut {
+                    epsilon: 0.5,
+                    max_phases: 16,
+                },
+            )
+            .unwrap();
+        assert_eq!(s1, s2);
+        let values: Vec<u64> = (0..wg.graph().n() as u64).rev().collect();
+        let p1 = solver.partwise_min(&values, 32).unwrap();
+        let p2 = solver.partwise_min(&values, 32).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn empty_graph_is_a_value_not_a_panic() {
+        let g = Graph::from_edges(0, std::iter::empty()).unwrap();
+        let mut solver = Solver::for_graph(&g).build().unwrap();
+        assert_eq!(solver.mst().unwrap_err(), AlgoError::EmptyGraph);
+        assert_eq!(
+            solver.sssp(0, Tier::Exact).unwrap_err(),
+            AlgoError::EmptyGraph
+        );
+        assert_eq!(solver.min_cut(2).unwrap_err(), AlgoError::EmptyGraph);
+        // Components still work: an empty answer.
+        let comps = solver.components().unwrap();
+        assert!(comps.value.label.is_empty());
+        assert_eq!(comps.stats.simulated_rounds, 0);
+    }
+
+    #[test]
+    fn disconnected_graph_is_a_value_not_a_panic() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let mut solver = Solver::for_graph(&g)
+            .shortcut_builder(SteinerBuilder)
+            .build()
+            .unwrap();
+        assert_eq!(solver.mst().unwrap_err(), AlgoError::Disconnected);
+        assert_eq!(
+            solver.sssp(0, Tier::Scaled { epsilon: 0.5 }).unwrap_err(),
+            AlgoError::Disconnected
+        );
+        assert_eq!(solver.min_cut(1).unwrap_err(), AlgoError::Disconnected);
+        // The exact tier degrades gracefully (unreached = MAX) …
+        let exact = solver.sssp(0, Tier::Exact).unwrap();
+        assert_eq!(exact.value.dist, vec![0, 1, u64::MAX, u64::MAX]);
+        // … and components label both halves.
+        let comps = solver.components().unwrap();
+        assert_eq!(comps.value.label, vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn bad_queries_are_values() {
+        let wg = weighted(5);
+        let mut solver = Solver::builder(&wg).config(cfg(36)).build().unwrap();
+        assert!(matches!(
+            solver.sssp(10_000, Tier::Exact).unwrap_err(),
+            AlgoError::BadQuery(_)
+        ));
+        assert!(matches!(
+            solver.min_cut(0).unwrap_err(),
+            AlgoError::BadQuery(_)
+        ));
+        assert!(matches!(
+            solver
+                .sssp(
+                    0,
+                    Tier::Shortcut {
+                        epsilon: 0.5,
+                        max_phases: 0
+                    }
+                )
+                .unwrap_err(),
+            AlgoError::BadQuery(_)
+        ));
+        assert!(matches!(
+            solver.partwise_min(&[1, 2, 3], 8).unwrap_err(),
+            AlgoError::BadQuery(_)
+        ));
+        assert!(matches!(
+            solver.sssp(0, Tier::Scaled { epsilon: -1.0 }).unwrap_err(),
+            AlgoError::BadQuery(_)
+        ));
+    }
+
+    #[test]
+    fn builder_validation() {
+        let g = generators::path(4);
+        let err = Solver::for_graph(&g).root(9).build().unwrap_err();
+        assert!(matches!(err, AlgoError::BadQuery(_)));
+        let err = Solver::for_graph(&g)
+            .parts(PartsStrategy::Voronoi { parts: 0, seed: 1 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AlgoError::BadQuery(_)));
+        // An explicit partition built for a different graph (same node
+        // count, different edges) is rejected, not planned over.
+        let other = generators::cycle(4);
+        let disconnected_in_path = Partition::new(&other, vec![vec![0, 3]]).unwrap();
+        let err = Solver::for_graph(&g)
+            .parts(PartsStrategy::Explicit(disconnected_in_path))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AlgoError::BadQuery(_)));
+        let err = Solver::for_graph(&g)
+            .weights(vec![1, 2])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AlgoError::BadQuery(_)));
+        let solver = Solver::for_graph(&g)
+            .weights(vec![5, 6, 7])
+            .build()
+            .unwrap();
+        assert_eq!(solver.weighted_graph().weights(), &[5, 6, 7]);
+    }
+
+    #[test]
+    fn plan_is_exposed_and_stable() {
+        let wg = weighted(8);
+        let mut solver = Solver::builder(&wg)
+            .parts(PartsStrategy::Voronoi { parts: 4, seed: 2 })
+            .shortcut_builder(AutoCappedBuilder)
+            .config(cfg(wg.graph().n()))
+            .build()
+            .unwrap();
+        let quality = solver.plan().unwrap().quality().clone();
+        let charge = solver.plan_charge().unwrap();
+        assert_eq!(charge, quality.quality * bits_for(36));
+        // Queries do not perturb the plan.
+        let _ = solver.mst().unwrap();
+        assert_eq!(solver.plan().unwrap().quality(), &quality);
+        assert_eq!(solver.builder_name(), "auto-capped");
+    }
+
+    #[test]
+    fn report_stats_add_up() {
+        let wg = weighted(11);
+        let mut solver = Solver::builder(&wg)
+            .parts(PartsStrategy::Voronoi { parts: 4, seed: 1 })
+            .shortcut_builder(SteinerBuilder)
+            .config(cfg(wg.graph().n()))
+            .build()
+            .unwrap();
+        for report_stats in [
+            solver.mst().unwrap().stats,
+            solver.min_cut(2).unwrap().stats,
+            solver.sssp(3, Tier::Exact).unwrap().stats,
+            solver
+                .sssp(3, Tier::Scaled { epsilon: 0.25 })
+                .unwrap()
+                .stats,
+            solver
+                .sssp(
+                    3,
+                    Tier::Shortcut {
+                        epsilon: 0.25,
+                        max_phases: 24,
+                    },
+                )
+                .unwrap()
+                .stats,
+            solver.components().unwrap().stats,
+        ] {
+            let sum: usize = report_stats
+                .runs
+                .iter()
+                .map(|r| r.stats.rounds * r.repeats)
+                .sum();
+            assert_eq!(report_stats.simulated_rounds, sum);
+            assert_eq!(
+                report_stats.aggregate().rounds,
+                report_stats.simulated_rounds
+            );
+            assert_eq!(
+                report_stats.total_rounds(),
+                report_stats.simulated_rounds + report_stats.charged_construction_rounds
+            );
+        }
+    }
+
+    #[test]
+    fn encode_orders_by_weight_then_edge() {
+        assert!(encode(2, 5, 100) < encode(3, 0, 100));
+        assert!(encode(2, 5, 100) > encode(2, 4, 100));
+        assert_eq!((encode(7, 42, 100) % 100) as EdgeId, 42);
+    }
+
+    #[test]
+    fn whole_and_explicit_strategies() {
+        let g = generators::cycle(12);
+        let mut whole = Solver::for_graph(&g)
+            .parts(PartsStrategy::Whole)
+            .shortcut_builder(SteinerBuilder)
+            .build()
+            .unwrap();
+        let values: Vec<u64> = (0..12u64).map(|v| v ^ 5).collect();
+        let got = whole.partwise_min(&values, 16).unwrap();
+        assert_eq!(
+            got.value.minima,
+            vec![values.iter().copied().min().unwrap()]
+        );
+
+        let parts = Partition::new(&g, vec![vec![0, 1], vec![6, 7]]).unwrap();
+        let mut explicit = Solver::for_graph(&g)
+            .parts(PartsStrategy::Explicit(parts))
+            .shortcut_builder(SteinerBuilder)
+            .build()
+            .unwrap();
+        let got = explicit.partwise_min(&values, 16).unwrap();
+        assert_eq!(got.value.minima.len(), 2);
+    }
+}

@@ -19,7 +19,8 @@
 //!    runs the existing [`partwise_min`](crate::partwise::partwise_min)
 //!    aggregation on `D(v) + ρ(v)` (short-circuiting long-range distance
 //!    propagation through the shortcut edges) followed by a single
-//!    [`distance_broadcast_round`] that stitches parts together. Every
+//!    [`distance_broadcast_round`](minex_congest::primitives::distance_broadcast_round)
+//!    that stitches parts together. Every
 //!    update is a real path bound, so estimates are always sound upper
 //!    bounds; on reaching the fixpoint the scaled distances are exact and
 //!    the `(1+ε)` scaling bound applies. Truncating the phase budget trades
@@ -27,23 +28,21 @@
 //!    this trade.
 //!
 //! The shortcut construction itself is charged analytically at
-//! `quality · ⌈log₂ n⌉` rounds per [HIZ16a], mirroring [`crate::mst`].
+//! `quality · ⌈log₂ n⌉` rounds per \[HIZ16a\], mirroring [`crate::mst`].
 
 use std::collections::HashMap;
 
-use minex_congest::primitives::{
-    build_bfs_tree, distance_broadcast_round, weighted_distance_flood,
-};
+use minex_congest::primitives::{build_bfs_tree, weighted_distance_flood};
 use minex_congest::{bits_for, run, CongestConfig, Ctx, NodeProgram, Payload, RunStats, SimError};
 use minex_core::construct::ShortcutBuilder;
-use minex_core::{measure_quality, Partition, RootedTree, Shortcut};
+use minex_core::{Partition, Shortcut};
 use minex_graphs::{traversal, Graph, NodeId, WeightedGraph};
 
-use crate::partwise::partwise_min;
+use crate::solver::{into_sim, PartsStrategy, Solver, Tier};
 
 /// Honest bit width for distance values on `wg`: enough for the total graph
 /// weight (the coarsest a-priori distance bound), floored at one byte.
-fn dist_value_bits(wg: &WeightedGraph) -> usize {
+pub(crate) fn dist_value_bits(wg: &WeightedGraph) -> usize {
     let total = wg.total_weight().min(usize::MAX as u64 - 1) as usize;
     bits_for(total + 1).max(8)
 }
@@ -69,7 +68,7 @@ pub fn scale_for(epsilon: f64, min_weight: u64) -> u64 {
 
 /// Rounds every weight up to the next multiple of `scale`, in units of
 /// `scale` (`w' = ⌈w/scale⌉`).
-fn scale_weights(wg: &WeightedGraph, scale: u64) -> WeightedGraph {
+pub(crate) fn scale_weights(wg: &WeightedGraph, scale: u64) -> WeightedGraph {
     assert!(scale >= 1, "scale must be positive");
     let weights = wg
         .weights()
@@ -80,7 +79,7 @@ fn scale_weights(wg: &WeightedGraph, scale: u64) -> WeightedGraph {
 }
 
 /// Maps scaled distances back to weight units (`u64::MAX` stays unreached).
-fn rescale(dist: &[u64], scale: u64) -> Vec<u64> {
+pub(crate) fn rescale(dist: &[u64], scale: u64) -> Vec<u64> {
     dist.iter()
         .map(|&d| {
             if d == u64::MAX {
@@ -169,6 +168,9 @@ pub struct ScaledSsspOutcome {
     pub hop_budget: usize,
     /// Statistics of the scaled flood.
     pub flood_stats: RunStats,
+    /// Full statistics of the BFS-tree construction (its `rounds` equal
+    /// [`Self::bfs_rounds`]); lets session reports aggregate every run.
+    pub bfs_stats: RunStats,
 }
 
 impl ScaledSsspOutcome {
@@ -233,6 +235,7 @@ pub fn scaled_sssp(
         flood_rounds: flood.stats.rounds,
         hop_budget,
         flood_stats: flood.stats,
+        bfs_stats: bfs.stats,
     })
 }
 
@@ -297,7 +300,9 @@ impl NodeProgram for ChannelFloodNode {
     type Msg = ChannelMsg;
 
     fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
-        for (from, msg) in ctx.inbox().to_vec() {
+        // Read the inbox by reference (all sends happen below, after the
+        // reads) — the hot loop allocates nothing.
+        for &(from, ref msg) in ctx.inbox() {
             let w = self
                 .links
                 .binary_search_by_key(&from, |&(nb, _, _)| nb)
@@ -343,7 +348,7 @@ impl NodeProgram for ChannelFloodNode {
 /// # Errors
 ///
 /// Propagates [`SimError`].
-fn channel_distance_flood(
+pub(crate) fn channel_distance_flood(
     wg: &WeightedGraph,
     parts: &Partition,
     shortcut: &Shortcut,
@@ -384,7 +389,7 @@ fn channel_distance_flood(
 /// induced part subgraph (ties to the smallest id), except that the part
 /// containing `source` is centered at `source` itself so near-source
 /// potentials are exact.
-fn part_centers(g: &Graph, parts: &Partition, source: NodeId) -> Vec<NodeId> {
+pub(crate) fn part_centers(g: &Graph, parts: &Partition, source: NodeId) -> Vec<NodeId> {
     parts
         .parts()
         .iter()
@@ -427,7 +432,7 @@ pub struct ShortcutSsspOutcome {
     /// Total simulated rounds (ρ flood + all phases).
     pub simulated_rounds: usize,
     /// Analytic charge for the distributed shortcut construction:
-    /// `quality · ⌈log₂ n⌉` per [HIZ16a], as in [`crate::mst`].
+    /// `quality · ⌈log₂ n⌉` per \[HIZ16a\], as in [`crate::mst`].
     pub charged_construction_rounds: usize,
     /// Measured quality of the shortcut used.
     pub shortcut_quality: usize,
@@ -436,14 +441,16 @@ pub struct ShortcutSsspOutcome {
 /// Shortcut-accelerated `(1+ε)`-approximate SSSP (tier 3).
 ///
 /// Runs on `k`-scaled weights (`k =`[`scale_for`]`(ε, w_min)`). One
-/// [`channel_distance_flood`] computes center potentials `ρ(v)` (distance
+/// channel distance flood computes center potentials `ρ(v)` (distance
 /// from the part center inside `G[P_i] + H_i`), then up to `max_phases`
 /// overlay phases each run
 ///
-/// 1. [`partwise_min`] over `x_v = D(v) + ρ(v)` — every part learns
+/// 1. [`partwise_min`](crate::partwise::partwise_min) over
+///    `x_v = D(v) + ρ(v)` — every part learns
 ///    `M_i = min_v x_v` through its shortcut, and each node lowers
 ///    `D(v) ← M_i + ρ(v)` (a real path bound through the center);
-/// 2. one [`distance_broadcast_round`] that relaxes every graph edge once,
+/// 2. one [`distance_broadcast_round`](minex_congest::primitives::distance_broadcast_round)
+///    that relaxes every graph edge once,
 ///    carrying estimates across part boundaries.
 ///
 /// Estimates only ever decrease and every update is witnessed by a real
@@ -457,6 +464,14 @@ pub struct ShortcutSsspOutcome {
 /// where this tier beats [`bellman_ford_sssp`]: information crosses each
 /// part in `O(quality)` aggregation rounds instead of hop by hop.
 ///
+/// # Deprecation
+///
+/// Each call rebuilds the source-rooted tree, the shortcut, the part
+/// centers, and the ρ flood. A [`crate::solver::Solver`] session caches
+/// that per-source plan keyed by `(source, scale)`
+/// (`solver.sssp(source, Tier::Shortcut { epsilon, max_phases })`),
+/// byte-identically.
+///
 /// # Errors
 ///
 /// Propagates [`SimError`].
@@ -464,7 +479,12 @@ pub struct ShortcutSsspOutcome {
 /// # Panics
 ///
 /// Panics if the graph is empty or disconnected, `source` is out of range,
-/// any weight is zero, or `max_phases == 0`.
+/// any weight is zero, or `max_phases == 0`. The session API reports these
+/// as [`crate::solver::AlgoError`] values instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `minex_algo::solver::Solver` session over the partition and call `.sssp(source, Tier::Shortcut { epsilon, max_phases })` — the per-source plan (tree, shortcut, ρ potentials) is cached across queries"
+)]
 pub fn shortcut_sssp<B: ShortcutBuilder>(
     wg: &WeightedGraph,
     source: NodeId,
@@ -474,97 +494,18 @@ pub fn shortcut_sssp<B: ShortcutBuilder>(
     max_phases: usize,
     config: CongestConfig,
 ) -> Result<ShortcutSsspOutcome, SimError> {
-    let g = wg.graph();
-    assert!(g.n() > 0, "graph must be non-empty");
-    assert!(source < g.n(), "source out of range");
-    assert!(
-        traversal::is_connected(g),
-        "shortcut SSSP requires a connected graph"
-    );
-    assert!(max_phases >= 1, "need at least one phase");
-    let w_min = wg.weights().iter().copied().min().unwrap_or(1);
-    assert!(w_min >= 1, "positive weights required");
-    let scale = scale_for(epsilon, w_min);
-    let scaled = scale_weights(wg, scale);
-    let n = g.n();
-    let value_bits = dist_value_bits(&scaled) + 1;
-
-    let tree = RootedTree::bfs(g, source);
-    let shortcut = builder.build(g, &tree, parts);
-    let quality = measure_quality(g, &tree, parts, &shortcut).quality;
-    let charged = quality * bits_for(n.max(2));
-
-    // One-time center potentials ρ: distance from the part center inside the
-    // augmented part, all parts concurrently.
-    let centers = part_centers(g, parts, source);
-    let seeds: Vec<(NodeId, u32, u64)> = centers
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| (c, i as u32, 0))
-        .collect();
-    let (best, rho_stats) =
-        channel_distance_flood(&scaled, parts, &shortcut, &seeds, value_bits, config)?;
-    let rho: Vec<u64> = (0..n)
-        .map(|v| match parts.part_of(v) {
-            Some(i) => *best[v]
-                .get(&(i as u32))
-                .expect("part is connected, so its flood reaches every node"),
-            None => u64::MAX,
-        })
-        .collect();
-
-    let mut dist = vec![u64::MAX; n];
-    dist[source] = 0;
-    let mut phase_rounds = Vec::new();
-    let mut simulated_rounds = rho_stats.rounds;
-    let mut converged = false;
-    for _ in 0..max_phases {
-        let before = dist.clone();
-        // Overlay aggregation: part minima of D + ρ, through the shortcut.
-        let values: Vec<u64> = (0..n)
-            .map(|v| {
-                if dist[v] == u64::MAX || rho[v] == u64::MAX {
-                    u64::MAX
-                } else {
-                    dist[v].saturating_add(rho[v])
-                }
-            })
-            .collect();
-        let agg = partwise_min(g, parts, &shortcut, &values, value_bits, config)?;
-        for (i, part) in parts.parts().iter().enumerate() {
-            let m = agg.minima[i];
-            if m == u64::MAX {
-                continue;
-            }
-            for &v in part {
-                let cand = m.saturating_add(rho[v]);
-                if cand < dist[v] {
-                    dist[v] = cand;
-                }
-            }
-        }
-        // Boundary stitch: one global relaxation round.
-        let (relaxed, relax_stats) = distance_broadcast_round(&scaled, &dist, value_bits, config)?;
-        dist = relaxed;
-        phase_rounds.push((agg.stats.rounds, relax_stats.rounds));
-        simulated_rounds += agg.stats.rounds + relax_stats.rounds;
-        if dist == before {
-            converged = true;
-            break;
-        }
+    // Legacy panic contract: a disconnected input names the tier.
+    if wg.graph().n() > 0 && !traversal::is_connected(wg.graph()) {
+        panic!("shortcut SSSP requires a connected graph");
     }
-
-    Ok(ShortcutSsspOutcome {
-        dist: rescale(&dist, scale),
-        scale,
-        phases: phase_rounds.len(),
-        converged,
-        rho_rounds: rho_stats.rounds,
-        phase_rounds,
-        simulated_rounds,
-        charged_construction_rounds: charged,
-        shortcut_quality: quality,
-    })
+    let mut solver = into_sim(
+        Solver::builder(wg)
+            .parts(PartsStrategy::Explicit(parts.clone()))
+            .shortcut_builder(builder)
+            .config(config)
+            .build(),
+    )?;
+    into_sim(solver.sssp_shortcut_full(source, epsilon, max_phases)).map(|(outcome, _)| outcome)
 }
 
 /// Round counts and measured approximation quality of all three tiers on
@@ -617,23 +558,51 @@ pub fn compare_sssp<B: ShortcutBuilder>(
     config: CongestConfig,
 ) -> Result<SsspComparison, SimError> {
     let reference = traversal::dijkstra(wg, source);
-    let exact = bellman_ford_sssp(wg, source, config)?;
-    assert_eq!(exact.dist, reference.dist, "exact tier must match Dijkstra");
-    let scaled = scaled_sssp(wg, source, epsilon, config)?;
-    let shortcut = shortcut_sssp(wg, source, parts, builder, epsilon, max_phases, config)?;
+    // One session serves all three tiers — the E11 row is itself a
+    // plan-once / query-many workload.
+    let mut solver = into_sim(
+        Solver::builder(wg)
+            .parts(PartsStrategy::Explicit(parts.clone()))
+            .shortcut_builder(builder)
+            .config(config)
+            .build(),
+    )?;
+    let exact = into_sim(solver.sssp(source, Tier::Exact))?;
+    assert_eq!(
+        exact.value.dist, reference.dist,
+        "exact tier must match Dijkstra"
+    );
+    let scaled = into_sim(solver.sssp(source, Tier::Scaled { epsilon }))?;
+    let shortcut = into_sim(solver.sssp(
+        source,
+        Tier::Shortcut {
+            epsilon,
+            max_phases,
+        },
+    ))?;
+    let (shortcut_phases, shortcut_converged) = match shortcut.value.detail {
+        crate::solver::SsspDetail::Shortcut {
+            phases, converged, ..
+        } => (phases, converged),
+        _ => unreachable!("shortcut tier returns shortcut detail"),
+    };
     Ok(SsspComparison {
-        exact_rounds: exact.stats.rounds,
-        scaled_rounds: scaled.simulated_rounds(),
-        scaled_stretch: max_stretch(&scaled.dist, &reference.dist),
-        shortcut_rounds: shortcut.simulated_rounds,
-        shortcut_charged: shortcut.charged_construction_rounds,
-        shortcut_stretch: max_stretch(&shortcut.dist, &reference.dist),
-        shortcut_phases: shortcut.phases,
-        shortcut_converged: shortcut.converged,
+        exact_rounds: exact.stats.simulated_rounds,
+        scaled_rounds: scaled.stats.simulated_rounds,
+        scaled_stretch: max_stretch(&scaled.value.dist, &reference.dist),
+        shortcut_rounds: shortcut.stats.simulated_rounds,
+        shortcut_charged: shortcut.stats.charged_construction_rounds,
+        shortcut_stretch: max_stretch(&shortcut.value.dist, &reference.dist),
+        shortcut_phases,
+        shortcut_converged,
     })
 }
 
 #[cfg(test)]
+// The legacy entry points are deprecated in favour of `solver::Solver`, but
+// they must keep passing their tests as shims — so the suite calls them
+// as-is.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::workloads;

@@ -74,7 +74,7 @@ pub fn grid_row_parts(rows: usize, cols: usize) -> (Graph, Partition) {
 }
 
 /// The lower-bound workload: each of the `p` long paths is one part —
-/// forcing `Ω̃(√n)` aggregation on general graphs [SHK+12].
+/// forcing `Ω̃(√n)` aggregation on general graphs \[SHK+12\].
 pub fn lower_bound_path_parts(paths: usize, len: usize) -> (Graph, Partition) {
     let (g, layout) = minex_graphs::generators::lower_bound_family(paths, len);
     let parts = layout.paths.clone();

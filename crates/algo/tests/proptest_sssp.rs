@@ -4,7 +4,8 @@
 
 use proptest::prelude::*;
 
-use minex_algo::sssp::{bellman_ford_sssp, compare_sssp, max_stretch, scaled_sssp, shortcut_sssp};
+use minex_algo::solver::{PartsStrategy, Solver, SsspDetail, Tier};
+use minex_algo::sssp::{bellman_ford_sssp, compare_sssp, max_stretch, scaled_sssp};
 use minex_algo::workloads;
 use minex_congest::CongestConfig;
 use minex_core::construct::{AutoCappedBuilder, SteinerBuilder};
@@ -57,11 +58,19 @@ proptest! {
         let src = (seed as usize) % g.n();
         let eps = 0.25;
         // A generous budget so small grids reach the fixpoint.
-        let out = shortcut_sssp(&wg, src, &parts, &AutoCappedBuilder, eps, 4 * g.n(), cfg(g.n()))
+        let mut solver = Solver::builder(&wg)
+            .parts(PartsStrategy::Explicit(parts))
+            .shortcut_builder(AutoCappedBuilder)
+            .config(cfg(g.n()))
+            .build()
+            .unwrap();
+        let out = solver
+            .sssp(src, Tier::Shortcut { epsilon: eps, max_phases: 4 * g.n() })
             .unwrap();
         let d = traversal::dijkstra(&wg, src);
-        let stretch = max_stretch(&out.dist, &d.dist);
-        prop_assert!(out.converged, "grid {}x{} must converge", side, side);
+        let stretch = max_stretch(&out.value.dist, &d.dist);
+        let converged = matches!(out.value.detail, SsspDetail::Shortcut { converged: true, .. });
+        prop_assert!(converged, "grid {}x{} must converge", side, side);
         // Converged means scaled-exact, so the scaling bound applies.
         prop_assert!(stretch <= 1.0 + eps + 1e-9, "stretch {}", stretch);
     }

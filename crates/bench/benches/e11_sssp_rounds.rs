@@ -1,7 +1,8 @@
 //! E11 — SSSP tier comparison (wall-clock of the simulation).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use minex_algo::sssp::{bellman_ford_sssp, shortcut_sssp};
+use minex_algo::solver::{PartsStrategy, Solver, Tier};
+use minex_algo::sssp::bellman_ford_sssp;
 use minex_algo::workloads;
 use minex_congest::CongestConfig;
 use minex_core::construct::SteinerBuilder;
@@ -18,9 +19,24 @@ fn bench(c: &mut Criterion) {
     });
     let budget = parts.len() + 2;
     group.bench_function("shortcut_sssp_wheel256", |b| {
+        // A fresh session per iteration: the one-shot cost (plan reuse is
+        // benchmarked by e14_plan_reuse).
         b.iter(|| {
-            shortcut_sssp(&wg, 0, &parts, &SteinerBuilder, 0.5, budget, config)
+            Solver::builder(&wg)
+                .parts(PartsStrategy::Explicit(parts.clone()))
+                .shortcut_builder(SteinerBuilder)
+                .config(config)
+                .build()
                 .unwrap()
+                .sssp(
+                    0,
+                    Tier::Shortcut {
+                        epsilon: 0.5,
+                        max_phases: budget,
+                    },
+                )
+                .unwrap()
+                .stats
                 .simulated_rounds
         })
     });

@@ -1,0 +1,109 @@
+//! E14 — amortized query latency of the plan-once / query-many `Solver`
+//! session vs independent legacy-style calls (wall-clock).
+//!
+//! One iteration = N mixed queries (one shortcut SSSP per four queries,
+//! part-wise MIN aggregations otherwise). The `solver_*` benchmarks share a
+//! single warm session across the whole run; the `legacy_*` benchmarks
+//! rebuild tree + shortcut (+ ρ flood for SSSP) per query, which is exactly
+//! what the deprecated free functions do.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minex_algo::solver::{PartsStrategy, Solver, Tier};
+use minex_algo::workloads;
+use minex_congest::CongestConfig;
+use minex_core::construct::{ShortcutBuilder, SteinerBuilder};
+use minex_core::RootedTree;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_plan_reuse");
+    group.sample_size(10);
+    let (wg, parts) = workloads::heavy_hub_wheel(96, 8, 64, 4096);
+    let g = wg.graph();
+    let budget = parts.len() + 2;
+    let config = CongestConfig::for_nodes(g.n())
+        .with_bandwidth(192)
+        .with_max_rounds(1_000_000);
+    let values: Vec<u64> = (0..g.n() as u64).map(|v| (v * 31) % 4096).collect();
+
+    for queries in [1usize, 8, 64] {
+        // The deprecated one-shot path, spelled out: every query pays for
+        // its own plan.
+        #[allow(deprecated)]
+        group.bench_with_input(
+            BenchmarkId::new("legacy_mixed", queries),
+            &queries,
+            |b, _| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for i in 0..queries {
+                        if i % 4 == 0 {
+                            total += minex_algo::sssp::shortcut_sssp(
+                                &wg,
+                                0,
+                                &parts,
+                                &SteinerBuilder,
+                                0.5,
+                                budget,
+                                config,
+                            )
+                            .unwrap()
+                            .simulated_rounds;
+                        } else {
+                            let tree = RootedTree::bfs(g, 0);
+                            let shortcut = SteinerBuilder.build(g, &tree, &parts);
+                            total += minex_algo::partwise::partwise_min(
+                                g, &parts, &shortcut, &values, 32, config,
+                            )
+                            .unwrap()
+                            .stats
+                            .rounds;
+                        }
+                    }
+                    total
+                })
+            },
+        );
+        // The session path: one plan, N queries.
+        let mut session = Solver::builder(&wg)
+            .parts(PartsStrategy::Explicit(parts.clone()))
+            .shortcut_builder(SteinerBuilder)
+            .config(config)
+            .build()
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("solver_mixed", queries),
+            &queries,
+            |b, _| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for i in 0..queries {
+                        if i % 4 == 0 {
+                            total += session
+                                .sssp(
+                                    0,
+                                    Tier::Shortcut {
+                                        epsilon: 0.5,
+                                        max_phases: budget,
+                                    },
+                                )
+                                .unwrap()
+                                .stats
+                                .simulated_rounds;
+                        } else {
+                            total += session
+                                .partwise_min(&values, 32)
+                                .unwrap()
+                                .stats
+                                .simulated_rounds;
+                        }
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,28 +1,32 @@
 //! E7 — aggregation on the lower-bound family.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use minex_algo::partwise::partwise_min;
+use minex_algo::solver::{PartsStrategy, Solver};
 use minex_algo::workloads;
 use minex_congest::CongestConfig;
-use minex_core::construct::{AutoCappedBuilder, ShortcutBuilder};
-use minex_core::RootedTree;
+use minex_core::construct::AutoCappedBuilder;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_lower_bound");
     group.sample_size(10);
     let (g, parts) = workloads::lower_bound_path_parts(12, 12);
-    let tree = RootedTree::bfs(&g, g.n() - 1);
-    let shortcut = AutoCappedBuilder.build(&g, &tree, &parts);
     let values: Vec<u64> = (0..g.n() as u64).collect();
     let config = CongestConfig::for_nodes(g.n())
         .with_bandwidth(192)
         .with_max_rounds(1_000_000);
     group.bench_function("gamma_12_aggregation", |b| {
         b.iter(|| {
-            partwise_min(&g, &parts, &shortcut, &values, 32, config)
+            Solver::for_graph(&g)
+                .parts(PartsStrategy::Explicit(parts.clone()))
+                .shortcut_builder(AutoCappedBuilder)
+                .config(config)
+                .root(g.n() - 1)
+                .build()
+                .unwrap()
+                .partwise_min(&values, 32)
                 .unwrap()
                 .stats
-                .rounds
+                .simulated_rounds
         })
     });
     group.finish();

@@ -1,7 +1,8 @@
 //! E9 — tree-packing min-cut approximation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use minex_algo::mincut::{approx_min_cut, stoer_wagner};
+use minex_algo::mincut::stoer_wagner;
+use minex_algo::solver::Solver;
 use minex_congest::CongestConfig;
 use minex_core::construct::SteinerBuilder;
 use minex_graphs::{generators, WeightedGraph};
@@ -17,8 +18,14 @@ fn bench(c: &mut Criterion) {
         .with_max_rounds(1_000_000);
     group.bench_function("packing_4_trees", |b| {
         b.iter(|| {
-            approx_min_cut(&wg, 4, false, &SteinerBuilder, config)
+            Solver::builder(&wg)
+                .shortcut_builder(SteinerBuilder)
+                .config(config)
+                .build()
                 .unwrap()
+                .min_cut_with(4, false)
+                .unwrap()
+                .value
                 .approx_value
         })
     });

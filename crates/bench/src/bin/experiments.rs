@@ -1,11 +1,12 @@
-//! Prints every experiment table (E1–E13). Pass `--full` for the larger
+//! Prints every experiment table (E1–E14). Pass `--full` for the larger
 //! sweeps used in `EXPERIMENTS.md`; name ids (e.g. `E6 E7`) to run a
 //! subset; pass `--csv <dir>` to also dump each table as `<dir>/<id>.csv`
 //! so bench trajectories can be tracked across PRs; `--threads <n>` runs
 //! every simulation on the n-worker engine (0 = all cores; results are
 //! byte-identical to the sequential engine, only wall time changes);
 //! `--perf-json <file>` writes a machine-readable wall-time summary
-//! (`BENCH_pr.json` in CI).
+//! (`BENCH_pr.json` in CI), including a `plan_reuse` section with E14's
+//! solver-vs-legacy amortization figures.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -74,6 +75,7 @@ fn main() {
     );
     let run = || {
         let mut perf: Vec<(&'static str, f64)> = Vec::new();
+        let mut plan_reuse: Option<minex_bench::Table> = None;
         for (id, runner) in minex_bench::experiments() {
             if !selected.is_empty() && !selected.iter().any(|s| *s == id) {
                 continue;
@@ -91,10 +93,13 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            if id == "E14" {
+                plan_reuse = Some(table);
+            }
         }
-        perf
+        (perf, plan_reuse)
     };
-    let perf = match threads {
+    let (perf, plan_reuse) = match threads {
         Some(t) => minex_bench::with_engine_threads(t, run),
         None => run(),
     };
@@ -119,6 +124,19 @@ fn main() {
                 json,
                 "    {{\"id\": \"{id}\", \"wall_ms\": {ms:.1}}}{comma}"
             );
+        }
+        json.push_str("  ],\n");
+        // E14's amortization rows: plan-once/query-many vs N legacy calls.
+        json.push_str("  \"plan_reuse\": [\n");
+        if let Some(table) = &plan_reuse {
+            for (i, row) in table.rows.iter().enumerate() {
+                let comma = if i + 1 < table.rows.len() { "," } else { "" };
+                let _ = writeln!(
+                    json,
+                    "    {{\"workload\": \"{}\", \"queries\": {}, \"legacy_ms\": {}, \"solver_ms\": {}, \"speedup\": {}}}{comma}",
+                    row[0], row[1], row[2], row[3], row[4]
+                );
+            }
         }
         json.push_str("  ]\n}\n");
         std::fs::write(path, json).unwrap_or_else(|e| {

@@ -4,6 +4,11 @@
 //! reproduction (the paper is pure theory, so each theorem becomes a
 //! measured table — see `DESIGN.md` §4 for the mapping).
 //!
+//! Every simulation-backed experiment runs through the plan-once /
+//! query-many [`Solver`] session API (or the [`ShortcutPlan`] type for
+//! pure quality measurements) — the golden-CSV gate verifies the migrated
+//! tables stay byte-identical to the legacy free-function path.
+//!
 //! Run `cargo run -p minex-bench --bin experiments --release` to print all
 //! tables; pass `--full` for the larger parameter sweeps.
 
@@ -17,8 +22,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use minex_algo::baselines::{compare_mst, NoShortcutBuilder};
-use minex_algo::mincut::approx_min_cut;
-use minex_algo::partwise::partwise_min;
+use minex_algo::solver::{PartsStrategy, Solver, SsspDetail, Tier};
 use minex_algo::sssp::compare_sssp;
 use minex_algo::workloads;
 use minex_congest::CongestConfig;
@@ -28,7 +32,7 @@ use minex_core::construct::{
     TreewidthBuilder,
 };
 use minex_core::gates::{planar_gates, validate_gates};
-use minex_core::{measure_quality, Partition, RootedTree};
+use minex_core::{Partition, RootedTree, ShortcutPlan};
 use minex_decomp::{CliqueSumTree, TreeDecomposition};
 use minex_graphs::generators::{self, CliqueSumBuilder};
 use minex_graphs::{traversal, Graph, NodeId, WeightModel, WeightedGraph};
@@ -147,14 +151,13 @@ pub fn e1_planar_quality(full: bool) -> Table {
                 "tri-grid" => generators::triangulated_grid(side, side),
                 _ => generators::apollonian(side * side, &mut rng).0,
             };
-            let tree = RootedTree::bfs(&g, 0);
             let parts = workloads::voronoi_parts(&g, side, &mut rng);
-            let shortcut = AutoCappedBuilder.build(&g, &tree, &parts);
-            let q = measure_quality(&g, &tree, &parts, &shortcut);
+            let plan = ShortcutPlan::build(&g, 0, parts, &AutoCappedBuilder);
+            let q = plan.quality();
             rows.push(vec![
                 family.to_string(),
                 g.n().to_string(),
-                parts.len().to_string(),
+                plan.parts().len().to_string(),
                 q.tree_diameter.to_string(),
                 q.block.to_string(),
                 q.congestion.to_string(),
@@ -192,15 +195,14 @@ pub fn e2_treewidth(full: bool) -> Table {
             let (g, rec) = generators::k_tree(n, k, &mut rng);
             let td = TreeDecomposition::from_k_tree(g.n(), &rec);
             let builder = TreewidthBuilder::new(&td);
-            let tree = RootedTree::bfs(&g, 0);
             let parts = workloads::voronoi_parts(&g, (n as f64).sqrt() as usize, &mut rng);
-            let shortcut = builder.build(&g, &tree, &parts);
-            let q = measure_quality(&g, &tree, &parts, &shortcut);
+            let plan = ShortcutPlan::build(&g, 0, parts, &builder);
+            let q = plan.quality();
             let log_n = (n as f64).log2();
             rows.push(vec![
                 n.to_string(),
                 k.to_string(),
-                parts.len().to_string(),
+                plan.parts().len().to_string(),
                 q.block.to_string(),
                 format!("{:.2}", q.block as f64 / k as f64),
                 q.congestion.to_string(),
@@ -272,12 +274,11 @@ pub fn e3_clique_sum(full: bool) -> Table {
             bushy_clique_sum(bags, 3)
         };
         cst.validate(&g).expect("witness valid");
-        let tree = RootedTree::bfs(&g, 0);
         let mut rng = StdRng::seed_from_u64(bags as u64);
         let parts = workloads::voronoi_parts(&g, bags, &mut rng);
         let builder = CliqueSumShortcutBuilder::folded(cst.clone(), SteinerBuilder);
-        let shortcut = builder.build(&g, &tree, &parts);
-        let q = measure_quality(&g, &tree, &parts, &shortcut);
+        let plan = ShortcutPlan::build(&g, 0, parts, &builder);
+        let q = plan.quality();
         rows.push(vec![
             shape.to_string(),
             bags.to_string(),
@@ -338,10 +339,9 @@ pub fn e4_genus_vortex(full: bool) -> Table {
             }
             td.validate(&g).expect("Lemma 2 splice is valid");
             let builder = TreewidthBuilder::new(&td);
-            let tree = RootedTree::bfs(&g, 0);
             let parts = workloads::voronoi_parts(&g, r + c, &mut rng);
-            let shortcut = builder.build(&g, &tree, &parts);
-            let q = measure_quality(&g, &tree, &parts, &shortcut);
+            let plan = ShortcutPlan::build(&g, 0, parts, &builder);
+            let q = plan.quality();
             let d = diameter(&g);
             rows.push(vec![
                 format!("{r}x{c}"),
@@ -376,15 +376,18 @@ pub fn e5_apex(full: bool) -> Table {
     for &side in sides {
         for stride in [1usize, 4] {
             let (g, apex) = generators::apex_grid(side, side, stride);
-            let tree = RootedTree::bfs(&g, apex);
             let d = diameter(&g);
             let cols: Vec<Vec<NodeId>> = (0..side)
                 .map(|c| (0..side).map(|r2| r2 * side + c).collect())
                 .collect();
             let parts = Partition::new(&g, cols).expect("columns connected");
             let apex_builder = ApexBuilder::new(vec![apex], SteinerBuilder);
-            let qa = measure_quality(&g, &tree, &parts, &apex_builder.build(&g, &tree, &parts));
-            let qs = measure_quality(&g, &tree, &parts, &SteinerBuilder.build(&g, &tree, &parts));
+            let qa = ShortcutPlan::build(&g, apex, parts.clone(), &apex_builder)
+                .quality()
+                .clone();
+            let qs = ShortcutPlan::build(&g, apex, parts, &SteinerBuilder)
+                .quality()
+                .clone();
             // Gates on the apex-free base grid with concurrent-BFS cells.
             let (base, emb) = generators::grid_embedded(side, side);
             let attach: Vec<NodeId> = (0..base.n()).step_by(stride.max(side)).collect();
@@ -494,39 +497,49 @@ pub fn e7_lower_bound(full: bool) -> Table {
     for &s in sizes {
         // Lower-bound family Γ(s, s): n ≈ s² + tree, D = O(log s).
         let (g, parts) = workloads::lower_bound_path_parts(s, s);
-        let tree = RootedTree::bfs(&g, g.n() - 1);
-        let shortcut = AutoCappedBuilder.build(&g, &tree, &parts);
-        let q = measure_quality(&g, &tree, &parts, &shortcut);
+        let mut session = Solver::for_graph(&g)
+            .parts(PartsStrategy::Explicit(parts))
+            .shortcut_builder(AutoCappedBuilder)
+            .config(config(g.n()))
+            .root(g.n() - 1)
+            .build()
+            .expect("session");
+        let q = session.plan().expect("connected").quality().clone();
         let values: Vec<u64> = (0..g.n() as u64).collect();
-        let agg =
-            partwise_min(&g, &parts, &shortcut, &values, 32, config(g.n())).expect("aggregation");
+        let agg = session.partwise_min(&values, 32).expect("aggregation");
         let d = diameter(&g);
         rows.push(vec![
             format!("Γ({s},{s})"),
             g.n().to_string(),
             d.to_string(),
             q.quality.to_string(),
-            agg.stats.rounds.to_string(),
-            format!("{:.2}", agg.stats.rounds as f64 / (s as f64)),
-            format!("{:.2}", agg.stats.rounds as f64 / d.max(1) as f64),
+            agg.stats.simulated_rounds.to_string(),
+            format!("{:.2}", agg.stats.simulated_rounds as f64 / (s as f64)),
+            format!("{:.2}", agg.stats.simulated_rounds as f64 / d.max(1) as f64),
         ]);
         // Planar control of comparable size: grid s×s with row parts.
         let (cg, cparts) = workloads::grid_row_parts(s, s);
-        let ctree = RootedTree::bfs(&cg, 0);
-        let cshortcut = AutoCappedBuilder.build(&cg, &ctree, &cparts);
-        let cq = measure_quality(&cg, &ctree, &cparts, &cshortcut);
+        let mut csession = Solver::for_graph(&cg)
+            .parts(PartsStrategy::Explicit(cparts))
+            .shortcut_builder(AutoCappedBuilder)
+            .config(config(cg.n()))
+            .build()
+            .expect("session");
+        let cq = csession.plan().expect("connected").quality().clone();
         let cvalues: Vec<u64> = (0..cg.n() as u64).collect();
-        let cagg = partwise_min(&cg, &cparts, &cshortcut, &cvalues, 32, config(cg.n()))
-            .expect("aggregation");
+        let cagg = csession.partwise_min(&cvalues, 32).expect("aggregation");
         let cd = diameter(&cg);
         rows.push(vec![
             format!("grid({s},{s})"),
             cg.n().to_string(),
             cd.to_string(),
             cq.quality.to_string(),
-            cagg.stats.rounds.to_string(),
-            format!("{:.2}", cagg.stats.rounds as f64 / (s as f64)),
-            format!("{:.2}", cagg.stats.rounds as f64 / cd.max(1) as f64),
+            cagg.stats.simulated_rounds.to_string(),
+            format!("{:.2}", cagg.stats.simulated_rounds as f64 / (s as f64)),
+            format!(
+                "{:.2}",
+                cagg.stats.simulated_rounds as f64 / cd.max(1) as f64
+            ),
         ]);
     }
     Table {
@@ -569,22 +582,32 @@ pub fn e8_aggregation(full: bool) -> Table {
         v
     };
     for (name, g, parts) in cases {
-        let tree = RootedTree::bfs(&g, 0);
-        for (bname, shortcut) in [
-            ("none", minex_core::Shortcut::empty(parts.len())),
-            ("steiner", SteinerBuilder.build(&g, &tree, &parts)),
-            ("auto-capped", AutoCappedBuilder.build(&g, &tree, &parts)),
-        ] {
-            let q = measure_quality(&g, &tree, &parts, &shortcut);
+        let builders: [(&str, &dyn ShortcutBuilder); 3] = [
+            ("none", &NoShortcutBuilder),
+            ("steiner", &SteinerBuilder),
+            ("auto-capped", &AutoCappedBuilder),
+        ];
+        for (bname, builder) in builders {
+            // One session per (workload, builder): the plan is built once,
+            // quality read off it, and the aggregation served from it.
+            let mut session = Solver::for_graph(&g)
+                .parts(PartsStrategy::Explicit(parts.clone()))
+                .shortcut_builder(builder)
+                .config(config(g.n()))
+                .build()
+                .expect("session");
+            let q = session.plan().expect("connected").quality().clone();
             let values: Vec<u64> = (0..g.n() as u64).rev().collect();
-            let agg = partwise_min(&g, &parts, &shortcut, &values, 32, config(g.n()))
-                .expect("aggregation");
+            let agg = session.partwise_min(&values, 32).expect("aggregation");
             rows.push(vec![
                 name.clone(),
                 bname.to_string(),
                 q.quality.to_string(),
-                agg.stats.rounds.to_string(),
-                format!("{:.2}", agg.stats.rounds as f64 / q.quality.max(1) as f64),
+                agg.stats.simulated_rounds.to_string(),
+                format!(
+                    "{:.2}",
+                    agg.stats.simulated_rounds as f64 / q.quality.max(1) as f64
+                ),
             ]);
         }
     }
@@ -615,16 +638,22 @@ pub fn e9_mincut(full: bool) -> Table {
         cases.push(("clique-sum".into(), WeightedGraph::unit(g3)));
     }
     for (name, wg) in cases {
+        // One session per graph: the three packing sizes share the cached
+        // Borůvka plan, so only the first row pays for shortcut builds.
+        let mut session = Solver::builder(&wg)
+            .shortcut_builder(SteinerBuilder)
+            .config(config(wg.graph().n()))
+            .build()
+            .expect("session");
         for trees in [1usize, 4, 8] {
-            let out = approx_min_cut(&wg, trees, true, &SteinerBuilder, config(wg.graph().n()))
-                .expect("min cut");
+            let out = session.min_cut(trees).expect("min cut");
             rows.push(vec![
                 name.clone(),
                 trees.to_string(),
-                out.exact_value.to_string(),
-                out.approx_value.to_string(),
-                format!("{:.3}", out.ratio),
-                out.simulated_rounds.to_string(),
+                out.value.exact_value.to_string(),
+                out.value.approx_value.to_string(),
+                format!("{:.3}", out.value.ratio),
+                out.stats.simulated_rounds.to_string(),
             ]);
         }
     }
@@ -649,15 +678,14 @@ pub fn e10_folding_ablation(full: bool) -> Table {
     let mut rows = Vec::new();
     for &len in lens {
         let (g, cst) = grid_chain(len, 3);
-        let tree = RootedTree::bfs(&g, 0);
         let mut rng = StdRng::seed_from_u64(len as u64);
         let parts = workloads::voronoi_parts(&g, len, &mut rng);
-        let unfolded = CliqueSumShortcutBuilder::unfolded(cst.clone(), SteinerBuilder)
-            .build(&g, &tree, &parts);
-        let folded =
-            CliqueSumShortcutBuilder::folded(cst.clone(), SteinerBuilder).build(&g, &tree, &parts);
-        let qu = measure_quality(&g, &tree, &parts, &unfolded);
-        let qf = measure_quality(&g, &tree, &parts, &folded);
+        let unfolded = CliqueSumShortcutBuilder::unfolded(cst.clone(), SteinerBuilder);
+        let folded = CliqueSumShortcutBuilder::folded(cst.clone(), SteinerBuilder);
+        let qu = ShortcutPlan::build(&g, 0, parts.clone(), &unfolded)
+            .quality()
+            .clone();
+        let qf = ShortcutPlan::build(&g, 0, parts, &folded).quality().clone();
         rows.push(vec![
             len.to_string(),
             cst.max_depth().to_string(),
@@ -864,34 +892,51 @@ pub fn e12_sssp_quality(full: bool) -> Table {
     };
     for (name, wg, parts, src) in cases {
         let reference = traversal::dijkstra(&wg, src);
+        // One session per graph serves the whole ε × budget sweep: per-source
+        // shortcut plans (tree, shortcut, ρ) are cached by weight scale, so
+        // only the first query of each scale pays for construction.
+        let n_parts = parts.len();
+        let mut session = Solver::builder(&wg)
+            .parts(PartsStrategy::Explicit(parts))
+            .shortcut_builder(SteinerBuilder)
+            .config(config(wg.graph().n()))
+            .build()
+            .expect("session");
         for &eps in epsilons {
-            let scaled = minex_algo::sssp::scaled_sssp(&wg, src, eps, config(wg.graph().n()))
+            let scaled = session
+                .sssp(src, Tier::Scaled { epsilon: eps })
                 .expect("scaled sssp");
-            let scale = scaled.scale;
-            let scaled_stretch = minex_algo::sssp::max_stretch(&scaled.dist, &reference.dist);
-            for budget in [parts.len() / 2 + 1, parts.len() + 2] {
-                let out = minex_algo::sssp::shortcut_sssp(
-                    &wg,
-                    src,
-                    &parts,
-                    &SteinerBuilder,
-                    eps,
-                    budget,
-                    config(wg.graph().n()),
-                )
-                .expect("shortcut sssp");
-                let stretch = minex_algo::sssp::max_stretch(&out.dist, &reference.dist);
+            let scale = match scaled.value.detail {
+                SsspDetail::Scaled { scale, .. } => scale,
+                _ => unreachable!("scaled tier"),
+            };
+            let scaled_stretch = minex_algo::sssp::max_stretch(&scaled.value.dist, &reference.dist);
+            for budget in [n_parts / 2 + 1, n_parts + 2] {
+                let out = session
+                    .sssp(
+                        src,
+                        Tier::Shortcut {
+                            epsilon: eps,
+                            max_phases: budget,
+                        },
+                    )
+                    .expect("shortcut sssp");
+                let converged = match out.value.detail {
+                    SsspDetail::Shortcut { converged, .. } => converged,
+                    _ => unreachable!("shortcut tier"),
+                };
+                let stretch = minex_algo::sssp::max_stretch(&out.value.dist, &reference.dist);
                 rows.push(vec![
                     name.clone(),
                     format!("{eps:.2}"),
                     scale.to_string(),
                     budget.to_string(),
-                    scaled.simulated_rounds().to_string(),
+                    scaled.stats.simulated_rounds.to_string(),
                     format!("{scaled_stretch:.4}"),
-                    out.simulated_rounds.to_string(),
+                    out.stats.simulated_rounds.to_string(),
                     format!("{stretch:.4}"),
                     format!("{:.2}", 1.0 + eps),
-                    if out.converged { "yes" } else { "no" }.to_string(),
+                    if converged { "yes" } else { "no" }.to_string(),
                 ]);
             }
         }
@@ -996,8 +1041,138 @@ pub fn e13_engine_scaling(full: bool) -> Table {
     }
 }
 
+/// E14 — plan-once / query-many amortization: wall time of **one**
+/// [`Solver`] session serving `N` mixed queries versus `N` independent
+/// legacy-style calls. The queries cycle through a 4-query working set —
+/// shortcut SSSP, MST, and two distinct part-wise MIN aggregations — the
+/// serving pattern the session API exists for: many users asking a bounded
+/// set of questions about one network. The legacy side re-plans (tree,
+/// shortcut, ρ flood) *and* re-simulates every call; the session side
+/// builds one plan and serves repeats from its deterministic result memo.
+/// Outputs are asserted identical pairwise on every row — reuse must never
+/// change results.
+///
+/// The timing columns are machine-dependent, so E14 (like E13) is
+/// **excluded from the golden-CSV regression gate**; its rows also feed the
+/// `plan_reuse` section of `BENCH_pr.json`.
+// The legacy half of the measurement intentionally exercises the deprecated
+// one-shot entry points — that is the baseline being amortized away.
+#[allow(deprecated)]
+pub fn e14_plan_reuse(full: bool) -> Table {
+    use minex_algo::mst::boruvka_mst;
+    use minex_algo::partwise::partwise_min;
+    use minex_algo::sssp::shortcut_sssp;
+
+    let (n, seg) = if full { (192, 16) } else { (96, 8) };
+    let (wg, parts) = workloads::heavy_hub_wheel(n, seg, 64, 4096);
+    let g = wg.graph();
+    let budget = parts.len() + 2;
+    let cfg = config(g.n());
+    let eps = 0.5;
+    let values_for = |i: usize| -> Vec<u64> {
+        (0..g.n() as u64)
+            .map(|v| (v * 31 + i as u64 * 17) % 4096)
+            .collect()
+    };
+    let mut rows = Vec::new();
+    for &queries in &[1usize, 8, 64] {
+        // Legacy: every query is an independent call; aggregation callers
+        // rebuild the tree + shortcut each time, SSSP callers additionally
+        // recompute centers and the ρ flood, and every repeat re-simulates.
+        let mut legacy_out: Vec<Vec<u64>> = Vec::new();
+        let start = Instant::now();
+        for i in 0..queries {
+            match i % 4 {
+                0 => {
+                    let out = shortcut_sssp(&wg, 0, &parts, &SteinerBuilder, eps, budget, cfg)
+                        .expect("legacy sssp");
+                    legacy_out.push(out.dist);
+                }
+                1 => {
+                    let out = boruvka_mst(&wg, &SteinerBuilder, cfg).expect("legacy mst");
+                    legacy_out.push(out.edges.iter().map(|&e| e as u64).collect());
+                }
+                k => {
+                    let tree = RootedTree::bfs(g, 0);
+                    let shortcut = SteinerBuilder.build(g, &tree, &parts);
+                    let agg = partwise_min(g, &parts, &shortcut, &values_for(k), 32, cfg)
+                        .expect("legacy partwise");
+                    legacy_out.push(agg.minima);
+                }
+            }
+        }
+        let legacy_secs = start.elapsed().as_secs_f64();
+        // Session: one plan, N queries, repeats served from the memo.
+        let mut solver_out: Vec<Vec<u64>> = Vec::new();
+        let start = Instant::now();
+        let mut session = Solver::builder(&wg)
+            .parts(PartsStrategy::Explicit(parts.clone()))
+            .shortcut_builder(SteinerBuilder)
+            .config(cfg)
+            .build()
+            .expect("session");
+        for i in 0..queries {
+            match i % 4 {
+                0 => {
+                    let out = session
+                        .sssp(
+                            0,
+                            Tier::Shortcut {
+                                epsilon: eps,
+                                max_phases: budget,
+                            },
+                        )
+                        .expect("session sssp");
+                    solver_out.push(out.value.dist);
+                }
+                1 => {
+                    let out = session.mst().expect("session mst");
+                    solver_out.push(out.value.edges.iter().map(|&e| e as u64).collect());
+                }
+                k => {
+                    let agg = session
+                        .partwise_min(&values_for(k), 32)
+                        .expect("session partwise");
+                    solver_out.push(agg.value.minima);
+                }
+            }
+        }
+        let solver_secs = start.elapsed().as_secs_f64().max(1e-9);
+        let agree = legacy_out == solver_out;
+        assert!(agree, "plan reuse must not change results (N={queries})");
+        rows.push(vec![
+            format!("wheel({n},{seg})"),
+            queries.to_string(),
+            format!("{:.1}", legacy_secs * 1e3),
+            format!("{:.1}", solver_secs * 1e3),
+            format!("{:.2}", legacy_secs / solver_secs),
+            if agree { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    Table {
+        id: "E14",
+        title: "Plan reuse: 1 session serving N mixed queries vs N independent legacy calls".into(),
+        headers: [
+            "workload",
+            "queries",
+            "legacy ms",
+            "solver ms",
+            "speedup",
+            "agree",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
 /// An experiment runner: `full` selects the larger parameter sweep.
 pub type ExperimentFn = fn(bool) -> Table;
+
+/// Experiments whose columns are wall-clock measurements (machine
+/// dependent): excluded from the golden-CSV gate and from determinism
+/// comparisons. The single source of truth for "which tables are timing".
+pub const TIMING_EXPERIMENTS: &[&str] = &["E13", "E14"];
 
 /// The experiment registry: `(id, runner)` pairs, lazily invocable.
 pub fn experiments() -> Vec<(&'static str, ExperimentFn)> {
@@ -1015,12 +1190,24 @@ pub fn experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("E11", e11_sssp_rounds),
         ("E12", e12_sssp_quality),
         ("E13", e13_engine_scaling),
+        ("E14", e14_plan_reuse),
     ]
 }
 
 /// Runs every experiment; `full` selects the larger sweeps.
 pub fn run_all(full: bool) -> Vec<Table> {
     experiments().into_iter().map(|(_, f)| f(full)).collect()
+}
+
+/// Runs only the deterministic experiments — everything except
+/// [`TIMING_EXPERIMENTS`] — whose tables must be byte-identical across
+/// runs and engines. This is what the engine-equivalence suite compares.
+pub fn run_deterministic(full: bool) -> Vec<Table> {
+    experiments()
+        .into_iter()
+        .filter(|(id, _)| !TIMING_EXPERIMENTS.contains(id))
+        .map(|(_, f)| f(full))
+        .collect()
 }
 
 /// The shortcut-free builder, re-exported for the bench binaries.
@@ -1061,6 +1248,34 @@ mod tests {
         };
         let csv = t.to_csv();
         assert_eq!(csv, "a,\"b,c\"\nplain,\"says \"\"hi\"\", twice\"\n");
+    }
+
+    #[test]
+    fn e14_plan_reuse_beats_legacy_for_batched_queries() {
+        // The acceptance bar: plan-once/query-many must beat N independent
+        // legacy calls on wall time for N ≥ 8. The solver side does a
+        // strict subset of the legacy side's work (same simulations, no
+        // rebuilt trees/shortcuts/ρ floods), so losing requires scheduler
+        // noise to pinch the solver's timing window specifically — rare but
+        // possible on a loaded box, hence one retry before declaring a
+        // regression real. Output agreement is asserted unconditionally.
+        // `MINEX_SKIP_TIMING_ASSERTS=1` keeps only the output-agreement
+        // checks, for pathologically loaded or heavily virtualized boxes.
+        let timing_asserts = std::env::var_os("MINEX_SKIP_TIMING_ASSERTS").is_none();
+        let attempt = || {
+            let t = e14_plan_reuse(false);
+            assert_eq!(t.rows.len(), 3);
+            t.rows.iter().all(|row| {
+                let queries: usize = row[1].parse().unwrap();
+                let speedup: f64 = row[4].parse().unwrap();
+                assert_eq!(row[5], "yes", "outputs must agree (N={queries})");
+                !timing_asserts || queries < 8 || speedup > 1.0
+            })
+        };
+        assert!(
+            attempt() || attempt() || attempt(),
+            "plan reuse slower than N>=8 independent legacy calls in three consecutive runs"
+        );
     }
 
     #[test]

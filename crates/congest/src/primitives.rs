@@ -155,7 +155,9 @@ impl NodeProgram for WeightedFloodProgram {
             self.dist = 0;
             self.announce = true;
         }
-        for (from, msg) in ctx.inbox().to_vec() {
+        // Read the inbox by reference — the broadcast below happens after
+        // every read, so the hot loop allocates nothing.
+        for &(from, ref msg) in ctx.inbox() {
             let w = self
                 .link_weights
                 .binary_search_by_key(&from, |&(nb, _)| nb)
@@ -259,7 +261,9 @@ impl NodeProgram for RelaxOnceProgram {
             };
             ctx.broadcast(msg);
         }
-        for (from, msg) in ctx.inbox().to_vec() {
+        // All sends happened above (round 0 broadcast); reading the inbox
+        // by reference keeps the relax round allocation-free.
+        for &(from, ref msg) in ctx.inbox() {
             let w = self
                 .link_weights
                 .binary_search_by_key(&from, |&(nb, _)| nb)

@@ -106,6 +106,31 @@ pub struct RunStats {
     pub total_bits: u64,
 }
 
+impl RunStats {
+    /// Accumulates `other` into `self`: rounds, messages, and bits add up;
+    /// the maximum message size takes the max. This is how multi-phase
+    /// drivers (and the `minex::Solver` session reports) aggregate the cost
+    /// of several sequential simulator runs into one figure.
+    pub fn absorb(&mut self, other: RunStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.total_bits += other.total_bits;
+    }
+
+    /// The cost of running the same simulation `k` times in sequence:
+    /// rounds, messages, and bits scale by `k`; the maximum message size is
+    /// unchanged. Used for analytically charged repetitions (e.g. tree
+    /// packing charges one Borůvka profile per packed tree).
+    #[must_use]
+    pub fn repeated(mut self, k: usize) -> RunStats {
+        self.rounds *= k;
+        self.messages *= k as u64;
+        self.total_bits *= k as u64;
+        self
+    }
+}
+
 /// Errors from a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {

@@ -1,7 +1,7 @@
 //! The structure-oblivious congestion-capped construction.
 //!
 //! This is the algorithmic side of the paper: Theorem 1 invokes the
-//! [HIZ16a] result that near-optimal tree-restricted shortcuts can be
+//! \[HIZ16a\] result that near-optimal tree-restricted shortcuts can be
 //! constructed distributively *without looking at any structure*. Our
 //! implementation mirrors that construction's cap-and-prune shape
 //! deterministically:
@@ -118,7 +118,7 @@ impl ShortcutBuilder for CappedBuilder {
 
 /// Sweeps congestion caps in powers of two (plus the uncapped Steiner
 /// shortcut) and returns the measured-quality winner — the centralized
-/// stand-in for the [HIZ16a] distributed search over qualities.
+/// stand-in for the \[HIZ16a\] distributed search over qualities.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AutoCappedBuilder;
 

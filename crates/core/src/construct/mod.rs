@@ -5,7 +5,7 @@
 //!
 //! * **Structure-oblivious** ([`WholeTreeBuilder`], [`SteinerBuilder`],
 //!   [`CappedBuilder`], [`AutoCappedBuilder`]) — run on any network without
-//!   a witness, like the actual distributed algorithm of [HIZ16a] that
+//!   a witness, like the actual distributed algorithm of \[HIZ16a\] that
 //!   Theorem 1 invokes.
 //! * **Witness-based** ([`CliqueSumShortcutBuilder`],
 //!   [`TreewidthBuilder`], [`ApexBuilder`]) — consume the structure records
@@ -32,6 +32,12 @@ use crate::spanning::RootedTree;
 
 /// A tree-restricted shortcut construction: given the network, a spanning
 /// tree, and the parts, produce one edge set per part (all on the tree).
+///
+/// The trait is **object safe** end to end: references and boxes to erased
+/// builders (`&dyn ShortcutBuilder`, `Box<dyn ShortcutBuilder>`) implement
+/// the trait themselves, so session types like `minex::Solver` and plan
+/// types like [`crate::ShortcutPlan`] can hold heterogeneous builders
+/// behind one pointer without generics.
 pub trait ShortcutBuilder: std::fmt::Debug {
     /// Short identifier for reports.
     fn name(&self) -> &'static str;
@@ -42,6 +48,15 @@ pub trait ShortcutBuilder: std::fmt::Debug {
 }
 
 impl<B: ShortcutBuilder + ?Sized> ShortcutBuilder for &B {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn build(&self, g: &Graph, tree: &RootedTree, parts: &Partition) -> Shortcut {
+        (**self).build(g, tree, parts)
+    }
+}
+
+impl ShortcutBuilder for Box<dyn ShortcutBuilder + '_> {
     fn name(&self) -> &'static str {
         (**self).name()
     }

@@ -10,7 +10,7 @@
 //! * [`RootedTree`] — the spanning tree `T` of Definition 10;
 //! * [`Shortcut`] + [`measure_quality`] — Definitions 10–13, exactly;
 //! * [`construct`] — both the structure-oblivious constructions the
-//!   distributed algorithm runs ([HIZ16a]-style capped pruning) and the
+//!   distributed algorithm runs (\[HIZ16a\]-style capped pruning) and the
 //!   witness-based constructions realizing the paper's existence proofs
 //!   (Theorem 5 via tree decompositions, Theorem 7 via clique-sum trees
 //!   with folding, Lemma 9/Theorem 8 via cells and apices);
@@ -18,7 +18,9 @@
 //!   Lemmas 4–6);
 //! * [`gates`] — combinatorial gates on embedded planar graphs
 //!   (Definitions 16–17, Lemma 7), machine-checking all six gate
-//!   properties.
+//!   properties;
+//! * [`ShortcutPlan`] — the plan-once / query-many bundle (tree, parts,
+//!   shortcut, quality) that `minex::Solver` sessions cache and serve.
 //!
 //! ## Example
 //!
@@ -43,10 +45,12 @@ pub mod cells;
 pub mod construct;
 pub mod gates;
 mod parts;
+mod plan;
 mod shortcut;
 mod spanning;
 
 pub use parts::{Partition, PartitionError};
+pub use plan::ShortcutPlan;
 pub use shortcut::{
     augmented_part_diameter, measure_quality, validate_tree_restricted, NotTreeRestricted,
     QualityReport, Shortcut,

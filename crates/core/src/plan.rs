@@ -1,0 +1,151 @@
+//! The plan-once / query-many seam: a [`ShortcutPlan`] bundles everything a
+//! shortcut-driven algorithm needs about one `(network, tree, parts)`
+//! configuration — the rooted spanning tree, the partition, the constructed
+//! shortcut, and its measured [`QualityReport`] — computed **once** and then
+//! served to arbitrarily many queries.
+//!
+//! The paper's central observation is that this one structural object
+//! simultaneously accelerates MST, min-cut, SSSP, and any other part-wise
+//! aggregation problem; follow-up work (Ghaffari–Haeupler, Chang) reuses the
+//! same decomposition across many queries. `ShortcutPlan` is the type that
+//! makes this reuse explicit: build it with any [`ShortcutBuilder`]
+//! (dyn-erased, so sessions can carry heterogeneous builders behind one
+//! pointer) and hand out cheap references to its pieces.
+//!
+//! The `minex-algo` crate's `Solver` session API caches `ShortcutPlan`s —
+//! one per session anchor, plus per-fragmentation re-plans for Borůvka-style
+//! drivers — so repeated queries never rebuild trees, partitions, or
+//! shortcuts.
+
+use minex_graphs::{Graph, NodeId};
+
+use crate::construct::ShortcutBuilder;
+use crate::parts::Partition;
+use crate::shortcut::{measure_quality, QualityReport, Shortcut};
+use crate::spanning::RootedTree;
+
+/// A fully materialized shortcut plan: spanning tree, partition, shortcut,
+/// and measured quality, ready to serve queries.
+///
+/// Construction is deterministic: the same `(graph, root, parts, builder)`
+/// always produces the same plan, so caching a plan and replaying queries
+/// against it is observationally identical to rebuilding it per query.
+#[derive(Debug, Clone)]
+pub struct ShortcutPlan {
+    tree: RootedTree,
+    parts: Partition,
+    shortcut: Shortcut,
+    quality: QualityReport,
+}
+
+impl ShortcutPlan {
+    /// Builds the plan for `g` with a BFS spanning tree rooted at `root`:
+    /// runs `builder` once and measures the resulting shortcut's quality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is empty or disconnected, or `root` is out of range
+    /// (the panics of [`RootedTree::bfs`]).
+    pub fn build(g: &Graph, root: NodeId, parts: Partition, builder: &dyn ShortcutBuilder) -> Self {
+        let tree = RootedTree::bfs(g, root);
+        Self::with_tree(g, tree, parts, builder)
+    }
+
+    /// Like [`ShortcutPlan::build`], but reuses an already constructed
+    /// spanning tree instead of running BFS again.
+    pub fn with_tree(
+        g: &Graph,
+        tree: RootedTree,
+        parts: Partition,
+        builder: &dyn ShortcutBuilder,
+    ) -> Self {
+        let shortcut = builder.build(g, &tree, &parts);
+        let quality = measure_quality(g, &tree, &parts, &shortcut);
+        ShortcutPlan {
+            tree,
+            parts,
+            shortcut,
+            quality,
+        }
+    }
+
+    /// The rooted spanning tree the shortcut is restricted to.
+    pub fn tree(&self) -> &RootedTree {
+        &self.tree
+    }
+
+    /// The partition the plan serves.
+    pub fn parts(&self) -> &Partition {
+        &self.parts
+    }
+
+    /// The constructed shortcut (one tree-restricted edge set per part).
+    pub fn shortcut(&self) -> &Shortcut {
+        &self.shortcut
+    }
+
+    /// The measured Definitions 11–13 parameters of [`Self::shortcut`].
+    pub fn quality(&self) -> &QualityReport {
+        &self.quality
+    }
+
+    /// Decomposes the plan into its parts (tree, partition, shortcut,
+    /// quality), for callers that want to own the pieces.
+    pub fn into_parts(self) -> (RootedTree, Partition, Shortcut, QualityReport) {
+        (self.tree, self.parts, self.shortcut, self.quality)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{AutoCappedBuilder, SteinerBuilder};
+    use minex_graphs::generators;
+
+    #[test]
+    fn plan_matches_manual_construction() {
+        let g = generators::triangulated_grid(5, 5);
+        let parts = Partition::new(&g, vec![(0..5).collect(), (5..10).collect()]).unwrap();
+        let plan = ShortcutPlan::build(&g, 0, parts.clone(), &SteinerBuilder);
+        let tree = RootedTree::bfs(&g, 0);
+        let manual = SteinerBuilder.build(&g, &tree, &parts);
+        assert_eq!(plan.shortcut(), &manual);
+        assert_eq!(plan.quality(), &measure_quality(&g, &tree, &parts, &manual));
+        assert_eq!(plan.parts().len(), 2);
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_cheap_to_share() {
+        let g = generators::wheel(17);
+        let parts = Partition::new(&g, vec![(0..8).collect()]).unwrap();
+        let a = ShortcutPlan::build(&g, 16, parts.clone(), &AutoCappedBuilder);
+        let b = ShortcutPlan::build(&g, 16, parts, &AutoCappedBuilder);
+        assert_eq!(a.shortcut(), b.shortcut());
+        assert_eq!(a.quality(), b.quality());
+    }
+
+    #[test]
+    fn boxed_builders_build_plans() {
+        // The dyn-erased path a Solver session uses.
+        let g = generators::grid(4, 4);
+        let parts = Partition::new(&g, vec![vec![0, 1], vec![14, 15]]).unwrap();
+        let boxed: Box<dyn ShortcutBuilder> = Box::new(SteinerBuilder);
+        let plan = ShortcutPlan::build(&g, 0, parts.clone(), &*boxed);
+        let via_impl = ShortcutPlan::build(&g, 0, parts, &boxed);
+        assert_eq!(plan.shortcut(), via_impl.shortcut());
+        assert_eq!(boxed.name(), "steiner");
+    }
+
+    #[test]
+    fn into_parts_round_trips() {
+        let g = generators::path(6);
+        let parts = Partition::new(&g, vec![vec![0, 1, 2]]).unwrap();
+        let plan = ShortcutPlan::build(&g, 0, parts, &SteinerBuilder);
+        let quality = plan.quality().clone();
+        let (tree, parts, shortcut, q) = plan.into_parts();
+        assert_eq!(tree.root(), 0);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(shortcut.len(), 1);
+        assert_eq!(q, quality);
+    }
+}

@@ -1,4 +1,4 @@
-//! Heavy-light decomposition of rooted trees [HT84], exactly as used in the
+//! Heavy-light decomposition of rooted trees \[HT84\], exactly as used in the
 //! Theorem 7 compression: the decomposition tree is split into vertex-disjoint
 //! *heavy chains* such that any root-to-leaf path meets `O(log n)` chains;
 //! each chain is then folded independently.

@@ -7,7 +7,7 @@
 //!   Lemma 2 vortex re-insertion, and explicit grid/torus decompositions;
 //! * [`CliqueSumTree`] — Definition 8 decomposition trees with full property
 //!   validation, plus the Theorem 7 depth compression ([`FoldedCliqueSumTree`]);
-//! * [`HeavyLight`] — heavy-light decomposition [HT84];
+//! * [`HeavyLight`] — heavy-light decomposition \[HT84\];
 //! * [`Lca`] — binary-lifting lowest common ancestors;
 //! * [`AlmostEmbeddable`] / [`StructureWitness`] — Definition 5 / Theorem 3
 //!   witnesses.

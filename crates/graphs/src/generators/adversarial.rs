@@ -1,6 +1,6 @@
 //! Hard instances and random controls.
 //!
-//! [`lower_bound_family`] is the Das Sarma et al. [SHK+12] construction on
+//! [`lower_bound_family`] is the Das Sarma et al. \[SHK+12\] construction on
 //! which every MST/min-cut algorithm needs `Ω̃(√n)` rounds despite having
 //! `O(log n)` diameter. It is *not* minor-free (it contains large clique
 //! minors), so the paper's result does not apply to it — experiment E7 uses

@@ -7,12 +7,12 @@
 //! cargo run --example apex_robustness --release
 //! ```
 
-use minex::algo::partwise::partwise_min;
+use minex::algo::baselines::NoShortcutBuilder;
 use minex::algo::workloads;
 use minex::congest::CongestConfig;
-use minex::core::construct::{ApexBuilder, ShortcutBuilder, SteinerBuilder};
-use minex::core::{measure_quality, RootedTree, Shortcut};
+use minex::core::construct::{ApexBuilder, SteinerBuilder};
 use minex::graphs::{generators, traversal};
+use minex::{PartsStrategy, ShortcutPlan, Solver};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Wheel: a 256-cycle plus a hub. Diameter 2; a rim part in isolation
@@ -26,30 +26,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         traversal::diameter_exact(&g).expect("connected"),
         parts.len()
     );
-    let tree = RootedTree::bfs(&g, hub);
     let config = CongestConfig::for_nodes(n)
         .with_bandwidth(192)
         .with_max_rounds(1_000_000);
     let values: Vec<u64> = (0..g.n() as u64).rev().collect();
 
     // Without shortcuts each part crawls around the rim.
-    let naked = partwise_min(
-        &g,
-        &parts,
-        &Shortcut::empty(parts.len()),
-        &values,
-        32,
-        config,
-    )?;
+    let naked = Solver::for_graph(&g)
+        .parts(PartsStrategy::Explicit(parts.clone()))
+        .shortcut_builder(NoShortcutBuilder)
+        .config(config)
+        .root(hub)
+        .build()?
+        .partwise_min(&values, 32)?;
     // With the Lemma 9 apex construction the hub relays everyone.
-    let apex_builder = ApexBuilder::new(vec![hub], SteinerBuilder);
-    let shortcut = apex_builder.build(&g, &tree, &parts);
-    let q = measure_quality(&g, &tree, &parts, &shortcut);
-    let fast = partwise_min(&g, &parts, &shortcut, &values, 32, config)?;
-    assert_eq!(naked.minima, fast.minima);
+    let mut fast_session = Solver::for_graph(&g)
+        .parts(PartsStrategy::Explicit(parts))
+        .shortcut_builder(ApexBuilder::new(vec![hub], SteinerBuilder))
+        .config(config)
+        .root(hub)
+        .build()?;
+    let (block, congestion) = {
+        let q = fast_session.plan()?.quality();
+        (q.block, q.congestion)
+    };
+    let fast = fast_session.partwise_min(&values, 32)?;
+    assert_eq!(naked.value.minima, fast.value.minima);
     println!(
         "aggregation rounds: no shortcut = {}, apex shortcut = {} (block={}, congestion={})",
-        naked.stats.rounds, fast.stats.rounds, q.block, q.congestion
+        naked.stats.simulated_rounds, fast.stats.simulated_rounds, block, congestion
     );
 
     // Grid + apex: the diameter collapses from Θ(side) to O(1) but the
@@ -60,13 +65,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         traversal::diameter_exact(&generators::grid(24, 24)).expect("connected"),
         traversal::diameter_exact(&ag).expect("connected"),
     );
-    let atree = RootedTree::bfs(&ag, apex);
     let cols: Vec<Vec<usize>> = (0..24)
         .map(|c| (0..24).map(|r| r * 24 + c).collect())
         .collect();
     let aparts = minex::core::Partition::new(&ag, cols)?;
-    let ashortcut = ApexBuilder::new(vec![apex], SteinerBuilder).build(&ag, &atree, &aparts);
-    let aq = measure_quality(&ag, &atree, &aparts, &ashortcut);
+    let aplan = ShortcutPlan::build(
+        &ag,
+        apex,
+        aparts,
+        &ApexBuilder::new(vec![apex], SteinerBuilder),
+    );
+    let aq = aplan.quality();
     println!(
         "column parts on the apex grid: d_T={} block={} congestion={} quality={}",
         aq.tree_diameter, aq.block, aq.congestion, aq.quality

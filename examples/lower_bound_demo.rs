@@ -7,12 +7,11 @@
 //! cargo run --example lower_bound_demo --release
 //! ```
 
-use minex::algo::partwise::partwise_min;
 use minex::algo::workloads;
 use minex::congest::CongestConfig;
-use minex::core::construct::{AutoCappedBuilder, ShortcutBuilder};
-use minex::core::{measure_quality, RootedTree};
+use minex::core::construct::AutoCappedBuilder;
 use minex::graphs::traversal;
+use minex::{PartsStrategy, Solver};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
@@ -22,39 +21,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for s in [8usize, 16, 24] {
         // Γ(s, s): s paths of length s + binary tree over columns.
         let (g, parts) = workloads::lower_bound_path_parts(s, s);
-        let tree = RootedTree::bfs(&g, g.n() - 1);
-        let shortcut = AutoCappedBuilder.build(&g, &tree, &parts);
-        let q = measure_quality(&g, &tree, &parts, &shortcut);
-        let values: Vec<u64> = (0..g.n() as u64).collect();
         let config = CongestConfig::for_nodes(g.n())
             .with_bandwidth(192)
             .with_max_rounds(1_000_000);
-        let agg = partwise_min(&g, &parts, &shortcut, &values, 32, config)?;
+        let mut session = Solver::for_graph(&g)
+            .parts(PartsStrategy::Explicit(parts))
+            .shortcut_builder(AutoCappedBuilder)
+            .config(config)
+            .root(g.n() - 1)
+            .build()?;
+        let quality = session.plan()?.quality().quality;
+        let values: Vec<u64> = (0..g.n() as u64).collect();
+        let agg = session.partwise_min(&values, 32)?;
         println!(
             "{:>12} {:>6} {:>4} {:>8} {:>10}",
             format!("Γ({s},{s})"),
             g.n(),
             traversal::diameter_double_sweep(&g).expect("connected"),
-            q.quality,
-            agg.stats.rounds
+            quality,
+            agg.stats.simulated_rounds
         );
         // Planar control with comparable node count: row parts of a grid.
         let (cg, cparts) = workloads::grid_row_parts(s, s);
-        let ctree = RootedTree::bfs(&cg, 0);
-        let cshortcut = AutoCappedBuilder.build(&cg, &ctree, &cparts);
-        let cq = measure_quality(&cg, &ctree, &cparts, &cshortcut);
-        let cvalues: Vec<u64> = (0..cg.n() as u64).collect();
         let cconfig = CongestConfig::for_nodes(cg.n())
             .with_bandwidth(192)
             .with_max_rounds(1_000_000);
-        let cagg = partwise_min(&cg, &cparts, &cshortcut, &cvalues, 32, cconfig)?;
+        let mut csession = Solver::for_graph(&cg)
+            .parts(PartsStrategy::Explicit(cparts))
+            .shortcut_builder(AutoCappedBuilder)
+            .config(cconfig)
+            .build()?;
+        let cquality = csession.plan()?.quality().quality;
+        let cvalues: Vec<u64> = (0..cg.n() as u64).collect();
+        let cagg = csession.partwise_min(&cvalues, 32)?;
         println!(
             "{:>12} {:>6} {:>4} {:>8} {:>10}",
             format!("grid({s},{s})"),
             cg.n(),
             traversal::diameter_double_sweep(&cg).expect("connected"),
-            cq.quality,
-            cagg.stats.rounds
+            cquality,
+            cagg.stats.simulated_rounds
         );
     }
     println!("\nΓ is not minor-free (contract each path: a large clique minor appears),");

@@ -5,10 +5,10 @@
 //! cargo run --example mincut_approx --release
 //! ```
 
-use minex::algo::mincut::approx_min_cut;
 use minex::congest::CongestConfig;
 use minex::core::construct::SteinerBuilder;
 use minex::graphs::{generators, WeightModel};
+use minex::Solver;
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,11 +24,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_bandwidth(192)
             .with_max_rounds(1_000_000);
         println!("{name}: n={} m={}", g.n(), g.m());
+        // One session per graph: the three packing sizes share the cached
+        // Borůvka plan, so only the first query pays for shortcut builds.
+        let mut session = Solver::builder(&wg)
+            .shortcut_builder(SteinerBuilder)
+            .config(config)
+            .build()?;
         for trees in [1, 4, 8] {
-            let out = approx_min_cut(&wg, trees, true, &SteinerBuilder, config)?;
+            let out = session.min_cut(trees)?;
             println!(
                 "  {trees} packed trees: approx={} exact={} ratio={:.3} simulated rounds={}",
-                out.approx_value, out.exact_value, out.ratio, out.simulated_rounds
+                out.value.approx_value,
+                out.value.exact_value,
+                out.value.ratio,
+                out.stats.simulated_rounds
             );
         }
     }

@@ -1,16 +1,16 @@
-//! Quickstart: build a planar network, construct tree-restricted shortcuts,
-//! measure their quality, and run a shortcut-driven distributed MST.
+//! Quickstart: build a planar network, open a plan-once / query-many
+//! `Solver` session over it, inspect the shortcut plan's quality, and serve
+//! MST, SSSP, and aggregation queries from the one cached plan.
 //!
 //! ```sh
 //! cargo run --example quickstart --release
 //! ```
 
-use minex::algo::mst::{boruvka_mst, kruskal};
-use minex::algo::workloads;
+use minex::algo::mst::kruskal;
 use minex::congest::CongestConfig;
-use minex::core::construct::{AutoCappedBuilder, ShortcutBuilder};
-use minex::core::{measure_quality, RootedTree};
+use minex::core::construct::AutoCappedBuilder;
 use minex::graphs::{generators, WeightModel};
+use minex::{PartsStrategy, Solver, Tier};
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,39 +18,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = generators::triangulated_grid(16, 16);
     println!("network: n={} m={}", g.n(), g.m());
 
-    // 2. The spanning tree T (Theorem 1 uses a BFS tree) and a family of
-    //    parts — here BFS-Voronoi cells around 16 random seeds.
-    let tree = RootedTree::bfs(&g, 0);
+    // 2. One session = one plan. The builder fixes the weights, the parts
+    //    strategy (BFS-Voronoi cells around 16 seeds), the shortcut
+    //    construction, and the simulator configuration; `build()` validates
+    //    everything up front.
     let mut rng = StdRng::seed_from_u64(7);
-    let parts = workloads::voronoi_parts(&g, 16, &mut rng);
-    println!("spanning tree diameter d_T = {}", tree.diameter());
-    println!("parts: {}", parts.len());
-
-    // 3. Construct tree-restricted shortcuts with the structure-oblivious
-    //    builder (the algorithm the paper actually runs) and measure the
-    //    Definitions 11-13 parameters.
-    let shortcut = AutoCappedBuilder.build(&g, &tree, &parts);
-    let quality = measure_quality(&g, &tree, &parts, &shortcut);
-    println!(
-        "shortcut: block={} congestion={} quality={} (= b*d_T + c)",
-        quality.block, quality.congestion, quality.quality
-    );
-
-    // 4. Run the Corollary 1 MST in the CONGEST simulator and check it
-    //    against Kruskal.
     let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
     let config = CongestConfig::for_nodes(g.n())
         .with_bandwidth(192)
         .with_max_rounds(1_000_000);
-    let outcome = boruvka_mst(&wg, &AutoCappedBuilder, config)?;
+    let mut solver = Solver::builder(&wg)
+        .parts(PartsStrategy::Voronoi { parts: 16, seed: 7 })
+        .shortcut_builder(AutoCappedBuilder)
+        .config(config)
+        .build()?;
+
+    // 3. The plan — spanning tree, partition, shortcut, quality — is
+    //    computed once (lazily, on first use) and cached for every query.
+    {
+        let plan = solver.plan()?;
+        println!(
+            "plan: d_T={} parts={} block={} congestion={} quality={} (= b*d_T + c)",
+            plan.tree().diameter(),
+            plan.parts().len(),
+            plan.quality().block,
+            plan.quality().congestion,
+            plan.quality().quality,
+        );
+    }
+
+    // 4. Serve queries. Each returns a unified `Report`: the typed result
+    //    plus per-run round/message accounting.
+    let mst = solver.mst()?;
     let (_, exact) = kruskal(&wg);
     println!(
         "MST: weight={} (kruskal agrees: {}), phases={}, simulated rounds={}, charged construction rounds={}",
-        outcome.total_weight,
-        outcome.total_weight == exact,
-        outcome.phases,
-        outcome.simulated_rounds,
-        outcome.charged_construction_rounds,
+        mst.value.total_weight,
+        mst.value.total_weight == exact,
+        mst.value.boruvka_phases,
+        mst.stats.simulated_rounds,
+        mst.stats.charged_construction_rounds,
     );
+    let sssp = solver.sssp(0, Tier::Exact)?;
+    println!(
+        "SSSP from node 0: {} rounds, farthest distance {}",
+        sssp.stats.simulated_rounds,
+        sssp.value.dist.iter().max().unwrap(),
+    );
+    let values: Vec<u64> = (0..g.n() as u64).map(|v| (v * 37) % 1009).collect();
+    let agg = solver.partwise_min(&values, 16)?;
+    println!(
+        "part-wise min over {} parts: {} rounds",
+        agg.value.minima.len(),
+        agg.stats.simulated_rounds,
+    );
+
+    // 5. Repeats are free: the session memoizes results (simulations are
+    //    deterministic), so serving the same query again costs microseconds
+    //    while reporting identical statistics.
+    let again = solver.mst()?;
+    assert_eq!(again, mst);
+    println!("repeated MST query: identical report, served from the session cache");
     Ok(())
 }

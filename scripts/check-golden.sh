@@ -2,13 +2,19 @@
 # Round-count regression gate: re-runs the quick experiment sweep and fails
 # if any E1–E12 CSV drifts from the checked-in goldens under expected/.
 #
+# Since PR 4 the experiments harness generates every table through the
+# `Solver` session API (plan-once / query-many), so this gate doubles as
+# the proof that the session path stays byte-identical to the legacy
+# free-function results the goldens were recorded from.
+#
 # Usage: scripts/check-golden.sh [csv-dir]
 #   csv-dir  a directory already populated by `experiments --csv` (e.g. the
 #            one CI just produced); omitted, the sweep is run into a tempdir.
 #
-# E13 is timing-based (machine-dependent columns) and deliberately has no
-# golden. To accept an intentional round-count change, run
-# scripts/refresh-golden.sh and commit the updated expected/ files.
+# E13 (engine scaling) and E14 (plan-reuse amortization) are timing-based
+# (machine-dependent columns) and deliberately have no goldens. To accept an
+# intentional round-count change, run scripts/refresh-golden.sh and commit
+# the updated expected/ files.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Regenerates the golden round-count CSVs under expected/ (E1–E12, quick
-# sweep — the exact configuration CI's gate replays). Run this after an
-# intentional round-count change and commit the result.
+# sweep — the exact configuration CI's gate replays; E13/E14 are
+# timing-based and have no goldens). Run this after an intentional
+# round-count change and commit the result.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo run --release -q -p minex-bench --bin experiments -- \

@@ -13,6 +13,29 @@
 //! * [`core`] — the shortcut framework and constructions;
 //! * [`algo`] — part-wise aggregation, MST, min-cut, SSSP, baselines.
 //!
+//! The **front door** is the plan-once / query-many session API,
+//! re-exported at the crate root: [`Solver`] computes one [`ShortcutPlan`]
+//! (BFS tree, partition, shortcut, quality) per session and serves
+//! repeated `mst` / `min_cut` / `sssp` / `components` / `partwise_min`
+//! queries, each returning a unified [`Report`].
+//!
+//! ```
+//! use minex::{PartsStrategy, Solver, Tier};
+//! use minex::core::construct::SteinerBuilder;
+//! use minex::graphs::{generators, WeightedGraph};
+//!
+//! let wg = WeightedGraph::unit(generators::triangulated_grid(4, 4));
+//! let mut solver = Solver::builder(&wg)
+//!     .parts(PartsStrategy::Voronoi { parts: 3, seed: 1 })
+//!     .shortcut_builder(SteinerBuilder)
+//!     .build()?;
+//! let mst = solver.mst()?;
+//! let sssp = solver.sssp(0, Tier::Exact)?;
+//! assert_eq!(mst.value.edges.len(), 15);
+//! assert_eq!(sssp.value.dist[15], 3); // unit weights; diagonals cut the corner
+//! # Ok::<(), minex::AlgoError>(())
+//! ```
+//!
 //! See `examples/quickstart.rs` for a guided tour.
 
 pub use minex_algo as algo;
@@ -20,3 +43,9 @@ pub use minex_congest as congest;
 pub use minex_core as core;
 pub use minex_decomp as decomp;
 pub use minex_graphs as graphs;
+
+pub use minex_algo::solver::{
+    AlgoError, Components, MinCut, Mst, PartsStrategy, PartwiseMin, PhaseRun, Report, ReportStats,
+    Solver, SolverBuilder, Sssp, SsspDetail, Tier,
+};
+pub use minex_core::ShortcutPlan;

@@ -1,11 +1,12 @@
-//! Edge cases and failure injection across the stack.
+//! Edge cases and failure injection across the stack, driven through the
+//! `Solver` session API.
 
-use minex::algo::mst::boruvka_mst;
-use minex::algo::partwise::partwise_min;
+use minex::algo::baselines::NoShortcutBuilder;
 use minex::congest::{CongestConfig, SimError};
-use minex::core::construct::{AutoCappedBuilder, ShortcutBuilder, SteinerBuilder};
-use minex::core::{measure_quality, Partition, RootedTree, Shortcut};
+use minex::core::construct::{AutoCappedBuilder, SteinerBuilder};
+use minex::core::{Partition, RootedTree};
 use minex::graphs::{generators, Graph, GraphError, WeightedGraph};
+use minex::{AlgoError, PartsStrategy, ShortcutPlan, Solver};
 
 fn config(n: usize) -> CongestConfig {
     CongestConfig::for_nodes(n)
@@ -16,45 +17,66 @@ fn config(n: usize) -> CongestConfig {
 #[test]
 fn singleton_network_end_to_end() {
     let g = generators::path(1);
-    let tree = RootedTree::bfs(&g, 0);
     let parts = Partition::new(&g, vec![vec![0]]).unwrap();
-    let s = AutoCappedBuilder.build(&g, &tree, &parts);
-    let q = measure_quality(&g, &tree, &parts, &s);
-    assert_eq!(q.quality, 0); // b·d_T + c with d_T = 0, c = 0
-    let out = boruvka_mst(&WeightedGraph::unit(g), &SteinerBuilder, config(1)).unwrap();
-    assert_eq!(out.phases, 0);
-    assert_eq!(out.simulated_rounds, 0);
+    let plan = ShortcutPlan::build(&g, 0, parts, &AutoCappedBuilder);
+    assert_eq!(plan.quality().quality, 0); // b·d_T + c with d_T = 0, c = 0
+    let wg = WeightedGraph::unit(g);
+    let out = Solver::builder(&wg)
+        .shortcut_builder(SteinerBuilder)
+        .config(config(1))
+        .build()
+        .unwrap()
+        .mst()
+        .unwrap();
+    assert_eq!(out.value.boruvka_phases, 0);
+    assert_eq!(out.stats.simulated_rounds, 0);
 }
 
 #[test]
 fn two_node_network() {
     let g = generators::path(2);
-    let out = boruvka_mst(&WeightedGraph::unit(g.clone()), &SteinerBuilder, config(2)).unwrap();
-    assert_eq!(out.edges, vec![0]);
-    assert_eq!(out.total_weight, 1);
+    let wg = WeightedGraph::unit(g);
+    let out = Solver::builder(&wg)
+        .shortcut_builder(SteinerBuilder)
+        .config(config(2))
+        .build()
+        .unwrap()
+        .mst()
+        .unwrap();
+    assert_eq!(out.value.edges, vec![0]);
+    assert_eq!(out.value.total_weight, 1);
 }
 
 #[test]
 fn parts_need_not_cover_all_nodes() {
     let g = generators::grid(4, 4);
-    let tree = RootedTree::bfs(&g, 0);
     let parts = Partition::new(&g, vec![vec![0, 1], vec![14, 15]]).unwrap();
-    let s = SteinerBuilder.build(&g, &tree, &parts);
     let values: Vec<u64> = (0..16).map(|v| 100 - v).collect();
-    let agg = partwise_min(&g, &parts, &s, &values, 32, config(16)).unwrap();
-    assert_eq!(agg.minima, vec![99, 85]);
+    let agg = Solver::for_graph(&g)
+        .parts(PartsStrategy::Explicit(parts))
+        .shortcut_builder(SteinerBuilder)
+        .config(config(16))
+        .build()
+        .unwrap()
+        .partwise_min(&values, 32)
+        .unwrap();
+    assert_eq!(agg.value.minima, vec![99, 85]);
 }
 
 #[test]
 fn zero_parts_is_a_noop() {
     let g = generators::cycle(5);
-    let tree = RootedTree::bfs(&g, 0);
     let parts = Partition::new(&g, vec![]).unwrap();
-    let s = AutoCappedBuilder.build(&g, &tree, &parts);
-    assert!(s.is_empty());
-    let agg = partwise_min(&g, &parts, &s, &[0; 5], 32, config(5)).unwrap();
-    assert!(agg.minima.is_empty());
-    assert_eq!(agg.stats.rounds, 0);
+    let mut session = Solver::for_graph(&g)
+        .parts(PartsStrategy::Explicit(parts))
+        .shortcut_builder(AutoCappedBuilder)
+        .config(config(5))
+        .build()
+        .unwrap();
+    assert!(session.plan().unwrap().shortcut().is_empty());
+    let agg = session.partwise_min(&[0; 5], 32).unwrap();
+    assert!(agg.value.minima.is_empty());
+    assert_eq!(agg.stats.simulated_rounds, 0);
 }
 
 #[test]
@@ -71,57 +93,69 @@ fn disconnected_inputs_are_rejected_cleanly() {
 #[test]
 fn bandwidth_too_small_is_reported_not_hidden() {
     let g = generators::path(6);
-    let tree = RootedTree::bfs(&g, 0);
-    let parts = Partition::new(&g, vec![(0..6).collect()]).unwrap();
-    let s = SteinerBuilder.build(&g, &tree, &parts);
-    let err = partwise_min(
-        &g,
-        &parts,
-        &s,
-        &[5, 4, 3, 2, 1, 0],
-        200, // declared payload width exceeds any sane budget
-        CongestConfig::for_nodes(6).with_bandwidth(64),
-    )
-    .unwrap_err();
-    assert!(matches!(err, SimError::BandwidthExceeded { .. }));
+    let err = Solver::for_graph(&g)
+        .parts(PartsStrategy::Whole)
+        .shortcut_builder(SteinerBuilder)
+        .config(CongestConfig::for_nodes(6).with_bandwidth(64))
+        .build()
+        .unwrap()
+        // Declared payload width exceeds any sane budget.
+        .partwise_min(&[5, 4, 3, 2, 1, 0], 200)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        AlgoError::Sim(SimError::BandwidthExceeded { .. })
+    ));
 }
 
 #[test]
 fn round_guard_prevents_livelock() {
     // A giant part with no shortcut on a long path, absurdly low guard.
     let g = generators::path(64);
-    let parts = Partition::new(&g, vec![(0..64).collect()]).unwrap();
-    let err = partwise_min(
-        &g,
-        &parts,
-        &Shortcut::empty(1),
-        &(0..64u64).collect::<Vec<_>>(),
-        32,
-        CongestConfig::for_nodes(64).with_max_rounds(3),
-    )
-    .unwrap_err();
-    assert_eq!(err, SimError::MaxRoundsExceeded { limit: 3 });
+    let err = Solver::for_graph(&g)
+        .parts(PartsStrategy::Whole)
+        .shortcut_builder(NoShortcutBuilder)
+        .config(CongestConfig::for_nodes(64).with_max_rounds(3))
+        .build()
+        .unwrap()
+        .partwise_min(&(0..64u64).collect::<Vec<_>>(), 32)
+        .unwrap_err();
+    assert_eq!(
+        err,
+        AlgoError::Sim(SimError::MaxRoundsExceeded { limit: 3 })
+    );
 }
 
 #[test]
 fn whole_graph_as_single_part() {
     let g = generators::triangulated_grid(6, 6);
-    let tree = RootedTree::bfs(&g, 0);
-    let parts = Partition::new(&g, vec![(0..g.n()).collect()]).unwrap();
-    let s = AutoCappedBuilder.build(&g, &tree, &parts);
-    let q = measure_quality(&g, &tree, &parts, &s);
-    assert_eq!(q.block, 1);
-    assert!(q.congestion <= 1);
+    let mut session = Solver::for_graph(&g)
+        .parts(PartsStrategy::Whole)
+        .shortcut_builder(AutoCappedBuilder)
+        .config(config(g.n()))
+        .build()
+        .unwrap();
+    {
+        let q = session.plan().unwrap().quality();
+        assert_eq!(q.block, 1);
+        assert!(q.congestion <= 1);
+    }
     let values: Vec<u64> = (0..g.n() as u64).map(|v| v ^ 21).collect();
-    let agg = partwise_min(&g, &parts, &s, &values, 32, config(g.n())).unwrap();
-    assert_eq!(agg.minima[0], values.iter().copied().min().unwrap());
+    let agg = session.partwise_min(&values, 32).unwrap();
+    assert_eq!(agg.value.minima[0], values.iter().copied().min().unwrap());
 }
 
 #[test]
 fn duplicate_weights_still_give_minimum_forest() {
     let g = generators::complete(8);
     let wg = WeightedGraph::unit(g);
-    let out = boruvka_mst(&wg, &AutoCappedBuilder, config(8)).unwrap();
-    assert_eq!(out.edges.len(), 7);
-    assert_eq!(out.total_weight, 7);
+    let out = Solver::builder(&wg)
+        .shortcut_builder(AutoCappedBuilder)
+        .config(config(8))
+        .build()
+        .unwrap()
+        .mst()
+        .unwrap();
+    assert_eq!(out.value.edges.len(), 7);
+    assert_eq!(out.value.total_weight, 7);
 }

@@ -2,19 +2,15 @@
 //! CONGEST engines must be observationally identical on every workload the
 //! repo ships — byte-identical [`RunStats`], identical program outputs,
 //! identical errors — across thread counts and all algorithm entry points
-//! (the three SSSP tiers, MST, min-cut, part-wise aggregation), and across
-//! every experiment table E1–E12.
+//! (the three SSSP tiers, MST, min-cut, part-wise aggregation, all through
+//! the `Solver` session API), and across every experiment table E1–E12.
 
 use minex::algo::baselines::compare_mst;
-use minex::algo::mincut::approx_min_cut;
-use minex::algo::mst::boruvka_mst;
-use minex::algo::partwise::partwise_min;
-use minex::algo::sssp::{bellman_ford_sssp, scaled_sssp, shortcut_sssp};
 use minex::algo::workloads;
 use minex::congest::CongestConfig;
 use minex::core::construct::{AutoCappedBuilder, SteinerBuilder};
-use minex::core::RootedTree;
 use minex::graphs::{generators, WeightModel};
+use minex::{PartsStrategy, Report, Solver, Sssp, Tier};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,8 +22,10 @@ fn cfg(n: usize) -> CongestConfig {
         .with_max_rounds(2_000_000)
 }
 
-/// All three SSSP tiers on the E11 hub/maze workloads: `RunStats`-bearing
-/// outcomes and distance vectors must match the sequential engine exactly.
+/// All three SSSP tiers on the E11 hub/maze workloads: reports (distances,
+/// per-run `RunStats`, round counts) must match the sequential engine
+/// exactly. A fresh session per thread count keeps every memo cold, so the
+/// simulations really re-run on each engine.
 #[test]
 fn sssp_tiers_are_engine_independent() {
     let mut rng = StdRng::seed_from_u64(7);
@@ -37,70 +35,60 @@ fn sssp_tiers_are_engine_independent() {
     ];
     for (wg, parts) in cases {
         let n = wg.graph().n();
-        let seq_exact = bellman_ford_sssp(&wg, 0, cfg(n).with_threads(1)).unwrap();
-        let seq_scaled = scaled_sssp(&wg, 0, 0.5, cfg(n).with_threads(1)).unwrap();
         let budget = parts.len() + 2;
-        let seq_short = shortcut_sssp(
-            &wg,
-            0,
-            &parts,
-            &SteinerBuilder,
-            0.5,
-            budget,
-            cfg(n).with_threads(1),
-        )
-        .unwrap();
+        let run = |threads: usize| -> [Report<Sssp>; 3] {
+            let mut solver = Solver::builder(&wg)
+                .parts(PartsStrategy::Explicit(parts.clone()))
+                .shortcut_builder(SteinerBuilder)
+                .config(cfg(n).with_threads(threads))
+                .build()
+                .unwrap();
+            [
+                solver.sssp(0, Tier::Exact).unwrap(),
+                solver.sssp(0, Tier::Scaled { epsilon: 0.5 }).unwrap(),
+                solver
+                    .sssp(
+                        0,
+                        Tier::Shortcut {
+                            epsilon: 0.5,
+                            max_phases: budget,
+                        },
+                    )
+                    .unwrap(),
+            ]
+        };
+        let seq = run(1);
         for &threads in THREADS {
-            let par = bellman_ford_sssp(&wg, 0, cfg(n).with_threads(threads)).unwrap();
-            assert_eq!(seq_exact.stats, par.stats, "exact tier, threads={threads}");
-            assert_eq!(seq_exact.dist, par.dist);
-            assert_eq!(seq_exact.parent, par.parent);
-
-            let par = scaled_sssp(&wg, 0, 0.5, cfg(n).with_threads(threads)).unwrap();
-            assert_eq!(
-                seq_scaled.flood_stats, par.flood_stats,
-                "scaled tier, threads={threads}"
-            );
-            assert_eq!(seq_scaled.dist, par.dist);
-            assert_eq!(seq_scaled.bfs_rounds, par.bfs_rounds);
-            assert_eq!(seq_scaled.hop_budget, par.hop_budget);
-
-            let par = shortcut_sssp(
-                &wg,
-                0,
-                &parts,
-                &SteinerBuilder,
-                0.5,
-                budget,
-                cfg(n).with_threads(threads),
-            )
-            .unwrap();
-            assert_eq!(
-                seq_short.simulated_rounds, par.simulated_rounds,
-                "shortcut tier, threads={threads}"
-            );
-            assert_eq!(seq_short.dist, par.dist);
-            assert_eq!(seq_short.phase_rounds, par.phase_rounds);
-            assert_eq!(seq_short.converged, par.converged);
+            let par = run(threads);
+            for (tier, (a, b)) in seq.iter().zip(par.iter()).enumerate() {
+                assert_eq!(a, b, "tier {tier} diverges at threads={threads}");
+            }
         }
     }
 }
 
-/// Borůvka MST and the three-way E6 comparison are engine-independent.
+/// Borůvka MST (session API) and the three-way E6 comparison are
+/// engine-independent.
 #[test]
 fn mst_is_engine_independent() {
     let g = generators::triangulated_grid(10, 10);
     let mut rng = StdRng::seed_from_u64(3);
     let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
     let n = g.n();
-    let seq = boruvka_mst(&wg, &AutoCappedBuilder, cfg(n).with_threads(1)).unwrap();
+    let run = |threads: usize| {
+        Solver::builder(&wg)
+            .shortcut_builder(AutoCappedBuilder)
+            .config(cfg(n).with_threads(threads))
+            .build()
+            .unwrap()
+            .mst()
+            .unwrap()
+    };
+    let seq = run(1);
     let seq_cmp = compare_mst(&wg, &AutoCappedBuilder, cfg(n).with_threads(1)).unwrap();
     for &threads in THREADS {
-        let par = boruvka_mst(&wg, &AutoCappedBuilder, cfg(n).with_threads(threads)).unwrap();
-        assert_eq!(seq.edges, par.edges, "threads={threads}");
-        assert_eq!(seq.total_weight, par.total_weight);
-        assert_eq!(seq.simulated_rounds, par.simulated_rounds);
-        assert_eq!(seq.phases, par.phases);
+        let par = run(threads);
+        assert_eq!(seq, par, "threads={threads}");
         let par_cmp = compare_mst(&wg, &AutoCappedBuilder, cfg(n).with_threads(threads)).unwrap();
         assert_eq!(seq_cmp.shortcut_rounds, par_cmp.shortcut_rounds);
         assert_eq!(seq_cmp.gkp_rounds, par_cmp.gkp_rounds);
@@ -112,31 +100,20 @@ fn mst_is_engine_independent() {
 #[test]
 fn partwise_aggregation_is_engine_independent() {
     let (g, parts) = workloads::wheel_rim_parts(65, 8);
-    let tree = RootedTree::bfs(&g, 0);
-    use minex::core::construct::ShortcutBuilder;
-    let shortcut = SteinerBuilder.build(&g, &tree, &parts);
     let values: Vec<u64> = (0..g.n() as u64).rev().collect();
-    let seq = partwise_min(
-        &g,
-        &parts,
-        &shortcut,
-        &values,
-        32,
-        cfg(g.n()).with_threads(1),
-    )
-    .unwrap();
+    let run = |threads: usize| {
+        Solver::for_graph(&g)
+            .parts(PartsStrategy::Explicit(parts.clone()))
+            .shortcut_builder(SteinerBuilder)
+            .config(cfg(g.n()).with_threads(threads))
+            .build()
+            .unwrap()
+            .partwise_min(&values, 32)
+            .unwrap()
+    };
+    let seq = run(1);
     for &threads in THREADS {
-        let par = partwise_min(
-            &g,
-            &parts,
-            &shortcut,
-            &values,
-            32,
-            cfg(g.n()).with_threads(threads),
-        )
-        .unwrap();
-        assert_eq!(seq.stats, par.stats, "threads={threads}");
-        assert_eq!(seq.minima, par.minima);
+        assert_eq!(seq, run(threads), "threads={threads}");
     }
 }
 
@@ -146,30 +123,33 @@ fn mincut_is_engine_independent() {
     let g = generators::toroidal_grid(5, 5);
     let wg = minex::graphs::WeightedGraph::unit(g);
     let n = wg.graph().n();
-    let seq = approx_min_cut(&wg, 4, true, &SteinerBuilder, cfg(n).with_threads(1)).unwrap();
+    let run = |threads: usize| {
+        Solver::builder(&wg)
+            .shortcut_builder(SteinerBuilder)
+            .config(cfg(n).with_threads(threads))
+            .build()
+            .unwrap()
+            .min_cut(4)
+            .unwrap()
+    };
+    let seq = run(1);
     for &threads in THREADS {
-        let par =
-            approx_min_cut(&wg, 4, true, &SteinerBuilder, cfg(n).with_threads(threads)).unwrap();
-        assert_eq!(seq.approx_value, par.approx_value, "threads={threads}");
-        assert_eq!(seq.exact_value, par.exact_value);
-        assert_eq!(seq.simulated_rounds, par.simulated_rounds);
+        assert_eq!(seq, run(threads), "threads={threads}");
     }
 }
 
 /// The acceptance gate: every experiment table E1–E12 renders identically
 /// on both engines (headers and every cell — which embeds every round,
-/// message, and bit count the tables surface). E13 is skipped because its
-/// columns are wall-clock measurements.
+/// message, and bit count the tables surface). E13 and E14 are skipped
+/// *before running* because their columns are wall-clock measurements.
 #[test]
 fn experiment_tables_are_engine_independent() {
-    let seq = minex_bench::with_engine_threads(1, || minex_bench::run_all(false));
-    let par = minex_bench::with_engine_threads(4, || minex_bench::run_all(false));
+    let deterministic = || minex_bench::run_deterministic(false);
+    let seq = minex_bench::with_engine_threads(1, deterministic);
+    let par = minex_bench::with_engine_threads(4, deterministic);
     assert_eq!(seq.len(), par.len());
     for (a, b) in seq.iter().zip(&par) {
         assert_eq!(a.id, b.id);
-        if a.id == "E13" {
-            continue;
-        }
         assert_eq!(a.headers, b.headers, "{} headers diverge", a.id);
         assert_eq!(a.rows, b.rows, "{} rows diverge across engines", a.id);
     }

@@ -2,17 +2,18 @@
 //! structure witness, validate the witness, build shortcuts (both
 //! witness-based and structure-oblivious), aggregate, and run MST.
 
-use minex::algo::mst::{boruvka_mst, kruskal};
-use minex::algo::partwise::{partwise_min, partwise_min_reference};
+use minex::algo::mst::kruskal;
+use minex::algo::partwise::partwise_min_reference;
 use minex::algo::workloads;
 use minex::congest::CongestConfig;
 use minex::core::construct::{
-    AutoCappedBuilder, CliqueSumShortcutBuilder, ShortcutBuilder, SteinerBuilder, TreewidthBuilder,
+    AutoCappedBuilder, CliqueSumShortcutBuilder, SteinerBuilder, TreewidthBuilder,
 };
-use minex::core::{measure_quality, validate_tree_restricted, RootedTree};
+use minex::core::validate_tree_restricted;
 use minex::decomp::{CliqueSumTree, TreeDecomposition};
 use minex::graphs::generators::{self, CliqueSumBuilder};
 use minex::graphs::{NodeId, WeightModel};
+use minex::{PartsStrategy, ShortcutPlan, Solver};
 use rand::{rngs::StdRng, SeedableRng};
 
 fn config(n: usize) -> CongestConfig {
@@ -24,25 +25,38 @@ fn config(n: usize) -> CongestConfig {
 #[test]
 fn planar_pipeline() {
     let g = generators::triangulated_grid(10, 10);
-    let tree = RootedTree::bfs(&g, 0);
     let mut rng = StdRng::seed_from_u64(1);
     let parts = workloads::voronoi_parts(&g, 10, &mut rng);
-    let shortcut = AutoCappedBuilder.build(&g, &tree, &parts);
-    validate_tree_restricted(&shortcut, &tree).unwrap();
-    let q = measure_quality(&g, &tree, &parts, &shortcut);
-    assert!(
-        q.quality <= 4 * q.tree_diameter,
-        "quality {} too high",
-        q.quality
-    );
+    // One session: plan built once, then aggregation and MST served off it.
+    let mut session = Solver::for_graph(&g)
+        .parts(PartsStrategy::Explicit(parts.clone()))
+        .shortcut_builder(AutoCappedBuilder)
+        .config(config(g.n()))
+        .build()
+        .unwrap();
+    {
+        let plan = session.plan().unwrap();
+        validate_tree_restricted(plan.shortcut(), plan.tree()).unwrap();
+        let q = plan.quality();
+        assert!(
+            q.quality <= 4 * q.tree_diameter,
+            "quality {} too high",
+            q.quality
+        );
+    }
     // Aggregation agrees with the centralized reference.
     let values: Vec<u64> = (0..g.n() as u64).map(|v| v * 17 % 101).collect();
-    let agg = partwise_min(&g, &parts, &shortcut, &values, 32, config(g.n())).unwrap();
-    assert_eq!(agg.minima, partwise_min_reference(&parts, &values));
+    let agg = session.partwise_min(&values, 32).unwrap();
+    assert_eq!(agg.value.minima, partwise_min_reference(&parts, &values));
     // MST matches Kruskal.
     let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
-    let out = boruvka_mst(&wg, &AutoCappedBuilder, config(g.n())).unwrap();
-    assert_eq!(out.total_weight, kruskal(&wg).1);
+    let mut wsession = Solver::builder(&wg)
+        .shortcut_builder(AutoCappedBuilder)
+        .config(config(g.n()))
+        .build()
+        .unwrap();
+    let out = wsession.mst().unwrap();
+    assert_eq!(out.value.total_weight, kruskal(&wg).1);
 }
 
 #[test]
@@ -62,13 +76,20 @@ fn clique_sum_pipeline_with_witness() {
     cst.validate(&g).unwrap();
     let folded = cst.fold();
     folded.validate(&cst).unwrap();
-    let tree = RootedTree::bfs(&g, 0);
     let parts = workloads::voronoi_parts(&g, 12, &mut rng);
-    let shortcut = CliqueSumShortcutBuilder::folded(cst, SteinerBuilder).build(&g, &tree, &parts);
-    validate_tree_restricted(&shortcut, &tree).unwrap();
+    let mut session = Solver::for_graph(&g)
+        .parts(PartsStrategy::Explicit(parts.clone()))
+        .shortcut_builder(CliqueSumShortcutBuilder::folded(cst, SteinerBuilder))
+        .config(config(g.n()))
+        .build()
+        .unwrap();
+    {
+        let plan = session.plan().unwrap();
+        validate_tree_restricted(plan.shortcut(), plan.tree()).unwrap();
+    }
     let values: Vec<u64> = (0..g.n() as u64).rev().collect();
-    let agg = partwise_min(&g, &parts, &shortcut, &values, 32, config(g.n())).unwrap();
-    assert_eq!(agg.minima, partwise_min_reference(&parts, &values));
+    let agg = session.partwise_min(&values, 32).unwrap();
+    assert_eq!(agg.value.minima, partwise_min_reference(&parts, &values));
 }
 
 #[test]
@@ -78,17 +99,21 @@ fn treewidth_pipeline_with_witness() {
     let td = TreeDecomposition::from_k_tree(g.n(), &rec);
     td.validate(&g).unwrap();
     let builder = TreewidthBuilder::new(&td);
-    let tree = RootedTree::bfs(&g, 0);
     let parts = workloads::forest_split_parts(&g, 10, &mut rng);
-    let shortcut = builder.build(&g, &tree, &parts);
-    validate_tree_restricted(&shortcut, &tree).unwrap();
-    let q = measure_quality(&g, &tree, &parts, &shortcut);
+    let plan = ShortcutPlan::build(&g, 0, parts, &builder);
+    validate_tree_restricted(plan.shortcut(), plan.tree()).unwrap();
+    let q = plan.quality();
     // Theorem 5 shape: block O(k) with a generous constant.
     assert!(q.block <= 8 * 4, "block={}", q.block);
     // MST on the same graph via the witness builder.
     let wg = WeightModel::Uniform { lo: 1, hi: 100 }.apply(&g, &mut rng);
-    let out = boruvka_mst(&wg, &builder, config(g.n())).unwrap();
-    assert_eq!(out.total_weight, kruskal(&wg).1);
+    let mut session = Solver::builder(&wg)
+        .shortcut_builder(&builder)
+        .config(config(g.n()))
+        .build()
+        .unwrap();
+    let out = session.mst().unwrap();
+    assert_eq!(out.value.total_weight, kruskal(&wg).1);
 }
 
 #[test]
@@ -101,13 +126,20 @@ fn genus_vortex_pipeline() {
     let td = TreeDecomposition::of_toroidal_grid(5, 10).reinsert_vortex(&vortex, None);
     td.validate(&g).unwrap();
     let builder = TreewidthBuilder::new(&td);
-    let tree = RootedTree::bfs(&g, 0);
     let parts = workloads::voronoi_parts(&g, 8, &mut rng);
-    let shortcut = builder.build(&g, &tree, &parts);
-    validate_tree_restricted(&shortcut, &tree).unwrap();
+    let mut session = Solver::for_graph(&g)
+        .parts(PartsStrategy::Explicit(parts.clone()))
+        .shortcut_builder(&builder)
+        .config(config(g.n()))
+        .build()
+        .unwrap();
+    {
+        let plan = session.plan().unwrap();
+        validate_tree_restricted(plan.shortcut(), plan.tree()).unwrap();
+    }
     let values: Vec<u64> = (0..g.n() as u64).collect();
-    let agg = partwise_min(&g, &parts, &shortcut, &values, 32, config(g.n())).unwrap();
-    assert_eq!(agg.minima, partwise_min_reference(&parts, &values));
+    let agg = session.partwise_min(&values, 32).unwrap();
+    assert_eq!(agg.value.minima, partwise_min_reference(&parts, &values));
 }
 
 #[test]
@@ -116,13 +148,22 @@ fn apex_pipeline() {
     let base = generators::grid(12, 12);
     let mut rng = StdRng::seed_from_u64(8);
     let (g, apices) = generators::add_random_apices(&base, 2, 0.1, &mut rng);
-    let tree = RootedTree::bfs(&g, apices[0]);
+    let root = apices[0];
     let parts = workloads::forest_split_parts(&g, 9, &mut rng);
-    let shortcut = ApexBuilder::new(apices, SteinerBuilder).build(&g, &tree, &parts);
-    validate_tree_restricted(&shortcut, &tree).unwrap();
+    let mut session = Solver::for_graph(&g)
+        .parts(PartsStrategy::Explicit(parts.clone()))
+        .shortcut_builder(ApexBuilder::new(apices, SteinerBuilder))
+        .config(config(g.n()))
+        .root(root)
+        .build()
+        .unwrap();
+    {
+        let plan = session.plan().unwrap();
+        validate_tree_restricted(plan.shortcut(), plan.tree()).unwrap();
+    }
     let values: Vec<u64> = (0..g.n() as u64).map(|v| (v * 31) % 997).collect();
-    let agg = partwise_min(&g, &parts, &shortcut, &values, 32, config(g.n())).unwrap();
-    assert_eq!(agg.minima, partwise_min_reference(&parts, &values));
+    let agg = session.partwise_min(&values, 32).unwrap();
+    assert_eq!(agg.value.minima, partwise_min_reference(&parts, &values));
 }
 
 #[test]
@@ -131,15 +172,21 @@ fn mst_cross_algorithm_agreement() {
     let g = generators::cylinder(5, 12);
     let mut rng = StdRng::seed_from_u64(2);
     let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
-    let a = boruvka_mst(&wg, &AutoCappedBuilder, config(g.n())).unwrap();
+    let a = Solver::builder(&wg)
+        .shortcut_builder(AutoCappedBuilder)
+        .config(config(g.n()))
+        .build()
+        .unwrap()
+        .mst()
+        .unwrap();
     let b = gkp_mst(&wg, config(g.n())).unwrap();
     let c = mst_without_shortcuts(&wg, config(g.n())).unwrap();
     let (kedges, kweight) = kruskal(&wg);
-    assert_eq!(a.total_weight, kweight);
+    assert_eq!(a.value.total_weight, kweight);
     assert_eq!(b.total_weight, kweight);
     assert_eq!(c.total_weight, kweight);
     // Distinct weights: the MST is unique, so the edge sets agree exactly.
-    assert_eq!(a.edges, kedges);
+    assert_eq!(a.value.edges, kedges);
     assert_eq!(b.edges, kedges);
     assert_eq!(c.edges, kedges);
 }

@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 
-use minex::algo::mst::{boruvka_mst, kruskal};
-use minex::algo::partwise::{partwise_min, partwise_min_reference};
+use minex::algo::mst::kruskal;
+use minex::algo::partwise::partwise_min_reference;
 use minex::algo::workloads;
 use minex::congest::CongestConfig;
 use minex::core::construct::{
@@ -14,6 +14,7 @@ use minex::core::construct::{
 };
 use minex::core::{measure_quality, validate_tree_restricted, RootedTree};
 use minex::graphs::{generators, WeightModel};
+use minex::{PartsStrategy, Solver};
 use rand::{rngs::StdRng, SeedableRng};
 
 fn config(n: usize) -> CongestConfig {
@@ -65,12 +66,17 @@ proptest! {
     fn aggregation_matches_reference(seed in 0u64..500) {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = generators::random_connected(36, 24, &mut rng);
-        let tree = RootedTree::bfs(&g, 0);
         let parts = workloads::voronoi_parts(&g, 6, &mut rng);
-        let s = AutoCappedBuilder.build(&g, &tree, &parts);
         let values: Vec<u64> = (0..g.n() as u64).map(|v| (v * seed.wrapping_add(13)) % 10_007).collect();
-        let agg = partwise_min(&g, &parts, &s, &values, 32, config(g.n())).unwrap();
-        prop_assert_eq!(agg.minima, partwise_min_reference(&parts, &values));
+        let agg = Solver::for_graph(&g)
+            .parts(PartsStrategy::Explicit(parts.clone()))
+            .shortcut_builder(AutoCappedBuilder)
+            .config(config(g.n()))
+            .build()
+            .unwrap()
+            .partwise_min(&values, 32)
+            .unwrap();
+        prop_assert_eq!(agg.value.minima, partwise_min_reference(&parts, &values));
     }
 
     #[test]
@@ -78,10 +84,16 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = generators::random_connected(30, 25, &mut rng);
         let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
-        let out = boruvka_mst(&wg, &AutoCappedBuilder, config(g.n())).unwrap();
+        let out = Solver::builder(&wg)
+            .shortcut_builder(AutoCappedBuilder)
+            .config(config(g.n()))
+            .build()
+            .unwrap()
+            .mst()
+            .unwrap();
         let (kedges, kweight) = kruskal(&wg);
-        prop_assert_eq!(out.total_weight, kweight);
-        prop_assert_eq!(out.edges, kedges);
+        prop_assert_eq!(out.value.total_weight, kweight);
+        prop_assert_eq!(out.value.edges, kedges);
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Solver ≡ legacy equivalence suite (the PR-4 acceptance gate): every
+//! `Solver` query must be **byte-identical** — same outputs, same
+//! `RunStats`-derived counters, same round counts — to the corresponding
+//! legacy free function, across both execution engines
+//! (`threads ∈ {1, 4}`), and repeated queries on one session must return
+//! identical reports (plan reuse and result memoization must never change
+//! results).
+//!
+//! The legacy functions are deprecated shims over one-shot sessions; this
+//! suite intentionally calls them to pin the contract.
+#![allow(deprecated)]
+
+use minex::algo::components::connected_components;
+use minex::algo::mincut::approx_min_cut;
+use minex::algo::mst::boruvka_mst;
+use minex::algo::partwise::partwise_min;
+use minex::algo::sssp::{bellman_ford_sssp, scaled_sssp, shortcut_sssp};
+use minex::algo::workloads;
+use minex::congest::CongestConfig;
+use minex::core::construct::{AutoCappedBuilder, SteinerBuilder};
+use minex::graphs::{generators, Graph, GraphBuilder, WeightModel, WeightedGraph};
+use minex::{AlgoError, PartsStrategy, Solver, SsspDetail, Tier};
+use rand::{rngs::StdRng, SeedableRng};
+
+const THREADS: &[usize] = &[1, 4];
+
+fn cfg(n: usize, threads: usize) -> CongestConfig {
+    CongestConfig::for_nodes(n)
+        .with_bandwidth(192)
+        .with_max_rounds(2_000_000)
+        .with_threads(threads)
+}
+
+#[test]
+fn mst_is_byte_identical_to_legacy_across_engines_and_repeats() {
+    let g = generators::triangulated_grid(8, 8);
+    let mut rng = StdRng::seed_from_u64(7);
+    let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+    for &threads in THREADS {
+        let config = cfg(g.n(), threads);
+        let legacy = boruvka_mst(&wg, &AutoCappedBuilder, config).unwrap();
+        let mut solver = Solver::builder(&wg)
+            .shortcut_builder(AutoCappedBuilder)
+            .config(config)
+            .build()
+            .unwrap();
+        let first = solver.mst().unwrap();
+        let second = solver.mst().unwrap();
+        assert_eq!(first, second, "threads={threads}: repeat must be identical");
+        assert_eq!(first.value.edges, legacy.edges);
+        assert_eq!(first.value.total_weight, legacy.total_weight);
+        assert_eq!(first.value.boruvka_phases, legacy.phases);
+        assert_eq!(first.stats.simulated_rounds, legacy.simulated_rounds);
+        assert_eq!(
+            first.stats.charged_construction_rounds,
+            legacy.charged_construction_rounds
+        );
+        // Per-run accounting matches the legacy per-phase split exactly.
+        let candidate_rounds: Vec<usize> = first
+            .stats
+            .runs
+            .iter()
+            .filter(|r| r.label.contains("candidate"))
+            .map(|r| r.stats.rounds)
+            .collect();
+        let legacy_candidates: Vec<usize> = legacy
+            .per_phase
+            .iter()
+            .map(|p| p.candidate_rounds)
+            .collect();
+        assert_eq!(candidate_rounds, legacy_candidates);
+    }
+}
+
+#[test]
+fn partwise_min_is_byte_identical_to_legacy_across_engines_and_repeats() {
+    let (g, parts) = workloads::wheel_rim_parts(65, 8);
+    let values: Vec<u64> = (0..g.n() as u64).rev().collect();
+    for &threads in THREADS {
+        let config = cfg(g.n(), threads);
+        let mut solver = Solver::for_graph(&g)
+            .parts(PartsStrategy::Explicit(parts.clone()))
+            .shortcut_builder(SteinerBuilder)
+            .config(config)
+            .build()
+            .unwrap();
+        // The legacy call gets the *same* shortcut the plan built.
+        let shortcut = solver.plan().unwrap().shortcut().clone();
+        let legacy = partwise_min(&g, &parts, &shortcut, &values, 32, config).unwrap();
+        let first = solver.partwise_min(&values, 32).unwrap();
+        let second = solver.partwise_min(&values, 32).unwrap();
+        assert_eq!(first, second, "threads={threads}: repeat must be identical");
+        assert_eq!(first.value.minima, legacy.minima);
+        assert_eq!(first.stats.simulated_rounds, legacy.stats.rounds);
+        assert_eq!(first.stats.runs.len(), 1);
+        assert_eq!(first.stats.runs[0].stats, legacy.stats);
+    }
+}
+
+#[test]
+fn sssp_tiers_are_byte_identical_to_legacy_across_engines_and_repeats() {
+    let (wg, parts) = workloads::heavy_hub_wheel(128, 16, 64, 8192);
+    let n = wg.graph().n();
+    let budget = parts.len() + 2;
+    for &threads in THREADS {
+        let config = cfg(n, threads);
+        let mut solver = Solver::builder(&wg)
+            .parts(PartsStrategy::Explicit(parts.clone()))
+            .shortcut_builder(SteinerBuilder)
+            .config(config)
+            .build()
+            .unwrap();
+
+        let legacy = bellman_ford_sssp(&wg, 0, config).unwrap();
+        let exact = solver.sssp(0, Tier::Exact).unwrap();
+        assert_eq!(exact, solver.sssp(0, Tier::Exact).unwrap());
+        assert_eq!(exact.value.dist, legacy.dist);
+        assert_eq!(
+            exact.value.detail,
+            SsspDetail::Exact {
+                parent: legacy.parent.clone()
+            }
+        );
+        assert_eq!(exact.stats.simulated_rounds, legacy.stats.rounds);
+        assert_eq!(exact.stats.runs[0].stats, legacy.stats);
+
+        let legacy = scaled_sssp(&wg, 0, 0.5, config).unwrap();
+        let scaled = solver.sssp(0, Tier::Scaled { epsilon: 0.5 }).unwrap();
+        assert_eq!(
+            scaled,
+            solver.sssp(0, Tier::Scaled { epsilon: 0.5 }).unwrap()
+        );
+        assert_eq!(scaled.value.dist, legacy.dist);
+        assert_eq!(
+            scaled.value.detail,
+            SsspDetail::Scaled {
+                scale: legacy.scale,
+                hop_budget: legacy.hop_budget
+            }
+        );
+        assert_eq!(scaled.stats.simulated_rounds, legacy.simulated_rounds());
+        assert_eq!(scaled.stats.runs[0].stats, legacy.bfs_stats);
+        assert_eq!(scaled.stats.runs[1].stats, legacy.flood_stats);
+
+        let legacy = shortcut_sssp(&wg, 0, &parts, &SteinerBuilder, 0.5, budget, config).unwrap();
+        let tier = Tier::Shortcut {
+            epsilon: 0.5,
+            max_phases: budget,
+        };
+        let short = solver.sssp(0, tier).unwrap();
+        assert_eq!(short, solver.sssp(0, tier).unwrap());
+        assert_eq!(short.value.dist, legacy.dist);
+        assert_eq!(
+            short.value.detail,
+            SsspDetail::Shortcut {
+                scale: legacy.scale,
+                phases: legacy.phases,
+                converged: legacy.converged,
+                shortcut_quality: legacy.shortcut_quality
+            }
+        );
+        assert_eq!(short.stats.simulated_rounds, legacy.simulated_rounds);
+        assert_eq!(
+            short.stats.charged_construction_rounds,
+            legacy.charged_construction_rounds
+        );
+        assert_eq!(short.stats.runs[0].stats.rounds, legacy.rho_rounds);
+    }
+}
+
+#[test]
+fn min_cut_is_byte_identical_to_legacy_across_engines_and_repeats() {
+    let g = generators::toroidal_grid(5, 5);
+    let wg = WeightedGraph::unit(g);
+    let n = wg.graph().n();
+    for &threads in THREADS {
+        let config = cfg(n, threads);
+        let legacy = approx_min_cut(&wg, 4, true, &SteinerBuilder, config).unwrap();
+        let mut solver = Solver::builder(&wg)
+            .shortcut_builder(SteinerBuilder)
+            .config(config)
+            .build()
+            .unwrap();
+        let first = solver.min_cut(4).unwrap();
+        let second = solver.min_cut(4).unwrap();
+        assert_eq!(first, second, "threads={threads}: repeat must be identical");
+        assert_eq!(first.value.approx_value, legacy.approx_value);
+        assert_eq!(first.value.exact_value, legacy.exact_value);
+        assert_eq!(first.value.trees, legacy.trees);
+        assert_eq!(first.stats.simulated_rounds, legacy.simulated_rounds);
+        assert_eq!(
+            first.stats.charged_construction_rounds,
+            legacy.charged_construction_rounds
+        );
+    }
+}
+
+#[test]
+fn components_are_byte_identical_to_legacy_across_engines_and_repeats() {
+    // Two cycles + an isolated node: the disconnected case the session
+    // must serve without a panic.
+    let mut b = GraphBuilder::new(11);
+    for i in 0..5 {
+        b.add_edge(i, (i + 1) % 5).unwrap();
+    }
+    for i in 0..5 {
+        b.add_edge(5 + i, 5 + (i + 1) % 5).unwrap();
+    }
+    let g = b.build();
+    for &threads in THREADS {
+        let config = cfg(g.n(), threads);
+        let legacy = connected_components(&g, &SteinerBuilder, config).unwrap();
+        let mut solver = Solver::for_graph(&g)
+            .shortcut_builder(SteinerBuilder)
+            .config(config)
+            .build()
+            .unwrap();
+        let first = solver.components().unwrap();
+        let second = solver.components().unwrap();
+        assert_eq!(first, second, "threads={threads}: repeat must be identical");
+        assert_eq!(first.value.label, legacy.label);
+        assert_eq!(first.value.forest_edges, legacy.forest_edges);
+        assert_eq!(first.value.boruvka_phases, legacy.phases);
+        assert_eq!(first.stats.simulated_rounds, legacy.simulated_rounds);
+    }
+}
+
+#[test]
+fn interleaved_queries_do_not_perturb_each_other() {
+    // Plan reuse across *mixed* queries: interleaving MST, SSSP, min-cut,
+    // and aggregations must give the same answers as asking each alone.
+    let g = generators::triangulated_grid(7, 7);
+    let mut rng = StdRng::seed_from_u64(12);
+    let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+    let config = cfg(g.n(), 1);
+    let build = || {
+        Solver::builder(&wg)
+            .parts(PartsStrategy::Voronoi { parts: 6, seed: 3 })
+            .shortcut_builder(SteinerBuilder)
+            .config(config)
+            .build()
+            .unwrap()
+    };
+    let values: Vec<u64> = (0..g.n() as u64).map(|v| v * 13 % 997).collect();
+    // Fresh session per query type…
+    let mst_alone = build().mst().unwrap();
+    let cut_alone = build().min_cut(2).unwrap();
+    let sssp_alone = build()
+        .sssp(
+            5,
+            Tier::Shortcut {
+                epsilon: 0.25,
+                max_phases: 40,
+            },
+        )
+        .unwrap();
+    let agg_alone = build().partwise_min(&values, 32).unwrap();
+    // …versus one session serving everything, twice over.
+    let mut session = build();
+    for _ in 0..2 {
+        assert_eq!(session.mst().unwrap(), mst_alone);
+        assert_eq!(session.min_cut(2).unwrap(), cut_alone);
+        assert_eq!(
+            session
+                .sssp(
+                    5,
+                    Tier::Shortcut {
+                        epsilon: 0.25,
+                        max_phases: 40
+                    }
+                )
+                .unwrap(),
+            sssp_alone
+        );
+        assert_eq!(session.partwise_min(&values, 32).unwrap(), agg_alone);
+    }
+}
+
+#[test]
+fn structural_errors_are_values_through_the_facade() {
+    let empty = Graph::from_edges(0, std::iter::empty()).unwrap();
+    let mut s = Solver::for_graph(&empty).build().unwrap();
+    assert_eq!(s.mst().unwrap_err(), AlgoError::EmptyGraph);
+
+    let disconnected = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+    let mut s = Solver::for_graph(&disconnected).build().unwrap();
+    assert_eq!(s.mst().unwrap_err(), AlgoError::Disconnected);
+    assert_eq!(s.min_cut(1).unwrap_err(), AlgoError::Disconnected);
+    assert_eq!(
+        s.sssp(0, Tier::Scaled { epsilon: 0.5 }).unwrap_err(),
+        AlgoError::Disconnected
+    );
+    // Errors display and chain like proper std errors.
+    let err = s.mst().unwrap_err();
+    assert_eq!(err.to_string(), "graph must be connected");
+    assert!(std::error::Error::source(&err).is_none());
+}

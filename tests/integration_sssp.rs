@@ -8,12 +8,12 @@
 //!   staying within the configured `(1+ε)` distance bound;
 //! * round counts are deterministic.
 
-use minex::algo::sssp::{bellman_ford_sssp, compare_sssp, max_stretch, scaled_sssp, shortcut_sssp};
+use minex::algo::sssp::{bellman_ford_sssp, compare_sssp, max_stretch, scaled_sssp};
 use minex::algo::workloads;
 use minex::congest::CongestConfig;
 use minex::core::construct::{AutoCappedBuilder, SteinerBuilder};
-use minex::core::Partition;
 use minex::graphs::{generators, traversal, WeightModel, WeightedGraph};
+use minex::{PartsStrategy, Solver, SsspDetail, Tier};
 use rand::{rngs::StdRng, SeedableRng};
 
 fn cfg(n: usize) -> CongestConfig {
@@ -153,19 +153,32 @@ fn shortcut_tier_converges_to_exact_distances_with_generous_budget() {
     let g = generators::grid(7, 7);
     let wg = WeightModel::Uniform { lo: 64, hi: 640 }.apply(&g, &mut rng);
     let parts = workloads::voronoi_parts(&g, 5, &mut rng);
-    let out = shortcut_sssp(
-        &wg,
-        0,
-        &parts,
-        &AutoCappedBuilder,
-        0.0,
-        4 * g.n(),
-        cfg(g.n()),
-    )
-    .unwrap();
-    assert!(out.converged);
+    let out = Solver::builder(&wg)
+        .parts(PartsStrategy::Explicit(parts))
+        .shortcut_builder(AutoCappedBuilder)
+        .config(cfg(g.n()))
+        .build()
+        .unwrap()
+        .sssp(
+            0,
+            Tier::Shortcut {
+                epsilon: 0.0,
+                max_phases: 4 * g.n(),
+            },
+        )
+        .unwrap();
+    assert!(matches!(
+        out.value.detail,
+        SsspDetail::Shortcut {
+            converged: true,
+            ..
+        }
+    ));
     let d = traversal::dijkstra(&wg, 0);
-    assert_eq!(out.dist, d.dist, "epsilon 0 + convergence means exact");
+    assert_eq!(
+        out.value.dist, d.dist,
+        "epsilon 0 + convergence means exact"
+    );
 }
 
 #[test]
@@ -194,21 +207,31 @@ fn round_counts_are_deterministic_across_runs() {
 
 #[test]
 fn facade_exposes_the_sssp_surface() {
-    // The facade path works end to end, including the new workloads.
+    // The facade path works end to end, including the new workloads and the
+    // root-level `minex::Solver` re-export.
     let g = minex::graphs::generators::comb(4, 3);
     let wg = minex::graphs::WeightedGraph::unit(g.clone());
-    let parts = Partition::new(&g, vec![(0..g.n()).collect()]).unwrap();
-    let out = minex::algo::sssp::shortcut_sssp(
-        &wg,
-        0,
-        &parts,
-        &SteinerBuilder,
-        0.5,
-        8,
-        CongestConfig::for_nodes(g.n()),
-    )
-    .unwrap();
+    let out = minex::Solver::builder(&wg)
+        .parts(minex::PartsStrategy::Whole)
+        .shortcut_builder(SteinerBuilder)
+        .config(CongestConfig::for_nodes(g.n()))
+        .build()
+        .unwrap()
+        .sssp(
+            0,
+            minex::Tier::Shortcut {
+                epsilon: 0.5,
+                max_phases: 8,
+            },
+        )
+        .unwrap();
     let d = minex::graphs::traversal::dijkstra(&wg, 0);
-    assert!(out.converged);
-    assert_eq!(out.dist, d.dist, "unit weights: scale 1, exact");
+    assert!(matches!(
+        out.value.detail,
+        minex::SsspDetail::Shortcut {
+            converged: true,
+            ..
+        }
+    ));
+    assert_eq!(out.value.dist, d.dist, "unit weights: scale 1, exact");
 }

@@ -2,16 +2,17 @@
 //! almost-embeddable pieces (apex + planar), with the clique-sum shortcut
 //! construction on top — the complete excluded-minor pipeline.
 
-use minex::algo::partwise::{partwise_min, partwise_min_reference};
+use minex::algo::partwise::partwise_min_reference;
 use minex::algo::workloads;
 use minex::congest::CongestConfig;
 use minex::core::construct::{
     AutoCappedBuilder, CliqueSumShortcutBuilder, ShortcutBuilder, SteinerBuilder,
 };
-use minex::core::{measure_quality, validate_tree_restricted, RootedTree};
+use minex::core::validate_tree_restricted;
 use minex::decomp::{AlmostEmbeddable, CliqueSumTree, StructureWitness};
 use minex::graphs::generators::{self, CliqueSumBuilder};
 use minex::graphs::NodeId;
+use minex::{PartsStrategy, Solver};
 use rand::{rngs::StdRng, SeedableRng};
 
 /// One apex-planar piece: a 4×4 grid plus an apex on every second node.
@@ -52,33 +53,39 @@ fn theorem6_composed_pipeline() {
     folded.validate(&cst).expect("Theorem 7 folding holds");
 
     // Shortcuts: the witness-based Theorem 7 construction, and the
-    // structure-oblivious one the distributed algorithm would run.
-    let tree = RootedTree::bfs(&g, 0);
+    // structure-oblivious one the distributed algorithm would run — one
+    // Solver session each, plan built once and queried.
     let parts = workloads::voronoi_parts(&g, 12, &mut rng);
     let config = CongestConfig::for_nodes(g.n())
         .with_bandwidth(192)
         .with_max_rounds(200_000);
     let values: Vec<u64> = (0..g.n() as u64).map(|v| (v * 37) % 1009).collect();
-    for (name, shortcut) in [
-        (
-            "witness",
-            CliqueSumShortcutBuilder::folded(cst, SteinerBuilder).build(&g, &tree, &parts),
-        ),
-        ("oblivious", AutoCappedBuilder.build(&g, &tree, &parts)),
-    ] {
-        validate_tree_restricted(&shortcut, &tree).unwrap();
-        let q = measure_quality(&g, &tree, &parts, &shortcut);
-        // Theorem 6 shape: block O(d), congestion O(d log n + log² n); at
-        // this scale both stay small constants times d_T.
-        assert!(
-            q.quality <= 8 * q.tree_diameter.max(1),
-            "{name}: quality {} vs d_T {}",
-            q.quality,
-            q.tree_diameter
-        );
-        let agg = partwise_min(&g, &parts, &shortcut, &values, 32, config).unwrap();
+    let witness = CliqueSumShortcutBuilder::folded(cst, SteinerBuilder);
+    let builders: [(&str, &dyn ShortcutBuilder); 2] =
+        [("witness", &witness), ("oblivious", &AutoCappedBuilder)];
+    for (name, builder) in builders {
+        let mut session = Solver::for_graph(&g)
+            .parts(PartsStrategy::Explicit(parts.clone()))
+            .shortcut_builder(builder)
+            .config(config)
+            .build()
+            .unwrap();
+        {
+            let plan = session.plan().unwrap();
+            validate_tree_restricted(plan.shortcut(), plan.tree()).unwrap();
+            let q = plan.quality();
+            // Theorem 6 shape: block O(d), congestion O(d log n + log² n);
+            // at this scale both stay small constants times d_T.
+            assert!(
+                q.quality <= 8 * q.tree_diameter.max(1),
+                "{name}: quality {} vs d_T {}",
+                q.quality,
+                q.tree_diameter
+            );
+        }
+        let agg = session.partwise_min(&values, 32).unwrap();
         assert_eq!(
-            agg.minima,
+            agg.value.minima,
             partwise_min_reference(&parts, &values),
             "{name}"
         );

@@ -12,30 +12,25 @@ fn facade_reexports_resolve() {
     let _: minex::congest::CongestConfig = minex::congest::CongestConfig::for_nodes(g.n());
     let _: minex::decomp::TreeDecomposition =
         minex::decomp::TreeDecomposition::of_toroidal_grid(3, 4);
-    let tree: minex::core::RootedTree = minex::core::RootedTree::bfs(&g, 0);
+    let _: minex::core::RootedTree = minex::core::RootedTree::bfs(&g, 0);
     let parts = minex::core::Partition::new(&g, vec![vec![0, 1, 2]]).unwrap();
     let values: Vec<u64> = (0..g.n() as u64).collect();
-    let shortcut = {
-        use minex::core::construct::ShortcutBuilder;
-        minex::core::construct::SteinerBuilder.build(&g, &tree, &parts)
-    };
-    let agg = minex::algo::partwise::partwise_min(
-        &g,
-        &parts,
-        &shortcut,
-        &values,
-        32,
-        minex::congest::CongestConfig::for_nodes(g.n()),
-    )
-    .unwrap();
-    assert_eq!(agg.minima, vec![0]);
+    // The session API is the facade's front door.
+    let agg = minex::Solver::for_graph(&g)
+        .parts(minex::PartsStrategy::Explicit(parts))
+        .shortcut_builder(minex::core::construct::SteinerBuilder)
+        .build()
+        .unwrap()
+        .partwise_min(&values, 32)
+        .unwrap();
+    assert_eq!(agg.value.minima, vec![0]);
 }
 
 #[test]
-fn experiment_registry_lists_all_thirteen() {
+fn experiment_registry_lists_all_fourteen() {
     let exps = bench::experiments();
-    assert_eq!(exps.len(), 13, "E1..E13 must all be registered");
+    assert_eq!(exps.len(), 14, "E1..E14 must all be registered");
     let ids: Vec<&str> = exps.iter().map(|(id, _)| *id).collect();
-    let expected: Vec<String> = (1..=13).map(|i| format!("E{i}")).collect();
+    let expected: Vec<String> = (1..=14).map(|i| format!("E{i}")).collect();
     assert_eq!(ids, expected.iter().map(String::as_str).collect::<Vec<_>>());
 }
