@@ -1,0 +1,119 @@
+//! Structural invariants of the SSSP workload factories: node counts match
+//! their closed forms, weight models land on the intended edge classes, and
+//! every partition they hand out is disjoint and graph-covering where
+//! documented.
+
+use proptest::prelude::*;
+
+use minex_algo::workloads;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn heavy_hub_wheel_counts_and_weights(n in 8usize..200, segment in 1usize..16) {
+        let (wg, parts) = workloads::heavy_hub_wheel(n, segment, 3, 999);
+        let g = wg.graph();
+        prop_assert_eq!(g.n(), n);
+        prop_assert_eq!(g.m(), 2 * (n - 1)); // rim cycle + spokes
+        // Rim parts: ceil((n-1)/segment) contiguous segments, hub free.
+        let rim = n - 1;
+        prop_assert_eq!(parts.len(), rim.div_ceil(segment));
+        prop_assert_eq!(parts.part_of(rim), None);
+        for v in 0..rim {
+            prop_assert_eq!(parts.part_of(v), Some(v / segment));
+        }
+        // Spokes heavy, rim light.
+        for (e, u, v) in g.edges() {
+            let expect = if v == rim || u == rim { 999 } else { 3 };
+            prop_assert_eq!(wg.weight(e), expect, "edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn heavy_hub_fan_counts_and_weights(n in 8usize..200, segment in 1usize..16) {
+        let (wg, parts) = workloads::heavy_hub_fan(n, segment, 5, 777);
+        let g = wg.graph();
+        prop_assert_eq!(g.n(), n);
+        prop_assert_eq!(g.m(), 2 * n - 3); // maximal outerplanar
+        prop_assert_eq!(parts.len(), (n - 1).div_ceil(segment));
+        prop_assert_eq!(parts.part_of(0), None); // the fan center
+        for (e, u, _) in g.edges() {
+            let expect = if u == 0 { 777 } else { 5 };
+            prop_assert_eq!(wg.weight(e), expect);
+        }
+    }
+
+    #[test]
+    fn maze_grid_counts_and_partition(
+        rows in 2usize..14,
+        cols in 2usize..14,
+        k in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (wg, parts) = workloads::maze_grid(rows, cols, k, &mut rng);
+        let g = wg.graph();
+        prop_assert_eq!(g.n(), rows * cols);
+        prop_assert_eq!(g.m(), rows * (cols - 1) + cols * (rows - 1));
+        // Bimodal weights take exactly the two documented values.
+        for e in 0..g.m() {
+            let w = wg.weight(e);
+            prop_assert!(w == 64 || w == 8192, "weight {w}");
+        }
+        // Voronoi cells cover every node exactly once (≤ k cells; seed
+        // collisions may merge some).
+        prop_assert!(parts.len() <= k);
+        prop_assert!(!parts.is_empty());
+        let mut covered = 0usize;
+        for i in 0..parts.len() {
+            covered += parts.part(i).len();
+        }
+        prop_assert_eq!(covered, g.n());
+        for v in 0..g.n() {
+            prop_assert!(parts.part_of(v).is_some());
+        }
+    }
+
+    #[test]
+    fn maze_apex_grid_apex_is_heavy_and_unassigned(
+        side in 3usize..10,
+        stride in 1usize..5,
+        k in 1usize..6,
+        seed in 0u64..300,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (wg, parts) = workloads::maze_apex_grid(side, stride, k, &mut rng);
+        let g = wg.graph();
+        let apex = g.n() - 1;
+        prop_assert_eq!(g.n(), side * side + 1);
+        // Every apex edge is heavy; the apex belongs to no part; every grid
+        // node belongs to exactly one part.
+        for (e, u, v) in g.edges() {
+            if u == apex || v == apex {
+                prop_assert_eq!(wg.weight(e), 8192);
+            }
+        }
+        prop_assert_eq!(parts.part_of(apex), None);
+        for v in 0..apex {
+            prop_assert!(parts.part_of(v).is_some());
+        }
+    }
+
+    #[test]
+    fn voronoi_parts_cover_and_stay_connected(
+        rows in 2usize..12,
+        cols in 2usize..12,
+        k in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = minex_graphs::generators::triangulated_grid(rows, cols);
+        let parts = workloads::voronoi_parts(&g, k, &mut rng);
+        // Partition::new has already validated connectivity/disjointness;
+        // re-check the covering property (cells tile the whole graph).
+        let total: usize = (0..parts.len()).map(|i| parts.part(i).len()).sum();
+        prop_assert_eq!(total, g.n());
+    }
+}

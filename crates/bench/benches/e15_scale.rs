@@ -1,0 +1,44 @@
+//! E15 — graph-core scale: CSR build and neighbor-sweep throughput against
+//! the nested-Vec reference representation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minex_graphs::generators;
+use minex_graphs::reference::AdjListGraph;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_scale");
+    group.sample_size(10);
+    for side in [100usize, 316] {
+        group.bench_with_input(BenchmarkId::new("build_tri_grid", side), &side, |b, &s| {
+            b.iter(|| generators::triangulated_grid(s, s).m())
+        });
+        let g = generators::triangulated_grid(side, side);
+        group.bench_with_input(BenchmarkId::new("sweep_csr", side), &g, |b, g| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for v in g.nodes() {
+                    for &w in g.neighbor_targets(v) {
+                        acc = acc.wrapping_add(w);
+                    }
+                }
+                acc
+            })
+        });
+        let r = AdjListGraph::from(&g);
+        group.bench_with_input(BenchmarkId::new("sweep_adjlist", side), &r, |b, r| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for v in 0..r.n() {
+                    for (w, _) in r.neighbors(v) {
+                        acc = acc.wrapping_add(w as u32);
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

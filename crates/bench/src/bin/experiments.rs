@@ -6,7 +6,8 @@
 //! byte-identical to the sequential engine, only wall time changes);
 //! `--perf-json <file>` writes a machine-readable wall-time summary
 //! (`BENCH_pr.json` in CI), including a `plan_reuse` section with E14's
-//! solver-vs-legacy amortization figures.
+//! solver-vs-legacy amortization figures and a `scale` section with E15's
+//! CSR-vs-nested-Vec memory and iteration figures.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -76,6 +77,7 @@ fn main() {
     let run = || {
         let mut perf: Vec<(&'static str, f64)> = Vec::new();
         let mut plan_reuse: Option<minex_bench::Table> = None;
+        let mut scale: Option<minex_bench::Table> = None;
         for (id, runner) in minex_bench::experiments() {
             if !selected.is_empty() && !selected.iter().any(|s| *s == id) {
                 continue;
@@ -95,11 +97,13 @@ fn main() {
             }
             if id == "E14" {
                 plan_reuse = Some(table);
+            } else if id == "E15" {
+                scale = Some(table);
             }
         }
-        (perf, plan_reuse)
+        (perf, plan_reuse, scale)
     };
-    let (perf, plan_reuse) = match threads {
+    let (perf, plan_reuse, scale) = match threads {
         Some(t) => minex_bench::with_engine_threads(t, run),
         None => run(),
     };
@@ -135,6 +139,20 @@ fn main() {
                     json,
                     "    {{\"workload\": \"{}\", \"queries\": {}, \"legacy_ms\": {}, \"solver_ms\": {}, \"speedup\": {}}}{comma}",
                     row[0], row[1], row[2], row[3], row[4]
+                );
+            }
+        }
+        json.push_str("  ],\n");
+        // E15's graph-core rows: CSR memory and iteration vs the nested-Vec
+        // baseline, the trajectory numbers for the scale roadmap.
+        json.push_str("  \"scale\": [\n");
+        if let Some(table) = &scale {
+            for (i, row) in table.rows.iter().enumerate() {
+                let comma = if i + 1 < table.rows.len() { "," } else { "" };
+                let _ = writeln!(
+                    json,
+                    "    {{\"family\": \"{}\", \"n\": {}, \"m\": {}, \"build_ms\": {}, \"csr_bytes_per_edge\": {}, \"adj_bytes_per_edge\": {}, \"mem_ratio\": {}, \"iter_speedup\": {}, \"krounds_per_sec\": {}}}{comma}",
+                    row[0], row[1], row[2], row[3], row[4], row[5], row[6], row[9], row[10]
                 );
             }
         }

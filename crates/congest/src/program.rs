@@ -56,6 +56,12 @@ impl<'a, M: Payload> Ctx<'a, M> {
         self.graph.neighbors(self.node)
     }
 
+    /// This node's neighbors as the raw sorted CSR slice — the
+    /// allocation-free "port list" for hot per-round loops.
+    pub fn neighbor_targets(&self) -> &[u32] {
+        self.graph.neighbor_targets(self.node)
+    }
+
     /// Degree of this node.
     pub fn degree(&self) -> usize {
         self.graph.degree(self.node)
@@ -68,11 +74,11 @@ impl<'a, M: Payload> Ctx<'a, M> {
         self.outbox.push((to, msg));
     }
 
-    /// Sends `msg` to every neighbor.
+    /// Sends `msg` to every neighbor, walking the CSR row directly (no
+    /// intermediate target buffer).
     pub fn broadcast(&mut self, msg: M) {
-        let targets: Vec<NodeId> = self.graph.neighbors(self.node).map(|(w, _)| w).collect();
-        for w in targets {
-            self.outbox.push((w, msg.clone()));
+        for &w in self.graph.neighbor_targets(self.node) {
+            self.outbox.push((w as NodeId, msg.clone()));
         }
     }
 }

@@ -13,7 +13,7 @@
 use std::error::Error;
 use std::fmt;
 
-use minex_graphs::{EdgeId, Graph, UnionFind};
+use minex_graphs::{EdgeId, Graph, NodeId, UnionFind};
 
 use crate::parts::Partition;
 use crate::spanning::RootedTree;
@@ -166,17 +166,45 @@ pub fn measure_quality(
     // Block parameter (Definition 12): per part, components of (V, H_i)
     // containing at least one part node. The induced subgraph G[P_i] is NOT
     // part of (V, H_i) — only the shortcut edges are.
+    //
+    // Computed *sparsely*: only the part's nodes and the shortcut edges'
+    // endpoints participate, so one part costs `O(|P_i| + |H_i|)` instead
+    // of the `O(n)` a whole-graph union-find would charge. That difference
+    // is what keeps Borůvka-style drivers (one re-plan per fragmentation,
+    // with up to `n` fragments) usable on million-node graphs. Isolated
+    // nodes of `(V, H_i)` outside `P_i` never affect the count, so the
+    // sparse view is exact.
+    let mut local_id: Vec<usize> = vec![usize::MAX; g.n()];
+    let mut touched: Vec<NodeId> = Vec::new();
     let mut per_part_blocks = Vec::with_capacity(parts.len());
     for (i, part) in parts.parts().iter().enumerate() {
-        let mut uf = UnionFind::new(g.n());
+        let assign = |v: NodeId, local_id: &mut Vec<usize>, touched: &mut Vec<NodeId>| {
+            if local_id[v] == usize::MAX {
+                local_id[v] = touched.len();
+                touched.push(v);
+            }
+        };
+        for &v in part {
+            assign(v, &mut local_id, &mut touched);
+        }
         for &e in shortcut.edges(i) {
             let (u, v) = g.endpoints(e);
-            uf.union(u, v);
+            assign(u, &mut local_id, &mut touched);
+            assign(v, &mut local_id, &mut touched);
         }
-        let mut roots: Vec<usize> = part.iter().map(|&v| uf.find(v)).collect();
+        let mut uf = UnionFind::new(touched.len());
+        for &e in shortcut.edges(i) {
+            let (u, v) = g.endpoints(e);
+            uf.union(local_id[u], local_id[v]);
+        }
+        let mut roots: Vec<usize> = part.iter().map(|&v| uf.find(local_id[v])).collect();
         roots.sort_unstable();
         roots.dedup();
         per_part_blocks.push(roots.len());
+        for &v in &touched {
+            local_id[v] = usize::MAX;
+        }
+        touched.clear();
     }
     let block = per_part_blocks.iter().copied().max().unwrap_or(0);
     let tree_diameter = tree.diameter();

@@ -1,0 +1,56 @@
+//! Treewidth-witness property tests: the elimination records emitted by the
+//! k-tree generators always convert into *valid* tree decompositions of
+//! width exactly / at most `k` — the structural invariant the treewidth
+//! shortcut construction (Theorem 5) relies on.
+
+use proptest::prelude::*;
+
+use minex_decomp::TreeDecomposition;
+use minex_graphs::generators;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn k_tree_record_witnesses_treewidth_k(n in 6usize..100, k in 1usize..5, seed in 0u64..500) {
+        prop_assume!(n > k + 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, rec) = generators::k_tree(n, k, &mut rng);
+        let td = TreeDecomposition::from_k_tree(g.n(), &rec);
+        // The decomposition is valid for the generated graph…
+        td.validate(&g).expect("k-tree record is a valid witness");
+        // …and certifies treewidth ≤ k (a k-tree has treewidth exactly k,
+        // and the bags from the elimination order have size k + 1).
+        prop_assert_eq!(td.width(), k);
+    }
+
+    #[test]
+    fn partial_k_tree_keeps_the_witness(
+        n in 8usize..80,
+        k in 2usize..5,
+        keep_pct in 0usize..=100,
+        seed in 0u64..300,
+    ) {
+        prop_assume!(n > k + 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keep = keep_pct as f64 / 100.0;
+        let (g, rec) = generators::partial_k_tree(n, k, keep, &mut rng);
+        // Removing edges never invalidates the witness: the same record
+        // still yields a valid decomposition of the sparser graph.
+        let td = TreeDecomposition::from_k_tree(g.n(), &rec);
+        td.validate(&g).expect("partial k-tree inherits the witness");
+        prop_assert!(td.width() <= k);
+    }
+
+    #[test]
+    fn apollonian_record_is_a_3_tree_witness(n in 3usize..80, seed in 0u64..300) {
+        // Apollonian networks are planar 3-trees; their insertion record
+        // converts to a valid decomposition of width ≤ 3 at every size.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, rec) = generators::apollonian(n, &mut rng);
+        let td = TreeDecomposition::from_apollonian(g.n(), &rec);
+        td.validate(&g).expect("apollonian record is a 3-tree witness");
+        prop_assert!(td.width() <= 3);
+    }
+}

@@ -151,19 +151,25 @@ pub fn spider(legs: usize, leg_len: usize) -> Graph {
 pub fn comb(teeth: usize, tooth_len: usize) -> Graph {
     assert!(teeth >= 1, "comb needs at least one spine node");
     let n = teeth * (1 + tooth_len);
-    let mut b = GraphBuilder::new(n);
-    for i in 0..teeth.saturating_sub(1) {
-        b.add_edge(i, i + 1).expect("spine edge valid");
-    }
-    for i in 0..teeth {
-        let mut prev = i;
-        for j in 0..tooth_len {
-            let next = teeth + i * tooth_len + j;
-            b.add_edge(prev, next).expect("tooth edge valid");
-            prev = next;
-        }
-    }
-    b.build()
+    // Streamed in sorted canonical order straight into CSR: spine node `i`
+    // links to `i+1` and to its tooth root `teeth + i*tooth_len`; tooth
+    // nodes chain to their successor. Ascending in the lower endpoint, and
+    // `i + 1 < teeth + i*tooth_len` whenever both edges exist.
+    Graph::from_sorted_edge_stream(n, || {
+        (0..n).flat_map(move |v| {
+            let (spine, tooth) = if v < teeth {
+                (
+                    (v + 1 < teeth).then_some((v, v + 1)),
+                    (tooth_len > 0).then_some((v, teeth + v * tooth_len)),
+                )
+            } else {
+                let j = (v - teeth) % tooth_len;
+                (None, (j + 1 < tooth_len).then_some((v, v + 1)))
+            };
+            spine.into_iter().chain(tooth)
+        })
+    })
+    .expect("comb stream is canonical and unique")
 }
 
 #[cfg(test)]

@@ -20,24 +20,26 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 }
 
 /// `rows × cols` grid together with its lattice embedding (`(x, y) = (c, r)`).
+///
+/// The edge stream `(v, v+1)` / `(v, v+cols)` in ascending `v` is already
+/// canonical and sorted, so the graph is built straight into CSR with no
+/// intermediate edge list — peak memory is the final graph, which is what
+/// lets the E15 scale experiment reach `10⁶` nodes.
 pub fn grid_embedded(rows: usize, cols: usize) -> (Graph, StraightLineEmbedding) {
     assert!(rows >= 1 && cols >= 1, "grid dimensions must be positive");
-    let id = |r: usize, c: usize| r * cols + c;
-    let mut b = GraphBuilder::new(rows * cols);
-    for r in 0..rows {
-        for c in 0..cols {
-            if c + 1 < cols {
-                b.add_edge(id(r, c), id(r, c + 1)).expect("grid edge");
-            }
-            if r + 1 < rows {
-                b.add_edge(id(r, c), id(r + 1, c)).expect("grid edge");
-            }
-        }
-    }
+    let g = Graph::from_sorted_edge_stream(rows * cols, || {
+        (0..rows * cols).flat_map(move |v| {
+            let (r, c) = (v / cols, v % cols);
+            let right = (c + 1 < cols).then_some((v, v + 1));
+            let down = (r + 1 < rows).then_some((v, v + cols));
+            right.into_iter().chain(down)
+        })
+    })
+    .expect("grid stream is canonical and unique");
     let coords = (0..rows)
         .flat_map(|r| (0..cols).map(move |c| (c as i64, r as i64)))
         .collect();
-    (b.build(), StraightLineEmbedding::new(coords))
+    (g, StraightLineEmbedding::new(coords))
 }
 
 /// Grid with one diagonal per unit cell (all in the same direction), a
@@ -48,19 +50,27 @@ pub fn triangulated_grid(rows: usize, cols: usize) -> Graph {
 }
 
 /// [`triangulated_grid`] together with its embedding.
+///
+/// Streams straight into CSR like [`grid_embedded`]: per node `v` the
+/// candidate edges `(v, v+1)`, `(v, v+cols)`, `(v, v+cols+1)` are emitted
+/// in increasing order, so the whole stream is sorted and the million-node
+/// instances of the E15 scale experiment never materialize an edge list.
 pub fn triangulated_grid_embedded(rows: usize, cols: usize) -> (Graph, StraightLineEmbedding) {
-    let (g, emb) = grid_embedded(rows, cols);
-    let id = |r: usize, c: usize| r * cols + c;
-    let mut b = GraphBuilder::new(rows * cols);
-    for (_, u, v) in g.edges() {
-        b.add_edge(u, v).expect("grid edge");
-    }
-    for r in 0..rows.saturating_sub(1) {
-        for c in 0..cols.saturating_sub(1) {
-            b.add_edge(id(r, c), id(r + 1, c + 1)).expect("diagonal");
-        }
-    }
-    (b.build(), emb)
+    assert!(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+    let g = Graph::from_sorted_edge_stream(rows * cols, || {
+        (0..rows * cols).flat_map(move |v| {
+            let (r, c) = (v / cols, v % cols);
+            let right = (c + 1 < cols).then_some((v, v + 1));
+            let down = (r + 1 < rows).then_some((v, v + cols));
+            let diag = (r + 1 < rows && c + 1 < cols).then_some((v, v + cols + 1));
+            right.into_iter().chain(down).chain(diag)
+        })
+    })
+    .expect("triangulated grid stream is canonical and unique");
+    let coords = (0..rows)
+        .flat_map(|r| (0..cols).map(move |c| (c as i64, r as i64)))
+        .collect();
+    (g, StraightLineEmbedding::new(coords))
 }
 
 /// Grid whose unit cells get a diagonal in a random orientation.

@@ -25,26 +25,24 @@ pub struct KTreeRecord {
 /// Random k-tree with `n` nodes: start from `K_{k+1}`, then attach each new
 /// node to a uniformly random k-clique among those created so far.
 ///
+/// The elimination-order record is drawn first (one RNG pass), then the
+/// graph is streamed straight into CSR from the record via
+/// [`Graph::from_edge_stream`] — a k-tree's edge set is exactly the seed
+/// clique plus one `(u, v)` per attachment entry, so no intermediate edge
+/// list is ever buffered and million-node instances pay only for the final
+/// arrays (plus the record itself).
+///
 /// # Panics
 ///
 /// Panics if `n < k + 1` or `k == 0`.
 pub fn k_tree<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> (Graph, KTreeRecord) {
     assert!(k >= 1, "k must be positive");
     assert!(n > k, "k-tree needs at least k+1 nodes");
-    let mut b = GraphBuilder::new(n);
-    for u in 0..=k {
-        for v in (u + 1)..=k {
-            b.add_edge(u, v).expect("seed clique edge");
-        }
-    }
     // All k-subsets of the seed clique are available k-cliques.
     let mut cliques: Vec<Vec<NodeId>> = k_subsets(&(0..=k).collect::<Vec<_>>(), k);
     let mut attach = Vec::new();
     for v in (k + 1)..n {
         let c = cliques.choose(rng).expect("non-empty clique pool").clone();
-        for &u in &c {
-            b.add_edge(v, u).expect("attachment edge");
-        }
         // New k-cliques: v together with each (k-1)-subset of c.
         for sub in k_subsets(&c, k - 1) {
             let mut nc = sub;
@@ -53,13 +51,30 @@ pub fn k_tree<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> (Graph, KTree
         }
         attach.push(c);
     }
-    (
-        b.build(),
-        KTreeRecord {
-            k,
-            attach_clique: attach,
-        },
-    )
+    let rec = KTreeRecord {
+        k,
+        attach_clique: attach,
+    };
+    (graph_of_k_tree(n, &rec), rec)
+}
+
+/// Materializes the graph a [`KTreeRecord`] describes, streaming the seed
+/// clique and the attachment edges directly into CSR.
+fn graph_of_k_tree(n: usize, rec: &KTreeRecord) -> Graph {
+    let k = rec.k;
+    Graph::from_edge_stream(n, || {
+        let seed = (0..=k).flat_map(move |u| ((u + 1)..=k).map(move |v| (u, v)));
+        let attachments = rec
+            .attach_clique
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, clique)| {
+                let v = k + 1 + i;
+                clique.iter().map(move |&u| (u, v))
+            });
+        seed.chain(attachments)
+    })
+    .expect("k-tree edges are valid and unique")
 }
 
 /// Partial k-tree: a random k-tree with each non-seed edge kept with

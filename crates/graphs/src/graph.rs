@@ -4,9 +4,40 @@
 //! `0..n`. Edges carry dense ids `0..m` so that parallel structures (weights,
 //! shortcut assignments, congestion counters) can be stored in flat vectors.
 //!
+//! # CSR layout
+//!
+//! Adjacency is stored in **compressed sparse row** form — three flat `u32`
+//! arrays instead of one `Vec` per node:
+//!
+//! ```text
+//! offsets:  [ 0 | 2 | 5 | ... | 2m ]          (n + 1 entries)
+//! targets:  [ v v | v v v | ......... ]       (2m entries, sorted per node)
+//! edge_ids: [ e e | e e e | ......... ]       (2m entries, aligned)
+//! edges:    [ (u,v) (u,v) ... ]               (m entries, u < v, sorted)
+//! ```
+//!
+//! Node `v`'s neighbors live in `targets[offsets[v]..offsets[v+1]]`, sorted
+//! ascending, with the incident edge ids in the aligned `edge_ids` slice, so
+//! [`neighbors`](Graph::neighbors), [`degree`](Graph::degree), and the raw
+//! [`neighbor_targets`](Graph::neighbor_targets) /
+//! [`neighbor_edge_ids`](Graph::neighbor_edge_ids) slice accessors are
+//! allocation-free pointer walks. Edge ids are the lexicographic rank of the
+//! canonical `(u, v)` pair (`u < v`), which keeps every id stable across
+//! construction paths.
+//!
+//! The whole structure costs `24m + 4n + O(1)` heap bytes (`≈ 24` bytes per
+//! edge on mesh-like graphs) versus `≥ 48m + 24n` for the nested-`Vec`
+//! representation it replaced (kept as [`crate::reference::AdjListGraph`]
+//! for differential testing). The `u32` ids bound graphs at `n < 2³²` nodes
+//! and `m ≤ 2³¹` edges (~4.2 billion directed adjacency entries); both
+//! limits are asserted at construction.
+//!
 //! Graphs are built through [`GraphBuilder`], which validates input
 //! (self-loops rejected, duplicate edges deduplicated) so that every
 //! constructed [`Graph`] upholds its invariants for its whole lifetime.
+//! Million-node generators can skip the intermediate edge list entirely via
+//! the two-pass streaming constructors
+//! [`Graph::from_sorted_edge_stream`] / [`Graph::from_edge_stream`].
 
 use std::error::Error;
 use std::fmt;
@@ -15,6 +46,11 @@ use std::fmt;
 pub type NodeId = usize;
 /// Dense edge identifier in `0..m`.
 pub type EdgeId = usize;
+
+/// Largest supported node count: node ids are stored as `u32`.
+pub const MAX_NODES: usize = u32::MAX as usize;
+/// Largest supported edge count: CSR offsets address `2m` `u32` entries.
+pub const MAX_EDGES: usize = (u32::MAX / 2) as usize;
 
 /// Error produced when constructing or combining graphs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +64,14 @@ pub enum GraphError {
     },
     /// A self-loop `(v, v)` was supplied; the CONGEST model ignores these.
     SelfLoop(NodeId),
+    /// A streaming constructor received the same undirected edge twice
+    /// (the buffered [`GraphBuilder`] path deduplicates instead).
+    DuplicateEdge {
+        /// Lower endpoint of the duplicated edge.
+        u: NodeId,
+        /// Higher endpoint of the duplicated edge.
+        v: NodeId,
+    },
     /// An operation required a connected graph but the input was not.
     Disconnected,
     /// An operation required a non-empty graph.
@@ -41,6 +85,9 @@ impl fmt::Display for GraphError {
                 write!(f, "node {node} out of range for graph with {n} nodes")
             }
             GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge {{{u}, {v}}} was streamed twice")
+            }
             GraphError::Disconnected => write!(f, "graph must be connected"),
             GraphError::Empty => write!(f, "graph must be non-empty"),
         }
@@ -49,7 +96,8 @@ impl fmt::Display for GraphError {
 
 impl Error for GraphError {}
 
-/// An immutable, simple, undirected graph.
+/// An immutable, simple, undirected graph in CSR (compressed sparse row)
+/// form — see the [crate docs](crate) for the memory layout.
 ///
 /// # Examples
 ///
@@ -64,14 +112,23 @@ impl Error for GraphError {}
 /// assert_eq!(g.m(), 2);
 /// assert!(g.has_edge(0, 1));
 /// assert!(!g.has_edge(0, 2));
+/// // Allocation-free slice access to node 1's row:
+/// assert_eq!(g.neighbor_targets(1), &[0, 2]);
+/// assert_eq!(g.neighbor_edge_ids(1), &[0, 1]);
 /// # Ok::<(), minex_graphs::GraphError>(())
 /// ```
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
-    /// `adj[v]` lists `(neighbor, edge id)` pairs, sorted by neighbor.
-    adj: Vec<Vec<(NodeId, EdgeId)>>,
-    /// `edges[e] = (u, v)` with `u < v`.
-    edges: Vec<(NodeId, NodeId)>,
+    /// CSR row starts: node `v`'s adjacency occupies
+    /// `targets[offsets[v] as usize .. offsets[v+1] as usize]`.
+    offsets: Vec<u32>,
+    /// Flattened neighbor lists, sorted ascending within each node's row.
+    targets: Vec<u32>,
+    /// Incident edge ids, aligned with `targets`.
+    edge_ids: Vec<u32>,
+    /// `edges[e] = (u, v)` with `u < v`, sorted lexicographically (edge ids
+    /// are exactly the ranks in this order).
+    edges: Vec<(u32, u32)>,
 }
 
 impl fmt::Debug for Graph {
@@ -81,6 +138,30 @@ impl fmt::Debug for Graph {
             .field("m", &self.m())
             .finish()
     }
+}
+
+/// Validates one endpoint pair, returning the canonical `(min, max)` form.
+#[inline]
+fn canonical(u: NodeId, v: NodeId, n: usize) -> Result<(u32, u32), GraphError> {
+    if u == v {
+        return Err(GraphError::SelfLoop(u));
+    }
+    for w in [u, v] {
+        if w >= n {
+            return Err(GraphError::NodeOutOfRange { node: w, n });
+        }
+    }
+    Ok((u.min(v) as u32, u.max(v) as u32))
+}
+
+/// Asserts the `u32` capacity limits documented on [`MAX_NODES`] /
+/// [`MAX_EDGES`].
+fn assert_capacity(n: usize, m: usize) {
+    assert!(n <= MAX_NODES, "graph node count {n} exceeds u32 ids");
+    assert!(
+        m <= MAX_EDGES,
+        "graph edge count {m} exceeds the 2^31 CSR limit"
+    );
 }
 
 impl Graph {
@@ -102,10 +183,243 @@ impl Graph {
         Ok(b.build())
     }
 
+    /// Assembles the CSR arrays from a canonical edge list that is already
+    /// **sorted and deduplicated**. This is the single point every
+    /// construction path funnels through.
+    ///
+    /// One scatter pass in lexicographic edge order yields per-node rows
+    /// that are already sorted: node `w`'s row receives first the edges
+    /// `(u, w)` with `u < w` (ascending `u`, because the list is sorted by
+    /// first endpoint), then the edges `(w, v)` (ascending `v`) — and every
+    /// `(·, w)` pair precedes every `(w, ·)` pair in the lexicographic
+    /// order.
+    fn from_canonical_sorted(n: usize, edges: Vec<(u32, u32)>) -> Self {
+        let m = edges.len();
+        assert_capacity(n, m);
+        let mut offsets = vec![0u32; n + 1];
+        for &(u, v) in &edges {
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![0u32; 2 * m];
+        let mut edge_ids = vec![0u32; 2 * m];
+        let mut cursor = offsets.clone();
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            let cu = cursor[u as usize] as usize;
+            targets[cu] = v;
+            edge_ids[cu] = e as u32;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            targets[cv] = u;
+            edge_ids[cv] = e as u32;
+            cursor[v as usize] += 1;
+        }
+        Graph {
+            offsets,
+            targets,
+            edge_ids,
+            edges,
+        }
+    }
+
+    /// Builds directly into CSR from a **restartable** stream of canonical
+    /// edges in strictly increasing lexicographic order (`u < v`, pairs
+    /// strictly ascending). The stream is consumed twice — once to count
+    /// degrees, once to fill the arrays — so no intermediate edge list is
+    /// ever materialized beyond the graph's own storage.
+    ///
+    /// This is the fast path for the deterministic large-`n` generators
+    /// (grids, triangulated grids, combs): peak memory is the final graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] / [`GraphError::NodeOutOfRange`] for
+    /// invalid endpoints and [`GraphError::DuplicateEdge`] if a pair
+    /// repeats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is not sorted, or if the two passes disagree.
+    pub fn from_sorted_edge_stream<I, F>(n: usize, stream: F) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+        F: Fn() -> I,
+    {
+        // Pass 1: validate, count degrees and edges.
+        let mut offsets = vec![0u32; n + 1];
+        let mut m = 0usize;
+        let mut prev: Option<(u32, u32)> = None;
+        for (u, v) in stream() {
+            let (cu, cv) = canonical(u, v, n)?;
+            // Canonical order is part of the sortedness contract.
+            assert!(
+                u < v,
+                "stream edge ({u}, {v}) is not in canonical u < v form"
+            );
+            match prev {
+                Some(p) if p == (cu, cv) => {
+                    return Err(GraphError::DuplicateEdge {
+                        u: cu as NodeId,
+                        v: cv as NodeId,
+                    })
+                }
+                Some(p) => assert!(
+                    p < (cu, cv),
+                    "stream must be strictly increasing: ({}, {}) after ({}, {})",
+                    cu,
+                    cv,
+                    p.0,
+                    p.1
+                ),
+                None => {}
+            }
+            prev = Some((cu, cv));
+            offsets[cu as usize + 1] += 1;
+            offsets[cv as usize + 1] += 1;
+            m += 1;
+        }
+        assert_capacity(n, m);
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        // Pass 2: scatter (sortedness per row follows exactly as in
+        // `from_canonical_sorted`).
+        let mut targets = vec![0u32; 2 * m];
+        let mut edge_ids = vec![0u32; 2 * m];
+        let mut edges = Vec::with_capacity(m);
+        let mut cursor = offsets.clone();
+        for (u, v) in stream() {
+            let (u, v) = (u as u32, v as u32);
+            let e = edges.len();
+            assert!(e < m, "stream yielded more edges on the second pass");
+            edges.push((u, v));
+            let cu = cursor[u as usize] as usize;
+            targets[cu] = v;
+            edge_ids[cu] = e as u32;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            targets[cv] = u;
+            edge_ids[cv] = e as u32;
+            cursor[v as usize] += 1;
+        }
+        assert_eq!(edges.len(), m, "stream yielded fewer edges on pass two");
+        Ok(Graph {
+            offsets,
+            targets,
+            edge_ids,
+            edges,
+        })
+    }
+
+    /// Builds directly into CSR from a **restartable** stream of unique
+    /// edges in *any* order (endpoints need not be canonical). Two counting
+    /// passes plus one per-row sort replace the intermediate edge list;
+    /// edge ids still come out as the lexicographic rank of the canonical
+    /// pair, identical to every other construction path.
+    ///
+    /// This is the fast path for generators whose natural emission order is
+    /// not sorted (e.g. random k-trees, whose attachment edges `(u, v)` run
+    /// backwards in `u`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] / [`GraphError::NodeOutOfRange`] for
+    /// invalid endpoints and [`GraphError::DuplicateEdge`] if the same
+    /// undirected edge appears twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two passes disagree on the edge multiset.
+    pub fn from_edge_stream<I, F>(n: usize, stream: F) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+        F: Fn() -> I,
+    {
+        // Pass 1: validate, count degrees and edges.
+        let mut offsets = vec![0u32; n + 1];
+        let mut m = 0usize;
+        for (u, v) in stream() {
+            let (cu, cv) = canonical(u, v, n)?;
+            offsets[cu as usize + 1] += 1;
+            offsets[cv as usize + 1] += 1;
+            m += 1;
+        }
+        assert_capacity(n, m);
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        // Pass 2: scatter neighbors only (ids are unknown until sorted).
+        let mut targets = vec![0u32; 2 * m];
+        let mut cursor = offsets.clone();
+        let mut seen = 0usize;
+        for (u, v) in stream() {
+            let (cu, cv) = canonical(u, v, n).expect("pass one validated this edge");
+            seen += 1;
+            assert!(seen <= m, "stream yielded more edges on the second pass");
+            let pu = cursor[cu as usize] as usize;
+            targets[pu] = cv;
+            cursor[cu as usize] += 1;
+            let pv = cursor[cv as usize] as usize;
+            targets[pv] = cu;
+            cursor[cv as usize] += 1;
+        }
+        assert_eq!(seen, m, "stream yielded fewer edges on pass two");
+        // Sort each row; a duplicate edge shows up as equal adjacent targets.
+        let mut lower = vec![0u32; n];
+        for v in 0..n {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            let row = &mut targets[lo..hi];
+            row.sort_unstable();
+            if let Some(w) = row.windows(2).find(|w| w[0] == w[1]) {
+                let (a, b) = (v.min(w[0] as usize), v.max(w[0] as usize));
+                return Err(GraphError::DuplicateEdge { u: a, v: b });
+            }
+            lower[v] = row.partition_point(|&t| (t as usize) < v) as u32;
+        }
+        // Edge ids are lexicographic ranks: node u owns the id range
+        // `base[u] ..` for its higher neighbors, in ascending target order.
+        let mut base = vec![0u32; n + 1];
+        for v in 0..n {
+            let hi_deg = (offsets[v + 1] - offsets[v]) - lower[v];
+            base[v + 1] = base[v] + hi_deg;
+        }
+        let mut edge_ids = vec![0u32; 2 * m];
+        let mut edges = vec![(0u32, 0u32); m];
+        for v in 0..n {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            let split = lo + lower[v] as usize;
+            // Higher neighbors: ids are consecutive from base[v].
+            for (rank, i) in (split..hi).enumerate() {
+                let e = base[v] + rank as u32;
+                edge_ids[i] = e;
+                edges[e as usize] = (v as u32, targets[i]);
+            }
+            // Lower neighbors: locate this node in the neighbor's row.
+            for i in lo..split {
+                let w = targets[i] as usize;
+                let (wlo, whi) = (offsets[w] as usize, offsets[w + 1] as usize);
+                let wsplit = wlo + lower[w] as usize;
+                let rank = targets[wsplit..whi]
+                    .binary_search(&(v as u32))
+                    .expect("symmetric entry exists");
+                edge_ids[i] = base[w] + rank as u32;
+            }
+        }
+        Ok(Graph {
+            offsets,
+            targets,
+            edge_ids,
+            edges,
+        })
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn n(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of edges.
@@ -121,7 +435,29 @@ impl Graph {
     /// Panics if `v >= n`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v].len()
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// The neighbors of `v` as a raw sorted `u32` slice — the zero-cost CSR
+    /// row, aligned with [`neighbor_edge_ids`](Self::neighbor_edge_ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn neighbor_targets(&self, v: NodeId) -> &[u32] {
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// The edge ids incident to `v`, aligned with
+    /// [`neighbor_targets`](Self::neighbor_targets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn neighbor_edge_ids(&self, v: NodeId) -> &[u32] {
+        &self.edge_ids[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
     /// Iterates over `(neighbor, edge id)` pairs of `v`, sorted by neighbor.
@@ -131,7 +467,10 @@ impl Graph {
     /// Panics if `v >= n`.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
-        self.adj[v].iter().copied()
+        self.neighbor_targets(v)
+            .iter()
+            .zip(self.neighbor_edge_ids(v))
+            .map(|(&w, &e)| (w as NodeId, e as EdgeId))
     }
 
     /// The endpoints `(u, v)` of edge `e`, with `u < v`.
@@ -141,7 +480,8 @@ impl Graph {
     /// Panics if `e >= m`.
     #[inline]
     pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
-        self.edges[e]
+        let (u, v) = self.edges[e];
+        (u as NodeId, v as NodeId)
     }
 
     /// Given edge `e` incident to `v`, returns the other endpoint.
@@ -151,7 +491,7 @@ impl Graph {
     /// Panics if `e >= m` or `v` is not an endpoint of `e`.
     #[inline]
     pub fn other_endpoint(&self, e: EdgeId, v: NodeId) -> NodeId {
-        let (a, b) = self.edges[e];
+        let (a, b) = self.endpoints(e);
         if v == a {
             b
         } else {
@@ -166,15 +506,15 @@ impl Graph {
             return None;
         }
         // Search from the lower-degree endpoint.
-        let (from, to) = if self.adj[u].len() <= self.adj[v].len() {
+        let (from, to) = if self.degree(u) <= self.degree(v) {
             (u, v)
         } else {
             (v, u)
         };
-        self.adj[from]
-            .binary_search_by_key(&to, |&(w, _)| w)
+        self.neighbor_targets(from)
+            .binary_search(&(to as u32))
             .ok()
-            .map(|i| self.adj[from][i].1)
+            .map(|i| self.neighbor_edge_ids(from)[i] as EdgeId)
     }
 
     /// Whether an edge `{u, v}` exists.
@@ -185,7 +525,10 @@ impl Graph {
 
     /// Iterates over all edges as `(edge id, u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
-        self.edges.iter().enumerate().map(|(e, &(u, v))| (e, u, v))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(e, &(u, v))| (e, u as NodeId, v as NodeId))
     }
 
     /// Iterates over all node ids.
@@ -198,29 +541,43 @@ impl Graph {
     ///
     /// Nodes not in `keep` and edges with an endpoint outside `keep` are
     /// dropped. `keep` may contain duplicates; they are ignored.
+    ///
+    /// The node map is monotone, so the surviving canonical edges stay in
+    /// lexicographic order and the CSR arrays are assembled in one pass —
+    /// no re-sort, no intermediate builder.
     pub fn induced_subgraph(&self, keep: &[NodeId]) -> (Graph, Vec<Option<NodeId>>) {
         let mut map: Vec<Option<NodeId>> = vec![None; self.n()];
-        let mut next = 0;
         let mut sorted: Vec<NodeId> = keep.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        for &v in &sorted {
+        for (next, &v) in sorted.iter().enumerate() {
             assert!(v < self.n(), "node {v} out of range");
             map[v] = Some(next);
-            next += 1;
         }
-        let mut b = GraphBuilder::new(next);
-        for &(u, v) in &self.edges {
-            if let (Some(nu), Some(nv)) = (map[u], map[v]) {
-                b.add_edge(nu, nv).expect("mapped edge is valid");
-            }
-        }
-        (b.build(), map)
+        let edges: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .filter_map(|&(u, v)| match (map[u as usize], map[v as usize]) {
+                (Some(nu), Some(nv)) => Some((nu as u32, nv as u32)),
+                _ => None,
+            })
+            .collect();
+        (Graph::from_canonical_sorted(sorted.len(), edges), map)
     }
 
     /// Total degree sum (`2m`).
     pub fn degree_sum(&self) -> usize {
         2 * self.m()
+    }
+
+    /// Heap bytes held by the CSR arrays (`4(n+1) + 24m`): the number the
+    /// E15 scale experiment reports as "graph memory". Capacity slack is
+    /// excluded — every array is built exactly-sized.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * 4
+            + self.targets.len() * 4
+            + self.edge_ids.len() * 4
+            + self.edges.len() * 8
     }
 }
 
@@ -228,11 +585,15 @@ impl Graph {
 ///
 /// Duplicate edges are silently deduplicated at [`build`](Self::build) time,
 /// which keeps generator code simple (grids and clique-sums naturally try to
-/// add the same edge twice).
+/// add the same edge twice). The duplicate-heavy worst case is a single
+/// `sort_unstable + dedup` over the buffered pairs — `O(m log m)` time and
+/// 8 bytes per buffered pair, regardless of how skewed the duplication is —
+/// followed by the linear counting-sort CSR assembly.
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {
     n: usize,
-    edges: Vec<(NodeId, NodeId)>,
+    /// Buffered edges, canonicalized to `(min, max)` on insertion.
+    edges: Vec<(u32, u32)>,
 }
 
 impl GraphBuilder {
@@ -241,6 +602,15 @@ impl GraphBuilder {
         GraphBuilder {
             n,
             edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder expecting about `m` edges, reserving the buffer up
+    /// front so large generators do not pay for repeated regrowth.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
         }
     }
 
@@ -267,15 +637,7 @@ impl GraphBuilder {
     /// Returns [`GraphError::SelfLoop`] if `u == v` and
     /// [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
-        if u == v {
-            return Err(GraphError::SelfLoop(u));
-        }
-        for w in [u, v] {
-            if w >= self.n {
-                return Err(GraphError::NodeOutOfRange { node: w, n: self.n });
-            }
-        }
-        self.edges.push((u.min(v), u.max(v)));
+        self.edges.push(canonical(u, v, self.n)?);
         Ok(())
     }
 
@@ -283,18 +645,7 @@ impl GraphBuilder {
     pub fn build(mut self) -> Graph {
         self.edges.sort_unstable();
         self.edges.dedup();
-        let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); self.n];
-        for (e, &(u, v)) in self.edges.iter().enumerate() {
-            adj[u].push((v, e));
-            adj[v].push((u, e));
-        }
-        for list in &mut adj {
-            list.sort_unstable();
-        }
-        Graph {
-            adj,
-            edges: self.edges,
-        }
+        Graph::from_canonical_sorted(self.n, self.edges)
     }
 }
 
@@ -412,6 +763,35 @@ mod tests {
         assert_eq!(g.degree(1), 2);
     }
 
+    /// The dedup-path regression: a pathological duplicate blow-up (every
+    /// edge of a small cycle added thousands of times, in alternating
+    /// endpoint orders) must collapse to the simple graph in one
+    /// `O(m log m)` sort+dedup — no quadratic scan, no duplicate survivors.
+    #[test]
+    fn duplicate_blowup_collapses() {
+        let cycle = 64usize;
+        let mut b = GraphBuilder::with_capacity(cycle, cycle * 2_000);
+        for rep in 0..2_000 {
+            for i in 0..cycle {
+                let (u, v) = (i, (i + 1) % cycle);
+                // Alternate endpoint order so canonicalization is exercised.
+                if rep % 2 == 0 {
+                    b.add_edge(u, v).unwrap();
+                } else {
+                    b.add_edge(v, u).unwrap();
+                }
+            }
+        }
+        let g = b.build();
+        assert_eq!(g.n(), cycle);
+        assert_eq!(g.m(), cycle);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        // Edge ids stay the lexicographic ranks of the deduped list.
+        assert_eq!(g.endpoints(0), (0, 1));
+        assert_eq!(g.endpoints(1), (0, 63));
+        assert_eq!(g.endpoints(cycle - 1), (62, 63));
+    }
+
     #[test]
     fn endpoints_are_canonical() {
         let g = Graph::from_edges(3, [(2, 0)]).unwrap();
@@ -441,6 +821,91 @@ mod tests {
         let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
         let ns: Vec<NodeId> = g.neighbors(2).map(|(v, _)| v).collect();
         assert_eq!(ns, vec![0, 1, 3, 4]);
+        assert_eq!(g.neighbor_targets(2), &[0, 1, 3, 4]);
+        assert_eq!(g.neighbor_edge_ids(2).len(), 4);
+    }
+
+    #[test]
+    fn csr_rows_match_iterator_everywhere() {
+        let g = Graph::from_edges(
+            7,
+            [
+                (0, 1),
+                (0, 6),
+                (1, 2),
+                (2, 6),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (1, 5),
+            ],
+        )
+        .unwrap();
+        for v in g.nodes() {
+            let from_iter: Vec<(NodeId, EdgeId)> = g.neighbors(v).collect();
+            let from_slices: Vec<(NodeId, EdgeId)> = g
+                .neighbor_targets(v)
+                .iter()
+                .zip(g.neighbor_edge_ids(v))
+                .map(|(&w, &e)| (w as NodeId, e as EdgeId))
+                .collect();
+            assert_eq!(from_iter, from_slices);
+            assert_eq!(g.degree(v), from_iter.len());
+            // Rows are sorted and consistent with `endpoints`.
+            for (w, e) in from_iter {
+                assert_eq!(g.other_endpoint(e, v), w);
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_stream_matches_builder() {
+        let edges = [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)];
+        let a = Graph::from_sorted_edge_stream(5, || edges.iter().copied()).unwrap();
+        let b = Graph::from_edges(5, edges).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sorted_stream_rejects_duplicates() {
+        let edges = [(0, 1), (0, 1)];
+        assert_eq!(
+            Graph::from_sorted_edge_stream(2, || edges.iter().copied()),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn sorted_stream_rejects_disorder() {
+        let edges = [(1, 2), (0, 1)];
+        let _ = Graph::from_sorted_edge_stream(3, || edges.iter().copied());
+    }
+
+    #[test]
+    fn unsorted_stream_matches_builder() {
+        // Backwards, interleaved, non-canonical endpoint order.
+        let edges = [(4, 3), (3, 1), (2, 0), (3, 2), (1, 0), (4, 0)];
+        let a = Graph::from_edge_stream(5, || edges.iter().copied()).unwrap();
+        let b = Graph::from_edges(5, edges).unwrap();
+        assert_eq!(a, b);
+        // Edge ids are lexicographic ranks on both paths.
+        assert_eq!(a.endpoints(0), (0, 1));
+        assert_eq!(a.endpoints(5), (3, 4));
+    }
+
+    #[test]
+    fn unsorted_stream_rejects_duplicates_and_loops() {
+        let dup = [(0, 1), (2, 1), (1, 0)];
+        assert_eq!(
+            Graph::from_edge_stream(3, || dup.iter().copied()),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        );
+        let looped = [(0, 1), (2, 2)];
+        assert_eq!(
+            Graph::from_edge_stream(3, || looped.iter().copied()),
+            Err(GraphError::SelfLoop(2))
+        );
     }
 
     #[test]
@@ -479,6 +944,13 @@ mod tests {
     }
 
     #[test]
+    fn heap_bytes_tracks_csr_arrays() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        // 4·(n+1) offsets + 4·2m targets + 4·2m edge ids + 8·m endpoints.
+        assert_eq!(g.heap_bytes(), 4 * 5 + 4 * 6 + 4 * 6 + 8 * 3);
+    }
+
+    #[test]
     fn weighted_graph_basics() {
         let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
         let wg = WeightedGraph::new(g.clone(), vec![3, 9]);
@@ -504,6 +976,10 @@ mod tests {
         assert_eq!(
             GraphError::NodeOutOfRange { node: 9, n: 4 }.to_string(),
             "node 9 out of range for graph with 4 nodes"
+        );
+        assert_eq!(
+            GraphError::DuplicateEdge { u: 1, v: 2 }.to_string(),
+            "edge {1, 2} was streamed twice"
         );
     }
 }

@@ -7,7 +7,10 @@
 //! The crate provides:
 //!
 //! * [`Graph`] / [`WeightedGraph`] — immutable simple graphs with dense node
-//!   and edge ids;
+//!   and edge ids, stored in flat CSR arrays (`u32` offsets/targets/edge
+//!   ids, ≈24 bytes per edge) so million-node instances stay cache-resident;
+//! * [`mod@reference`] — the pre-CSR nested-`Vec` adjacency list, kept as the
+//!   differential-testing and benchmarking baseline;
 //! * [`generators`] — every graph family the paper names (planar, bounded
 //!   genus, apex, vortex, clique-sums, series-parallel, k-trees, the
 //!   `Ω̃(√n)` lower-bound family), each emitting a structure witness;
@@ -28,6 +31,46 @@
 //! let d = traversal::diameter_exact(&g).expect("connected");
 //! assert!(d <= 14);
 //! ```
+//!
+//! ## CSR access
+//!
+//! Adjacency is compressed sparse row: a node's neighbors and incident edge
+//! ids are two aligned `u32` slices, so hot loops walk raw memory instead
+//! of chasing per-node `Vec`s. The iterator API sits on top of the same
+//! slices.
+//!
+//! ```text
+//! offsets:  [ 0 | 2 | 5 | ... | 2m ]      (n + 1 row starts)
+//! targets:  [ v v | v v v | ...... ]      (2m entries, sorted per row)
+//! edge_ids: [ e e | e e e | ...... ]      (2m entries, aligned)
+//! edges:    [ (u,v) (u,v) ........ ]      (m canonical pairs, u < v, sorted)
+//! ```
+//!
+//! The whole graph costs `24m + 4n + O(1)` heap bytes (≈ 24 bytes/edge on
+//! meshes); `u32` ids cap instances at `n < 2³²` nodes, `m ≤ 2³¹` edges.
+//! Edge ids are the lexicographic rank of the canonical endpoint pair, on
+//! every construction path.
+//!
+//! ```
+//! use minex_graphs::{Graph, NodeId};
+//!
+//! let g = Graph::from_edges(4, [(0, 1), (0, 2), (2, 3)])?;
+//! // Zero-allocation slice access…
+//! assert_eq!(g.neighbor_targets(0), &[1, 2]);
+//! assert_eq!(g.neighbor_edge_ids(0), &[0, 1]);
+//! // …agrees with the iterator view.
+//! let via_iter: Vec<NodeId> = g.neighbors(0).map(|(w, _)| w).collect();
+//! assert_eq!(via_iter, vec![1, 2]);
+//! // Edge ids are the lexicographic rank of the canonical endpoint pair.
+//! assert_eq!(g.endpoints(2), (2, 3));
+//! assert_eq!(g.heap_bytes(), 4 * 5 + 4 * 6 + 4 * 6 + 8 * 3);
+//! # Ok::<(), minex_graphs::GraphError>(())
+//! ```
+//!
+//! Large deterministic generators build straight into CSR through
+//! [`Graph::from_sorted_edge_stream`] (two passes over a restartable edge
+//! stream, no intermediate edge list); RNG-driven families use
+//! [`Graph::from_edge_stream`], which accepts any emission order.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -37,10 +80,13 @@ pub mod generators;
 pub mod geometry;
 mod graph;
 pub mod minor;
+pub mod reference;
 pub mod traversal;
 mod union_find;
 pub mod weights;
 
-pub use graph::{EdgeId, Graph, GraphBuilder, GraphError, NodeId, WeightedGraph};
+pub use graph::{
+    EdgeId, Graph, GraphBuilder, GraphError, NodeId, WeightedGraph, MAX_EDGES, MAX_NODES,
+};
 pub use union_find::UnionFind;
 pub use weights::WeightModel;

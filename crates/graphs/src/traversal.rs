@@ -88,11 +88,13 @@ pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> BfsResult {
         }
     }
     while let Some(v) = queue.pop_front() {
-        for (w, e) in g.neighbors(v) {
+        // Walk the raw CSR row: the hot loop of every BFS in the workspace.
+        for (&w, &e) in g.neighbor_targets(v).iter().zip(g.neighbor_edge_ids(v)) {
+            let w = w as NodeId;
             if dist[w] == usize::MAX {
                 dist[w] = dist[v] + 1;
                 parent[w] = Some(v);
-                parent_edge[w] = Some(e);
+                parent_edge[w] = Some(e as usize);
                 source_of[w] = source_of[v];
                 queue.push_back(w);
                 order.push(w);
@@ -128,7 +130,8 @@ pub fn components(g: &Graph) -> (Vec<usize>, usize) {
         let mut queue = VecDeque::from([start]);
         comp[start] = count;
         while let Some(v) = queue.pop_front() {
-            for (w, _) in g.neighbors(v) {
+            for &w in g.neighbor_targets(v) {
+                let w = w as NodeId;
                 if comp[w] == usize::MAX {
                     comp[w] = count;
                     queue.push_back(w);
@@ -158,7 +161,8 @@ pub fn is_connected_subset(g: &Graph, set: &[NodeId]) -> bool {
     seen[set[0]] = true;
     let mut reached = 1;
     while let Some(v) = queue.pop_front() {
-        for (w, _) in g.neighbors(v) {
+        for &w in g.neighbor_targets(v) {
+            let w = w as NodeId;
             if member[w] && !seen[w] {
                 seen[w] = true;
                 reached += 1;
@@ -258,8 +262,9 @@ pub fn dijkstra(wg: &WeightedGraph, src: NodeId) -> DijkstraResult {
         if d > dist[v] {
             continue;
         }
-        for (w, e) in g.neighbors(v) {
-            let cand = d.saturating_add(wg.weight(e));
+        for (&w, &e) in g.neighbor_targets(v).iter().zip(g.neighbor_edge_ids(v)) {
+            let w = w as NodeId;
+            let cand = d.saturating_add(wg.weight(e as usize));
             if cand < dist[w] {
                 dist[w] = cand;
                 parent[w] = Some(v);
@@ -279,8 +284,9 @@ pub fn bfs_masked(g: &Graph, src: NodeId, allowed: &[bool]) -> Vec<usize> {
     dist[src] = 0;
     let mut queue = VecDeque::from([src]);
     while let Some(v) = queue.pop_front() {
-        for (w, e) in g.neighbors(v) {
-            if allowed[e] && dist[w] == usize::MAX {
+        for (&w, &e) in g.neighbor_targets(v).iter().zip(g.neighbor_edge_ids(v)) {
+            let w = w as NodeId;
+            if allowed[e as usize] && dist[w] == usize::MAX {
                 dist[w] = dist[v] + 1;
                 queue.push_back(w);
             }

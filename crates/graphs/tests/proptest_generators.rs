@@ -110,6 +110,98 @@ proptest! {
     }
 
     #[test]
+    fn degree_sum_is_2m_across_families(n in 4usize..60, seed in 0u64..500) {
+        // The handshake invariant, checked against the CSR rows directly:
+        // summing `degree(v)` over the flat offsets must give exactly `2m`
+        // for every family the repo ships.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let side = 2 + n % 7;
+        let graphs = vec![
+            generators::path(n),
+            generators::cycle(n.max(3)),
+            generators::star(n),
+            generators::wheel(n.max(4)),
+            generators::complete(2 + n % 9),
+            generators::binary_tree(n),
+            generators::spider(1 + n % 5, 1 + n % 4),
+            generators::comb(1 + n % 8, n % 5),
+            generators::grid(side, side),
+            generators::triangulated_grid(side, side),
+            generators::cylinder(side, side.max(3)),
+            generators::outerplanar_fan(n.max(3)),
+            generators::hypercube(2 + (n % 4) as u32),
+            generators::toroidal_grid(side.max(3), side.max(3)),
+            generators::random_tree(n, &mut rng),
+            generators::series_parallel(n.max(2), &mut rng),
+            generators::k_tree(n.max(4), 3, &mut rng).0,
+            generators::apollonian(n.max(3), &mut rng).0,
+        ];
+        for g in graphs {
+            let by_rows: usize = g.nodes().map(|v| g.degree(v)).sum();
+            prop_assert_eq!(by_rows, 2 * g.m());
+            prop_assert_eq!(g.degree_sum(), 2 * g.m());
+        }
+    }
+
+    #[test]
+    fn planar_families_satisfy_edge_bound(rows in 2usize..14, cols in 2usize..14, seed in 0u64..200) {
+        // m ≤ 3n - 6 for every planar generator, at arbitrary sizes.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let planar = vec![
+            generators::grid(rows, cols),
+            generators::triangulated_grid(rows, cols),
+            generators::cylinder(rows, cols.max(3)),
+            generators::outerplanar_fan(rows * cols),
+            generators::apollonian(rows * cols, &mut rng).0,
+            generators::random_triangulated_grid(rows, cols, &mut rng).0,
+            generators::comb(rows, cols),
+        ];
+        for g in planar {
+            prop_assert!(satisfies_planar_edge_bound(&g), "n={} m={}", g.n(), g.m());
+        }
+    }
+
+    #[test]
+    fn counting_formulas_hold(teeth in 1usize..20, len in 0usize..10, n in 4usize..80) {
+        // Node/edge counts match the closed forms documented on each
+        // generator — the invariant the streaming CSR constructors must
+        // preserve exactly.
+        let c = generators::comb(teeth, len);
+        prop_assert_eq!(c.n(), teeth * (1 + len));
+        prop_assert_eq!(c.m(), c.n() - 1); // combs are trees
+        let w = generators::wheel(n);
+        prop_assert_eq!((w.n(), w.m()), (n, 2 * (n - 1)));
+        prop_assert_eq!(w.degree(n - 1), n - 1);
+        let g = generators::grid(teeth, n);
+        prop_assert_eq!(g.n(), teeth * n);
+        prop_assert_eq!(g.m(), teeth * (n - 1) + n * (teeth - 1));
+        let t = generators::triangulated_grid(teeth, n);
+        prop_assert_eq!(t.m(), g.m() + (teeth - 1) * (n - 1));
+        let s = generators::spider(teeth, len);
+        prop_assert_eq!((s.n(), s.m()), (1 + teeth * len, teeth * len));
+    }
+
+    #[test]
+    fn k_tree_edge_count_formula(n in 5usize..120, k in 1usize..5, seed in 0u64..300) {
+        prop_assume!(n > k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, rec) = generators::k_tree(n, k, &mut rng);
+        prop_assert_eq!(g.n(), n);
+        prop_assert_eq!(g.m(), k * (k + 1) / 2 + k * (n - k - 1));
+        prop_assert_eq!(rec.attach_clique.len(), n - k - 1);
+        prop_assert!(is_connected(&g));
+        // Every attachment clique really is a clique of earlier nodes.
+        for (i, clique) in rec.attach_clique.iter().enumerate() {
+            let v = i + k + 1;
+            prop_assert_eq!(clique.len(), k);
+            for &u in clique {
+                prop_assert!(u < v);
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
     fn clique_sum_preserves_connectivity(bags in 1usize..12, seed in 0u64..300) {
         let comps = vec![
             generators::cycle(5),

@@ -27,10 +27,10 @@ fn facade_reexports_resolve() {
 }
 
 #[test]
-fn experiment_registry_lists_all_fourteen() {
+fn experiment_registry_lists_all_fifteen() {
     let exps = bench::experiments();
-    assert_eq!(exps.len(), 14, "E1..E14 must all be registered");
+    assert_eq!(exps.len(), 15, "E1..E15 must all be registered");
     let ids: Vec<&str> = exps.iter().map(|(id, _)| *id).collect();
-    let expected: Vec<String> = (1..=14).map(|i| format!("E{i}")).collect();
+    let expected: Vec<String> = (1..=15).map(|i| format!("E{i}")).collect();
     assert_eq!(ids, expected.iter().map(String::as_str).collect::<Vec<_>>());
 }
