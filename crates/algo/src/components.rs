@@ -95,13 +95,11 @@ pub(crate) fn build_per_component(
 }
 
 #[cfg(test)]
-// The legacy entry point is deprecated in favour of `solver::Solver`, but
-// it must keep passing its tests as a shim — so the suite calls it as-is.
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::solver::{Components, Solver};
     use minex_core::construct::SteinerBuilder;
-    use minex_graphs::{generators, GraphBuilder};
+    use minex_graphs::{generators, Graph, GraphBuilder};
 
     fn cfg(n: usize) -> CongestConfig {
         CongestConfig::for_nodes(n)
@@ -109,10 +107,23 @@ mod tests {
             .with_max_rounds(200_000)
     }
 
+    /// One-shot session components — what the deprecated
+    /// `connected_components` shim delegates to.
+    fn session_components(g: &Graph) -> Components {
+        Solver::for_graph(g)
+            .shortcut_builder(SteinerBuilder)
+            .config(cfg(g.n()))
+            .build()
+            .unwrap()
+            .components()
+            .unwrap()
+            .value
+    }
+
     #[test]
     fn single_component() {
         let g = generators::triangulated_grid(5, 5);
-        let out = connected_components(&g, &SteinerBuilder, cfg(g.n())).unwrap();
+        let out = session_components(&g);
         assert!(out.label.iter().all(|&l| l == 0));
         assert_eq!(out.forest_edges.len(), g.n() - 1);
     }
@@ -128,7 +139,7 @@ mod tests {
             b.add_edge(5 + i, 5 + (i + 1) % 5).unwrap();
         }
         let g = b.build();
-        let out = connected_components(&g, &SteinerBuilder, cfg(11)).unwrap();
+        let out = session_components(&g);
         assert!(out.label[..5].iter().all(|&l| l == 0));
         assert!(out.label[5..10].iter().all(|&l| l == 5));
         assert_eq!(out.label[10], 10);
@@ -143,8 +154,11 @@ mod tests {
     }
 
     #[test]
+    // The session API rejects empty graphs with `AlgoError::EmptyGraph`;
+    // only the legacy shim accepts them, so this test must stay on it.
+    #[allow(deprecated)]
     fn empty_graph() {
-        let g = minex_graphs::Graph::from_edges(0, []).unwrap();
+        let g = Graph::from_edges(0, []).unwrap();
         let out = connected_components(&g, &SteinerBuilder, cfg(1)).unwrap();
         assert!(out.label.is_empty());
         assert_eq!(out.phases, 0);
@@ -153,13 +167,10 @@ mod tests {
     #[test]
     fn forest_edges_span_without_cycles() {
         let g = generators::cylinder(4, 8);
-        let out = connected_components(&g, &SteinerBuilder, cfg(g.n())).unwrap();
+        let out = session_components(&g);
         assert_eq!(out.forest_edges.len(), g.n() - 1);
-        let forest = minex_graphs::Graph::from_edges(
-            g.n(),
-            out.forest_edges.iter().map(|&e| g.endpoints(e)),
-        )
-        .unwrap();
+        let forest =
+            Graph::from_edges(g.n(), out.forest_edges.iter().map(|&e| g.endpoints(e))).unwrap();
         assert!(minex_graphs::minor::is_forest(&forest));
         assert!(minex_graphs::traversal::is_connected(&forest));
     }

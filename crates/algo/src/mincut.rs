@@ -312,9 +312,6 @@ pub fn approx_min_cut<B: ShortcutBuilder>(
 }
 
 #[cfg(test)]
-// The legacy entry point is deprecated in favour of `solver::Solver`, but
-// it must keep passing its tests as a shim — so the suite calls it as-is.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use minex_core::construct::SteinerBuilder;
@@ -420,10 +417,17 @@ mod tests {
         let g = generators::triangulated_grid(5, 5);
         let mut rng = StdRng::seed_from_u64(9);
         let wg = WeightModel::Uniform { lo: 1, hi: 4 }.apply(&g, &mut rng);
-        let out = approx_min_cut(&wg, 6, true, &SteinerBuilder, cfg(g.n())).unwrap();
+        let report = crate::solver::Solver::builder(&wg)
+            .shortcut_builder(SteinerBuilder)
+            .config(cfg(g.n()))
+            .build()
+            .unwrap()
+            .min_cut_with(6, true)
+            .unwrap();
+        let out = &report.value;
         assert!(out.approx_value >= out.exact_value);
         assert!(out.ratio <= 1.5, "ratio={}", out.ratio);
-        assert!(out.simulated_rounds > 0);
+        assert!(report.stats.simulated_rounds > 0);
     }
 
     #[test]

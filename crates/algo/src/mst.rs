@@ -110,12 +110,10 @@ pub fn kruskal(wg: &WeightedGraph) -> (Vec<EdgeId>, u64) {
 }
 
 #[cfg(test)]
-// The legacy entry point is deprecated in favour of `solver::Solver`, but
-// it must keep passing its tests as a shim — so the suite calls it as-is.
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use minex_core::construct::{AutoCappedBuilder, SteinerBuilder};
+    use crate::solver::{Mst, Report, Solver};
+    use minex_core::construct::{AutoCappedBuilder, ShortcutBuilder, SteinerBuilder};
     use minex_graphs::{generators, WeightModel};
     use rand::{rngs::StdRng, SeedableRng};
 
@@ -125,17 +123,33 @@ mod tests {
             .with_max_rounds(200_000)
     }
 
+    /// One-shot session MST — what the deprecated `boruvka_mst` shim
+    /// delegates to (`shim_matches_solver_session` pins the equivalence).
+    fn session_mst<B: ShortcutBuilder + 'static>(wg: &WeightedGraph, b: B) -> Report<Mst> {
+        Solver::builder(wg)
+            .shortcut_builder(b)
+            .config(cfg(wg.graph().n()))
+            .build()
+            .unwrap()
+            .mst()
+            .unwrap()
+    }
+
     #[test]
     fn matches_kruskal_on_grid() {
         let g = generators::triangulated_grid(6, 6);
         let mut rng = StdRng::seed_from_u64(42);
         let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
-        let out = boruvka_mst(&wg, &SteinerBuilder, cfg(g.n())).unwrap();
+        let out = session_mst(&wg, SteinerBuilder);
         let (kedges, kweight) = kruskal(&wg);
-        assert_eq!(out.total_weight, kweight);
-        assert_eq!(out.edges, kedges);
-        assert_eq!(out.edges.len(), g.n() - 1);
-        assert!(out.phases <= 7, "phases={}", out.phases);
+        assert_eq!(out.value.total_weight, kweight);
+        assert_eq!(out.value.edges, kedges);
+        assert_eq!(out.value.edges.len(), g.n() - 1);
+        assert!(
+            out.value.boruvka_phases <= 7,
+            "phases={}",
+            out.value.boruvka_phases
+        );
     }
 
     #[test]
@@ -144,9 +158,9 @@ mod tests {
         // Kruskal's but the weight must match.
         let g = generators::grid(5, 5);
         let wg = WeightedGraph::unit(g.clone());
-        let out = boruvka_mst(&wg, &SteinerBuilder, cfg(g.n())).unwrap();
-        assert_eq!(out.total_weight, (g.n() - 1) as u64);
-        assert_eq!(out.edges.len(), g.n() - 1);
+        let out = session_mst(&wg, SteinerBuilder);
+        assert_eq!(out.value.total_weight, (g.n() - 1) as u64);
+        assert_eq!(out.value.edges.len(), g.n() - 1);
     }
 
     #[test]
@@ -154,9 +168,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let g = generators::random_connected(60, 60, &mut rng);
         let wg = WeightModel::Uniform { lo: 1, hi: 50 }.apply(&g, &mut rng);
-        let out = boruvka_mst(&wg, &AutoCappedBuilder, cfg(g.n())).unwrap();
+        let out = session_mst(&wg, AutoCappedBuilder);
         let (_, kweight) = kruskal(&wg);
-        assert_eq!(out.total_weight, kweight);
+        assert_eq!(out.value.total_weight, kweight);
     }
 
     #[test]
@@ -165,26 +179,26 @@ mod tests {
         let g = generators::wheel(n);
         let mut rng = StdRng::seed_from_u64(3);
         let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
-        let with = boruvka_mst(&wg, &AutoCappedBuilder, cfg(n)).unwrap();
-        let without = boruvka_mst(&wg, &crate::baselines::NoShortcutBuilder, cfg(n)).unwrap();
-        assert_eq!(with.total_weight, without.total_weight);
+        let with = session_mst(&wg, AutoCappedBuilder);
+        let without = session_mst(&wg, crate::baselines::NoShortcutBuilder);
+        assert_eq!(with.value.total_weight, without.value.total_weight);
         assert!(
-            with.simulated_rounds < without.simulated_rounds,
+            with.stats.simulated_rounds < without.stats.simulated_rounds,
             "with={} without={}",
-            with.simulated_rounds,
-            without.simulated_rounds
+            with.stats.simulated_rounds,
+            without.stats.simulated_rounds
         );
     }
 
     #[test]
     fn single_node_and_single_edge() {
         let g1 = generators::path(1);
-        let out = boruvka_mst(&WeightedGraph::unit(g1), &SteinerBuilder, cfg(1)).unwrap();
-        assert!(out.edges.is_empty());
-        assert_eq!(out.phases, 0);
+        let out = session_mst(&WeightedGraph::unit(g1), SteinerBuilder);
+        assert!(out.value.edges.is_empty());
+        assert_eq!(out.value.boruvka_phases, 0);
         let g2 = generators::path(2);
-        let out = boruvka_mst(&WeightedGraph::unit(g2), &SteinerBuilder, cfg(2)).unwrap();
-        assert_eq!(out.edges.len(), 1);
+        let out = session_mst(&WeightedGraph::unit(g2), SteinerBuilder);
+        assert_eq!(out.value.edges.len(), 1);
     }
 
     #[test]
@@ -197,6 +211,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn shim_matches_solver_session() {
         // The deprecated shim is *defined* as a one-shot Solver; spot-check
         // the delegation end to end.
@@ -204,7 +219,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
         let legacy = boruvka_mst(&wg, &SteinerBuilder, cfg(g.n())).unwrap();
-        let mut solver = crate::solver::Solver::builder(&wg)
+        let mut solver = Solver::builder(&wg)
             .shortcut_builder(SteinerBuilder)
             .config(cfg(g.n()))
             .build()

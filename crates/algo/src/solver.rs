@@ -58,7 +58,7 @@
 //! ```
 
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
@@ -67,8 +67,12 @@ use rand::SeedableRng;
 
 use minex_congest::{bits_for, primitives, CongestConfig, RunStats, SimError};
 use minex_core::construct::ShortcutBuilder;
-use minex_core::{measure_quality, Partition, RootedTree, Shortcut, ShortcutPlan};
-use minex_graphs::{traversal, EdgeId, Graph, NodeId, UnionFind, WeightedGraph};
+use minex_core::{
+    measure_quality, Partition, PartitionError, PlanRepairStats, RootedTree, Shortcut, ShortcutPlan,
+};
+use minex_graphs::{
+    traversal, DeltaGraph, EdgeId, EdgeMutation, Graph, NodeId, UnionFind, WeightedGraph,
+};
 
 use crate::components::{build_per_component, ComponentsOutcome};
 use crate::mincut::{
@@ -453,6 +457,7 @@ impl<'a> SolverBuilder<'a> {
             )));
         }
         let connected = n > 0 && traversal::is_connected(wg.graph());
+        let strategy = self.parts.clone();
         let parts = resolve_parts(wg.graph(), self.parts, connected)?;
         let mut config = self.config.unwrap_or_else(|| CongestConfig::for_nodes(n));
         if let Some(t) = self.threads {
@@ -461,6 +466,7 @@ impl<'a> SolverBuilder<'a> {
         Ok(Solver {
             wg,
             parts,
+            strategy,
             builder: self.builder,
             config,
             root: self.root,
@@ -608,6 +614,78 @@ struct Caches {
     partwise_memo: HashMap<(Vec<u64>, usize), (crate::partwise::AggregationResult, Vec<PhaseRun>)>,
 }
 
+impl Caches {
+    /// Drops every cached plan fragment and query memo — all of them are
+    /// keyed (explicitly or implicitly) by the session graph, so any edge
+    /// mutation invalidates the lot. Returns how many entries were
+    /// discarded, for [`RepairStats::memos_dropped`].
+    fn invalidate(&mut self) -> usize {
+        let dropped = self.frag_shortcuts.len()
+            + self.frag_quality.len()
+            + self.comp_shortcuts.len()
+            + usize::from(self.comp_meta.is_some())
+            + self.sssp_structure.len()
+            + self.sssp_plans.len()
+            + usize::from(self.mst_memo.is_some())
+            + usize::from(self.components_memo.is_some())
+            + self.min_cut_memo.len()
+            + self.sssp_exact_memo.len()
+            + self.sssp_scaled_memo.len()
+            + self.sssp_shortcut_memo.len()
+            + self.partwise_memo.len();
+        *self = Caches::default();
+        dropped
+    }
+}
+
+/// What [`Solver::apply`] did to the session: how the mutation batch
+/// decomposed, whether the cached plan was repaired incrementally, and how
+/// much cached state the batch invalidated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairStats {
+    /// Edges inserted by the batch.
+    pub inserted: usize,
+    /// Edges deleted by the batch.
+    pub deleted: usize,
+    /// The batch cancelled out (same edge set, same weights): the session —
+    /// including every cache and memo — was left untouched.
+    pub noop: bool,
+    /// Whether the session graph is connected after the batch.
+    pub connected: bool,
+    /// The session partition changed under the batch.
+    pub partition_changed: bool,
+    /// A plan was already cached and was carried through
+    /// [`ShortcutPlan::repair`]; when `false` the session simply stays
+    /// lazy and builds a fresh plan on the next query that needs one.
+    pub plan_repaired: bool,
+    /// Plan-level repair statistics (all zero unless `plan_repaired`).
+    pub plan: PlanRepairStats,
+    /// Memoized query results and cached plan fragments dropped.
+    pub memos_dropped: usize,
+}
+
+/// Whether `part` induces a connected subgraph of `g` — the Definition 9
+/// check of [`Partition::new`], localized to one part so
+/// [`Solver::apply`] can revalidate only the parts a mutation landed in.
+fn induces_connected(g: &Graph, part: &[NodeId]) -> bool {
+    if part.len() <= 1 {
+        return true;
+    }
+    let members: HashSet<NodeId> = part.iter().copied().collect();
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    seen.insert(part[0]);
+    let mut queue = vec![part[0]];
+    while let Some(v) = queue.pop() {
+        for &w in g.neighbor_targets(v) {
+            let w = w as NodeId;
+            if members.contains(&w) && seen.insert(w) {
+                queue.push(w);
+            }
+        }
+    }
+    seen.len() == part.len()
+}
+
 /// A plan-once / query-many session over one network.
 ///
 /// Construct with [`Solver::builder`] (weighted) or [`Solver::for_graph`]
@@ -616,6 +694,9 @@ struct Caches {
 pub struct Solver<'a> {
     wg: Cow<'a, WeightedGraph>,
     parts: Partition,
+    /// The strategy `parts` was resolved from, kept so [`Solver::apply`]
+    /// can re-resolve it on the mutated graph.
+    strategy: PartsStrategy,
     builder: Box<dyn ShortcutBuilder + 'a>,
     config: CongestConfig,
     root: NodeId,
@@ -742,6 +823,219 @@ impl<'a> Solver<'a> {
             &self.builder,
         ));
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic updates
+    // ------------------------------------------------------------------
+
+    /// Applies a batch of edge mutations to the session graph, repairing
+    /// the cached [`ShortcutPlan`] incrementally instead of tearing the
+    /// session down and rebuilding it.
+    ///
+    /// The batch is staged on a [`DeltaGraph`] overlay of a clone of the
+    /// session graph, so any invalid mutation (duplicate insert, deleting
+    /// a missing edge, exceeding the edge-count limit) returns
+    /// [`AlgoError::BadQuery`] and leaves the session **unchanged**. On
+    /// success the session commits atomically: graph and weights swap,
+    /// connectivity and partition are refreshed (the configured
+    /// [`PartsStrategy`] is re-resolved against the mutated graph), a
+    /// cached plan is repaired through [`ShortcutPlan::repair`], and every
+    /// query memo is dropped. A repaired session answers every query
+    /// byte-identically to a fresh session built on the mutated graph.
+    ///
+    /// Surviving edges keep their weights (edge ids are renumbered
+    /// internally); inserted edges take the weight from their
+    /// [`EdgeMutation::Insert`], and deleting then re-inserting an edge in
+    /// one batch gives it the new weight.
+    ///
+    /// ```
+    /// use minex_algo::solver::{PartsStrategy, Solver};
+    /// use minex_core::construct::SteinerBuilder;
+    /// use minex_graphs::{generators, EdgeMutation};
+    ///
+    /// let g = generators::triangulated_grid(4, 4);
+    /// let mut solver = Solver::for_graph(&g)
+    ///     .parts(PartsStrategy::Voronoi { parts: 3, seed: 7 })
+    ///     .shortcut_builder(SteinerBuilder)
+    ///     .build()?;
+    /// let before = solver.mst()?;
+    /// let stats = solver.apply(&[
+    ///     EdgeMutation::Delete { u: 0, v: 1 },
+    ///     EdgeMutation::Insert { u: 0, v: 10, weight: 1 },
+    /// ])?;
+    /// assert_eq!((stats.inserted, stats.deleted), (1, 1));
+    /// assert!(solver.graph().has_edge(0, 10));
+    /// let after = solver.mst()?; // recomputed on the mutated graph
+    /// assert_eq!(after.value.edges.len(), before.value.edges.len());
+    /// # Ok::<(), minex_algo::solver::AlgoError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::BadQuery`] when a mutation is invalid on the graph as
+    /// mutated so far, or when the session's partition strategy no longer
+    /// fits the mutated graph (an explicit part disconnected by a
+    /// deletion, a Voronoi/whole strategy on a graph the batch
+    /// disconnected). In every error case the session is untouched.
+    pub fn apply(&mut self, mutations: &[EdgeMutation]) -> Result<RepairStats, AlgoError> {
+        let mut stats = RepairStats {
+            connected: self.connected,
+            ..RepairStats::default()
+        };
+        if mutations.is_empty() {
+            stats.noop = true;
+            return Ok(stats);
+        }
+        // Stage the whole batch on an overlay of a clone: every error path
+        // below returns before the session is touched.
+        let old = self.wg.graph();
+        let mut dg = DeltaGraph::new(old.clone());
+        let mut pending: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+        let mut touched: Vec<NodeId> = Vec::with_capacity(2 * mutations.len());
+        let mut deleted_pairs: Vec<(NodeId, NodeId)> = Vec::new();
+        for mutation in mutations {
+            match *mutation {
+                EdgeMutation::Insert { u, v, weight } => {
+                    dg.insert_edge(u, v)
+                        .map_err(|e| AlgoError::BadQuery(format!("insert {{{u}, {v}}}: {e}")))?;
+                    pending.insert((u.min(v), u.max(v)), weight);
+                    stats.inserted += 1;
+                    touched.push(u);
+                    touched.push(v);
+                }
+                EdgeMutation::Delete { u, v } => {
+                    dg.delete_edge(u, v)
+                        .map_err(|e| AlgoError::BadQuery(format!("delete {{{u}, {v}}}: {e}")))?;
+                    pending.remove(&(u.min(v), u.max(v)));
+                    stats.deleted += 1;
+                    deleted_pairs.push((u.min(v), u.max(v)));
+                    touched.push(u);
+                    touched.push(v);
+                }
+            }
+        }
+        let new_g = dg.snapshot();
+        // Old edge ids → new edge ids. Both id spaces are lexicographic
+        // ranks of their edge lists, so one merge pass remaps the
+        // survivors.
+        let mut remap: Vec<Option<EdgeId>> = vec![None; old.m()];
+        {
+            let mut new_edges = new_g.edges().peekable();
+            for (e, u, v) in old.edges() {
+                while new_edges
+                    .peek()
+                    .is_some_and(|&(_, nu, nv)| (nu, nv) < (u, v))
+                {
+                    new_edges.next();
+                }
+                if let Some(&(ne, nu, nv)) = new_edges.peek() {
+                    if (nu, nv) == (u, v) {
+                        remap[e] = Some(ne);
+                    }
+                }
+            }
+        }
+        // New weights: every new edge either survived (remap hits it) or
+        // was inserted by this batch (its pair is pending); pending
+        // overrides survivors so delete-then-reinsert takes the new weight.
+        let mut new_weights = vec![0u64; new_g.m()];
+        for (e, _, _) in old.edges() {
+            if let Some(ne) = remap[e] {
+                new_weights[ne] = self.wg.weight(e);
+            }
+        }
+        for (ne, u, v) in new_g.edges() {
+            if let Some(&w) = pending.get(&(u, v)) {
+                new_weights[ne] = w;
+            }
+        }
+        if new_g == *old && new_weights == self.wg.weights() {
+            // The batch cancelled out. Nothing is invalidated — keep the
+            // plan, the caches, and every memo.
+            stats.noop = true;
+            return Ok(stats);
+        }
+        let connected = new_g.n() > 0 && traversal::is_connected(&new_g);
+        let parts = self.repartition(&new_g, connected, &deleted_pairs)?;
+        stats.partition_changed = parts.parts() != self.parts.parts();
+        stats.connected = connected;
+        touched.sort_unstable();
+        touched.dedup();
+        // Repair the cached plan only if one exists; a planless session
+        // stays lazy and builds fresh on first use — deterministically
+        // identical either way.
+        let (tree, plan) = match (&self.plan, connected) {
+            (Some(prev), true) => {
+                let (plan, pstats) = prev.repair(
+                    &new_g,
+                    self.root,
+                    parts.clone(),
+                    &self.builder,
+                    &remap,
+                    &touched,
+                );
+                stats.plan_repaired = true;
+                stats.plan = pstats;
+                (Some(plan.tree().clone()), Some(plan))
+            }
+            _ => (None, None),
+        };
+        // Commit.
+        stats.memos_dropped = self.caches.invalidate();
+        self.wg = Cow::Owned(WeightedGraph::new(new_g, new_weights));
+        self.parts = parts;
+        self.connected = connected;
+        self.tree = tree;
+        self.plan = plan;
+        Ok(stats)
+    }
+
+    /// Re-resolves the session's [`PartsStrategy`] on the mutated graph.
+    ///
+    /// `Singletons` and `Explicit` partitions depend on the edge set only
+    /// through each part's induced connectivity, so they skip the full
+    /// `O(parts · n)` re-resolution: singletons are reused verbatim, and
+    /// explicit parts are revalidated only where a **deletion** landed with
+    /// both endpoints inside one part (insertions cannot disconnect a
+    /// part, and an edge between two parts belongs to neither's induced
+    /// subgraph). `Whole` and `Voronoi` re-resolve from scratch, exactly
+    /// as a fresh session would.
+    fn repartition(
+        &self,
+        new_g: &Graph,
+        connected: bool,
+        deleted_pairs: &[(NodeId, NodeId)],
+    ) -> Result<Partition, AlgoError> {
+        match &self.strategy {
+            PartsStrategy::Singletons => Ok(self.parts.clone()),
+            PartsStrategy::Explicit(_) => {
+                let mut dirty: Vec<usize> = deleted_pairs
+                    .iter()
+                    .filter_map(
+                        |&(u, v)| match (self.parts.part_of(u), self.parts.part_of(v)) {
+                            (Some(a), Some(b)) if a == b => Some(a),
+                            _ => None,
+                        },
+                    )
+                    .collect();
+                dirty.sort_unstable();
+                dirty.dedup();
+                for &i in &dirty {
+                    if !induces_connected(new_g, self.parts.part(i)) {
+                        // The same error a fresh `resolve_parts` reports.
+                        // Untouched parts stay valid, so the first invalid
+                        // dirty index is the overall first invalid index.
+                        let e = PartitionError::PartDisconnected { part: i };
+                        return Err(AlgoError::BadQuery(format!(
+                            "explicit partition invalid for this graph: {e}"
+                        )));
+                    }
+                }
+                Ok(self.parts.clone())
+            }
+            _ => resolve_parts(new_g, self.strategy.clone(), connected),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1880,5 +2174,209 @@ mod tests {
             .unwrap();
         let got = explicit.partwise_min(&values, 16).unwrap();
         assert_eq!(got.value.minima.len(), 2);
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic updates
+    // ------------------------------------------------------------------
+
+    /// A mutated session must be indistinguishable from a session built
+    /// fresh on the mutated weighted graph: same plan bytes, same reports.
+    fn assert_matches_fresh<B: ShortcutBuilder + Copy + 'static>(
+        solver: &mut Solver<'_>,
+        strategy: PartsStrategy,
+        builder: B,
+    ) {
+        let wg = solver.weighted_graph().clone();
+        let mut fresh = Solver::builder(&wg)
+            .parts(strategy)
+            .shortcut_builder(builder)
+            .config(solver.config())
+            .build()
+            .unwrap();
+        assert_eq!(solver.parts().parts(), fresh.parts().parts());
+        assert_eq!(solver.is_connected(), fresh.is_connected());
+        if solver.is_connected() {
+            {
+                let a = solver.plan().unwrap();
+                let b = fresh.plan().unwrap();
+                assert_eq!(a.shortcut(), b.shortcut());
+                assert_eq!(a.quality(), b.quality());
+                for v in 0..wg.graph().n() {
+                    assert_eq!(a.tree().parent(v), b.tree().parent(v));
+                }
+            }
+            assert_eq!(solver.mst().unwrap(), fresh.mst().unwrap());
+            assert_eq!(
+                solver.sssp(0, Tier::Exact).unwrap(),
+                fresh.sssp(0, Tier::Exact).unwrap()
+            );
+        }
+        assert_eq!(solver.components().unwrap(), fresh.components().unwrap());
+    }
+
+    #[test]
+    fn apply_empty_batch_is_a_noop() {
+        let wg = weighted(11);
+        let mut solver = Solver::builder(&wg)
+            .shortcut_builder(SteinerBuilder)
+            .config(cfg(wg.graph().n()))
+            .build()
+            .unwrap();
+        let before = solver.mst().unwrap();
+        let stats = solver.apply(&[]).unwrap();
+        assert!(stats.noop);
+        assert_eq!(stats.memos_dropped, 0);
+        assert_eq!(solver.mst().unwrap(), before);
+    }
+
+    #[test]
+    fn apply_cancelling_batch_keeps_memos() {
+        let wg = weighted(12);
+        let (_, u, v) = wg.graph().edges().next().unwrap();
+        let w = wg.weight(0);
+        let mut solver = Solver::builder(&wg)
+            .shortcut_builder(SteinerBuilder)
+            .config(cfg(wg.graph().n()))
+            .build()
+            .unwrap();
+        solver.mst().unwrap();
+        let stats = solver
+            .apply(&[
+                EdgeMutation::Delete { u, v },
+                EdgeMutation::Insert { u, v, weight: w },
+            ])
+            .unwrap();
+        assert!(stats.noop);
+        assert_eq!((stats.inserted, stats.deleted), (1, 1));
+        assert_eq!(stats.memos_dropped, 0);
+        assert!(solver.caches.mst_memo.is_some());
+    }
+
+    #[test]
+    fn apply_repairs_plan_and_matches_fresh_session() {
+        let wg = weighted(13);
+        let g = wg.graph().clone();
+        let strategy = PartsStrategy::Voronoi { parts: 5, seed: 4 };
+        let mut solver = Solver::builder(&wg)
+            .parts(strategy.clone())
+            .shortcut_builder(SteinerBuilder)
+            .config(cfg(g.n()))
+            .build()
+            .unwrap();
+        solver.plan().unwrap(); // materialize the session plan
+        solver.mst().unwrap(); // populate query memos
+        let (u, v) = (0, (g.n() - 1) as NodeId);
+        assert!(!g.has_edge(u, v));
+        let stats = solver
+            .apply(&[EdgeMutation::Insert { u, v, weight: 1 }])
+            .unwrap();
+        assert!(!stats.noop);
+        assert!(stats.plan_repaired);
+        assert!(stats.memos_dropped > 0);
+        assert!(solver.graph().has_edge(u, v));
+        assert_matches_fresh(&mut solver, strategy, SteinerBuilder);
+    }
+
+    #[test]
+    fn apply_invalid_mutation_leaves_session_untouched() {
+        let wg = weighted(14);
+        let mut solver = Solver::builder(&wg)
+            .shortcut_builder(SteinerBuilder)
+            .config(cfg(wg.graph().n()))
+            .build()
+            .unwrap();
+        let before = solver.mst().unwrap();
+        // Second mutation is invalid: the edge was already deleted.
+        let (_, u, v) = wg.graph().edges().next().unwrap();
+        let err = solver
+            .apply(&[EdgeMutation::Delete { u, v }, EdgeMutation::Delete { u, v }])
+            .unwrap_err();
+        assert!(matches!(err, AlgoError::BadQuery(_)), "{err:?}");
+        assert_eq!(solver.graph(), wg.graph());
+        assert_eq!(solver.mst().unwrap(), before);
+    }
+
+    #[test]
+    fn apply_explicit_partition_fast_path_and_failure() {
+        // Path 0-1-2-3-4-5 with explicit parts {0,1,2} and {3,4,5}.
+        let g = generators::path(6);
+        let parts = Partition::new(&g, vec![vec![0, 1, 2], vec![3, 4, 5]]).unwrap();
+        let strategy = PartsStrategy::Explicit(parts);
+        let mut solver = Solver::for_graph(&g)
+            .parts(strategy.clone())
+            .shortcut_builder(SteinerBuilder)
+            .build()
+            .unwrap();
+        solver.plan().unwrap();
+        // Cross-part churn: delete {2,3} (disconnects the graph), then a
+        // batch that also bridges it back elsewhere keeps it connected.
+        let stats = solver
+            .apply(&[
+                EdgeMutation::Delete { u: 2, v: 3 },
+                EdgeMutation::Insert {
+                    u: 0,
+                    v: 5,
+                    weight: 1,
+                },
+            ])
+            .unwrap();
+        assert!(stats.connected);
+        assert!(!stats.partition_changed);
+        assert_matches_fresh(&mut solver, strategy, SteinerBuilder);
+        // Deleting {1,2} disconnects part 0's induced subgraph: the same
+        // BadQuery a fresh build would report, and the session stays
+        // usable on the unmutated graph.
+        let err = solver
+            .apply(&[EdgeMutation::Delete { u: 1, v: 2 }])
+            .unwrap_err();
+        assert!(
+            matches!(&err, AlgoError::BadQuery(m) if m.contains("part 0 does not induce")),
+            "{err:?}"
+        );
+        assert!(solver.graph().has_edge(1, 2)); // untouched
+    }
+
+    #[test]
+    fn apply_disconnection_clears_plan_and_components_reflect_split() {
+        let g = generators::path(6);
+        let mut solver = Solver::for_graph(&g)
+            .shortcut_builder(AutoCappedBuilder)
+            .build()
+            .unwrap();
+        solver.plan().unwrap();
+        let stats = solver
+            .apply(&[EdgeMutation::Delete { u: 2, v: 3 }])
+            .unwrap();
+        assert!(!stats.connected);
+        assert!(!stats.plan_repaired);
+        assert!(!solver.is_connected());
+        assert!(matches!(solver.mst(), Err(AlgoError::Disconnected)));
+        // The shortcut tier needs the session plan, hence connectivity;
+        // exact SSSP floods per component and still works, like a fresh
+        // session's would.
+        assert!(matches!(
+            solver.sssp(
+                0,
+                Tier::Shortcut {
+                    epsilon: 0.5,
+                    max_phases: 16
+                }
+            ),
+            Err(AlgoError::Disconnected)
+        ));
+        let comps = solver.components().unwrap();
+        let distinct: HashSet<usize> = comps.value.label.iter().copied().collect();
+        assert_eq!(distinct.len(), 2);
+        // Reconnect: the session becomes fully functional again.
+        let stats = solver
+            .apply(&[EdgeMutation::Insert {
+                u: 2,
+                v: 3,
+                weight: 1,
+            }])
+            .unwrap();
+        assert!(stats.connected);
+        assert_matches_fresh(&mut solver, PartsStrategy::Singletons, AutoCappedBuilder);
     }
 }

@@ -599,12 +599,9 @@ pub fn compare_sssp<B: ShortcutBuilder>(
 }
 
 #[cfg(test)]
-// The legacy entry points are deprecated in favour of `solver::Solver`, but
-// they must keep passing their tests as shims — so the suite calls them
-// as-is.
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::solver::{PartsStrategy, Solver, Sssp, SsspDetail, Tier};
     use crate::workloads;
     use minex_core::construct::{AutoCappedBuilder, WholeTreeBuilder};
     use minex_graphs::{generators, WeightModel};
@@ -614,6 +611,33 @@ mod tests {
         CongestConfig::for_nodes(n)
             .with_bandwidth(192)
             .with_max_rounds(500_000)
+    }
+
+    /// One-shot session shortcut-tier SSSP — what the deprecated
+    /// `shortcut_sssp` shim delegates to.
+    fn session_shortcut_sssp<B: ShortcutBuilder + 'static>(
+        wg: &WeightedGraph,
+        source: NodeId,
+        parts: &Partition,
+        builder: B,
+        epsilon: f64,
+        max_phases: usize,
+    ) -> Sssp {
+        Solver::builder(wg)
+            .parts(PartsStrategy::Explicit(parts.clone()))
+            .shortcut_builder(builder)
+            .config(cfg(wg.graph().n()))
+            .build()
+            .unwrap()
+            .sssp(
+                source,
+                Tier::Shortcut {
+                    epsilon,
+                    max_phases,
+                },
+            )
+            .unwrap()
+            .value
     }
 
     #[test]
@@ -698,9 +722,15 @@ mod tests {
         let parts = workloads::voronoi_parts(&g, 4, &mut rng);
         let d = traversal::dijkstra(&wg, 0);
         // Epsilon 0: exact at convergence.
-        let out = shortcut_sssp(&wg, 0, &parts, &AutoCappedBuilder, 0.0, 40, cfg(g.n())).unwrap();
-        assert!(out.converged, "small grid must converge in 40 phases");
-        assert_eq!(out.scale, 1);
+        let out = session_shortcut_sssp(&wg, 0, &parts, AutoCappedBuilder, 0.0, 40);
+        let SsspDetail::Shortcut {
+            scale, converged, ..
+        } = out.detail
+        else {
+            panic!("shortcut tier detail");
+        };
+        assert!(converged, "small grid must converge in 40 phases");
+        assert_eq!(scale, 1);
         assert_eq!(out.dist, d.dist);
     }
 
@@ -735,17 +765,11 @@ mod tests {
         // One phase only: far nodes keep crude (but sound) estimates.
         let (wg, parts) = workloads::heavy_hub_wheel(96, 8, 64, 4096);
         let d = traversal::dijkstra(&wg, 0);
-        let out = shortcut_sssp(
-            &wg,
-            0,
-            &parts,
-            &WholeTreeBuilder,
-            0.25,
-            1,
-            cfg(wg.graph().n()),
-        )
-        .unwrap();
-        assert!(!out.converged);
+        let out = session_shortcut_sssp(&wg, 0, &parts, WholeTreeBuilder, 0.25, 1);
+        let SsspDetail::Shortcut { converged, .. } = out.detail else {
+            panic!("shortcut tier detail");
+        };
+        assert!(!converged);
         for v in 0..wg.graph().n() {
             if out.dist[v] != u64::MAX {
                 assert!(out.dist[v] >= d.dist[v], "node {v}");
@@ -762,9 +786,15 @@ mod tests {
         let out = scaled_sssp(&wg, 0, 0.5, cfg(1)).unwrap();
         assert_eq!(out.dist, vec![0]);
         let parts = Partition::new(&g, vec![vec![0]]).unwrap();
-        let out = shortcut_sssp(&wg, 0, &parts, &WholeTreeBuilder, 0.5, 3, cfg(1)).unwrap();
+        let out = session_shortcut_sssp(&wg, 0, &parts, WholeTreeBuilder, 0.5, 3);
         assert_eq!(out.dist, vec![0]);
-        assert!(out.converged);
+        assert!(matches!(
+            out.detail,
+            SsspDetail::Shortcut {
+                converged: true,
+                ..
+            }
+        ));
     }
 
     #[test]

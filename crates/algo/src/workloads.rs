@@ -5,7 +5,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, RngExt};
 
 use minex_core::Partition;
-use minex_graphs::{traversal, Graph, NodeId, UnionFind, WeightModel, WeightedGraph};
+use minex_graphs::{traversal, EdgeMutation, Graph, NodeId, UnionFind, WeightModel, WeightedGraph};
 
 /// Voronoi parts: multi-source BFS from `k` random seeds; every node joins
 /// the seed that reaches it first (the concurrent-BFS partition of
@@ -190,6 +190,72 @@ pub fn maze_apex_grid<R: Rng + ?Sized>(
     (WeightedGraph::new(g, weights), parts)
 }
 
+/// A random churn stream over `g`: `len` edge mutations, each valid on the
+/// graph as mutated so far (no duplicate inserts, no deletes of missing
+/// edges), so the whole stream applies cleanly in order — e.g. through
+/// [`crate::solver::Solver::apply`] or a
+/// [`minex_graphs::DeltaGraph`] overlay.
+///
+/// Each step is an insertion with probability `insert_permille`/1000
+/// (rejection-sampled absent pair, fresh random weight in `1..=8192`),
+/// otherwise a deletion of a uniformly random live edge. Deleted edges may
+/// be re-inserted later with new weights. Self loops are never produced;
+/// steps that cannot proceed (no absent pair found, or no live edge left)
+/// fall back to the other kind.
+pub fn churn_stream<R: Rng + ?Sized>(
+    g: &Graph,
+    len: usize,
+    insert_permille: u32,
+    rng: &mut R,
+) -> Vec<EdgeMutation> {
+    assert!(g.n() >= 2, "churn needs at least two nodes");
+    assert!(insert_permille <= 1000, "permille is out of range");
+    let mut live: Vec<(NodeId, NodeId)> = g.edges().map(|(_, u, v)| (u, v)).collect();
+    let mut present: std::collections::HashSet<(NodeId, NodeId)> = live.iter().copied().collect();
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let want_insert = rng.random_range(0..1000) < insert_permille;
+        // Rejection-sample an absent pair; dense graphs may exhaust the
+        // attempt budget, in which case the step degrades to a deletion.
+        let mut sampled = None;
+        if want_insert || live.is_empty() {
+            for _ in 0..64 {
+                let u = rng.random_range(0..g.n());
+                let v = rng.random_range(0..g.n());
+                if u == v {
+                    continue;
+                }
+                let pair = (u.min(v), u.max(v));
+                if !present.contains(&pair) {
+                    sampled = Some(pair);
+                    break;
+                }
+            }
+        }
+        match sampled {
+            Some((u, v)) => {
+                present.insert((u, v));
+                live.push((u, v));
+                out.push(EdgeMutation::Insert {
+                    u,
+                    v,
+                    weight: rng.random_range(1..=8192),
+                });
+            }
+            None => {
+                if live.is_empty() {
+                    break; // nothing left to delete and nothing to insert
+                }
+                let i = rng.random_range(0..live.len());
+                let (u, v) = live.swap_remove(i);
+                present.remove(&(u, v));
+                out.push(EdgeMutation::Delete { u, v });
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,5 +355,37 @@ mod tests {
         assert_eq!(parts.len(), 4);
         assert!(parts.parts().iter().all(|p| p.len() == 8));
         assert!(g.n() > 32);
+    }
+
+    #[test]
+    fn churn_stream_applies_cleanly_in_order() {
+        let g = generators::grid(8, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let stream = churn_stream(&g, 200, 500, &mut rng);
+        assert_eq!(stream.len(), 200);
+        let mut dg = minex_graphs::DeltaGraph::new(g);
+        for m in &stream {
+            dg.apply_mutation(m).expect("every churn step is valid");
+        }
+        assert!(stream
+            .iter()
+            .any(|m| matches!(m, EdgeMutation::Insert { .. })));
+        assert!(stream
+            .iter()
+            .any(|m| matches!(m, EdgeMutation::Delete { .. })));
+    }
+
+    #[test]
+    fn churn_stream_insert_only_and_delete_only() {
+        let g = generators::cycle(16);
+        let mut rng = StdRng::seed_from_u64(10);
+        let inserts = churn_stream(&g, 50, 1000, &mut rng);
+        assert!(inserts
+            .iter()
+            .all(|m| matches!(m, EdgeMutation::Insert { .. })));
+        let deletes = churn_stream(&g, 10, 0, &mut rng);
+        assert!(deletes
+            .iter()
+            .all(|m| matches!(m, EdgeMutation::Delete { .. })));
     }
 }

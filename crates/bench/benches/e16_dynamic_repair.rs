@@ -1,0 +1,75 @@
+//! E16 — dynamic repair: `Solver::apply` + incremental plan repair against
+//! a from-scratch session rebuild under single-edge churn, plus the raw
+//! `DeltaGraph` mutation/snapshot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minex_algo::solver::{PartsStrategy, Solver};
+use minex_algo::workloads;
+use minex_congest::CongestConfig;
+use minex_core::construct::SteinerBuilder;
+use minex_graphs::{DeltaGraph, EdgeMutation, GraphView};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_dynamic_repair");
+    group.sample_size(10);
+    for side in [100usize, 316] {
+        let mut rng = StdRng::seed_from_u64(16);
+        let (wg, parts) = workloads::maze_grid(side, side, 64, &mut rng);
+        let n = wg.graph().n();
+        let strategy = PartsStrategy::Explicit(parts);
+        let mut session = Solver::builder(&wg)
+            .parts(strategy.clone())
+            .shortcut_builder(SteinerBuilder)
+            .config(CongestConfig::for_nodes(n))
+            .build()
+            .unwrap();
+        session.plan().unwrap();
+        let (e, u, v) = {
+            let tree = session.plan().unwrap().tree();
+            wg.graph()
+                .edges()
+                .find(|&(e, _, _)| !tree.is_tree_edge(e))
+                .unwrap()
+        };
+        let weight = wg.weight(e);
+        group.bench_with_input(BenchmarkId::new("repair_maze", side), &side, |b, _| {
+            b.iter(|| {
+                session.apply(&[EdgeMutation::Delete { u, v }]).unwrap();
+                session.plan().unwrap();
+                session
+                    .apply(&[EdgeMutation::Insert { u, v, weight }])
+                    .unwrap();
+                session.plan().unwrap().quality().quality
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild_maze", side), &side, |b, _| {
+            b.iter(|| {
+                let mut fresh = Solver::builder(&wg)
+                    .parts(strategy.clone())
+                    .shortcut_builder(SteinerBuilder)
+                    .config(CongestConfig::for_nodes(n))
+                    .build()
+                    .unwrap();
+                fresh.plan().unwrap().quality().quality
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("delta_delete_insert", side),
+            &side,
+            |b, _| {
+                let mut dg = DeltaGraph::new(wg.graph().clone());
+                b.iter(|| {
+                    dg.delete_edge(u, v).unwrap();
+                    dg.insert_edge(u, v).unwrap();
+                    dg.m()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E14). Pass `--full` for the larger
+//! Prints every experiment table (E1–E16). Pass `--full` for the larger
 //! sweeps used in `EXPERIMENTS.md`; name ids (e.g. `E6 E7`) to run a
 //! subset; pass `--csv <dir>` to also dump each table as `<dir>/<id>.csv`
 //! so bench trajectories can be tracked across PRs; `--threads <n>` runs
@@ -6,8 +6,9 @@
 //! byte-identical to the sequential engine, only wall time changes);
 //! `--perf-json <file>` writes a machine-readable wall-time summary
 //! (`BENCH_pr.json` in CI), including a `plan_reuse` section with E14's
-//! solver-vs-legacy amortization figures and a `scale` section with E15's
-//! CSR-vs-nested-Vec memory and iteration figures.
+//! solver-vs-legacy amortization figures, a `scale` section with E15's
+//! CSR-vs-nested-Vec memory and iteration figures, and a `dynamic`
+//! section with E16's incremental-repair-vs-rebuild figures.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -78,6 +79,7 @@ fn main() {
         let mut perf: Vec<(&'static str, f64)> = Vec::new();
         let mut plan_reuse: Option<minex_bench::Table> = None;
         let mut scale: Option<minex_bench::Table> = None;
+        let mut dynamic: Option<minex_bench::Table> = None;
         for (id, runner) in minex_bench::experiments() {
             if !selected.is_empty() && !selected.iter().any(|s| *s == id) {
                 continue;
@@ -99,11 +101,13 @@ fn main() {
                 plan_reuse = Some(table);
             } else if id == "E15" {
                 scale = Some(table);
+            } else if id == "E16" {
+                dynamic = Some(table);
             }
         }
-        (perf, plan_reuse, scale)
+        (perf, plan_reuse, scale, dynamic)
     };
-    let (perf, plan_reuse, scale) = match threads {
+    let (perf, plan_reuse, scale, dynamic) = match threads {
         Some(t) => minex_bench::with_engine_threads(t, run),
         None => run(),
     };
@@ -153,6 +157,21 @@ fn main() {
                     json,
                     "    {{\"family\": \"{}\", \"n\": {}, \"m\": {}, \"build_ms\": {}, \"csr_bytes_per_edge\": {}, \"adj_bytes_per_edge\": {}, \"mem_ratio\": {}, \"iter_speedup\": {}, \"krounds_per_sec\": {}}}{comma}",
                     row[0], row[1], row[2], row[3], row[4], row[5], row[6], row[9], row[10]
+                );
+            }
+        }
+        json.push_str("  ],\n");
+        // E16's dynamic rows: Solver::apply repair vs a from-scratch
+        // rebuild under single-edge churn, the regression bar for the
+        // incremental-repair path.
+        json.push_str("  \"dynamic\": [\n");
+        if let Some(table) = &dynamic {
+            for (i, row) in table.rows.iter().enumerate() {
+                let comma = if i + 1 < table.rows.len() { "," } else { "" };
+                let _ = writeln!(
+                    json,
+                    "    {{\"family\": \"{}\", \"n\": {}, \"m\": {}, \"parts\": {}, \"repair_ms\": {}, \"rebuild_ms\": {}, \"speedup\": {}, \"parts_rebuilt\": {}}}{comma}",
+                    row[0], row[1], row[2], row[3], row[4], row[5], row[6], row[7]
                 );
             }
         }

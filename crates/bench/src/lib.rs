@@ -35,7 +35,7 @@ use minex_core::gates::{planar_gates, validate_gates};
 use minex_core::{Partition, RootedTree, ShortcutPlan};
 use minex_decomp::{CliqueSumTree, TreeDecomposition};
 use minex_graphs::generators::{self, CliqueSumBuilder};
-use minex_graphs::{traversal, Graph, NodeId, WeightModel, WeightedGraph};
+use minex_graphs::{traversal, EdgeMutation, Graph, NodeId, WeightModel, WeightedGraph};
 
 /// A rendered experiment table.
 #[derive(Debug, Clone)]
@@ -1425,13 +1425,198 @@ pub fn e15_scale(full: bool) -> Table {
     }
 }
 
+/// E16 (dynamic graphs): incremental [`Solver::apply`] repair against a
+/// from-scratch session rebuild under single-edge churn.
+///
+/// Each row takes a family instance with an explicit 64-cell Voronoi
+/// partition, materializes a Steiner-builder session plan, then repeatedly
+/// deletes and re-inserts one non-tree edge (whose removal provably leaves
+/// the BFS tree unchanged, so repair recomputes only the parts the edge
+/// touches). The **repair** leg drives the mutation through
+/// [`Solver::apply`]; the **rebuild** leg pays what a static deployment
+/// pays — a fresh session on the mutated weighted graph plus its plan,
+/// including the explicit partition's `O(parts · n)` revalidation and a
+/// full shortcut build. A cross-leg oracle asserts the repaired plan's
+/// quality equals the rebuilt one's on the mutated graph.
+pub fn e16_dynamic_repair(full: bool) -> Table {
+    let reps = 3usize;
+    let parts_k = 64usize;
+    let mut rows = Vec::new();
+    // Quick mode covers 10^4 and 10^5 nodes per family; `--full` extends
+    // both families to a million nodes for the nightly scale job.
+    let sides: &[usize] = if full { &[100, 316, 1000] } else { &[100, 316] };
+    let kns: &[usize] = if full {
+        &[10_000, 100_000, 1_000_000]
+    } else {
+        &[10_000, 100_000]
+    };
+    type CaseBuilder = Box<dyn Fn() -> (WeightedGraph, Partition)>;
+    let mut cases: Vec<(String, CaseBuilder)> = Vec::new();
+    for &side in sides {
+        cases.push((
+            format!("maze {side}x{side}"),
+            Box::new(move || {
+                let mut rng = StdRng::seed_from_u64(16);
+                workloads::maze_grid(side, side, parts_k, &mut rng)
+            }),
+        ));
+    }
+    for &kn in kns {
+        cases.push((
+            format!("k-tree({kn},3)"),
+            Box::new(move || {
+                let mut rng = StdRng::seed_from_u64(16);
+                let g = generators::k_tree(kn, 3, &mut rng).0;
+                let parts = workloads::voronoi_parts(&g, parts_k, &mut rng);
+                let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+                (wg, parts)
+            }),
+        ));
+    }
+    for (family, build) in cases {
+        let (wg, parts) = build();
+        let (n, m) = (wg.graph().n(), wg.graph().m());
+        let strategy = PartsStrategy::Explicit(parts.clone());
+        let config = CongestConfig::for_nodes(n);
+        let mut session = Solver::builder(&wg)
+            .parts(strategy.clone())
+            .shortcut_builder(SteinerBuilder)
+            .config(config)
+            .build()
+            .expect("valid session");
+        session.plan().expect("family instances are connected");
+        // The churn target: the first non-tree edge. Deleting it cannot
+        // change BFS discovery (both endpoints are found through other
+        // edges first), so the repaired tree is the old tree and the
+        // dirty region is exactly the parts the edge touches.
+        let (e, u, v) = {
+            let tree = session.plan().expect("plan cached").tree();
+            wg.graph()
+                .edges()
+                .find(|&(e, _, _)| !tree.is_tree_edge(e))
+                .expect("every family instance has a cycle")
+        };
+        let weight = wg.weight(e);
+        // The rebuild leg's input, prepared outside the clock: the session
+        // graph minus the churned edge (surviving ids keep their order, so
+        // the weight vector just drops slot `e`).
+        let deleted = {
+            let edges: Vec<(NodeId, NodeId)> = wg
+                .graph()
+                .edges()
+                .filter(|&(ee, _, _)| ee != e)
+                .map(|(_, a, b)| (a, b))
+                .collect();
+            let weights: Vec<u64> = (0..m)
+                .filter(|&ee| ee != e)
+                .map(|ee| wg.weight(ee))
+                .collect();
+            let g = Graph::from_edges(n, edges).expect("still valid");
+            WeightedGraph::new(g, weights)
+        };
+        // Pre-clone the strategies the rebuild leg consumes, so the clock
+        // measures session construction, not `Partition` copying.
+        let mut strategies: Vec<PartsStrategy> = (0..2 * reps).map(|_| strategy.clone()).collect();
+
+        let mut repair_secs = 0.0;
+        let mut dirty_parts = 0usize;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let del = session
+                .apply(&[EdgeMutation::Delete { u, v }])
+                .expect("valid delete");
+            session.plan().expect("still connected");
+            let ins = session
+                .apply(&[EdgeMutation::Insert { u, v, weight }])
+                .expect("valid insert");
+            session.plan().expect("still connected");
+            repair_secs += start.elapsed().as_secs_f64() / 2.0;
+            assert!(
+                del.plan_repaired && ins.plan_repaired,
+                "{family}: plan must repair"
+            );
+            assert!(
+                !del.plan.full_rebuild && !ins.plan.full_rebuild,
+                "{family}: steiner repair must stay incremental"
+            );
+            dirty_parts = del.plan.parts_rebuilt.max(ins.plan.parts_rebuilt);
+        }
+
+        let mut rebuild_secs = 0.0;
+        let mut rebuilt_quality = 0usize;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let mut after_delete = Solver::builder(&deleted)
+                .parts(strategies.pop().expect("pre-cloned"))
+                .shortcut_builder(SteinerBuilder)
+                .config(config)
+                .build()
+                .expect("valid session");
+            after_delete.plan().expect("still connected");
+            let mut after_reinsert = Solver::builder(&wg)
+                .parts(strategies.pop().expect("pre-cloned"))
+                .shortcut_builder(SteinerBuilder)
+                .config(config)
+                .build()
+                .expect("valid session");
+            after_reinsert.plan().expect("still connected");
+            rebuild_secs += start.elapsed().as_secs_f64() / 2.0;
+            rebuilt_quality = after_delete.plan().expect("cached").quality().quality;
+        }
+        // Cross-leg oracle: repairing onto the deleted graph must land on
+        // the same measured quality the from-scratch rebuild reports.
+        session
+            .apply(&[EdgeMutation::Delete { u, v }])
+            .expect("valid delete");
+        assert_eq!(
+            session.plan().expect("still connected").quality().quality,
+            rebuilt_quality,
+            "{family}: repaired plan diverges from a fresh rebuild"
+        );
+        session
+            .apply(&[EdgeMutation::Insert { u, v, weight }])
+            .expect("valid insert");
+
+        let repair_ms = repair_secs / reps as f64 * 1e3;
+        let rebuild_ms = rebuild_secs / reps as f64 * 1e3;
+        rows.push(vec![
+            family,
+            n.to_string(),
+            m.to_string(),
+            parts.len().to_string(),
+            format!("{repair_ms:.2}"),
+            format!("{rebuild_ms:.2}"),
+            format!("{:.2}", rebuild_ms / repair_ms.max(1e-9)),
+            dirty_parts.to_string(),
+        ]);
+    }
+    Table {
+        id: "E16",
+        title: "Dynamic repair: Solver::apply vs from-scratch rebuild under single-edge churn"
+            .into(),
+        headers: [
+            "family",
+            "n",
+            "m",
+            "parts",
+            "repair ms",
+            "rebuild ms",
+            "speedup",
+            "parts rebuilt",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
 /// An experiment runner: `full` selects the larger parameter sweep.
 pub type ExperimentFn = fn(bool) -> Table;
 
 /// Experiments whose columns are wall-clock measurements (machine
 /// dependent): excluded from the golden-CSV gate and from determinism
 /// comparisons. The single source of truth for "which tables are timing".
-pub const TIMING_EXPERIMENTS: &[&str] = &["E13", "E14", "E15"];
+pub const TIMING_EXPERIMENTS: &[&str] = &["E13", "E14", "E15", "E16"];
 
 /// The experiment registry: `(id, runner)` pairs, lazily invocable.
 pub fn experiments() -> Vec<(&'static str, ExperimentFn)> {
@@ -1451,6 +1636,7 @@ pub fn experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("E13", e13_engine_scaling),
         ("E14", e14_plan_reuse),
         ("E15", e15_scale),
+        ("E16", e16_dynamic_repair),
     ]
 }
 
@@ -1598,6 +1784,104 @@ mod tests {
         assert!(
             attempt() || attempt() || attempt(),
             "CSR neighbor sweep under 2x the nested-Vec baseline in three consecutive runs"
+        );
+    }
+
+    #[test]
+    fn e16_repair_beats_rebuild() {
+        // The dynamic-graph acceptance bar: incremental repair must beat a
+        // from-scratch session rebuild under single-edge churn *where the
+        // rebuild is actually expensive* — the maze family, whose Voronoi
+        // cells carry deep Steiner trees and whose explicit partition costs
+        // `O(parts·n)` to revalidate from scratch. On low-diameter k-trees
+        // a full build is already near-linear, so both legs degenerate to
+        // the same `O(n + m)` traversal passes and the honest expectation
+        // is parity, not a win — those rows get a catastrophe floor, not a
+        // speedup bar. Like E14 and E15, the timing legs get retries, the
+        // `MINEX_SKIP_TIMING_ASSERTS` escape hatch, and a debug-build
+        // bypass (the rebuild leg's advantage is partly allocator and
+        // memset throughput, which debug builds distort). The correctness
+        // oracle — repaired quality equals rebuilt quality — is asserted
+        // inside `e16_dynamic_repair` itself on every run; the skip path
+        // still exercises it on a small instance.
+        let timing_asserts =
+            std::env::var_os("MINEX_SKIP_TIMING_ASSERTS").is_none() && !cfg!(debug_assertions);
+        if !timing_asserts {
+            // Small correctness-only pass: a 20x20 maze through the same
+            // repair/rebuild/oracle loop, ignoring the clock.
+            let mut rng = StdRng::seed_from_u64(16);
+            let (wg, parts) = workloads::maze_grid(20, 20, 8, &mut rng);
+            let mut session = Solver::builder(&wg)
+                .parts(PartsStrategy::Explicit(parts))
+                .shortcut_builder(SteinerBuilder)
+                .build()
+                .unwrap();
+            let q0 = session.plan().unwrap().quality().quality;
+            let (_, u, v) = {
+                let tree = session.plan().unwrap().tree();
+                wg.graph()
+                    .edges()
+                    .find(|&(e, _, _)| !tree.is_tree_edge(e))
+                    .unwrap()
+            };
+            let del = session.apply(&[EdgeMutation::Delete { u, v }]).unwrap();
+            assert!(del.plan_repaired && !del.plan.full_rebuild);
+            let ins = session
+                .apply(&[EdgeMutation::Insert { u, v, weight: 64 }])
+                .unwrap();
+            assert!(ins.plan_repaired);
+            assert_eq!(session.plan().unwrap().quality().quality, q0);
+            return;
+        }
+        let attempt = || {
+            let t = e16_dynamic_repair(false);
+            assert_eq!(t.rows.len(), 4);
+            t.rows.iter().all(|row| {
+                let speedup: f64 = row[6].parse().unwrap();
+                let parts_total: usize = row[3].parse().unwrap();
+                let dirty: usize = row[7].parse().unwrap();
+                assert!(
+                    dirty < parts_total,
+                    "{}: dirty region must be local",
+                    row[0]
+                );
+                if row[0] == "maze 316x316" {
+                    // The headline claim at 1e5 nodes: a clear win.
+                    speedup > 1.0
+                } else {
+                    // Small instances and k-trees: parity is expected;
+                    // only a catastrophic repair regression fails.
+                    speedup > 0.4
+                }
+            })
+        };
+        assert!(
+            attempt() || attempt() || attempt(),
+            "incremental repair slower than a full rebuild in three consecutive runs"
+        );
+    }
+
+    #[test]
+    #[ignore = "tier-2 scale gate: run with --release on the nightly scale job"]
+    fn e16_repair_at_most_half_rebuild_cost_at_1e5() {
+        // The PR-6 acceptance bar, pinned on the 10^5-node maze row:
+        // single-edge repair must cost at most 0.5x a from-scratch rebuild
+        // (i.e. be >= 2x cheaper). Asserted with retries; the nightly scale
+        // job treats a third consecutive miss as a regression.
+        let attempt = || {
+            let t = e16_dynamic_repair(false);
+            let row = t
+                .rows
+                .iter()
+                .find(|row| row[0] == "maze 316x316")
+                .expect("the 1e5-node maze row exists");
+            let repair: f64 = row[4].parse().unwrap();
+            let rebuild: f64 = row[5].parse().unwrap();
+            repair <= 0.5 * rebuild
+        };
+        assert!(
+            attempt() || attempt() || attempt(),
+            "repair cost above half the rebuild cost at 1e5 nodes in three consecutive runs"
         );
     }
 

@@ -43,7 +43,7 @@
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread;
 
-use minex_graphs::{Graph, NodeId};
+use minex_graphs::{GraphView, NodeId};
 
 use crate::message::Payload;
 use crate::program::{Ctx, NodeProgram};
@@ -101,7 +101,7 @@ type WorkerLink<M> = (Sender<RoundTask<M>>, Receiver<ShardDone<M>>);
 /// Runs the multi-threaded engine. `threads >= 2` and `graph.n() >= threads`
 /// (the dispatcher in [`crate::run`] guarantees both).
 pub(crate) fn run_parallel<P>(
-    graph: &Graph,
+    graph: &(dyn GraphView + Sync),
     programs: &mut [P],
     config: CongestConfig,
     threads: usize,
@@ -227,7 +227,7 @@ where
 /// the shard's inboxes, execute the shard, report back. Exits when the
 /// coordinator hangs up (run over, error, or coordinator panic).
 fn worker_loop<P: NodeProgram>(
-    graph: &Graph,
+    graph: &(dyn GraphView + Sync),
     config: CongestConfig,
     lo: NodeId,
     programs: &mut [P],
@@ -268,7 +268,7 @@ fn worker_loop<P: NodeProgram>(
 /// node `lo + i`'s inbox; validated sends move to the report in (sender,
 /// outbox position) order. Stops at the shard's first CONGEST violation.
 fn run_shard<P: NodeProgram>(
-    graph: &Graph,
+    graph: &(dyn GraphView + Sync),
     config: &CongestConfig,
     round: usize,
     lo: NodeId,

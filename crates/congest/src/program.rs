@@ -1,6 +1,6 @@
 //! Node programs: the per-node state machines executed by the runtime.
 
-use minex_graphs::{EdgeId, Graph, NodeId};
+use minex_graphs::{EdgeId, GraphView, NodeId};
 
 use crate::message::Payload;
 
@@ -12,7 +12,7 @@ use crate::message::Payload;
 /// [`send`](Ctx::send) / [`broadcast`](Ctx::broadcast).
 #[derive(Debug)]
 pub struct Ctx<'a, M: Payload> {
-    graph: &'a Graph,
+    graph: &'a (dyn GraphView + Sync),
     node: NodeId,
     round: usize,
     inbox: &'a [(NodeId, M)],
@@ -21,7 +21,7 @@ pub struct Ctx<'a, M: Payload> {
 
 impl<'a, M: Payload> Ctx<'a, M> {
     pub(crate) fn new(
-        graph: &'a Graph,
+        graph: &'a (dyn GraphView + Sync),
         node: NodeId,
         round: usize,
         inbox: &'a [(NodeId, M)],
@@ -53,7 +53,11 @@ impl<'a, M: Payload> Ctx<'a, M> {
 
     /// This node's neighbors, as `(neighbor, edge id)` pairs.
     pub fn neighbors(&self) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
-        self.graph.neighbors(self.node)
+        self.graph
+            .neighbor_targets(self.node)
+            .iter()
+            .zip(self.graph.neighbor_edge_ids(self.node))
+            .map(|(&w, &e)| (w as NodeId, e as EdgeId))
     }
 
     /// This node's neighbors as the raw sorted CSR slice — the

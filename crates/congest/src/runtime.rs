@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use minex_graphs::{Graph, NodeId};
+use minex_graphs::{GraphView, NodeId};
 
 use crate::message::{bits_for, Payload};
 use crate::program::{Ctx, NodeProgram};
@@ -216,7 +216,7 @@ impl SendValidator {
     #[inline]
     pub(crate) fn check(
         &mut self,
-        graph: &Graph,
+        graph: &dyn GraphView,
         config: &CongestConfig,
         from: NodeId,
         to: NodeId,
@@ -279,7 +279,7 @@ impl SendValidator {
 ///
 /// Panics if `programs.len() != graph.n()`.
 pub fn run<P>(
-    graph: &Graph,
+    graph: &(dyn GraphView + Sync),
     programs: &mut [P],
     config: CongestConfig,
 ) -> Result<RunStats, SimError>
@@ -304,7 +304,7 @@ where
 
 /// The single-threaded engine: the reference semantics.
 fn run_sequential<P: NodeProgram>(
-    graph: &Graph,
+    graph: &(dyn GraphView + Sync),
     programs: &mut [P],
     config: CongestConfig,
 ) -> Result<RunStats, SimError> {
@@ -522,7 +522,7 @@ mod tests {
     /// The seed's per-round-allocating delivery loop, kept verbatim as the
     /// reference semantics the batched runtime must reproduce exactly.
     fn run_naive<P: NodeProgram>(
-        graph: &Graph,
+        graph: &(dyn GraphView + Sync),
         programs: &mut [P],
         config: CongestConfig,
     ) -> Result<RunStats, SimError> {

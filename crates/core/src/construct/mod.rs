@@ -45,6 +45,30 @@ pub trait ShortcutBuilder: std::fmt::Debug {
     /// Builds the shortcut. Implementations must return tree-restricted
     /// assignments covering exactly `parts.len()` parts.
     fn build(&self, g: &Graph, tree: &RootedTree, parts: &Partition) -> Shortcut;
+
+    /// Incrementally rebuilds only the `dirty` parts of `prev`, reusing
+    /// every other part's edges unchanged — the hook
+    /// [`ShortcutPlan::repair`](crate::ShortcutPlan::repair) calls after
+    /// edge churn.
+    ///
+    /// `prev` already has clean parts' edge ids remapped to `g`'s ids;
+    /// dirty slots hold stale data and must be recomputed against
+    /// `(g, tree, parts)`. An implementation may only override this if its
+    /// per-part output depends on nothing outside that part's nodes and
+    /// the tree structure they hang on — builders with cross-part coupling
+    /// (capped congestion balancing, global quality sweeps) must keep the
+    /// default, which returns `None` to request a full
+    /// [`build`](Self::build).
+    fn rebuild_parts(
+        &self,
+        _g: &Graph,
+        _tree: &RootedTree,
+        _parts: &Partition,
+        _prev: &Shortcut,
+        _dirty: &[usize],
+    ) -> Option<Shortcut> {
+        None
+    }
 }
 
 impl<B: ShortcutBuilder + ?Sized> ShortcutBuilder for &B {
@@ -54,6 +78,16 @@ impl<B: ShortcutBuilder + ?Sized> ShortcutBuilder for &B {
     fn build(&self, g: &Graph, tree: &RootedTree, parts: &Partition) -> Shortcut {
         (**self).build(g, tree, parts)
     }
+    fn rebuild_parts(
+        &self,
+        g: &Graph,
+        tree: &RootedTree,
+        parts: &Partition,
+        prev: &Shortcut,
+        dirty: &[usize],
+    ) -> Option<Shortcut> {
+        (**self).rebuild_parts(g, tree, parts, prev, dirty)
+    }
 }
 
 impl ShortcutBuilder for Box<dyn ShortcutBuilder + '_> {
@@ -62,5 +96,15 @@ impl ShortcutBuilder for Box<dyn ShortcutBuilder + '_> {
     }
     fn build(&self, g: &Graph, tree: &RootedTree, parts: &Partition) -> Shortcut {
         (**self).build(g, tree, parts)
+    }
+    fn rebuild_parts(
+        &self,
+        g: &Graph,
+        tree: &RootedTree,
+        parts: &Partition,
+        prev: &Shortcut,
+        dirty: &[usize],
+    ) -> Option<Shortcut> {
+        (**self).rebuild_parts(g, tree, parts, prev, dirty)
     }
 }

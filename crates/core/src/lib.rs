@@ -50,7 +50,7 @@ mod shortcut;
 mod spanning;
 
 pub use parts::{Partition, PartitionError};
-pub use plan::ShortcutPlan;
+pub use plan::{PlanRepairStats, ShortcutPlan};
 pub use shortcut::{
     augmented_part_diameter, measure_quality, validate_tree_restricted, NotTreeRestricted,
     QualityReport, Shortcut,

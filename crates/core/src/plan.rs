@@ -17,12 +17,32 @@
 //! drivers — so repeated queries never rebuild trees, partitions, or
 //! shortcuts.
 
-use minex_graphs::{Graph, NodeId};
+use minex_graphs::{EdgeId, Graph, NodeId};
 
 use crate::construct::ShortcutBuilder;
 use crate::parts::Partition;
 use crate::shortcut::{measure_quality, QualityReport, Shortcut};
 use crate::spanning::RootedTree;
+
+/// What [`ShortcutPlan::repair`] did, for callers that surface repair
+/// telemetry (the solver's `RepairStats` embeds this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanRepairStats {
+    /// The partition differed from the previous plan's, forcing a full
+    /// rebuild regardless of dirty-region analysis.
+    pub partition_changed: bool,
+    /// The builder declined incremental rebuilding (or the partition
+    /// changed) and `build` ran over every part.
+    pub full_rebuild: bool,
+    /// Total number of parts in the repaired plan.
+    pub parts_total: usize,
+    /// Parts whose shortcut edges were recomputed.
+    pub parts_rebuilt: usize,
+    /// Parts whose previous edges were reused (remapped to new edge ids).
+    pub parts_reused: usize,
+    /// Nodes whose spanning-tree parent changed under the mutation batch.
+    pub tree_changed_nodes: usize,
+}
 
 /// A fully materialized shortcut plan: spanning tree, partition, shortcut,
 /// and measured quality, ready to serve queries.
@@ -94,6 +114,131 @@ impl ShortcutPlan {
     pub fn into_parts(self) -> (RootedTree, Partition, Shortcut, QualityReport) {
         (self.tree, self.parts, self.shortcut, self.quality)
     }
+
+    /// Repairs this plan after edge churn, recomputing only the dirty
+    /// region. The result is **byte-identical** to
+    /// `ShortcutPlan::build(g, root, parts, builder)` on the mutated graph
+    /// — repair is an optimization, never a semantic fork.
+    ///
+    /// Inputs describe the mutation batch:
+    ///
+    /// * `g` is the *mutated* (compacted) graph; `root` the plan anchor.
+    /// * `edge_remap[old_id]` is the edge's id in `g`, or `None` if the
+    ///   edge was deleted (mutations renumber ids — they are lexicographic
+    ///   ranks).
+    /// * `touched` lists the endpoints of every mutated edge.
+    ///
+    /// The spanning tree is always re-derived (BFS is one `O(n + m)` pass;
+    /// byte-identity demands it). A part is **dirty** when a mutation can
+    /// reach its shortcut: one of its nodes was a mutation endpoint or
+    /// changed tree parent, one of its previous shortcut edges vanished or
+    /// left the tree, or such an edge's endpoint changed parent / was
+    /// touched. Clean parts keep their previous edges, remapped to the new
+    /// ids; dirty parts go through
+    /// [`ShortcutBuilder::rebuild_parts`], and builders that decline (the
+    /// default — required for builders with cross-part coupling) fall back
+    /// to a full [`ShortcutBuilder::build`]. Quality is always re-measured
+    /// on the mutated graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is empty or disconnected, `root` is out of range, or
+    /// the node count changed (churn mutates edges, never nodes).
+    pub fn repair(
+        &self,
+        g: &Graph,
+        root: NodeId,
+        parts: Partition,
+        builder: &dyn ShortcutBuilder,
+        edge_remap: &[Option<EdgeId>],
+        touched: &[NodeId],
+    ) -> (ShortcutPlan, PlanRepairStats) {
+        assert_eq!(
+            g.n(),
+            self.tree.n(),
+            "edge churn cannot change the node count"
+        );
+        let tree = RootedTree::bfs(g, root);
+        let mut stats = PlanRepairStats {
+            parts_total: parts.len(),
+            ..PlanRepairStats::default()
+        };
+        // `moved` marks nodes whose tree parent pointer changed; `unstable`
+        // additionally marks mutation endpoints. A part is dirty if it
+        // *contains* an unstable node (a part-local construction may look at
+        // the graph around its own nodes), but a remapped shortcut edge only
+        // goes stale if one of its endpoints *moved*: by the
+        // [`ShortcutBuilder::rebuild_parts`] contract a part's edges depend
+        // on nothing outside the part's nodes and the tree, and an old tree
+        // path whose nodes all kept their parent pointers is the same parent
+        // chain in the new tree. Churn at a hub (k-trees!) would otherwise
+        // dirty every part whose Steiner paths route through it.
+        let mut moved = vec![false; g.n()];
+        for (v, m) in moved.iter_mut().enumerate() {
+            if self.tree.parent(v) != tree.parent(v) {
+                *m = true;
+                stats.tree_changed_nodes += 1;
+            }
+        }
+        let mut unstable = moved.clone();
+        for &v in touched {
+            unstable[v] = true;
+        }
+        stats.partition_changed = parts.parts() != self.parts.parts();
+        let shortcut = if stats.partition_changed {
+            None
+        } else {
+            // Remap each part's previous edges; collect dirty part indices.
+            let mut per_part: Vec<Vec<EdgeId>> = Vec::with_capacity(parts.len());
+            let mut dirty: Vec<usize> = Vec::new();
+            for (i, part) in parts.parts().iter().enumerate() {
+                let mut is_dirty = part.iter().any(|&v| unstable[v]);
+                let mut mapped = Vec::with_capacity(self.shortcut.edges(i).len());
+                if !is_dirty {
+                    for &e in self.shortcut.edges(i) {
+                        match edge_remap.get(e).copied().flatten() {
+                            Some(ne) if tree.is_tree_edge(ne) => {
+                                let (u, v) = g.endpoints(ne);
+                                if moved[u] || moved[v] {
+                                    is_dirty = true;
+                                    break;
+                                }
+                                mapped.push(ne);
+                            }
+                            _ => {
+                                is_dirty = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if is_dirty {
+                    dirty.push(i);
+                    mapped.clear();
+                }
+                per_part.push(mapped);
+            }
+            stats.parts_rebuilt = dirty.len();
+            stats.parts_reused = parts.len() - dirty.len();
+            builder.rebuild_parts(g, &tree, &parts, &Shortcut::new(per_part), &dirty)
+        };
+        let shortcut = shortcut.unwrap_or_else(|| {
+            stats.full_rebuild = true;
+            stats.parts_rebuilt = parts.len();
+            stats.parts_reused = 0;
+            builder.build(g, &tree, &parts)
+        });
+        let quality = measure_quality(g, &tree, &parts, &shortcut);
+        (
+            ShortcutPlan {
+                tree,
+                parts,
+                shortcut,
+                quality,
+            },
+            stats,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +279,118 @@ mod tests {
         let via_impl = ShortcutPlan::build(&g, 0, parts, &boxed);
         assert_eq!(plan.shortcut(), via_impl.shortcut());
         assert_eq!(boxed.name(), "steiner");
+    }
+
+    /// Old → new edge-id remap for two graphs over the same node set: a
+    /// merge of the two sorted canonical edge lists.
+    fn remap(old: &Graph, new: &Graph) -> Vec<Option<usize>> {
+        old.edges()
+            .map(|(_, u, v)| new.edge_between(u, v))
+            .collect()
+    }
+
+    /// Repairing after a batch must reproduce a from-scratch build exactly.
+    fn assert_repair_matches_fresh(
+        old: &Graph,
+        new: &Graph,
+        root: usize,
+        parts: &Partition,
+        builder: &dyn ShortcutBuilder,
+        touched: &[usize],
+    ) -> PlanRepairStats {
+        let prev = ShortcutPlan::build(old, root, parts.clone(), builder);
+        let (repaired, stats) =
+            prev.repair(new, root, parts.clone(), builder, &remap(old, new), touched);
+        let fresh = ShortcutPlan::build(new, root, parts.clone(), builder);
+        assert_eq!(repaired.shortcut(), fresh.shortcut());
+        assert_eq!(repaired.quality(), fresh.quality());
+        assert_eq!(repaired.tree().root(), fresh.tree().root());
+        for v in 0..new.n() {
+            assert_eq!(repaired.tree().parent(v), fresh.tree().parent(v));
+        }
+        stats
+    }
+
+    #[test]
+    fn steiner_repair_reuses_untouched_parts() {
+        let old = generators::triangulated_grid(6, 6);
+        // Delete a diagonal far from both parts: the BFS tree is unchanged
+        // and every part stays clean.
+        let victim = {
+            let t = RootedTree::bfs(&old, 0);
+            old.edges()
+                .find(|&(e, u, v)| !t.is_tree_edge(e) && u >= 24 && v >= 24)
+                .map(|(_, u, v)| (u, v))
+                .expect("a non-tree edge in the last rows")
+        };
+        let new = Graph::from_edges(
+            old.n(),
+            old.edges()
+                .filter(|&(_, u, v)| (u, v) != victim)
+                .map(|(_, u, v)| (u, v)),
+        )
+        .unwrap();
+        let parts = Partition::new(&old, vec![(0..6).collect(), (6..12).collect()]).unwrap();
+        let stats = assert_repair_matches_fresh(
+            &old,
+            &new,
+            0,
+            &parts,
+            &SteinerBuilder,
+            &[victim.0, victim.1],
+        );
+        assert!(!stats.full_rebuild);
+        assert!(!stats.partition_changed);
+        assert_eq!(stats.parts_reused, 2);
+        assert_eq!(stats.parts_rebuilt, 0);
+    }
+
+    #[test]
+    fn steiner_repair_rebuilds_dirty_parts_only() {
+        let old = generators::triangulated_grid(6, 6);
+        // Insert an edge incident to part 0's region.
+        let new = Graph::from_edges(
+            old.n(),
+            old.edges().map(|(_, u, v)| (u, v)).chain([(0, 13)]),
+        )
+        .unwrap();
+        let parts = Partition::new(&old, vec![(0..6).collect(), (24..30).collect()]).unwrap();
+        let stats = assert_repair_matches_fresh(&old, &new, 35, &parts, &SteinerBuilder, &[0, 13]);
+        assert!(!stats.full_rebuild);
+        assert_eq!(stats.parts_rebuilt, 1, "only the touched part rebuilds");
+        assert_eq!(stats.parts_reused, 1);
+    }
+
+    #[test]
+    fn coupled_builders_fall_back_to_full_rebuild() {
+        // AutoCappedBuilder's quality sweep couples parts globally, so it
+        // keeps the default rebuild_parts — repair must do a full build and
+        // still agree with fresh construction.
+        let old = generators::wheel(17);
+        let new = Graph::from_edges(old.n(), old.edges().map(|(_, u, v)| (u, v)).chain([(0, 8)]))
+            .unwrap();
+        let parts = Partition::new(&old, vec![(0..4).collect(), (8..12).collect()]).unwrap();
+        let stats =
+            assert_repair_matches_fresh(&old, &new, 16, &parts, &AutoCappedBuilder, &[0, 8]);
+        assert!(stats.full_rebuild);
+        assert_eq!(stats.parts_rebuilt, 2);
+        assert_eq!(stats.parts_reused, 0);
+    }
+
+    #[test]
+    fn partition_change_forces_full_rebuild() {
+        let g = generators::grid(4, 4);
+        let parts_a = Partition::new(&g, vec![vec![0, 1]]).unwrap();
+        let parts_b = Partition::new(&g, vec![vec![14, 15]]).unwrap();
+        let prev = ShortcutPlan::build(&g, 0, parts_a, &SteinerBuilder);
+        let identity: Vec<Option<usize>> = (0..g.m()).map(Some).collect();
+        let (repaired, stats) =
+            prev.repair(&g, 0, parts_b.clone(), &SteinerBuilder, &identity, &[]);
+        assert!(stats.partition_changed);
+        assert!(stats.full_rebuild);
+        let fresh = ShortcutPlan::build(&g, 0, parts_b, &SteinerBuilder);
+        assert_eq!(repaired.shortcut(), fresh.shortcut());
+        assert_eq!(repaired.quality(), fresh.quality());
     }
 
     #[test]

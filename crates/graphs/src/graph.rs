@@ -76,6 +76,20 @@ pub enum GraphError {
     Disconnected,
     /// An operation required a non-empty graph.
     Empty,
+    /// A mutation would push the edge count past the `u32` CSR capacity
+    /// ([`MAX_EDGES`]) or a configured lower cap.
+    TooManyEdges {
+        /// The edge-count limit that would have been exceeded.
+        limit: usize,
+    },
+    /// A deletion named an edge `{u, v}` that does not exist (or no longer
+    /// exists) in the graph.
+    EdgeNotFound {
+        /// One endpoint as supplied.
+        u: NodeId,
+        /// The other endpoint as supplied.
+        v: NodeId,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -90,6 +104,12 @@ impl fmt::Display for GraphError {
             }
             GraphError::Disconnected => write!(f, "graph must be connected"),
             GraphError::Empty => write!(f, "graph must be non-empty"),
+            GraphError::TooManyEdges { limit } => {
+                write!(f, "edge count would exceed the limit of {limit} edges")
+            }
+            GraphError::EdgeNotFound { u, v } => {
+                write!(f, "edge {{{u}, {v}}} does not exist")
+            }
         }
     }
 }
@@ -142,7 +162,7 @@ impl fmt::Debug for Graph {
 
 /// Validates one endpoint pair, returning the canonical `(min, max)` form.
 #[inline]
-fn canonical(u: NodeId, v: NodeId, n: usize) -> Result<(u32, u32), GraphError> {
+pub(crate) fn canonical(u: NodeId, v: NodeId, n: usize) -> Result<(u32, u32), GraphError> {
     if u == v {
         return Err(GraphError::SelfLoop(u));
     }
@@ -980,6 +1000,14 @@ mod tests {
         assert_eq!(
             GraphError::DuplicateEdge { u: 1, v: 2 }.to_string(),
             "edge {1, 2} was streamed twice"
+        );
+        assert_eq!(
+            GraphError::TooManyEdges { limit: 7 }.to_string(),
+            "edge count would exceed the limit of 7 edges"
+        );
+        assert_eq!(
+            GraphError::EdgeNotFound { u: 4, v: 0 }.to_string(),
+            "edge {4, 0} does not exist"
         );
     }
 }

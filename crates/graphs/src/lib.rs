@@ -9,6 +9,10 @@
 //! * [`Graph`] / [`WeightedGraph`] — immutable simple graphs with dense node
 //!   and edge ids, stored in flat CSR arrays (`u32` offsets/targets/edge
 //!   ids, ≈24 bytes per edge) so million-node instances stay cache-resident;
+//! * [`DeltaGraph`] / [`EdgeMutation`] — a mutable delta-overlay for edge
+//!   churn (tombstone bitmap + sorted insert buffer, threshold-triggered
+//!   compaction back into flat CSR), sharing the read surface with [`Graph`]
+//!   through the object-safe [`GraphView`] trait;
 //! * [`mod@reference`] — the pre-CSR nested-`Vec` adjacency list, kept as the
 //!   differential-testing and benchmarking baseline;
 //! * [`generators`] — every graph family the paper names (planar, bounded
@@ -75,6 +79,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod delta;
 pub mod embedding;
 pub mod generators;
 pub mod geometry;
@@ -83,10 +88,13 @@ pub mod minor;
 pub mod reference;
 pub mod traversal;
 mod union_find;
+mod view;
 pub mod weights;
 
+pub use delta::{DeltaGraph, EdgeMutation};
 pub use graph::{
     EdgeId, Graph, GraphBuilder, GraphError, NodeId, WeightedGraph, MAX_EDGES, MAX_NODES,
 };
 pub use union_find::UnionFind;
+pub use view::GraphView;
 pub use weights::WeightModel;

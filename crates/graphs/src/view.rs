@@ -1,0 +1,196 @@
+//! [`GraphView`]: the object-safe read surface shared by the frozen CSR
+//! [`Graph`] and the mutable [`DeltaGraph`](crate::DeltaGraph) overlay.
+//!
+//! Everything downstream of the graph substrate — BFS traversal, the
+//! CONGEST simulator's `Ctx::broadcast`, `measure_quality` — consumes
+//! adjacency through exactly four primitive accessors (`degree`,
+//! `neighbor_targets`, `neighbor_edge_ids`, `endpoints`). This trait pins
+//! that contract down so those consumers run unmodified on either
+//! representation: the slices returned are borrowed, allocation-free rows,
+//! sorted ascending by target and aligned pairwise, just like the raw CSR
+//! arrays.
+//!
+//! Edge ids under a view are *dense for [`Graph`]* (`0..m`) but merely
+//! *bounded for overlays*: a [`DeltaGraph`](crate::DeltaGraph) hands out
+//! provisional ids past the base graph's range and retires tombstoned ids
+//! without reuse, so consumers that index per-edge arrays must size them by
+//! [`edge_id_bound`](GraphView::edge_id_bound), not [`m`](GraphView::m).
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// Object-safe, allocation-free read access to an undirected simple graph.
+///
+/// Implementations must uphold the CSR row contract:
+///
+/// * [`neighbor_targets`](Self::neighbor_targets) is sorted ascending and
+///   aligned index-by-index with
+///   [`neighbor_edge_ids`](Self::neighbor_edge_ids);
+/// * every edge id appearing in a row is live, below
+///   [`edge_id_bound`](Self::edge_id_bound), and round-trips through
+///   [`endpoints`](Self::endpoints);
+/// * adjacency is symmetric (`w ∈ row(v)` iff `v ∈ row(w)`, same edge id).
+///
+/// The trait is object-safe on purpose: the CONGEST runtime stores a
+/// `&dyn GraphView` so `NodeProgram` implementations need no generic
+/// plumbing.
+pub trait GraphView: std::fmt::Debug {
+    /// Number of nodes.
+    fn n(&self) -> usize;
+
+    /// Number of **live** edges.
+    fn m(&self) -> usize;
+
+    /// Exclusive upper bound on the edge ids this view can hand out.
+    ///
+    /// Equal to [`m`](Self::m) for a frozen [`Graph`]; an overlay with
+    /// provisional or retired ids reports a larger bound. Size per-edge
+    /// scratch arrays by this, never by `m`.
+    fn edge_id_bound(&self) -> usize {
+        self.m()
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    fn degree(&self, v: NodeId) -> usize;
+
+    /// The neighbors of `v` as a raw sorted `u32` slice, aligned with
+    /// [`neighbor_edge_ids`](Self::neighbor_edge_ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    fn neighbor_targets(&self, v: NodeId) -> &[u32];
+
+    /// The edge ids incident to `v`, aligned with
+    /// [`neighbor_targets`](Self::neighbor_targets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    fn neighbor_edge_ids(&self, v: NodeId) -> &[u32];
+
+    /// The endpoints `(u, v)` of live edge `e`, with `u < v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a live edge id of this view.
+    fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId);
+
+    /// Given edge `e` incident to `v`, returns the other endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not live or `v` is not an endpoint of `e`.
+    fn other_endpoint(&self, e: EdgeId, v: NodeId) -> NodeId {
+        let (a, b) = self.endpoints(e);
+        if v == a {
+            b
+        } else {
+            assert_eq!(v, b, "node {v} is not an endpoint of edge {e}");
+            a
+        }
+    }
+
+    /// Returns the edge id between `u` and `v`, if any. Out-of-range
+    /// endpoints yield `None`.
+    fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if u >= self.n() || v >= self.n() {
+            return None;
+        }
+        // Search from the lower-degree endpoint; rows are sorted.
+        let (from, to) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbor_targets(from)
+            .binary_search(&(to as u32))
+            .ok()
+            .map(|i| self.neighbor_edge_ids(from)[i] as EdgeId)
+    }
+
+    /// Whether an edge `{u, v}` exists.
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+}
+
+impl GraphView for Graph {
+    #[inline]
+    fn n(&self) -> usize {
+        Graph::n(self)
+    }
+
+    #[inline]
+    fn m(&self) -> usize {
+        Graph::m(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        Graph::degree(self, v)
+    }
+
+    #[inline]
+    fn neighbor_targets(&self, v: NodeId) -> &[u32] {
+        Graph::neighbor_targets(self, v)
+    }
+
+    #[inline]
+    fn neighbor_edge_ids(&self, v: NodeId) -> &[u32] {
+        Graph::neighbor_edge_ids(self, v)
+    }
+
+    #[inline]
+    fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        Graph::endpoints(self, e)
+    }
+
+    #[inline]
+    fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        Graph::edge_between(self, u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]).unwrap()
+    }
+
+    #[test]
+    fn view_delegates_to_csr_accessors() {
+        let g = sample();
+        let v: &dyn GraphView = &g;
+        assert_eq!(v.n(), g.n());
+        assert_eq!(v.m(), g.m());
+        assert_eq!(v.edge_id_bound(), g.m());
+        for node in 0..g.n() {
+            assert_eq!(v.degree(node), g.degree(node));
+            assert_eq!(v.neighbor_targets(node), g.neighbor_targets(node));
+            assert_eq!(v.neighbor_edge_ids(node), g.neighbor_edge_ids(node));
+        }
+        for e in 0..g.m() {
+            assert_eq!(v.endpoints(e), g.endpoints(e));
+            let (a, b) = g.endpoints(e);
+            assert_eq!(v.other_endpoint(e, a), b);
+        }
+    }
+
+    #[test]
+    fn provided_edge_between_matches_inherent() {
+        let g = sample();
+        let v: &dyn GraphView = &g;
+        for u in 0..g.n() + 2 {
+            for w in 0..g.n() + 2 {
+                assert_eq!(v.edge_between(u, w), g.edge_between(u, w), "({u},{w})");
+                assert_eq!(v.has_edge(u, w), g.has_edge(u, w));
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Churn leg of the differential property battery: a [`DeltaGraph`]
+//! overlay driven by random mutation sequences against the nested-Vec
+//! [`AdjListGraph`] reference rebuilt from scratch after every step batch.
+//!
+//! The model is a plain sorted edge set. After a random mix of valid
+//! inserts, valid deletes, and *invalid* operations (duplicate inserts,
+//! deletes of missing edges — which must error without mutating anything),
+//! every accessor the workspace consumes through [`GraphView`] must agree
+//! with the reference built from the model: `n`/`m`/`degree`/
+//! `neighbor_targets`/`neighbor_edge_ids`/`endpoints`/`edge_between`/
+//! `has_edge`. Compaction (explicit or threshold-triggered) must be
+//! invisible to accessors, and a [`DeltaGraph::snapshot`] must equal
+//! `Graph::from_edges` on the model byte for byte.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use minex_graphs::reference::AdjListGraph;
+use minex_graphs::{DeltaGraph, EdgeMutation, Graph, GraphView, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random initial edge list over `n` nodes (canonicalized, deduplicated).
+fn seed_edges(n: usize, raw: usize, rng: &mut StdRng) -> Vec<(NodeId, NodeId)> {
+    let mut set = BTreeSet::new();
+    if n < 2 {
+        return Vec::new();
+    }
+    for _ in 0..raw {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v {
+            set.insert((u.min(v), u.max(v)));
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// One random churn step against model + overlay, keeping them in lockstep.
+/// Roughly a third of the steps attempt an *invalid* operation and assert
+/// the overlay rejects it.
+fn churn_step(dg: &mut DeltaGraph, model: &mut BTreeSet<(NodeId, NodeId)>, rng: &mut StdRng) {
+    let n = dg.n();
+    let pick_pair = |rng: &mut StdRng| {
+        let u = rng.random_range(0..n);
+        let mut v = rng.random_range(0..n);
+        if u == v {
+            v = (v + 1) % n;
+        }
+        (u.min(v), u.max(v))
+    };
+    match rng.random_range(0..6u32) {
+        // Valid insert of an absent pair (rejection-sampled; give up and
+        // skip the step if the graph is locally dense).
+        0 | 1 => {
+            for _ in 0..32 {
+                let (u, v) = pick_pair(rng);
+                if !model.contains(&(u, v)) {
+                    dg.insert_edge(u, v).expect("absent pair inserts");
+                    model.insert((u, v));
+                    break;
+                }
+            }
+        }
+        // Valid delete of a live edge.
+        2 | 3 => {
+            if !model.is_empty() {
+                let i = rng.random_range(0..model.len());
+                let &(u, v) = model.iter().nth(i).expect("index in range");
+                dg.delete_edge(u, v).expect("live edge deletes");
+                model.remove(&(u, v));
+            }
+        }
+        // Invalid insert: a pair that is already live must be rejected
+        // and leave the overlay untouched.
+        4 => {
+            if !model.is_empty() {
+                let i = rng.random_range(0..model.len());
+                let &(u, v) = model.iter().nth(i).expect("index in range");
+                let epoch = dg.epoch();
+                assert!(dg.insert_edge(u, v).is_err(), "duplicate insert must fail");
+                assert_eq!(dg.epoch(), epoch, "failed insert must not tick the epoch");
+            }
+        }
+        // Invalid delete: an absent pair must be rejected.
+        _ => {
+            for _ in 0..32 {
+                let (u, v) = pick_pair(rng);
+                if !model.contains(&(u, v)) {
+                    let epoch = dg.epoch();
+                    assert!(dg.delete_edge(u, v).is_err(), "missing delete must fail");
+                    assert_eq!(dg.epoch(), epoch, "failed delete must not tick the epoch");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Accessor-by-accessor agreement of the overlay with the reference built
+/// from the model edge set.
+fn assert_agrees(dg: &DeltaGraph, model: &BTreeSet<(NodeId, NodeId)>) {
+    let n = dg.n();
+    let r = AdjListGraph::from_edges(n, model.iter().copied()).expect("model is valid");
+    assert_eq!(dg.m(), r.m(), "live edge count");
+    for v in 0..n {
+        assert_eq!(dg.degree(v), r.degree(v), "degree({v})");
+        let targets = dg.neighbor_targets(v);
+        let ids = dg.neighbor_edge_ids(v);
+        assert_eq!(targets.len(), ids.len(), "row lengths of {v}");
+        let mut expected: Vec<NodeId> = r.neighbors(v).map(|(w, _)| w).collect();
+        expected.sort_unstable();
+        let got: Vec<NodeId> = targets.iter().map(|&t| t as NodeId).collect();
+        assert_eq!(got, expected, "sorted merged row of {v}");
+        // Edge ids must be consistent: endpoints of each row id give back
+        // exactly {v, target}, and edge_between round-trips.
+        for (&t, &e) in targets.iter().zip(ids) {
+            let w = t as NodeId;
+            let (a, b) = dg.endpoints(e as usize);
+            assert_eq!((a.min(b), a.max(b)), (v.min(w), v.max(w)), "endpoints({e})");
+            assert_eq!(
+                dg.edge_between(v, w),
+                Some(e as usize),
+                "edge_between({v},{w})"
+            );
+            assert!(dg.has_edge(v, w));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random mutation sequences: the overlay agrees with a from-scratch
+    /// reference after every mutation, across insert-buffer and tombstone
+    /// states and across threshold-triggered compactions.
+    #[test]
+    fn churn_agrees_with_reference(n in 2usize..40, raw in 0usize..120,
+                                   steps in 1usize..60, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = seed_edges(n, raw, &mut rng);
+        let base = Graph::from_edges(n, edges.iter().copied()).expect("valid seed");
+        let mut model: BTreeSet<(NodeId, NodeId)> = edges.into_iter().collect();
+        // A tiny compaction threshold so threshold-triggered compactions
+        // actually fire inside the sequence.
+        let mut dg = DeltaGraph::with_limits(base, 8, usize::MAX);
+        for _ in 0..steps {
+            churn_step(&mut dg, &mut model, &mut rng);
+        }
+        assert_agrees(&dg, &model);
+    }
+
+    /// Post-compaction equality: an explicit `compact()` must leave the
+    /// overlay agreeing with the reference, and `snapshot()` must equal
+    /// `Graph::from_edges` on the model byte for byte (same edge ids).
+    #[test]
+    fn compaction_is_invisible_and_snapshot_is_canonical(
+        n in 2usize..40, raw in 0usize..120, steps in 1usize..60, seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1 << 32));
+        let edges = seed_edges(n, raw, &mut rng);
+        let base = Graph::from_edges(n, edges.iter().copied()).expect("valid seed");
+        let mut model: BTreeSet<(NodeId, NodeId)> = edges.into_iter().collect();
+        let mut dg = DeltaGraph::new(base);
+        for _ in 0..steps {
+            churn_step(&mut dg, &mut model, &mut rng);
+        }
+        let snap = dg.snapshot();
+        let rebuilt = Graph::from_edges(n, model.iter().copied()).expect("model is valid");
+        prop_assert_eq!(&snap, &rebuilt, "snapshot == from-scratch rebuild");
+        dg.compact();
+        prop_assert_eq!(dg.pending(), 0, "compaction drains the overlay");
+        assert_agrees(&dg, &model);
+        prop_assert_eq!(dg.base(), &rebuilt, "compacted base is the canonical CSR");
+    }
+
+    /// Mutation batches expressed as [`EdgeMutation`] values apply through
+    /// `apply_mutation` exactly like the direct calls.
+    #[test]
+    fn apply_mutation_matches_direct_calls(n in 2usize..30, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2 << 40));
+        let edges = seed_edges(n, 40, &mut rng);
+        let base = Graph::from_edges(n, edges.iter().copied()).expect("valid seed");
+        let mut a = DeltaGraph::new(base.clone());
+        let mut b = DeltaGraph::new(base);
+        let mut model: BTreeSet<(NodeId, NodeId)> = edges.iter().copied().collect();
+        for _ in 0..30 {
+            churn_step(&mut a, &mut model, &mut rng);
+        }
+        // Replay a's net effect on b as a mutation batch: drop the seed
+        // edges a deleted, add the edges a inserted.
+        let snap = a.snapshot();
+        for &(u, v) in &edges {
+            if !snap.has_edge(u, v) {
+                b.apply_mutation(&EdgeMutation::Delete { u, v }).expect("valid");
+            }
+        }
+        for (_, u, v) in snap.edges() {
+            if !b.has_edge(u, v) {
+                b.apply_mutation(&EdgeMutation::Insert { u, v, weight: 1 }).expect("valid");
+            }
+        }
+        prop_assert_eq!(b.snapshot(), snap);
+    }
+}

@@ -45,7 +45,8 @@ pub use minex_decomp as decomp;
 pub use minex_graphs as graphs;
 
 pub use minex_algo::solver::{
-    AlgoError, Components, MinCut, Mst, PartsStrategy, PartwiseMin, PhaseRun, Report, ReportStats,
-    Solver, SolverBuilder, Sssp, SsspDetail, Tier,
+    AlgoError, Components, MinCut, Mst, PartsStrategy, PartwiseMin, PhaseRun, RepairStats, Report,
+    ReportStats, Solver, SolverBuilder, Sssp, SsspDetail, Tier,
 };
-pub use minex_core::ShortcutPlan;
+pub use minex_core::{PlanRepairStats, ShortcutPlan};
+pub use minex_graphs::{DeltaGraph, EdgeMutation};
