@@ -49,6 +49,43 @@
 //! assert_eq!(mst.value.total_weight, kruskal(&wg).1);
 //! # Ok::<(), minex_algo::solver::AlgoError>(())
 //! ```
+//!
+//! ## Observability
+//!
+//! Sessions can record a [`SessionTrace`](solver::SessionTrace): lifetime
+//! counters (memo hits/misses, plans built/repaired), one span per query,
+//! and a wire-level `CongestionProfile` fed by the simulator's telemetry
+//! sinks. The whole record is deterministic — byte-identical across the
+//! sequential and parallel engines and any `MINEX_THREADS` setting — and
+//! exports as JSON Lines via
+//! [`SessionTrace::to_jsonl`](solver::SessionTrace::to_jsonl):
+//!
+//! ```
+//! use minex_algo::solver::{PartsStrategy, Solver, Tier};
+//! use minex_core::construct::SteinerBuilder;
+//! use minex_graphs::generators;
+//!
+//! let g = generators::triangulated_grid(5, 5);
+//! let mut solver = Solver::for_graph(&g)
+//!     .parts(PartsStrategy::Voronoi { parts: 4, seed: 7 })
+//!     .shortcut_builder(SteinerBuilder)
+//!     .trace(true) // install the session recorder
+//!     .build()?;
+//! solver.mst()?;
+//! solver.sssp(0, Tier::Exact)?;
+//! solver.sssp(0, Tier::Exact)?; // served from the memo: no new traffic
+//!
+//! let trace = solver.take_trace().expect("tracing is on");
+//! assert_eq!(trace.counters.queries, 3);
+//! assert_eq!(trace.counters.memo_hits, 1);
+//! // Observed per-edge congestion, hottest link first.
+//! let (edge, load) = trace.profile.hot_links(1)[0];
+//! assert!(load.messages >= 1 && edge < g.m());
+//! // Per-phase attribution carries structured labels, not parsed strings.
+//! assert!(trace.profile.phases().iter().any(|s| s.label.phase == "mst"));
+//! assert!(trace.to_jsonl().lines().all(|l| l.starts_with("{\"type\":")));
+//! # Ok::<(), minex_algo::solver::AlgoError>(())
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -65,7 +65,10 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use minex_congest::{bits_for, primitives, CongestConfig, RunStats, SimError};
+use minex_congest::telemetry;
+use minex_congest::{
+    bits_for, primitives, CongestConfig, CongestionProfile, PhaseLabel, RunStats, SimError, Sink,
+};
 use minex_core::construct::ShortcutBuilder;
 use minex_core::{
     measure_quality, Partition, PartitionError, PlanRepairStats, RootedTree, Shortcut, ShortcutPlan,
@@ -184,6 +187,10 @@ pub enum PartsStrategy {
 pub struct PhaseRun {
     /// What this run computed (e.g. `"mst phase 3: candidate"`).
     pub label: String,
+    /// The same identity in structured form (`phase`, `subphase`,
+    /// `attempt`), so consumers — E17, the trace schema — never parse the
+    /// display string.
+    pub tags: PhaseLabel,
     /// The run's statistics.
     pub stats: RunStats,
     /// How many times this run is charged (tree packing charges one MST
@@ -251,6 +258,263 @@ pub struct Report<T> {
     pub value: T,
     /// Round and message accounting.
     pub stats: ReportStats,
+}
+
+/// Session-lifetime counters of a traced [`Solver`], accumulated across
+/// queries and [`Solver::apply`] batches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Successful queries answered.
+    pub queries: usize,
+    /// Queries served from a result memo (no simulation ran).
+    pub memo_hits: usize,
+    /// Queries that computed fresh (and populated a memo where bounded
+    /// caps allow).
+    pub memo_misses: usize,
+    /// Shortcut plans constructed (the session plan plus per-source SSSP
+    /// structures).
+    pub plans_built: usize,
+    /// Cached plans carried through [`ShortcutPlan::repair`] by `apply`.
+    pub plan_repairs: usize,
+    /// Parts whose shortcut edges were recomputed during repairs.
+    pub parts_rebuilt: usize,
+    /// Parts whose shortcut edges were reused (remapped) during repairs.
+    pub parts_reused: usize,
+    /// Memoized results and cached plan fragments dropped by `apply`.
+    pub memos_dropped: usize,
+}
+
+/// One traced query (or mutation batch) of a [`Solver`] session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpan {
+    /// The query kind (`"mst"`, `"sssp"`, `"partwise_min"`, `"apply"`, …).
+    pub label: String,
+    /// Tier / argument rendering for parameterized queries.
+    pub tier: Option<String>,
+    /// Whether the result came from a session memo (no simulation ran).
+    pub cache_hit: bool,
+    /// Simulated CONGEST rounds reported by the query.
+    pub simulated_rounds: usize,
+    /// Analytically charged construction rounds reported by the query.
+    pub charged_rounds: usize,
+    /// Aggregated messages across the query's runs (with repeat factors).
+    pub messages: u64,
+    /// Aggregated bits across the query's runs (with repeat factors).
+    pub bits: u64,
+    /// For `apply` spans: what the mutation batch did.
+    pub repair: Option<RepairStats>,
+}
+
+/// The observability record of a traced [`Solver`] session: lifetime
+/// [`SessionCounters`], one [`QuerySpan`] per query, and a
+/// [`CongestionProfile`] recording every simulator run the session actually
+/// executed (memo-served queries add a span but no wire traffic).
+///
+/// Enable with [`SolverBuilder::trace`] or [`Solver::enable_trace`]; read
+/// with [`Solver::trace`] or drain with [`Solver::take_trace`]. The whole
+/// record is deterministic: byte-identical across the sequential and
+/// parallel engines and any `MINEX_THREADS` setting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionTrace {
+    /// Session-lifetime counters.
+    pub counters: SessionCounters,
+    /// Every traced query, in execution order.
+    pub queries: Vec<QuerySpan>,
+    /// Wire-level congestion recorded from the session's simulator runs.
+    pub profile: CongestionProfile,
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl SessionTrace {
+    /// Exports the trace as JSON Lines, one object per line, each tagged
+    /// with a `"type"` field. The schema (documented in the repository
+    /// README under *Observability*):
+    ///
+    /// * `counters` — the [`SessionCounters`] fields, once.
+    /// * `query` — one per [`QuerySpan`]: `label`, `tier` (string or
+    ///   null), `cache_hit`, `simulated_rounds`, `charged_rounds`,
+    ///   `messages`, `bits`, `repair` (object or null).
+    /// * `phase` — one per closed profile span: structured `phase` /
+    ///   `subphase` / `attempt` plus the display `label`, `rounds`,
+    ///   `messages`, `bits`, `wire_messages`, `wire_bits`, `repeats`.
+    /// * `edge` — one per edge that carried traffic: `edge`, `messages`,
+    ///   `bits`.
+    /// * `round` — one per round index with traffic: `round`, `messages`,
+    ///   `bits`.
+    /// * `hot` — the top-10 busiest links: `rank`, `edge`, `messages`,
+    ///   `bits`.
+    /// * `reject` — one per recorded validator rejection: `message`.
+    /// * `summary` — profile totals, once (last line).
+    ///
+    /// The output is deterministic and diffable across engines and thread
+    /// counts — the CI telemetry step compares it byte-for-byte between
+    /// `MINEX_THREADS=1` and `MINEX_THREADS=4`.
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let c = &self.counters;
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counters\",\"queries\":{},\"memo_hits\":{},\"memo_misses\":{},\
+             \"plans_built\":{},\"plan_repairs\":{},\"parts_rebuilt\":{},\"parts_reused\":{},\
+             \"memos_dropped\":{}}}",
+            c.queries,
+            c.memo_hits,
+            c.memo_misses,
+            c.plans_built,
+            c.plan_repairs,
+            c.parts_rebuilt,
+            c.parts_reused,
+            c.memos_dropped
+        );
+        for q in &self.queries {
+            let tier = match &q.tier {
+                Some(t) => format!("\"{}\"", json_escape(t)),
+                None => "null".into(),
+            };
+            let repair = match &q.repair {
+                Some(r) => format!(
+                    "{{\"inserted\":{},\"deleted\":{},\"noop\":{},\"connected\":{},\
+                     \"partition_changed\":{},\"plan_repaired\":{},\"parts_rebuilt\":{},\
+                     \"parts_reused\":{},\"memos_dropped\":{}}}",
+                    r.inserted,
+                    r.deleted,
+                    r.noop,
+                    r.connected,
+                    r.partition_changed,
+                    r.plan_repaired,
+                    r.plan.parts_rebuilt,
+                    r.plan.parts_reused,
+                    r.memos_dropped
+                ),
+                None => "null".into(),
+            };
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"query\",\"label\":\"{}\",\"tier\":{},\"cache_hit\":{},\
+                 \"simulated_rounds\":{},\"charged_rounds\":{},\"messages\":{},\"bits\":{},\
+                 \"repair\":{}}}",
+                json_escape(&q.label),
+                tier,
+                q.cache_hit,
+                q.simulated_rounds,
+                q.charged_rounds,
+                q.messages,
+                q.bits,
+                repair
+            );
+        }
+        for span in self.profile.phases() {
+            let attempt = match span.label.attempt {
+                Some(a) => a.to_string(),
+                None => "null".into(),
+            };
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"phase\",\"phase\":\"{}\",\"subphase\":\"{}\",\"attempt\":{},\
+                 \"label\":\"{}\",\"rounds\":{},\"messages\":{},\"bits\":{},\
+                 \"wire_messages\":{},\"wire_bits\":{},\"repeats\":{}}}",
+                json_escape(&span.label.phase),
+                json_escape(&span.label.subphase),
+                attempt,
+                json_escape(&span.label.to_string()),
+                span.stats.rounds,
+                span.stats.messages,
+                span.stats.total_bits,
+                span.wire_messages,
+                span.wire_bits,
+                span.repeats
+            );
+        }
+        for (e, load) in self.profile.edge_loads().iter().enumerate() {
+            if load.messages > 0 {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"edge\",\"edge\":{e},\"messages\":{},\"bits\":{}}}",
+                    load.messages, load.bits
+                );
+            }
+        }
+        for (r, load) in self.profile.round_loads().iter().enumerate() {
+            if load.messages > 0 {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"round\",\"round\":{r},\"messages\":{},\"bits\":{}}}",
+                    load.messages, load.bits
+                );
+            }
+        }
+        for (rank, (edge, load)) in self.profile.hot_links(10).into_iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"hot\",\"rank\":{rank},\"edge\":{edge},\"messages\":{},\"bits\":{}}}",
+                load.messages, load.bits
+            );
+        }
+        for r in self.profile.rejections() {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"reject\",\"message\":\"{}\"}}",
+                json_escape(r)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"summary\",\"messages\":{},\"bits\":{},\"max_message_bits\":{},\
+             \"max_edge_messages\":{},\"delivered\":{},\"rounds_started\":{}}}",
+            self.profile.total_messages(),
+            self.profile.total_bits(),
+            self.profile.max_message_bits(),
+            self.profile.max_edge_messages(),
+            self.profile.delivered(),
+            self.profile.rounds_started()
+        );
+        out
+    }
+}
+
+/// Runs one simulator-backed phase. When the session is traced, the call is
+/// bracketed with [`Sink::on_phase_enter`] / [`Sink::on_phase_exit`] on the
+/// trace profile and every `minex_congest::run` inside `f` records into it
+/// (via [`telemetry::record`]); untraced sessions pay nothing but the
+/// `Option` check.
+fn traced<T, E>(
+    trace: &mut Option<SessionTrace>,
+    label: &PhaseLabel,
+    repeats: usize,
+    f: impl FnOnce() -> Result<T, E>,
+    stats_of: impl FnOnce(&T) -> RunStats,
+) -> Result<T, E> {
+    match trace.as_mut() {
+        None => f(),
+        Some(tr) => {
+            tr.profile.on_phase_enter(label);
+            let result = telemetry::record(&mut tr.profile, f);
+            // Failed phases close their span with zero stats; the engine
+            // already recorded the rejection event into the profile.
+            let stats = result.as_ref().map(stats_of).unwrap_or_default();
+            tr.profile.on_phase_exit(label, stats, repeats);
+            result
+        }
+    }
 }
 
 /// Output of [`Solver::mst`].
@@ -359,6 +623,7 @@ pub struct SolverBuilder<'a> {
     config: Option<CongestConfig>,
     threads: Option<usize>,
     root: NodeId,
+    trace: bool,
 }
 
 impl<'a> SolverBuilder<'a> {
@@ -370,6 +635,7 @@ impl<'a> SolverBuilder<'a> {
             config: None,
             threads: None,
             root: 0,
+            trace: false,
         }
     }
 
@@ -418,6 +684,15 @@ impl<'a> SolverBuilder<'a> {
     /// Sets the root of the session's BFS spanning tree (default `0`).
     pub fn root(mut self, root: NodeId) -> Self {
         self.root = root;
+        self
+    }
+
+    /// Enables session tracing: the solver records a [`SessionTrace`]
+    /// (counters, per-query spans, and a wire-level [`CongestionProfile`])
+    /// across its lifetime. Off by default — untraced sessions skip all
+    /// instrumentation.
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -474,6 +749,7 @@ impl<'a> SolverBuilder<'a> {
             tree: None,
             plan: None,
             caches: Caches::default(),
+            trace: self.trace.then(SessionTrace::default),
         })
     }
 }
@@ -704,6 +980,7 @@ pub struct Solver<'a> {
     tree: Option<RootedTree>,
     plan: Option<ShortcutPlan>,
     caches: Caches,
+    trace: Option<SessionTrace>,
 }
 
 /// The canonical cache key of a partition: each node's part index
@@ -771,6 +1048,66 @@ impl<'a> Solver<'a> {
         self.connected
     }
 
+    /// Turns session tracing on (no-op if already tracing). Events recorded
+    /// from here on accumulate into the [`SessionTrace`].
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(SessionTrace::default());
+        }
+    }
+
+    /// The session trace, when tracing is enabled.
+    pub fn trace(&self) -> Option<&SessionTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Drains the session trace, leaving a fresh empty one in place so
+    /// tracing stays enabled. Returns `None` on untraced sessions.
+    pub fn take_trace(&mut self) -> Option<SessionTrace> {
+        self.trace.as_mut().map(std::mem::take)
+    }
+
+    /// Records one answered query into the trace. `cache` is `Some(hit)`
+    /// for memoizable queries (bumping the hit/miss counters) and `None`
+    /// for `apply` batches.
+    fn note_query(
+        &mut self,
+        label: &str,
+        tier: Option<String>,
+        cache: Option<bool>,
+        stats: &ReportStats,
+        repair: Option<RepairStats>,
+    ) {
+        let Some(tr) = self.trace.as_mut() else {
+            return;
+        };
+        tr.counters.queries += 1;
+        match cache {
+            Some(true) => tr.counters.memo_hits += 1,
+            Some(false) => tr.counters.memo_misses += 1,
+            None => {}
+        }
+        if let Some(r) = &repair {
+            if r.plan_repaired {
+                tr.counters.plan_repairs += 1;
+            }
+            tr.counters.parts_rebuilt += r.plan.parts_rebuilt;
+            tr.counters.parts_reused += r.plan.parts_reused;
+            tr.counters.memos_dropped += r.memos_dropped;
+        }
+        let agg = stats.aggregate();
+        tr.queries.push(QuerySpan {
+            label: label.to_string(),
+            tier,
+            cache_hit: cache == Some(true),
+            simulated_rounds: stats.simulated_rounds,
+            charged_rounds: stats.charged_construction_rounds,
+            messages: agg.messages,
+            bits: agg.total_bits,
+            repair,
+        });
+    }
+
     /// The session's [`ShortcutPlan`] (built on first use, then cached):
     /// BFS tree rooted at the configured root, the session partition, the
     /// constructed shortcut, and its measured quality.
@@ -822,6 +1159,9 @@ impl<'a> Solver<'a> {
             self.parts.clone(),
             &self.builder,
         ));
+        if let Some(tr) = self.trace.as_mut() {
+            tr.counters.plans_built += 1;
+        }
         Ok(())
     }
 
@@ -885,6 +1225,7 @@ impl<'a> Solver<'a> {
         };
         if mutations.is_empty() {
             stats.noop = true;
+            self.note_query("apply", None, None, &ReportStats::default(), Some(stats));
             return Ok(stats);
         }
         // Stage the whole batch on an overlay of a clone: every error path
@@ -954,6 +1295,7 @@ impl<'a> Solver<'a> {
             // The batch cancelled out. Nothing is invalidated — keep the
             // plan, the caches, and every memo.
             stats.noop = true;
+            self.note_query("apply", None, None, &ReportStats::default(), Some(stats));
             return Ok(stats);
         }
         let connected = new_g.n() > 0 && traversal::is_connected(&new_g);
@@ -988,6 +1330,7 @@ impl<'a> Solver<'a> {
         self.connected = connected;
         self.tree = tree;
         self.plan = plan;
+        self.note_query("apply", None, None, &ReportStats::default(), Some(stats));
         Ok(stats)
     }
 
@@ -1053,8 +1396,9 @@ impl<'a> Solver<'a> {
     /// [`AlgoError::EmptyGraph`] / [`AlgoError::Disconnected`] on
     /// structurally unfit inputs, [`AlgoError::Sim`] on simulator failures.
     pub fn mst(&mut self) -> Result<Report<Mst>, AlgoError> {
+        let hit = self.caches.mst_memo.is_some();
         let (out, runs) = self.mst_full()?;
-        Ok(Report {
+        let report = Report {
             value: Mst {
                 edges: out.edges,
                 total_weight: out.total_weight,
@@ -1065,7 +1409,9 @@ impl<'a> Solver<'a> {
                 out.charged_construction_rounds,
                 runs,
             ),
-        })
+        };
+        self.note_query("mst", None, Some(hit), &report.stats, None);
+        Ok(report)
     }
 
     /// The full legacy-shaped MST run: outcome plus per-run stats. Used by
@@ -1089,6 +1435,7 @@ impl<'a> Solver<'a> {
             ref builder,
             config,
             ref mut caches,
+            ref mut trace,
             ..
         } = *self;
         let wg: &WeightedGraph = wg.as_ref();
@@ -1133,10 +1480,18 @@ impl<'a> Solver<'a> {
                     }
                 }
             }
-            let agg = partwise_min_impl(g, &parts, &shortcut, &values, value_bits, config)?;
+            let tags = PhaseLabel::new("mst", "candidate").with_attempt(phase);
+            let agg = traced(
+                trace,
+                &tags,
+                1,
+                || partwise_min_impl(g, &parts, &shortcut, &values, value_bits, config),
+                |a| a.stats,
+            )?;
             simulated_rounds += agg.stats.rounds;
             runs.push(PhaseRun {
                 label: format!("mst phase {phase}: candidate"),
+                tags,
                 stats: agg.stats,
                 repeats: 1,
             });
@@ -1169,17 +1524,27 @@ impl<'a> Solver<'a> {
                 }
             };
             let ids: Vec<u64> = (0..n as u64).collect();
-            let relabel = partwise_min_impl(
-                g,
-                &new_parts,
-                &new_shortcut,
-                &ids,
-                bits_for(n.max(2)),
-                config,
+            let tags = PhaseLabel::new("mst", "relabel").with_attempt(phase);
+            let relabel = traced(
+                trace,
+                &tags,
+                1,
+                || {
+                    partwise_min_impl(
+                        g,
+                        &new_parts,
+                        &new_shortcut,
+                        &ids,
+                        bits_for(n.max(2)),
+                        config,
+                    )
+                },
+                |a| a.stats,
             )?;
             simulated_rounds += relabel.stats.rounds;
             runs.push(PhaseRun {
                 label: format!("mst phase {phase}: relabel"),
+                tags,
                 stats: relabel.stats,
                 repeats: 1,
             });
@@ -1234,8 +1599,12 @@ impl<'a> Solver<'a> {
         trees: usize,
         use_two_respecting: bool,
     ) -> Result<Report<MinCut>, AlgoError> {
+        let hit = self
+            .caches
+            .min_cut_memo
+            .contains_key(&(trees, use_two_respecting));
         let (out, runs) = self.min_cut_full(trees, use_two_respecting)?;
-        Ok(Report {
+        let report = Report {
             value: MinCut {
                 approx_value: out.approx_value,
                 exact_value: out.exact_value,
@@ -1247,7 +1616,15 @@ impl<'a> Solver<'a> {
                 out.charged_construction_rounds,
                 runs,
             ),
-        })
+        };
+        self.note_query(
+            "min_cut",
+            Some(format!("trees={trees} two_respecting={use_two_respecting}")),
+            Some(hit),
+            &report.stats,
+            None,
+        );
+        Ok(report)
     }
 
     pub(crate) fn min_cut_full(
@@ -1299,10 +1676,12 @@ impl<'a> Solver<'a> {
             .into_iter()
             .map(|mut r| {
                 r.label = format!("packing {}", r.label);
+                r.tags.phase = format!("packing-{}", r.tags.phase);
                 r.repeats *= trees;
                 r
             })
             .collect();
+        let config = self.config;
         let wg = self.wg.as_ref();
         let g = wg.graph();
         let mut best = u64::MAX;
@@ -1314,11 +1693,18 @@ impl<'a> Solver<'a> {
                 best = best.min(min_two_respecting_cut(wg, tree));
             }
             // Subtree-sum aggregation cost: two convergecasts over the tree.
-            let (_, stats) =
-                primitives::convergecast_sum(g, &tree.parent, &vec![1u64; g.n()], self.config)?;
+            let tags = PhaseLabel::new("mincut", "convergecast").with_attempt(t);
+            let (_, stats) = traced(
+                &mut self.trace,
+                &tags,
+                2,
+                || primitives::convergecast_sum(g, &tree.parent, &vec![1u64; g.n()], config),
+                |r| r.1,
+            )?;
             simulated += 2 * stats.rounds;
             runs.push(PhaseRun {
                 label: format!("tree {t}: subtree convergecast"),
+                tags,
                 stats,
                 repeats: 2,
             });
@@ -1356,54 +1742,78 @@ impl<'a> Solver<'a> {
     /// shortcut tiers (the exact tier marks unreached nodes instead);
     /// [`AlgoError::Sim`] on simulator failures.
     pub fn sssp(&mut self, source: NodeId, tier: Tier) -> Result<Report<Sssp>, AlgoError> {
-        match tier {
+        let (report, tier_desc, hit) = match tier {
             Tier::Exact => {
+                let hit = self.caches.sssp_exact_memo.contains_key(&source);
                 let (out, runs) = self.sssp_exact_full(source)?;
-                Ok(Report {
-                    value: Sssp {
-                        dist: out.dist,
-                        detail: SsspDetail::Exact { parent: out.parent },
+                (
+                    Report {
+                        value: Sssp {
+                            dist: out.dist,
+                            detail: SsspDetail::Exact { parent: out.parent },
+                        },
+                        stats: ReportStats::from_runs(out.stats.rounds, 0, runs),
                     },
-                    stats: ReportStats::from_runs(out.stats.rounds, 0, runs),
-                })
+                    format!("exact source={source}"),
+                    hit,
+                )
             }
             Tier::Scaled { epsilon } => {
+                let hit = self
+                    .caches
+                    .sssp_scaled_memo
+                    .contains_key(&(source, epsilon.to_bits()));
                 let (out, runs) = self.sssp_scaled_full(source, epsilon)?;
                 let simulated = out.simulated_rounds();
-                Ok(Report {
-                    value: Sssp {
-                        dist: out.dist,
-                        detail: SsspDetail::Scaled {
-                            scale: out.scale,
-                            hop_budget: out.hop_budget,
+                (
+                    Report {
+                        value: Sssp {
+                            dist: out.dist,
+                            detail: SsspDetail::Scaled {
+                                scale: out.scale,
+                                hop_budget: out.hop_budget,
+                            },
                         },
+                        stats: ReportStats::from_runs(simulated, 0, runs),
                     },
-                    stats: ReportStats::from_runs(simulated, 0, runs),
-                })
+                    format!("scaled source={source} epsilon={epsilon}"),
+                    hit,
+                )
             }
             Tier::Shortcut {
                 epsilon,
                 max_phases,
             } => {
+                let hit = self.caches.sssp_shortcut_memo.contains_key(&(
+                    source,
+                    epsilon.to_bits(),
+                    max_phases,
+                ));
                 let (out, runs) = self.sssp_shortcut_full(source, epsilon, max_phases)?;
-                Ok(Report {
-                    value: Sssp {
-                        dist: out.dist,
-                        detail: SsspDetail::Shortcut {
-                            scale: out.scale,
-                            phases: out.phases,
-                            converged: out.converged,
-                            shortcut_quality: out.shortcut_quality,
+                (
+                    Report {
+                        value: Sssp {
+                            dist: out.dist,
+                            detail: SsspDetail::Shortcut {
+                                scale: out.scale,
+                                phases: out.phases,
+                                converged: out.converged,
+                                shortcut_quality: out.shortcut_quality,
+                            },
                         },
+                        stats: ReportStats::from_runs(
+                            out.simulated_rounds,
+                            out.charged_construction_rounds,
+                            runs,
+                        ),
                     },
-                    stats: ReportStats::from_runs(
-                        out.simulated_rounds,
-                        out.charged_construction_rounds,
-                        runs,
-                    ),
-                })
+                    format!("shortcut source={source} epsilon={epsilon} max_phases={max_phases}"),
+                    hit,
+                )
             }
-        }
+        };
+        self.note_query("sssp", Some(tier_desc), Some(hit), &report.stats, None);
+        Ok(report)
     }
 
     fn check_source(&self, source: NodeId) -> Result<(), AlgoError> {
@@ -1432,9 +1842,18 @@ impl<'a> Solver<'a> {
         if let Some(memo) = self.caches.sssp_exact_memo.get(&source) {
             return Ok(memo.clone());
         }
-        let out = bellman_ford_sssp(self.wg.as_ref(), source, self.config)?;
+        let tags = PhaseLabel::new("sssp-exact", "flood");
+        let config = self.config;
+        let out = traced(
+            &mut self.trace,
+            &tags,
+            1,
+            || bellman_ford_sssp(self.wg.as_ref(), source, config),
+            |o| o.stats,
+        )?;
         let runs = vec![PhaseRun {
             label: "bellman-ford flood".into(),
+            tags,
             stats: out.stats,
             repeats: 1,
         }];
@@ -1466,15 +1885,31 @@ impl<'a> Solver<'a> {
         {
             return Ok(memo.clone());
         }
-        let out = scaled_sssp(self.wg.as_ref(), source, epsilon, self.config)?;
+        // One span covers both internal runs (certificate + flood): their
+        // sends interleave under a single simulator driver call.
+        let tags = PhaseLabel::new("sssp-scaled", "certificate+flood");
+        let config = self.config;
+        let out = traced(
+            &mut self.trace,
+            &tags,
+            1,
+            || scaled_sssp(self.wg.as_ref(), source, epsilon, config),
+            |o: &ScaledSsspOutcome| {
+                let mut s = o.bfs_stats;
+                s.absorb(o.flood_stats);
+                s
+            },
+        )?;
         let runs = vec![
             PhaseRun {
                 label: "bfs hop-budget certificate".into(),
+                tags: PhaseLabel::new("sssp-scaled", "certificate"),
                 stats: out.bfs_stats,
                 repeats: 1,
             },
             PhaseRun {
                 label: "scaled flood".into(),
+                tags: PhaseLabel::new("sssp-scaled", "flood"),
                 stats: out.flood_stats,
                 repeats: 1,
             },
@@ -1533,6 +1968,7 @@ impl<'a> Solver<'a> {
             ref parts,
             config,
             ref caches,
+            ref mut trace,
             ..
         } = *self;
         let structure = &caches.sssp_structure[&source];
@@ -1547,6 +1983,7 @@ impl<'a> Solver<'a> {
         let mut simulated_rounds = entry.rho_stats.rounds;
         let mut runs = vec![PhaseRun {
             label: "center potentials (rho) flood".into(),
+            tags: PhaseLabel::new("sssp-shortcut", "rho"),
             stats: entry.rho_stats,
             repeats: 1,
         }];
@@ -1563,13 +2000,22 @@ impl<'a> Solver<'a> {
                     }
                 })
                 .collect();
-            let agg = partwise_min_impl(
-                g,
-                parts,
-                &structure.shortcut,
-                &values,
-                entry.value_bits,
-                config,
+            let agg_tags = PhaseLabel::new("sssp-shortcut", "aggregate").with_attempt(phase);
+            let agg = traced(
+                trace,
+                &agg_tags,
+                1,
+                || {
+                    partwise_min_impl(
+                        g,
+                        parts,
+                        &structure.shortcut,
+                        &values,
+                        entry.value_bits,
+                        config,
+                    )
+                },
+                |a| a.stats,
             )?;
             for (i, part) in parts.parts().iter().enumerate() {
                 let m = agg.minima[i];
@@ -1584,22 +2030,33 @@ impl<'a> Solver<'a> {
                 }
             }
             // Boundary stitch: one global relaxation round.
-            let (relaxed, relax_stats) = primitives::distance_broadcast_round(
-                &entry.scaled,
-                &dist,
-                entry.value_bits,
-                config,
+            let relax_tags = PhaseLabel::new("sssp-shortcut", "relax").with_attempt(phase);
+            let (relaxed, relax_stats) = traced(
+                trace,
+                &relax_tags,
+                1,
+                || {
+                    primitives::distance_broadcast_round(
+                        &entry.scaled,
+                        &dist,
+                        entry.value_bits,
+                        config,
+                    )
+                },
+                |r| r.1,
             )?;
             dist = relaxed;
             phase_rounds.push((agg.stats.rounds, relax_stats.rounds));
             simulated_rounds += agg.stats.rounds + relax_stats.rounds;
             runs.push(PhaseRun {
                 label: format!("overlay phase {phase}: aggregate"),
+                tags: agg_tags,
                 stats: agg.stats,
                 repeats: 1,
             });
             runs.push(PhaseRun {
                 label: format!("overlay phase {phase}: relax"),
+                tags: relax_tags,
                 stats: relax_stats,
                 repeats: 1,
             });
@@ -1640,6 +2097,9 @@ impl<'a> Solver<'a> {
             self.caches
                 .sssp_structure
                 .insert(source, SsspStructure { shortcut, quality });
+            if let Some(tr) = self.trace.as_mut() {
+                tr.counters.plans_built += 1;
+            }
         }
         if self.caches.sssp_plans.contains_key(&(source, scale)) {
             return Ok(());
@@ -1659,13 +2119,14 @@ impl<'a> Solver<'a> {
             .enumerate()
             .map(|(i, &c)| (c, i as u32, 0))
             .collect();
-        let (best, rho_stats) = channel_distance_flood(
-            &scaled,
-            &self.parts,
-            shortcut,
-            &seeds,
-            value_bits,
-            self.config,
+        let tags = PhaseLabel::new("sssp-shortcut", "rho");
+        let config = self.config;
+        let (best, rho_stats) = traced(
+            &mut self.trace,
+            &tags,
+            1,
+            || channel_distance_flood(&scaled, &self.parts, shortcut, &seeds, value_bits, config),
+            |r| r.1,
         )?;
         let rho: Vec<u64> = (0..n)
             .map(|v| match self.parts.part_of(v) {
@@ -1699,15 +2160,18 @@ impl<'a> Solver<'a> {
     ///
     /// [`AlgoError::Sim`] on simulator failures.
     pub fn components(&mut self) -> Result<Report<Components>, AlgoError> {
+        let hit = self.caches.components_memo.is_some();
         let (out, runs) = self.components_full()?;
-        Ok(Report {
+        let report = Report {
             value: Components {
                 label: out.label,
                 forest_edges: out.forest_edges,
                 boruvka_phases: out.phases,
             },
             stats: ReportStats::from_runs(out.simulated_rounds, 0, runs),
-        })
+        };
+        self.note_query("components", None, Some(hit), &report.stats, None);
+        Ok(report)
     }
 
     pub(crate) fn components_full(
@@ -1727,6 +2191,7 @@ impl<'a> Solver<'a> {
             ref builder,
             config,
             ref mut caches,
+            ref mut trace,
             ..
         } = *self;
         let g = wg.graph();
@@ -1770,11 +2235,18 @@ impl<'a> Solver<'a> {
                     }
                 };
                 let ids: Vec<u64> = (0..n as u64).collect();
-                let agg =
-                    partwise_min_impl(g, &parts, &shortcut, &ids, bits_for(n.max(2)), config)?;
+                let tags = PhaseLabel::new("components", "final-labels");
+                let agg = traced(
+                    trace,
+                    &tags,
+                    1,
+                    || partwise_min_impl(g, &parts, &shortcut, &ids, bits_for(n.max(2)), config),
+                    |a| a.stats,
+                )?;
                 rounds += agg.stats.rounds;
                 runs.push(PhaseRun {
                     label: "final label flood".into(),
+                    tags,
                     stats: agg.stats,
                     repeats: 1,
                 });
@@ -1813,17 +2285,27 @@ impl<'a> Solver<'a> {
                     }
                 }
             }
-            let agg = partwise_min_impl(
-                g,
-                &parts,
-                &shortcut,
-                &values,
-                bits_for(g.m().max(2)),
-                config,
+            let tags = PhaseLabel::new("components", "candidate").with_attempt(phases - 1);
+            let agg = traced(
+                trace,
+                &tags,
+                1,
+                || {
+                    partwise_min_impl(
+                        g,
+                        &parts,
+                        &shortcut,
+                        &values,
+                        bits_for(g.m().max(2)),
+                        config,
+                    )
+                },
+                |a| a.stats,
             )?;
             rounds += agg.stats.rounds;
             runs.push(PhaseRun {
                 label: format!("components phase {}: candidate", phases - 1),
+                tags,
                 stats: agg.stats,
                 repeats: 1,
             });
@@ -1862,20 +2344,32 @@ impl<'a> Solver<'a> {
         }
         self.ensure_plan()?;
         let memo_key = (values.to_vec(), value_bits);
+        let hit = self.caches.partwise_memo.contains_key(&memo_key);
         let (agg, runs) = match self.caches.partwise_memo.get(&memo_key) {
             Some(memo) => memo.clone(),
             None => {
                 let plan = self.plan.as_ref().expect("ensure_plan filled the plan");
-                let agg = partwise_min_impl(
-                    self.wg.graph(),
-                    plan.parts(),
-                    plan.shortcut(),
-                    values,
-                    value_bits,
-                    self.config,
+                let tags = PhaseLabel::new("partwise", "min");
+                let config = self.config;
+                let agg = traced(
+                    &mut self.trace,
+                    &tags,
+                    1,
+                    || {
+                        partwise_min_impl(
+                            self.wg.graph(),
+                            plan.parts(),
+                            plan.shortcut(),
+                            values,
+                            value_bits,
+                            config,
+                        )
+                    },
+                    |a| a.stats,
                 )?;
                 let runs = vec![PhaseRun {
                     label: "partwise min".into(),
+                    tags,
                     stats: agg.stats,
                     repeats: 1,
                 }];
@@ -1889,10 +2383,18 @@ impl<'a> Solver<'a> {
                 (agg, runs)
             }
         };
-        Ok(Report {
+        let report = Report {
             value: PartwiseMin { minima: agg.minima },
             stats: ReportStats::from_runs(agg.stats.rounds, 0, runs),
-        })
+        };
+        self.note_query(
+            "partwise_min",
+            Some(format!("value_bits={value_bits}")),
+            Some(hit),
+            &report.stats,
+            None,
+        );
+        Ok(report)
     }
 }
 
@@ -2378,5 +2880,210 @@ mod tests {
             .unwrap();
         assert!(stats.connected);
         assert_matches_fresh(&mut solver, PartsStrategy::Singletons, AutoCappedBuilder);
+    }
+
+    // ------------------------------------------------------------------
+    // Session tracing
+    // ------------------------------------------------------------------
+
+    /// Drives one traced session through every query kind plus a mutation
+    /// batch and returns the drained trace.
+    fn traced_session_run(threads: usize) -> SessionTrace {
+        let wg = weighted(21);
+        let mut solver = Solver::builder(&wg)
+            .parts(PartsStrategy::Voronoi { parts: 5, seed: 3 })
+            .shortcut_builder(SteinerBuilder)
+            .config(cfg(wg.graph().n()))
+            .threads(threads)
+            .trace(true)
+            .build()
+            .unwrap();
+        solver.mst().unwrap();
+        solver.mst().unwrap(); // memo hit
+        solver.min_cut(2).unwrap();
+        solver.sssp(0, Tier::Exact).unwrap();
+        solver.sssp(0, Tier::Scaled { epsilon: 0.25 }).unwrap();
+        solver
+            .sssp(
+                0,
+                Tier::Shortcut {
+                    epsilon: 0.25,
+                    max_phases: 24,
+                },
+            )
+            .unwrap();
+        solver.components().unwrap();
+        let values: Vec<u64> = (0..wg.graph().n() as u64).rev().collect();
+        solver.partwise_min(&values, 32).unwrap();
+        solver
+            .apply(&[EdgeMutation::Insert {
+                u: 0,
+                v: 35,
+                weight: 1,
+            }])
+            .unwrap();
+        solver.mst().unwrap(); // recompute on the mutated graph
+        solver.take_trace().expect("session is traced")
+    }
+
+    #[test]
+    fn session_trace_is_engine_independent_and_reconciles() {
+        let seq = traced_session_run(1);
+        let par = traced_session_run(4);
+        assert_eq!(seq, par);
+        assert_eq!(seq.to_jsonl(), par.to_jsonl());
+        assert_eq!(seq.profile.render(), par.profile.render());
+
+        // Counters: 10 successful calls; the second mst() is the only hit.
+        assert_eq!(seq.counters.queries, 10);
+        assert_eq!(seq.counters.memo_hits, 1);
+        assert_eq!(seq.counters.memo_misses, 8); // apply is neither
+        assert!(seq.counters.plans_built >= 1);
+        assert_eq!(seq.counters.plan_repairs, 1);
+        assert!(seq.counters.memos_dropped > 0);
+
+        // The profile's wire totals cover exactly the simulated (not
+        // memo-replayed, not analytically charged) runs: every phase span
+        // recorded its own wire traffic, and spans partition the total.
+        let span_msgs: u64 = seq.profile.phases().iter().map(|s| s.wire_messages).sum();
+        assert_eq!(span_msgs, seq.profile.total_messages());
+        assert!(seq.profile.max_edge_messages() > 0);
+
+        // Query spans: the memo-hit mst reports the same rounds as the
+        // fresh one while the profile saw no new traffic for it.
+        let mst_spans: Vec<&QuerySpan> = seq.queries.iter().filter(|q| q.label == "mst").collect();
+        assert_eq!(mst_spans.len(), 3);
+        assert!(!mst_spans[0].cache_hit && mst_spans[1].cache_hit);
+        assert_eq!(mst_spans[0].simulated_rounds, mst_spans[1].simulated_rounds);
+        let apply_span = seq
+            .queries
+            .iter()
+            .find(|q| q.label == "apply")
+            .expect("apply span recorded");
+        assert_eq!(apply_span.repair.unwrap().inserted, 1);
+
+        // JSONL: every line is tagged, starts with counters, ends with the
+        // summary.
+        let jsonl = seq.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].starts_with("{\"type\":\"counters\""));
+        assert!(lines.last().unwrap().starts_with("{\"type\":\"summary\""));
+        assert!(lines.iter().all(|l| l.starts_with("{\"type\":\"")));
+        assert!(lines.iter().any(|l| l.starts_with("{\"type\":\"phase\"")));
+        assert!(lines.iter().any(|l| l.starts_with("{\"type\":\"edge\"")));
+        assert!(lines.iter().any(|l| l.starts_with("{\"type\":\"hot\"")));
+    }
+
+    #[test]
+    fn untraced_sessions_report_identically_to_traced_ones() {
+        let wg = weighted(22);
+        let build = |trace: bool| {
+            Solver::builder(&wg)
+                .parts(PartsStrategy::Voronoi { parts: 4, seed: 6 })
+                .shortcut_builder(SteinerBuilder)
+                .config(cfg(wg.graph().n()))
+                .trace(trace)
+                .build()
+                .unwrap()
+        };
+        let mut plain = build(false);
+        let mut traced = build(true);
+        assert_eq!(plain.mst().unwrap(), traced.mst().unwrap());
+        assert_eq!(
+            plain.sssp(2, Tier::Exact).unwrap(),
+            traced.sssp(2, Tier::Exact).unwrap()
+        );
+        assert_eq!(plain.trace(), None);
+        let tr = traced.trace().unwrap();
+        assert_eq!(tr.counters.queries, 2);
+        // Profile totals equal the sum of the reports' aggregates (nothing
+        // was memo-served, so wire == reported).
+        let reported: u64 = [
+            plain.mst().unwrap().stats,
+            plain.sssp(2, Tier::Exact).unwrap().stats,
+        ]
+        .iter()
+        .map(|s| s.aggregate().messages)
+        .sum();
+        assert_eq!(tr.profile.total_messages(), reported);
+    }
+
+    #[test]
+    fn enable_trace_mid_session_records_from_then_on() {
+        let wg = weighted(23);
+        let mut solver = Solver::builder(&wg)
+            .shortcut_builder(SteinerBuilder)
+            .config(cfg(wg.graph().n()))
+            .build()
+            .unwrap();
+        solver.mst().unwrap();
+        assert!(solver.trace().is_none());
+        solver.enable_trace();
+        solver.mst().unwrap(); // memo hit: a span, but no wire traffic
+        let tr = solver.trace().unwrap();
+        assert_eq!(tr.counters.queries, 1);
+        assert_eq!(tr.counters.memo_hits, 1);
+        assert_eq!(tr.profile.total_messages(), 0);
+        assert!(tr.queries[0].simulated_rounds > 0);
+        // Draining leaves tracing enabled with a fresh record.
+        let drained = solver.take_trace().unwrap();
+        assert_eq!(drained.counters.queries, 1);
+        assert_eq!(solver.trace().unwrap().counters.queries, 0);
+    }
+
+    #[test]
+    fn phase_run_tags_mirror_display_labels() {
+        let wg = weighted(24);
+        let mut solver = Solver::builder(&wg)
+            .parts(PartsStrategy::Voronoi { parts: 4, seed: 2 })
+            .shortcut_builder(SteinerBuilder)
+            .config(cfg(wg.graph().n()))
+            .build()
+            .unwrap();
+        let mst = solver.mst().unwrap();
+        for run in &mst.stats.runs {
+            assert_eq!(run.tags.phase, "mst");
+            assert!(matches!(
+                run.tags.subphase.as_str(),
+                "candidate" | "relabel"
+            ));
+            assert!(run.tags.attempt.is_some());
+            // Display label and structured tags agree on the attempt.
+            assert!(run
+                .label
+                .contains(&format!("phase {}", run.tags.attempt.unwrap())));
+        }
+        let cut = solver.min_cut(2).unwrap();
+        assert!(cut.stats.runs.iter().any(|r| r.tags.phase == "packing-mst"));
+        assert!(cut
+            .stats
+            .runs
+            .iter()
+            .any(|r| r.tags.phase == "mincut" && r.tags.subphase == "convergecast"));
+        let sssp = solver
+            .sssp(
+                1,
+                Tier::Shortcut {
+                    epsilon: 0.5,
+                    max_phases: 16,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            sssp.stats.runs[0].tags,
+            PhaseLabel::new("sssp-shortcut", "rho")
+        );
+        assert!(sssp
+            .stats
+            .runs
+            .iter()
+            .any(|r| r.tags.subphase == "aggregate" && r.tags.attempt == Some(0)));
+    }
+
+    #[test]
+    fn json_escape_handles_special_characters() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\t\u{1}"), "x\\n\\t\\u0001");
     }
 }

@@ -1,0 +1,65 @@
+//! E17 — congestion telemetry: a traced Solver session serving the
+//! part-wise MIN primitive (recorder on), against the same query untraced
+//! (recorder off), so the criterion history tracks both the aggregation
+//! itself and the cost of observing it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minex_algo::solver::{PartsStrategy, Solver};
+use minex_algo::workloads;
+use minex_congest::CongestConfig;
+use minex_core::construct::SteinerBuilder;
+use minex_graphs::generators;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_congestion");
+    group.sample_size(10);
+    for side in [12usize, 16] {
+        let g = generators::triangulated_grid(side, side);
+        let mut rng = StdRng::seed_from_u64(side as u64);
+        let parts = workloads::voronoi_parts(&g, side, &mut rng);
+        let config = CongestConfig::for_nodes(g.n())
+            .with_bandwidth(192)
+            .with_max_rounds(1_000_000);
+        for traced in [false, true] {
+            // Warm session: the plan is built once; each iteration varies
+            // the values so every query re-runs the aggregation engine,
+            // and traced sessions drain the recorder so the profile does
+            // not grow across iterations.
+            let mut session = Solver::for_graph(&g)
+                .parts(PartsStrategy::Explicit(parts.clone()))
+                .shortcut_builder(SteinerBuilder)
+                .config(config)
+                .trace(traced)
+                .build()
+                .unwrap();
+            let label = if traced { "traced" } else { "untraced" };
+            let mut round = 0u64;
+            group.bench_with_input(
+                BenchmarkId::new(format!("grid_{label}"), side),
+                &side,
+                |b, _| {
+                    b.iter(|| {
+                        round += 1;
+                        let values: Vec<u64> = (0..g.n() as u64)
+                            .map(|v| (v * 7 + round) % 100_003)
+                            .collect();
+                        let rounds = session
+                            .partwise_min(&values, 32)
+                            .unwrap()
+                            .stats
+                            .simulated_rounds;
+                        let observed = session
+                            .take_trace()
+                            .map_or(0, |t| t.profile.max_edge_messages());
+                        (rounds, observed)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

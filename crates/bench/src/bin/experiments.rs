@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E16). Pass `--full` for the larger
+//! Prints every experiment table (E1–E17). Pass `--full` for the larger
 //! sweeps used in `EXPERIMENTS.md`; name ids (e.g. `E6 E7`) to run a
 //! subset; pass `--csv <dir>` to also dump each table as `<dir>/<id>.csv`
 //! so bench trajectories can be tracked across PRs; `--threads <n>` runs
@@ -7,8 +7,16 @@
 //! `--perf-json <file>` writes a machine-readable wall-time summary
 //! (`BENCH_pr.json` in CI), including a `plan_reuse` section with E14's
 //! solver-vs-legacy amortization figures, a `scale` section with E15's
-//! CSR-vs-nested-Vec memory and iteration figures, and a `dynamic`
-//! section with E16's incremental-repair-vs-rebuild figures.
+//! CSR-vs-nested-Vec memory and iteration figures, a `dynamic` section
+//! with E16's incremental-repair-vs-rebuild figures, and a `telemetry`
+//! section with E17's observed-congestion rows plus the noop-sink
+//! dispatch-overhead sample; `--trace <file>` (or `MINEX_TRACE=<file>`)
+//! writes the deterministic traced-session JSONL export the CI telemetry
+//! gate validates and diffs across thread counts.
+//!
+//! Tables go to stdout; progress chatter goes to stderr through the
+//! `MINEX_LOG`-leveled logger, so `experiments > tables.md` captures
+//! exactly the rendered tables.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -20,10 +28,23 @@ fn flag_value(args: &[String], pos: usize, flag: &str) -> String {
     match args.get(pos + 1).filter(|a| !a.starts_with('-')) {
         Some(v) => v.clone(),
         None => {
-            eprintln!("{flag} requires an argument");
+            minex_bench::error!("{flag} requires an argument");
             std::process::exit(2);
         }
     }
+}
+
+/// Everything one sweep produces besides stdout: per-experiment wall
+/// times, the tables feeding `BENCH_pr.json` sections, and the optional
+/// traced-session JSONL export.
+struct SweepOutput {
+    perf: Vec<(&'static str, f64)>,
+    plan_reuse: Option<minex_bench::Table>,
+    scale: Option<minex_bench::Table>,
+    dynamic: Option<minex_bench::Table>,
+    telemetry: Option<minex_bench::Table>,
+    sink_overhead: Option<(f64, f64)>,
+    trace: Option<String>,
 }
 
 fn main() {
@@ -34,15 +55,19 @@ fn main() {
     let perf_pos = args.iter().position(|a| a == "--perf-json");
     let perf_path: Option<PathBuf> =
         perf_pos.map(|i| PathBuf::from(flag_value(&args, i, "--perf-json")));
+    let trace_pos = args.iter().position(|a| a == "--trace");
+    let trace_path: Option<PathBuf> = trace_pos
+        .map(|i| PathBuf::from(flag_value(&args, i, "--trace")))
+        .or_else(|| std::env::var_os("MINEX_TRACE").map(PathBuf::from));
     let threads_pos = args.iter().position(|a| a == "--threads");
     let threads: Option<usize> = threads_pos.map(|i| {
         let raw = flag_value(&args, i, "--threads");
         raw.parse().unwrap_or_else(|_| {
-            eprintln!("--threads requires an integer, got {raw:?}");
+            minex_bench::error!("--threads requires an integer, got {raw:?}");
             std::process::exit(2);
         })
     });
-    let value_positions: Vec<usize> = [csv_pos, perf_pos, threads_pos]
+    let value_positions: Vec<usize> = [csv_pos, perf_pos, trace_pos, threads_pos]
         .iter()
         .flatten()
         .map(|p| p + 1)
@@ -50,22 +75,23 @@ fn main() {
     let selected: Vec<&String> = args
         .iter()
         .enumerate()
-        // Tokens after --csv/--perf-json/--threads are values, never ids.
+        // Tokens after --csv/--perf-json/--trace/--threads are values,
+        // never ids.
         .filter(|(i, _)| !value_positions.contains(i))
         .map(|(_, a)| a)
         .filter(|a| a.starts_with('E') && a[1..].chars().all(|c| c.is_ascii_digit()))
         .collect();
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| {
-            eprintln!("cannot create {}: {e}", dir.display());
+            minex_bench::error!("cannot create {}: {e}", dir.display());
             std::process::exit(2);
         });
     }
-    // Fail on an unwritable perf path now, not after the whole sweep ran.
-    if let Some(path) = &perf_path {
+    // Fail on an unwritable output path now, not after the whole sweep ran.
+    for path in [&perf_path, &trace_path].into_iter().flatten() {
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             std::fs::create_dir_all(parent).unwrap_or_else(|e| {
-                eprintln!("cannot create {}: {e}", parent.display());
+                minex_bench::error!("cannot create {}: {e}", parent.display());
                 std::process::exit(2);
             });
         }
@@ -76,41 +102,62 @@ fn main() {
         threads.map_or(String::new(), |t| format!(", {t}-thread engine")),
     );
     let run = || {
-        let mut perf: Vec<(&'static str, f64)> = Vec::new();
-        let mut plan_reuse: Option<minex_bench::Table> = None;
-        let mut scale: Option<minex_bench::Table> = None;
-        let mut dynamic: Option<minex_bench::Table> = None;
+        let mut out = SweepOutput {
+            perf: Vec::new(),
+            plan_reuse: None,
+            scale: None,
+            dynamic: None,
+            telemetry: None,
+            sink_overhead: None,
+            trace: None,
+        };
         for (id, runner) in minex_bench::experiments() {
             if !selected.is_empty() && !selected.iter().any(|s| *s == id) {
                 continue;
             }
+            minex_bench::debug!("running {id}");
             let start = Instant::now();
             let table = runner(full);
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             println!("{}", table.render());
-            println!("_(computed in {wall_ms:.1}ms)_\n");
-            perf.push((id, wall_ms));
+            minex_bench::info!("{id} computed in {wall_ms:.1}ms");
+            out.perf.push((id, wall_ms));
             if let Some(dir) = &csv_dir {
                 let path = dir.join(format!("{id}.csv"));
                 std::fs::write(&path, table.to_csv()).unwrap_or_else(|e| {
-                    eprintln!("cannot write {}: {e}", path.display());
+                    minex_bench::error!("cannot write {}: {e}", path.display());
                     std::process::exit(2);
                 });
             }
-            if id == "E14" {
-                plan_reuse = Some(table);
-            } else if id == "E15" {
-                scale = Some(table);
-            } else if id == "E16" {
-                dynamic = Some(table);
+            match id {
+                "E14" => out.plan_reuse = Some(table),
+                "E15" => out.scale = Some(table),
+                "E16" => out.dynamic = Some(table),
+                "E17" => out.telemetry = Some(table),
+                _ => {}
             }
         }
-        (perf, plan_reuse, scale, dynamic)
+        if trace_path.is_some() {
+            minex_bench::debug!("exporting the traced-session JSONL");
+            out.trace = Some(minex_bench::trace_session_jsonl());
+        }
+        if perf_path.is_some() {
+            minex_bench::debug!("sampling noop-sink dispatch overhead");
+            out.sink_overhead = Some(minex_bench::sink_overhead_ms(5));
+        }
+        out
     };
-    let (perf, plan_reuse, scale, dynamic) = match threads {
+    let out = match threads {
         Some(t) => minex_bench::with_engine_threads(t, run),
         None => run(),
     };
+    if let (Some(path), Some(trace)) = (&trace_path, &out.trace) {
+        std::fs::write(path, trace).unwrap_or_else(|e| {
+            minex_bench::error!("cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        minex_bench::info!("trace written to {}", path.display());
+    }
     if let Some(path) = &perf_path {
         let mut json = String::from("{\n");
         let _ = writeln!(
@@ -123,11 +170,11 @@ fn main() {
             "  \"threads\": {},",
             threads.map_or("null".into(), |t| t.to_string())
         );
-        let total: f64 = perf.iter().map(|(_, ms)| ms).sum();
+        let total: f64 = out.perf.iter().map(|(_, ms)| ms).sum();
         let _ = writeln!(json, "  \"total_wall_ms\": {total:.1},");
         json.push_str("  \"experiments\": [\n");
-        for (i, (id, ms)) in perf.iter().enumerate() {
-            let comma = if i + 1 < perf.len() { "," } else { "" };
+        for (i, (id, ms)) in out.perf.iter().enumerate() {
+            let comma = if i + 1 < out.perf.len() { "," } else { "" };
             let _ = writeln!(
                 json,
                 "    {{\"id\": \"{id}\", \"wall_ms\": {ms:.1}}}{comma}"
@@ -136,7 +183,7 @@ fn main() {
         json.push_str("  ],\n");
         // E14's amortization rows: plan-once/query-many vs N legacy calls.
         json.push_str("  \"plan_reuse\": [\n");
-        if let Some(table) = &plan_reuse {
+        if let Some(table) = &out.plan_reuse {
             for (i, row) in table.rows.iter().enumerate() {
                 let comma = if i + 1 < table.rows.len() { "," } else { "" };
                 let _ = writeln!(
@@ -150,7 +197,7 @@ fn main() {
         // E15's graph-core rows: CSR memory and iteration vs the nested-Vec
         // baseline, the trajectory numbers for the scale roadmap.
         json.push_str("  \"scale\": [\n");
-        if let Some(table) = &scale {
+        if let Some(table) = &out.scale {
             for (i, row) in table.rows.iter().enumerate() {
                 let comma = if i + 1 < table.rows.len() { "," } else { "" };
                 let _ = writeln!(
@@ -165,7 +212,7 @@ fn main() {
         // rebuild under single-edge churn, the regression bar for the
         // incremental-repair path.
         json.push_str("  \"dynamic\": [\n");
-        if let Some(table) = &dynamic {
+        if let Some(table) = &out.dynamic {
             for (i, row) in table.rows.iter().enumerate() {
                 let comma = if i + 1 < table.rows.len() { "," } else { "" };
                 let _ = writeln!(
@@ -175,9 +222,34 @@ fn main() {
                 );
             }
         }
-        json.push_str("  ]\n}\n");
+        json.push_str("  ],\n");
+        // E17's congestion rows (observed max edge traffic vs the analytic
+        // bound) plus the sink-dispatch overhead sample backing the
+        // zero-cost-when-off guard (the <2% assertion itself lives in
+        // minex-congest's sink_overhead test).
+        json.push_str("  \"telemetry\": {\n");
+        let (run_ms, direct_ms) = out.sink_overhead.unwrap_or((f64::NAN, f64::NAN));
+        let _ = writeln!(json, "    \"sink_noop_ms\": {run_ms:.3},");
+        let _ = writeln!(json, "    \"sink_direct_ms\": {direct_ms:.3},");
+        let _ = writeln!(
+            json,
+            "    \"sink_overhead\": {:.4},",
+            run_ms / direct_ms.max(1e-9)
+        );
+        json.push_str("    \"congestion\": [\n");
+        if let Some(table) = &out.telemetry {
+            for (i, row) in table.rows.iter().enumerate() {
+                let comma = if i + 1 < table.rows.len() { "," } else { "" };
+                let _ = writeln!(
+                    json,
+                    "      {{\"family\": \"{}\", \"n\": {}, \"parts\": {}, \"quality\": {}, \"rounds\": {}, \"round_budget\": {}, \"observed_max_edge_messages\": {}, \"bound\": {}, \"ratio\": {}}}{comma}",
+                    row[0], row[1], row[3], row[4], row[5], row[6], row[7], row[8], row[9]
+                );
+            }
+        }
+        json.push_str("    ]\n  }\n}\n");
         std::fs::write(path, json).unwrap_or_else(|e| {
-            eprintln!("cannot write {}: {e}", path.display());
+            minex_bench::error!("cannot write {}: {e}", path.display());
             std::process::exit(2);
         });
     }

@@ -40,7 +40,7 @@ use minex_graphs::{traversal, EdgeMutation, Graph, NodeId, WeightModel, Weighted
 /// A rendered experiment table.
 #[derive(Debug, Clone)]
 pub struct Table {
-    /// Experiment id (E1..E13).
+    /// Experiment id (E1..E17).
     pub id: &'static str,
     /// Human title, naming the theorem being exercised.
     pub title: String,
@@ -100,6 +100,101 @@ impl Table {
         }
         out
     }
+}
+
+/// Leveled stderr logging for the experiment binaries, env-controlled via
+/// `MINEX_LOG` (`off`, `error`, `warn`, `info`, `debug`; default `info`).
+///
+/// Progress chatter goes to stderr so stdout stays pure table output —
+/// `experiments … > tables.md` captures exactly the rendered tables, and
+/// `MINEX_LOG=off` silences the chatter entirely. Use through the
+/// [`error!`](crate::error), [`warn!`](crate::warn), [`info!`](crate::info),
+/// and [`debug!`](crate::debug) macros.
+pub mod logging {
+    use std::sync::OnceLock;
+
+    /// Log severity, most severe first; `MINEX_LOG` sets the threshold.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    pub enum Level {
+        /// Must-see problems (suppressed only by `MINEX_LOG=off`).
+        Error,
+        /// Suspicious but non-fatal conditions.
+        Warn,
+        /// Progress chatter (the default threshold).
+        Info,
+        /// Per-step detail.
+        Debug,
+    }
+
+    impl Level {
+        fn tag(self) -> &'static str {
+            match self {
+                Level::Error => "error",
+                Level::Warn => "warn",
+                Level::Info => "info",
+                Level::Debug => "debug",
+            }
+        }
+    }
+
+    /// The `MINEX_LOG` threshold: `None` silences everything, otherwise
+    /// the most verbose level still printed. Unset or unrecognized values
+    /// fall back to `info`.
+    fn threshold() -> Option<Level> {
+        static THRESHOLD: OnceLock<Option<Level>> = OnceLock::new();
+        *THRESHOLD.get_or_init(|| match std::env::var("MINEX_LOG").ok().as_deref() {
+            Some("off") | Some("none") | Some("0") => None,
+            Some("error") => Some(Level::Error),
+            Some("warn") => Some(Level::Warn),
+            Some("debug") | Some("trace") => Some(Level::Debug),
+            _ => Some(Level::Info),
+        })
+    }
+
+    /// Whether a message at `level` would currently be printed.
+    pub fn enabled(level: Level) -> bool {
+        threshold().is_some_and(|t| level <= t)
+    }
+
+    /// Prints `args` to stderr as `[minex <level>] …` when `level` clears
+    /// the `MINEX_LOG` threshold.
+    pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+        if enabled(level) {
+            eprintln!("[minex {}] {args}", level.tag());
+        }
+    }
+}
+
+/// Logs to stderr at [`logging::Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::logging::log($crate::logging::Level::Error, format_args!($($arg)*))
+    };
+}
+
+/// Logs to stderr at [`logging::Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::logging::log($crate::logging::Level::Warn, format_args!($($arg)*))
+    };
+}
+
+/// Logs to stderr at [`logging::Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::logging::log($crate::logging::Level::Info, format_args!($($arg)*))
+    };
+}
+
+/// Logs to stderr at [`logging::Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::logging::log($crate::logging::Level::Debug, format_args!($($arg)*))
+    };
 }
 
 thread_local! {
@@ -1610,6 +1705,173 @@ pub fn e16_dynamic_repair(full: bool) -> Table {
     }
 }
 
+/// E17 (telemetry) — *observed* max edge congestion of a shortcut-served
+/// aggregation against the plan's analytic quality bound, across the
+/// generator families (planar tri-grid, treewidth-3 k-tree, maze grid,
+/// heavy-hub wheel).
+///
+/// Each row opens a traced [`Solver`] session, serves one part-wise MIN
+/// (the Theorem 1 primitive every payoff algorithm reduces to), and reads
+/// the busiest link off the session's [`minex_congest::CongestionProfile`].
+/// The analytic
+/// side is `QualityReport::edge_congestion_bound`: an edge carries at most
+/// two messages per round (one per direction), so `2 · quality·⌈log₂ n⌉`
+/// rounds bound its traffic. Every row must satisfy observed ≤ bound —
+/// asserted by `e17_observed_congestion_within_analytic_bound` — and the
+/// whole table is deterministic, so it joins the engine-equivalence gate
+/// (but, like E13–E16, has no golden: the goldens cover E1–E12).
+pub fn e17_congestion(full: bool) -> Table {
+    let mut cases: Vec<(String, WeightedGraph, Partition, &'static str)> = Vec::new();
+    let sides: &[usize] = if full { &[12, 16, 24] } else { &[12, 16] };
+    for &side in sides {
+        let mut rng = StdRng::seed_from_u64(side as u64);
+        let g = generators::triangulated_grid(side, side);
+        let parts = workloads::voronoi_parts(&g, side, &mut rng);
+        let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+        cases.push((format!("tri-grid {side}x{side}"), wg, parts, "auto"));
+    }
+    let kns: &[usize] = if full { &[512, 2048] } else { &[512] };
+    for &kn in kns {
+        let mut rng = StdRng::seed_from_u64(kn as u64);
+        let (g, _) = generators::k_tree(kn, 3, &mut rng);
+        let parts = workloads::voronoi_parts(&g, (kn as f64).sqrt() as usize, &mut rng);
+        let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+        cases.push((format!("k-tree({kn},3)"), wg, parts, "auto"));
+    }
+    let mazes: &[(usize, usize)] = if full {
+        &[(12, 6), (16, 8)]
+    } else {
+        &[(12, 6)]
+    };
+    for &(side, k) in mazes {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (wg, parts) = workloads::maze_grid(side, side, k, &mut rng);
+        cases.push((format!("maze {side}x{side}"), wg, parts, "auto"));
+    }
+    let hubs: &[(usize, usize)] = if full {
+        &[(192, 16), (256, 16)]
+    } else {
+        &[(192, 16)]
+    };
+    for &(n, seg) in hubs {
+        let (wg, parts) = workloads::heavy_hub_wheel(n, seg, 64, 8192);
+        cases.push((format!("wheel({n},{seg})"), wg, parts, "steiner"));
+    }
+    let mut rows = Vec::new();
+    for (family, wg, parts, builder) in cases {
+        let (n, m, n_parts) = (wg.graph().n(), wg.graph().m(), parts.len());
+        let builder: &dyn ShortcutBuilder = match builder {
+            "steiner" => &SteinerBuilder,
+            _ => &AutoCappedBuilder,
+        };
+        let mut session = Solver::builder(&wg)
+            .parts(PartsStrategy::Explicit(parts))
+            .shortcut_builder(builder)
+            .config(config(n))
+            .trace(true)
+            .build()
+            .expect("session");
+        let q = session.plan().expect("connected").quality().clone();
+        let values: Vec<u64> = (0..n as u64).rev().collect();
+        let agg = session.partwise_min(&values, 32).expect("aggregation");
+        let trace = session.take_trace().expect("tracing is on");
+        let observed = trace.profile.max_edge_messages();
+        let budget = q.round_budget(n);
+        let bound = q.edge_congestion_bound(n);
+        rows.push(vec![
+            family,
+            n.to_string(),
+            m.to_string(),
+            n_parts.to_string(),
+            q.quality.to_string(),
+            agg.stats.simulated_rounds.to_string(),
+            budget.to_string(),
+            observed.to_string(),
+            bound.to_string(),
+            format!("{:.3}", observed as f64 / bound.max(1) as f64),
+        ]);
+    }
+    Table {
+        id: "E17",
+        title: "Observed max edge congestion vs the analytic bound (2·quality·⌈log₂ n⌉)".into(),
+        headers: [
+            "family",
+            "n",
+            "m",
+            "parts",
+            "quality",
+            "agg rounds",
+            "round budget",
+            "max edge msgs",
+            "bound",
+            "obs/bound",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
+/// The deterministic traced session behind `experiments --trace` (and the
+/// `MINEX_TRACE` env var): a fixed 8×8 tri-grid workload serving an MST
+/// (twice — the repeat is a memo hit), a part-wise MIN, and an exact SSSP,
+/// exported as JSON Lines via `SessionTrace::to_jsonl`.
+///
+/// The output is byte-identical across the sequential and parallel engines
+/// and any `MINEX_THREADS` setting — the CI telemetry step `cmp`s the
+/// files from two thread counts, and `trace_jsonl_is_engine_independent`
+/// asserts the same in-process.
+pub fn trace_session_jsonl() -> String {
+    let g = generators::triangulated_grid(8, 8);
+    let mut rng = StdRng::seed_from_u64(17);
+    let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
+    let parts = workloads::voronoi_parts(&g, 4, &mut rng);
+    let mut session = Solver::builder(&wg)
+        .parts(PartsStrategy::Explicit(parts))
+        .shortcut_builder(SteinerBuilder)
+        .config(config(g.n()))
+        .trace(true)
+        .build()
+        .expect("session");
+    session.mst().expect("mst");
+    session.mst().expect("memo-served mst");
+    let values: Vec<u64> = (0..g.n() as u64).collect();
+    session.partwise_min(&values, 32).expect("aggregation");
+    session.sssp(0, Tier::Exact).expect("exact sssp");
+    session.take_trace().expect("tracing is on").to_jsonl()
+}
+
+/// Best-of-`reps` wall milliseconds of the dispatching entry point
+/// ([`minex_congest::run`], which checks the telemetry slot once and
+/// monomorphizes to the `NoopSink` loop) versus calling
+/// [`minex_congest::run_with_sink`] with `NoopSink` directly, driving the
+/// E15-style bounded broadcast storm on a 48×48 tri-grid.
+///
+/// Returns `(run_ms, direct_ms)`. The `<2%` overhead *assertion* lives in
+/// `minex-congest`'s `sink_overhead` test (with the usual timing-assert
+/// escape hatches); this sampler only records the figures, for the
+/// `telemetry` section of `BENCH_pr.json`.
+pub fn sink_overhead_ms(reps: usize) -> (f64, f64) {
+    let g = generators::triangulated_grid(48, 48);
+    let cfg = config(g.n());
+    let best = |f: &mut dyn FnMut(&mut Vec<BoundedStorm>) -> minex_congest::RunStats| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let mut programs = vec![BoundedStorm { rounds_left: 24 }; g.n()];
+            let start = Instant::now();
+            let stats = f(&mut programs);
+            best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+            assert_eq!(stats.rounds, 24, "storm must quiesce on schedule");
+        }
+        best * 1e3
+    };
+    let run_ms = best(&mut |p| minex_congest::run(&g, p, cfg).expect("storm"));
+    let direct_ms = best(&mut |p| {
+        minex_congest::run_with_sink(&g, p, cfg, &mut minex_congest::NoopSink).expect("storm")
+    });
+    (run_ms, direct_ms)
+}
+
 /// An experiment runner: `full` selects the larger parameter sweep.
 pub type ExperimentFn = fn(bool) -> Table;
 
@@ -1637,6 +1899,7 @@ pub fn experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("E14", e14_plan_reuse),
         ("E15", e15_scale),
         ("E16", e16_dynamic_repair),
+        ("E17", e17_congestion),
     ]
 }
 
@@ -1883,6 +2146,58 @@ mod tests {
             attempt() || attempt() || attempt(),
             "repair cost above half the rebuild cost at 1e5 nodes in three consecutive runs"
         );
+    }
+
+    #[test]
+    fn e17_observed_congestion_within_analytic_bound() {
+        // The acceptance bar: the busiest link a traced session actually
+        // observed never exceeds the plan's analytic congestion bound, on
+        // every row of every registered family. Also pins the chain the
+        // bound is derived through: observed ≤ 2·rounds (one message per
+        // direction per round) and rounds ≤ the round budget.
+        let t = e17_congestion(false);
+        assert_eq!(t.rows.len(), 5, "quick mode covers all four families");
+        for row in &t.rows {
+            let rounds: usize = row[5].parse().unwrap();
+            let budget: usize = row[6].parse().unwrap();
+            let observed: usize = row[7].parse().unwrap();
+            let bound: usize = row[8].parse().unwrap();
+            assert!(observed >= 1, "{}: the aggregation sent traffic", row[0]);
+            assert!(observed <= 2 * rounds, "{}: per-round edge cap", row[0]);
+            assert!(
+                rounds <= budget,
+                "{}: {rounds} rounds > budget {budget}",
+                row[0]
+            );
+            assert!(
+                observed <= bound,
+                "{}: observed {observed} > bound {bound}",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn e17_and_trace_export_are_engine_independent() {
+        // The determinism contract at the bench surface: the E17 table and
+        // the `--trace` JSONL export are byte-identical across the
+        // sequential and 4-thread engines (the CI telemetry step repeats
+        // the JSONL comparison across MINEX_THREADS processes).
+        let seq = with_engine_threads(1, || e17_congestion(false).to_csv());
+        let par = with_engine_threads(4, || e17_congestion(false).to_csv());
+        assert_eq!(seq, par, "E17 diverges across engines");
+        let seq = with_engine_threads(1, trace_session_jsonl);
+        let par = with_engine_threads(4, trace_session_jsonl);
+        assert_eq!(seq, par, "trace export diverges across engines");
+        assert!(seq.lines().all(|l| l.starts_with("{\"type\":\"")));
+        assert!(seq.starts_with("{\"type\":\"counters\""));
+        assert!(seq
+            .lines()
+            .last()
+            .unwrap()
+            .starts_with("{\"type\":\"summary\""));
+        // The fixed workload exercises the memo path: 4 queries, 1 hit.
+        assert!(seq.contains("\"queries\":4,\"memo_hits\":1,\"memo_misses\":3"));
     }
 
     #[test]

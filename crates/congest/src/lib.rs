@@ -16,6 +16,13 @@
 //! [`RunStats`], program outputs, and the error *selection* on failing runs
 //! (see [`run`]); threads only trade wall-clock time.
 //!
+//! Both engines are instrumented with the zero-cost-when-off
+//! [`telemetry`] layer: a [`Sink`] receives per-round, per-send,
+//! per-delivery, and rejection events, and the [`CongestionProfile`]
+//! recorder turns them into per-edge congestion maps, per-round
+//! histograms, and phase attribution — byte-identical across engines and
+//! thread counts. The default [`NoopSink`] monomorphizes every hook away.
+//!
 //! ## Example
 //!
 //! ```
@@ -27,6 +34,27 @@
 //! assert_eq!(tree.dist[63], 14); // opposite corner of the grid
 //! # Ok::<(), minex_congest::SimError>(())
 //! ```
+//!
+//! ## Recording a congestion profile
+//!
+//! [`telemetry::record`] scopes a recorder over unmodified [`run`] call
+//! sites; [`run_with_sink`] passes one explicitly:
+//!
+//! ```
+//! use minex_congest::telemetry::{self, CongestionProfile};
+//! use minex_congest::{primitives, CongestConfig};
+//! use minex_graphs::generators;
+//!
+//! let g = generators::grid(8, 8);
+//! let mut profile = CongestionProfile::new();
+//! let tree = telemetry::record(&mut profile, || {
+//!     primitives::build_bfs_tree(&g, 0, CongestConfig::for_nodes(g.n()))
+//! })?;
+//! assert_eq!(profile.total_messages(), tree.stats.messages);
+//! let (hottest_edge, load) = profile.hot_links(1)[0];
+//! assert!(load.messages >= 1 && hottest_edge < g.m());
+//! # Ok::<(), minex_congest::SimError>(())
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -36,7 +64,9 @@ mod parallel;
 pub mod primitives;
 mod program;
 mod runtime;
+pub mod telemetry;
 
 pub use message::{bits_for, Payload};
 pub use program::{Ctx, NodeProgram};
-pub use runtime::{run, CongestConfig, RunStats, SimError};
+pub use runtime::{run, run_with_sink, CongestConfig, RunStats, SimError};
+pub use telemetry::{CongestionProfile, NoopSink, PhaseLabel, Sink};

@@ -4,6 +4,12 @@
 //! neighbor per round. The simulator enforces this budget exactly: every
 //! payload reports its size via [`Payload::bit_size`], and the runtime
 //! rejects rounds that exceed the per-edge [`bandwidth`](crate::CongestConfig).
+//!
+//! `bit_size` must be **pure** (a function of the message value alone): the
+//! engines re-evaluate it at validation time and again on delivery, and the
+//! [`telemetry`](crate::telemetry) layer accounts per-edge and per-round bit
+//! loads from the same calls — an impure implementation would desynchronize
+//! [`RunStats`](crate::RunStats) from recorded profiles.
 
 use std::fmt;
 

@@ -25,6 +25,13 @@
 //!   global order.
 //! * **Stats.** `messages`/`total_bits` are sums and `max_message_bits` is
 //!   a max — order-free reductions of per-shard partials.
+//! * **Telemetry.** Each shard records its send/deliver events into its own
+//!   fork of the caller's [`Sink`] ([`Sink::fork_shard`]); the forks
+//!   ping-pong through the round-task channels and the coordinator folds
+//!   them back ([`Sink::merge_shard`]) in ascending node-id shard order on
+//!   every exit path. Round-boundary and rejection events fire only on the
+//!   root sink. A [`CongestionProfile`](crate::telemetry::CongestionProfile)
+//!   therefore accumulates exactly the sequential engine's counters.
 //! * **Quiescence.** `all_done` is the AND and `any_message` the OR of
 //!   per-shard flags, evaluated at the same point of the round as the
 //!   sequential engine (after every `on_round` of the round returned).
@@ -36,9 +43,10 @@
 //!   exactly the one the sequential engine would have hit first. (The
 //!   engines do differ in one way after an `Err`: here, nodes *after* the
 //!   offender still executed their `on_round` for the failing round, so
-//!   post-error program state is engine-dependent — [`crate::run`]'s docs
-//!   restrict program inspection to successful runs. A worker-side program
-//!   panic likewise reaches the caller re-wrapped by the coordinator.)
+//!   post-error program state — and post-error telemetry totals — are
+//!   engine-dependent; [`crate::run`]'s docs restrict program inspection to
+//!   successful runs. A worker-side program panic likewise reaches the
+//!   caller re-wrapped by the coordinator.)
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread;
@@ -48,6 +56,7 @@ use minex_graphs::{GraphView, NodeId};
 use crate::message::Payload;
 use crate::program::{Ctx, NodeProgram};
 use crate::runtime::{CongestConfig, RunStats, SendValidator, SimError};
+use crate::telemetry::Sink;
 
 /// Per-shard scratch, allocated once per run and reused every round.
 struct ShardScratch<M> {
@@ -69,7 +78,7 @@ impl<M> ShardScratch<M> {
 }
 
 /// One round of work mailed to a worker shard.
-struct RoundTask<M> {
+struct RoundTask<M, S> {
     round: usize,
     /// This shard's deliveries as (local node index, sender, message), in
     /// global ascending-sender order.
@@ -77,16 +86,22 @@ struct RoundTask<M> {
     /// The shard's own (drained) send buffer from last round, returned for
     /// reuse.
     recycled: Vec<(NodeId, NodeId, M)>,
+    /// The shard's telemetry fork, ping-ponged so the coordinator can merge
+    /// on any exit path.
+    sink: S,
 }
 
 /// What one shard reports back to the coordinator each round.
-struct ShardDone<M> {
+struct ShardDone<M, S> {
     /// Validated sends in (sender, outbox) order, for the coordinator to
     /// merge; drained there and recycled back next round.
     sends: Vec<(NodeId, NodeId, M)>,
     /// The (drained) delivery buffer, recycled into the coordinator's
     /// bucket for this shard.
     recycled: Vec<(usize, NodeId, M)>,
+    /// The shard's telemetry fork, handed back after the shard's events
+    /// (`None` until the worker loop re-attaches it).
+    sink: Option<S>,
     messages: u64,
     total_bits: u64,
     max_message_bits: usize,
@@ -96,19 +111,21 @@ struct ShardDone<M> {
 }
 
 /// A worker's communication endpoints as held by the coordinator.
-type WorkerLink<M> = (Sender<RoundTask<M>>, Receiver<ShardDone<M>>);
+type WorkerLink<M, S> = (Sender<RoundTask<M, S>>, Receiver<ShardDone<M, S>>);
 
 /// Runs the multi-threaded engine. `threads >= 2` and `graph.n() >= threads`
 /// (the dispatcher in [`crate::run`] guarantees both).
-pub(crate) fn run_parallel<P>(
+pub(crate) fn run_parallel<P, S>(
     graph: &(dyn GraphView + Sync),
     programs: &mut [P],
     config: CongestConfig,
     threads: usize,
+    sink: &mut S,
 ) -> Result<RunStats, SimError>
 where
     P: NodeProgram + Send,
     P::Msg: Send,
+    S: Sink,
 {
     let n = graph.n();
     debug_assert!(threads >= 2 && threads <= n);
@@ -121,31 +138,45 @@ where
         let shard0_programs = chunks.next().expect("dispatcher guarantees n >= 1");
         // Workers own shards 1.. for the whole run; dropping the task
         // senders (on any return or panic) is their shutdown signal.
-        let mut workers: Vec<WorkerLink<P::Msg>> = Vec::new();
+        let mut workers: Vec<WorkerLink<P::Msg, S>> = Vec::new();
         for (w, shard_programs) in chunks.enumerate() {
-            let (task_tx, task_rx) = channel::<RoundTask<P::Msg>>();
-            let (done_tx, done_rx) = channel::<ShardDone<P::Msg>>();
+            let (task_tx, task_rx) = channel::<RoundTask<P::Msg, S>>();
+            let (done_tx, done_rx) = channel::<ShardDone<P::Msg, S>>();
             let lo = (w + 1) * chunk;
             scope.spawn(move || worker_loop(graph, config, lo, shard_programs, task_rx, done_tx));
             workers.push((task_tx, done_rx));
         }
-        // Shard 0 state lives on the coordinator.
+        // Shard 0 state lives on the coordinator; its telemetry fork and the
+        // workers' forks are merged back into the root sink — shard 0 first,
+        // then shards 1.. — on every exit path below.
         let mut shard0_inboxes: Vec<Vec<(NodeId, P::Msg)>> =
             vec![Vec::new(); shard0_programs.len()];
         let mut shard0_scratch: ShardScratch<P::Msg> = ShardScratch::new(n);
         let mut shard0_bucket: Vec<(usize, NodeId, P::Msg)> = Vec::new();
-        // Next-round delivery buckets and recycled send buffers, one per
-        // worker shard; both ping-pong through the channels.
+        let mut shard0_sink = sink.fork_shard();
+        // Next-round delivery buckets, recycled send buffers, and parked
+        // telemetry forks, one per worker shard; all ping-pong through the
+        // channels.
         let mut worker_buckets: Vec<Vec<(usize, NodeId, P::Msg)>> = vec![Vec::new(); workers.len()];
         let mut worker_recycled: Vec<Vec<(NodeId, NodeId, P::Msg)>> =
             vec![Vec::new(); workers.len()];
+        let mut worker_sinks: Vec<Option<S>> =
+            workers.iter().map(|_| Some(sink.fork_shard())).collect();
+        let merge_sinks = |sink: &mut S, shard0_sink: S, worker_sinks: Vec<Option<S>>| {
+            sink.merge_shard(shard0_sink);
+            for shard_sink in worker_sinks.into_iter().flatten() {
+                sink.merge_shard(shard_sink);
+            }
+        };
         let mut stats = RunStats::default();
         for round in 0..config.max_rounds {
+            sink.on_round_start(round);
             for (w, (task_tx, _)) in workers.iter().enumerate() {
                 let task = RoundTask {
                     round,
                     deliveries: std::mem::take(&mut worker_buckets[w]),
                     recycled: std::mem::take(&mut worker_recycled[w]),
+                    sink: worker_sinks[w].take().expect("sink parked between rounds"),
                 };
                 // A send only fails if the worker panicked; the recv below
                 // then panics the coordinator and the scope re-raises.
@@ -153,10 +184,11 @@ where
             }
             // The coordinator works shard 0 while the workers run theirs.
             for (local, from, msg) in shard0_bucket.drain(..) {
+                shard0_sink.on_deliver(round, from, local, msg.bit_size());
                 shard0_inboxes[local].push((from, msg));
             }
-            let mut dones: Vec<ShardDone<P::Msg>> = Vec::with_capacity(workers.len() + 1);
-            dones.push(run_shard(
+            let mut dones: Vec<ShardDone<P::Msg, S>> = Vec::with_capacity(workers.len() + 1);
+            let mut shard0_done = run_shard(
                 graph,
                 &config,
                 round,
@@ -164,18 +196,23 @@ where
                 shard0_programs,
                 &mut shard0_inboxes,
                 &mut shard0_scratch,
-            ));
+                &mut shard0_sink,
+            );
             for (_, done_rx) in &workers {
                 dones.push(done_rx.recv().expect("engine worker panicked"));
             }
             // Reduce the reports; shard order == ascending node-id order, so
             // keeping the first error seen is the deterministic selection.
-            let mut all_done = true;
-            let mut any_message = false;
-            let mut first_error: Option<SimError> = None;
+            let mut all_done = shard0_done.all_done;
+            let mut any_message = shard0_done.messages > 0;
+            let mut first_error: Option<SimError> = shard0_done.error.take();
+            stats.messages += shard0_done.messages;
+            stats.total_bits += shard0_done.total_bits;
+            stats.max_message_bits = stats.max_message_bits.max(shard0_done.max_message_bits);
             let mut sends_in_order: Vec<Vec<(NodeId, NodeId, P::Msg)>> =
-                Vec::with_capacity(dones.len());
-            for (s, done) in dones.into_iter().enumerate() {
+                Vec::with_capacity(workers.len() + 1);
+            sends_in_order.push(std::mem::take(&mut shard0_done.sends));
+            for (w, done) in dones.into_iter().enumerate() {
                 if first_error.is_none() {
                     first_error = done.error;
                 }
@@ -184,14 +221,15 @@ where
                 stats.messages += done.messages;
                 stats.total_bits += done.total_bits;
                 stats.max_message_bits = stats.max_message_bits.max(done.max_message_bits);
-                if s > 0 {
-                    // The worker's drained delivery buffer becomes its next
-                    // bucket (empty but warm).
-                    worker_buckets[s - 1] = done.recycled;
-                }
+                // The worker's drained delivery buffer becomes its next
+                // bucket (empty but warm), and its telemetry fork parks
+                // until the next round (or the final merge).
+                worker_buckets[w] = done.recycled;
+                worker_sinks[w] = done.sink;
                 sends_in_order.push(done.sends);
             }
             if let Some(err) = first_error {
+                merge_sinks(sink, shard0_sink, worker_sinks);
                 return Err(err);
             }
             // Merge into next-round buckets in shard (== ascending sender
@@ -211,12 +249,15 @@ where
                     worker_recycled[s - 1] = sends;
                 }
             }
+            sink.on_round_end(round);
             if all_done && !any_message {
                 stats.rounds = round;
+                merge_sinks(sink, shard0_sink, worker_sinks);
                 return Ok(stats);
             }
             stats.rounds = round + 1;
         }
+        merge_sinks(sink, shard0_sink, worker_sinks);
         Err(SimError::MaxRoundsExceeded {
             limit: config.max_rounds,
         })
@@ -226,13 +267,13 @@ where
 /// A worker's whole-run loop: receive a round task, deliver the mail into
 /// the shard's inboxes, execute the shard, report back. Exits when the
 /// coordinator hangs up (run over, error, or coordinator panic).
-fn worker_loop<P: NodeProgram>(
+fn worker_loop<P: NodeProgram, S: Sink>(
     graph: &(dyn GraphView + Sync),
     config: CongestConfig,
     lo: NodeId,
     programs: &mut [P],
-    tasks: Receiver<RoundTask<P::Msg>>,
-    dones: Sender<ShardDone<P::Msg>>,
+    tasks: Receiver<RoundTask<P::Msg, S>>,
+    dones: Sender<ShardDone<P::Msg, S>>,
 ) {
     let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); programs.len()];
     let mut scratch: ShardScratch<P::Msg> = ShardScratch::new(graph.n());
@@ -240,12 +281,14 @@ fn worker_loop<P: NodeProgram>(
         round,
         mut deliveries,
         recycled,
+        mut sink,
     }) = tasks.recv()
     {
         scratch.sends = recycled;
         // Deliveries arrive in global ascending-sender order; pushing in
         // arrival order preserves it per inbox, as the sequential engine.
         for (local, from, msg) in deliveries.drain(..) {
+            sink.on_deliver(round, from, lo + local, msg.bit_size());
             inboxes[local].push((from, msg));
         }
         let mut done = run_shard(
@@ -256,8 +299,10 @@ fn worker_loop<P: NodeProgram>(
             programs,
             &mut inboxes,
             &mut scratch,
+            &mut sink,
         );
         done.recycled = deliveries;
+        done.sink = Some(sink);
         if dones.send(done).is_err() {
             break;
         }
@@ -267,7 +312,8 @@ fn worker_loop<P: NodeProgram>(
 /// Runs the nodes `lo..lo + programs.len()` for one round. `inboxes[i]` is
 /// node `lo + i`'s inbox; validated sends move to the report in (sender,
 /// outbox position) order. Stops at the shard's first CONGEST violation.
-fn run_shard<P: NodeProgram>(
+#[allow(clippy::too_many_arguments)]
+fn run_shard<P: NodeProgram, S: Sink>(
     graph: &(dyn GraphView + Sync),
     config: &CongestConfig,
     round: usize,
@@ -275,10 +321,12 @@ fn run_shard<P: NodeProgram>(
     programs: &mut [P],
     inboxes: &mut [Vec<(NodeId, P::Msg)>],
     scratch: &mut ShardScratch<P::Msg>,
-) -> ShardDone<P::Msg> {
+    sink: &mut S,
+) -> ShardDone<P::Msg, S> {
     let mut report = ShardDone {
         sends: Vec::new(),
         recycled: Vec::new(),
+        sink: None,
         messages: 0,
         total_bits: 0,
         max_message_bits: 0,
@@ -300,12 +348,15 @@ fn run_shard<P: NodeProgram>(
         inboxes[i].clear();
         for (to, msg) in scratch.outbox.drain(..) {
             let bits = msg.bit_size();
-            if let Err(err) = scratch.validator.check(graph, config, v, to, bits) {
-                // `check` left per-sender state dirty, but an error aborts
-                // the whole run, so the scratch is never reused.
-                report.error = Some(err);
-                report.sends = std::mem::take(&mut scratch.sends);
-                return report;
+            match scratch.validator.check(graph, config, v, to, bits) {
+                Ok(edge) => sink.on_send(round, v, to, edge, bits),
+                Err(err) => {
+                    // `check` left per-sender state dirty, but an error
+                    // aborts the whole run, so the scratch is never reused.
+                    report.error = Some(err);
+                    report.sends = std::mem::take(&mut scratch.sends);
+                    return report;
+                }
             }
             report.messages += 1;
             report.total_bits += bits as u64;

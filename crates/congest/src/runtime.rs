@@ -3,10 +3,11 @@
 use std::error::Error;
 use std::fmt;
 
-use minex_graphs::{GraphView, NodeId};
+use minex_graphs::{EdgeId, GraphView, NodeId};
 
 use crate::message::{bits_for, Payload};
 use crate::program::{Ctx, NodeProgram};
+use crate::telemetry::{self, NoopSink, Sink};
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -212,7 +213,9 @@ impl SendValidator {
         }
     }
 
-    /// Validates one queued send of `bits` bits from `from` to `to`.
+    /// Validates one queued send of `bits` bits from `from` to `to`,
+    /// returning the id of the edge it crosses (the neighborship lookup
+    /// already pays for it, and telemetry sinks key per-link load by it).
     #[inline]
     pub(crate) fn check(
         &mut self,
@@ -221,10 +224,10 @@ impl SendValidator {
         from: NodeId,
         to: NodeId,
         bits: usize,
-    ) -> Result<(), SimError> {
-        if graph.edge_between(from, to).is_none() {
+    ) -> Result<EdgeId, SimError> {
+        let Some(edge) = graph.edge_between(from, to) else {
             return Err(SimError::NotANeighbor { from, to });
-        }
+        };
         if self.seen_dest[to] {
             return Err(SimError::DuplicateSend { from, to });
         }
@@ -238,7 +241,7 @@ impl SendValidator {
                 budget: config.bandwidth_bits,
             });
         }
-        Ok(())
+        Ok(edge)
     }
 
     /// Clears the per-sender state; call once the sender's outbox is drained.
@@ -287,6 +290,38 @@ where
     P: NodeProgram + Send,
     P::Msg: Send,
 {
+    // One branch per run decides between the recording and the no-op
+    // monomorphization; the no-op leg compiles to the uninstrumented round
+    // loop (every `NoopSink` hook is an empty inline default).
+    match telemetry::take_active() {
+        Some(mut profile) => {
+            let result = run_with_sink(graph, programs, config, &mut profile);
+            telemetry::put_active(profile);
+            result
+        }
+        None => run_with_sink(graph, programs, config, &mut NoopSink),
+    }
+}
+
+/// [`run`] with an explicit telemetry [`Sink`] receiving every engine
+/// event. Semantics, determinism, and error selection are identical to
+/// `run`; see the [`telemetry`](crate::telemetry) module docs for the
+/// hook order and the recorder determinism contract.
+///
+/// # Panics
+///
+/// Panics if `programs.len() != graph.n()`.
+pub fn run_with_sink<P, S>(
+    graph: &(dyn GraphView + Sync),
+    programs: &mut [P],
+    config: CongestConfig,
+    sink: &mut S,
+) -> Result<RunStats, SimError>
+where
+    P: NodeProgram + Send,
+    P::Msg: Send,
+    S: Sink,
+{
     assert_eq!(
         programs.len(),
         graph.n(),
@@ -295,18 +330,26 @@ where
     // More workers than nodes cannot help; empty networks and singletons
     // always take the sequential path.
     let threads = config.resolved_threads().min(graph.n().max(1));
-    if threads <= 1 {
-        run_sequential(graph, programs, config)
+    let result = if threads <= 1 {
+        run_sequential(graph, programs, config, sink)
     } else {
-        crate::parallel::run_parallel(graph, programs, config, threads)
+        crate::parallel::run_parallel(graph, programs, config, threads, sink)
+    };
+    // Rejections are reported here, after the parallel engine has merged
+    // its shard sinks, so both engines fire exactly one deterministic
+    // rejection event on the root sink.
+    if let Err(ref err) = result {
+        sink.on_reject(err);
     }
+    result
 }
 
 /// The single-threaded engine: the reference semantics.
-fn run_sequential<P: NodeProgram>(
+fn run_sequential<P: NodeProgram, S: Sink>(
     graph: &(dyn GraphView + Sync),
     programs: &mut [P],
     config: CongestConfig,
+    sink: &mut S,
 ) -> Result<RunStats, SimError> {
     let n = graph.n();
     let mut stats = RunStats::default();
@@ -320,12 +363,16 @@ fn run_sequential<P: NodeProgram>(
     let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
     let mut validator = SendValidator::new(n);
     for round in 0..config.max_rounds {
+        sink.on_round_start(round);
         let mut any_message = false;
         for v in 0..n {
             // Quiescence fast path: a done node with no mail does not act.
             // Round 0 always runs so programs can initialize.
             if round > 0 && inboxes[v].is_empty() && programs[v].is_done() {
                 continue;
+            }
+            for (from, msg) in &inboxes[v] {
+                sink.on_deliver(round, *from, v, msg.bit_size());
             }
             outbox.clear();
             {
@@ -338,7 +385,8 @@ fn run_sequential<P: NodeProgram>(
             // Validate and enqueue.
             for (to, msg) in outbox.drain(..) {
                 let bits = msg.bit_size();
-                validator.check(graph, &config, v, to, bits)?;
+                let edge = validator.check(graph, &config, v, to, bits)?;
+                sink.on_send(round, v, to, edge, bits);
                 stats.messages += 1;
                 stats.total_bits += bits as u64;
                 stats.max_message_bits = stats.max_message_bits.max(bits);
@@ -352,6 +400,7 @@ fn run_sequential<P: NodeProgram>(
         // slots were already empty, so after the swap `next_inboxes` is all
         // empty (but warm) for the round after next.
         std::mem::swap(&mut inboxes, &mut next_inboxes);
+        sink.on_round_end(round);
         if all_done && !any_message {
             stats.rounds = round;
             return Ok(stats);

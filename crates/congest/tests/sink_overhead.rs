@@ -1,0 +1,86 @@
+//! The zero-cost-when-off guard: [`minex_congest::run`] (which checks the
+//! thread-local telemetry slot once per call and dispatches to the
+//! `NoopSink` monomorphization) must cost within 2% of calling
+//! [`minex_congest::run_with_sink`] with [`NoopSink`] directly — i.e. the
+//! instrumented round loop with the no-op sink *is* the uninstrumented
+//! round loop.
+//!
+//! Wall-clock comparisons follow the repo's timing-assert convention
+//! (E14/E15/E16): best-of-several measurements, three attempts before a
+//! failure counts, skipped on debug builds (no inlining) and under
+//! `MINEX_SKIP_TIMING_ASSERTS=1`.
+
+use std::time::Instant;
+
+use minex_congest::{run, run_with_sink, CongestConfig, Ctx, NodeProgram, NoopSink, RunStats};
+use minex_graphs::generators;
+
+/// A bounded broadcast storm: every node broadcasts every round until its
+/// budget runs out — the engine's full per-round machinery at a
+/// predictable round count (mirrors E15's throughput workload).
+#[derive(Debug, Clone)]
+struct Storm {
+    rounds_left: usize,
+}
+
+impl NodeProgram for Storm {
+    type Msg = u32;
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            ctx.broadcast(ctx.node() as u32 & 0xFFFF);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.rounds_left == 0
+    }
+}
+
+/// Best seconds over `reps` runs of a fresh storm under `f`.
+fn best_secs(
+    g: &minex_graphs::Graph,
+    config: CongestConfig,
+    reps: usize,
+    mut f: impl FnMut(&mut Vec<Storm>) -> RunStats,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut programs = vec![Storm { rounds_left: 24 }; g.n()];
+        let start = Instant::now();
+        let stats = f(&mut programs);
+        best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+        assert_eq!(stats.rounds, 24);
+        let _ = config;
+    }
+    best
+}
+
+#[test]
+fn noop_sink_run_is_free() {
+    let timing_asserts =
+        std::env::var_os("MINEX_SKIP_TIMING_ASSERTS").is_none() && !cfg!(debug_assertions);
+    let g = generators::triangulated_grid(48, 48);
+    let config = CongestConfig::for_nodes(g.n()).with_bandwidth(192);
+    if !timing_asserts {
+        // Correctness-only pass: both entry points agree on the result.
+        let mut a = vec![Storm { rounds_left: 24 }; g.n()];
+        let mut b = a.clone();
+        let sa = run(&g, &mut a, config).unwrap();
+        let sb = run_with_sink(&g, &mut b, config, &mut NoopSink).unwrap();
+        assert_eq!(sa, sb);
+        return;
+    }
+    let reps = 7;
+    let attempt = || {
+        // Interleave the legs so slow-machine drift hits both equally.
+        let with_dispatch = best_secs(&g, config, reps, |p| run(&g, p, config).unwrap());
+        let direct = best_secs(&g, config, reps, |p| {
+            run_with_sink(&g, p, config, &mut NoopSink).unwrap()
+        });
+        with_dispatch <= direct * 1.02
+    };
+    assert!(
+        attempt() || attempt() || attempt(),
+        "run() exceeded 2% overhead over the direct NoopSink loop in three consecutive attempts"
+    );
+}

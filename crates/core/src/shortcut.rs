@@ -125,6 +125,35 @@ pub struct QualityReport {
     pub per_edge_congestion: Vec<usize>,
 }
 
+impl QualityReport {
+    /// The analytic round budget the framework charges one part-wise
+    /// aggregation served by a shortcut of this quality: `q · ⌈log₂ n⌉`
+    /// (Theorem 1's `Õ(q)`, with the polylog written out) — the same
+    /// figure the solver reports as charged construction rounds per
+    /// quality unit. `n` is the network size; `n ≤ 2` charges one round
+    /// per quality unit.
+    pub fn round_budget(&self, n: usize) -> usize {
+        let log_n = if n <= 2 {
+            1
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize
+        };
+        self.quality * log_n
+    }
+
+    /// The analytic cap on messages any single edge can carry while one
+    /// part-wise aggregation runs within [`round_budget`]: the CONGEST
+    /// model admits one message per direction per round, so a q-quality
+    /// plan bounds observed per-edge congestion by `2 · q · ⌈log₂ n⌉`.
+    /// This is the bound E17 validates against measured telemetry
+    /// (`CongestionProfile::max_edge_messages` in `minex-congest`).
+    ///
+    /// [`round_budget`]: Self::round_budget
+    pub fn edge_congestion_bound(&self, n: usize) -> usize {
+        2 * self.round_budget(n)
+    }
+}
+
 /// Measures congestion, block parameter, and quality of `shortcut` on
 /// `(g, tree, parts)` exactly per Definitions 11–13.
 ///
@@ -267,6 +296,21 @@ pub fn augmented_part_diameter(g: &Graph, parts: &Partition, shortcut: &Shortcut
 mod tests {
     use super::*;
     use minex_graphs::generators;
+
+    #[test]
+    fn analytic_budgets_follow_quality_and_log_n() {
+        let g = generators::path(6);
+        let t = RootedTree::bfs(&g, 0);
+        let parts = Partition::new(&g, vec![vec![0, 1, 2], vec![4, 5]]).unwrap();
+        let s = Shortcut::empty(2);
+        let q = measure_quality(&g, &t, &parts, &s);
+        // ⌈log₂ 6⌉ = 3; tiny n collapses to one round per quality unit.
+        assert_eq!(q.round_budget(6), q.quality * 3);
+        assert_eq!(q.round_budget(2), q.quality);
+        assert_eq!(q.round_budget(0), q.quality);
+        assert_eq!(q.round_budget(1025), q.quality * 11);
+        assert_eq!(q.edge_congestion_bound(6), 2 * q.round_budget(6));
+    }
 
     #[test]
     fn empty_shortcut_blocks_are_part_counts() {

@@ -45,8 +45,10 @@ pub use minex_decomp as decomp;
 pub use minex_graphs as graphs;
 
 pub use minex_algo::solver::{
-    AlgoError, Components, MinCut, Mst, PartsStrategy, PartwiseMin, PhaseRun, RepairStats, Report,
-    ReportStats, Solver, SolverBuilder, Sssp, SsspDetail, Tier,
+    AlgoError, Components, MinCut, Mst, PartsStrategy, PartwiseMin, PhaseRun, QuerySpan,
+    RepairStats, Report, ReportStats, SessionCounters, SessionTrace, Solver, SolverBuilder, Sssp,
+    SsspDetail, Tier,
 };
+pub use minex_congest::{CongestionProfile, PhaseLabel, Sink};
 pub use minex_core::{PlanRepairStats, ShortcutPlan};
 pub use minex_graphs::{DeltaGraph, EdgeMutation};
