@@ -13,7 +13,7 @@ use minex_graphs::{EdgeId, Graph, UnionFind, WeightedGraph};
 use crate::mst::MstOutcome;
 use crate::partwise::partwise_min_impl;
 use crate::pipeline::{pipelined_broadcast, pipelined_convergecast};
-use crate::solver::{into_sim, one_shot};
+use crate::solver::{into_sim, Solver};
 
 /// A builder that never assigns shortcut edges — parts communicate over
 /// `G[P_i]` alone.
@@ -40,7 +40,13 @@ pub fn mst_without_shortcuts(
     wg: &WeightedGraph,
     config: CongestConfig,
 ) -> Result<MstOutcome, SimError> {
-    into_sim(one_shot(wg, &NoShortcutBuilder, config).mst_full()).map(|(outcome, _)| outcome)
+    let mut solver = into_sim(
+        Solver::builder(wg)
+            .shortcut_builder(NoShortcutBuilder)
+            .config(config)
+            .build(),
+    )?;
+    into_sim(solver.mst_full()).map(|(outcome, _)| outcome)
 }
 
 /// Outcome of the two-phase `Õ(D + √n)` algorithm.
@@ -226,12 +232,18 @@ pub struct MstComparison {
 /// # Errors
 ///
 /// Propagates [`SimError`].
-pub fn compare_mst<B: ShortcutBuilder>(
+pub fn compare_mst<B: ShortcutBuilder + Send + 'static>(
     wg: &WeightedGraph,
-    builder: &B,
+    builder: B,
     config: CongestConfig,
 ) -> Result<MstComparison, SimError> {
-    let with = into_sim(one_shot(wg, builder, config).mst_full())?.0;
+    let mut solver = into_sim(
+        Solver::builder(wg)
+            .shortcut_builder(builder)
+            .config(config)
+            .build(),
+    )?;
+    let with = into_sim(solver.mst_full())?.0;
     let gkp = gkp_mst(wg, config)?;
     let naive = mst_without_shortcuts(wg, config)?;
     assert_eq!(with.total_weight, gkp.total_weight, "MST weight mismatch");
@@ -326,7 +338,7 @@ mod tests {
         let g = generators::grid(5, 8);
         let mut rng = StdRng::seed_from_u64(4);
         let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
-        let cmp = compare_mst(&wg, &minex_core::construct::AutoCappedBuilder, cfg(g.n())).unwrap();
+        let cmp = compare_mst(&wg, minex_core::construct::AutoCappedBuilder, cfg(g.n())).unwrap();
         assert!(cmp.shortcut_rounds > 0);
         assert!(cmp.gkp_rounds > 0);
         assert!(cmp.naive_rounds > 0);

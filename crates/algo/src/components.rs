@@ -3,12 +3,9 @@
 //! Theorem 1 serves (component identification is exactly part-wise minimum
 //! of node ids).
 
-use minex_congest::{CongestConfig, SimError};
 use minex_core::construct::ShortcutBuilder;
 use minex_core::{Partition, RootedTree, Shortcut};
 use minex_graphs::{EdgeId, Graph};
-
-use crate::solver::{into_sim, one_shot_graph};
 
 /// Outcome of the distributed spanning-forest computation.
 #[derive(Debug, Clone)]
@@ -21,33 +18,6 @@ pub struct ComponentsOutcome {
     pub phases: usize,
     /// Total simulated CONGEST rounds.
     pub simulated_rounds: usize,
-}
-
-/// Computes connected components by shortcut-driven Borůvka merging,
-/// labelling every node with its component's minimum node id.
-///
-/// Works on disconnected graphs — this is the one driver that must not
-/// assume connectivity, so it maintains fragments per component.
-///
-/// # Deprecation
-///
-/// Each call rebuilds every per-fragmentation shortcut. A
-/// [`crate::solver::Solver`] session caches them
-/// (`Solver::for_graph(g).build()?.components()`), byte-identically.
-///
-/// # Errors
-///
-/// Propagates [`SimError`].
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `minex_algo::solver::Solver` session (`Solver::for_graph`) and call `.components()` — per-fragmentation shortcuts are cached across queries"
-)]
-pub fn connected_components<B: ShortcutBuilder>(
-    g: &Graph,
-    builder: &B,
-    config: CongestConfig,
-) -> Result<ComponentsOutcome, SimError> {
-    into_sim(one_shot_graph(g, builder, config).components_full()).map(|(outcome, _)| outcome)
 }
 
 /// Builds shortcuts per connected component and merges them (builders
@@ -98,8 +68,9 @@ pub(crate) fn build_per_component(
 mod tests {
     use super::*;
     use crate::solver::{Components, Solver};
+    use minex_congest::CongestConfig;
     use minex_core::construct::SteinerBuilder;
-    use minex_graphs::{generators, Graph, GraphBuilder};
+    use minex_graphs::{generators, GraphBuilder};
 
     fn cfg(n: usize) -> CongestConfig {
         CongestConfig::for_nodes(n)
@@ -107,8 +78,8 @@ mod tests {
             .with_max_rounds(200_000)
     }
 
-    /// One-shot session components — what the deprecated
-    /// `connected_components` shim delegates to.
+    /// One-shot session components: a fresh Solver per call, mirroring
+    /// what the removed `connected_components` shim used to do.
     fn session_components(g: &Graph) -> Components {
         Solver::for_graph(g)
             .shortcut_builder(SteinerBuilder)
@@ -154,14 +125,13 @@ mod tests {
     }
 
     #[test]
-    // The session API rejects empty graphs with `AlgoError::EmptyGraph`;
-    // only the legacy shim accepts them, so this test must stay on it.
-    #[allow(deprecated)]
+    // Components is the one query an empty graph is a *value* for — the
+    // session answers with empty labels instead of `AlgoError::EmptyGraph`.
     fn empty_graph() {
         let g = Graph::from_edges(0, []).unwrap();
-        let out = connected_components(&g, &SteinerBuilder, cfg(1)).unwrap();
+        let out = session_components(&g);
         assert!(out.label.is_empty());
-        assert_eq!(out.phases, 0);
+        assert_eq!(out.boruvka_phases, 0);
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   shortcut-accelerated overlay SSSP via part-wise aggregation, all
 //!   validated against a sequential Dijkstra reference;
 //! * [`pipeline`] — pipelined `O(depth + k)` convergecast/broadcast;
+//! * [`wire`] — wire schema v1: a dependency-free JSON value model plus
+//!   [`ToWire`](wire::ToWire)/[`FromWire`](wire::FromWire) codecs for every
+//!   query-surface type, shared by `minex-serve` and its clients;
 //! * [`workloads`] — part-family and weighted-workload generators for the
 //!   experiments.
 //!
@@ -98,4 +101,5 @@ pub mod partwise;
 pub mod pipeline;
 pub mod solver;
 pub mod sssp;
+pub mod wire;
 pub mod workloads;

@@ -13,11 +13,7 @@
 //!    2-respecting evaluation of later work is out of scope; ratios are
 //!    reported against exact Stoer–Wagner either way).
 
-use minex_congest::{CongestConfig, SimError};
-use minex_core::construct::ShortcutBuilder;
 use minex_graphs::{traversal, NodeId, WeightedGraph};
-
-use crate::solver::{into_sim, one_shot};
 
 /// Exact global minimum cut by Stoer–Wagner (`O(n³)`), the correctness
 /// reference.
@@ -275,45 +271,10 @@ pub struct MinCutOutcome {
     pub charged_construction_rounds: usize,
 }
 
-/// Approximates the minimum cut via greedy tree packing.
-///
-/// Packs `trees` spanning trees. Cut *values* are computed centrally (the
-/// identities above); the distributed *cost* is simulated: each packed tree
-/// charges one shortcut-Borůvka run plus two tree convergecasts.
-///
-/// # Deprecation
-///
-/// Each call re-simulates the Borůvka packing profile from scratch. A
-/// [`crate::solver::Solver`] session shares the cached MST plan across
-/// `min_cut` and `mst` queries, byte-identically.
-///
-/// # Errors
-///
-/// Propagates [`SimError`].
-///
-/// # Panics
-///
-/// Panics on empty, single-node, or disconnected inputs and on
-/// `trees == 0`. The session API reports these as
-/// [`crate::solver::AlgoError`] values instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `minex_algo::solver::Solver` session and call `.min_cut(trees)` (or `.min_cut_with(trees, use_two_respecting)`) — the Borůvka plan is cached and shared with `.mst()`"
-)]
-pub fn approx_min_cut<B: ShortcutBuilder>(
-    wg: &WeightedGraph,
-    trees: usize,
-    use_two_respecting: bool,
-    builder: &B,
-    config: CongestConfig,
-) -> Result<MinCutOutcome, SimError> {
-    into_sim(one_shot(wg, builder, config).min_cut_full(trees, use_two_respecting))
-        .map(|(outcome, _)| outcome)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use minex_congest::CongestConfig;
     use minex_core::construct::SteinerBuilder;
     use minex_graphs::{generators, Graph, WeightModel};
     use rand::{rngs::StdRng, SeedableRng};

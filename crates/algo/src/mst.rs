@@ -12,11 +12,7 @@
 //! cites \[HIZ16a\]: `Õ(q)` rounds) and reported in a separate field, exactly
 //! like the paper treats it.
 
-use minex_congest::{CongestConfig, SimError};
-use minex_core::construct::ShortcutBuilder;
 use minex_graphs::{EdgeId, UnionFind, WeightedGraph};
-
-use crate::solver::{into_sim, one_shot};
 
 /// Per-phase measurements of the Borůvka driver.
 #[derive(Debug, Clone)]
@@ -49,47 +45,6 @@ pub struct MstOutcome {
     pub per_phase: Vec<PhaseStats>,
 }
 
-/// Runs Borůvka's algorithm with shortcuts from `builder`, counting
-/// simulated CONGEST rounds.
-///
-/// # Deprecation
-///
-/// This one-shot entry point rebuilds the spanning tree and every per-phase
-/// shortcut on each call. The session API computes that plan once and
-/// serves repeated queries from it — byte-identically (same edges, same
-/// `RunStats`, same round counts):
-///
-/// ```
-/// # use minex_algo::solver::Solver;
-/// # use minex_core::construct::SteinerBuilder;
-/// # use minex_graphs::{generators, WeightedGraph};
-/// # let wg = WeightedGraph::unit(generators::triangulated_grid(4, 4));
-/// let mut solver = Solver::builder(&wg).shortcut_builder(SteinerBuilder).build()?;
-/// let mst = solver.mst()?; // and again, and again — the plan is cached
-/// # Ok::<(), minex_algo::solver::AlgoError>(())
-/// ```
-///
-/// # Errors
-///
-/// Propagates [`SimError`] from the simulator.
-///
-/// # Panics
-///
-/// Panics if the graph is empty or disconnected (the CONGEST MST problem is
-/// posed on connected networks). The session API reports these as
-/// [`crate::solver::AlgoError`] values instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `minex_algo::solver::Solver` session and call `.mst()` — the plan (tree, per-fragmentation shortcuts, quality) is computed once and reused across queries"
-)]
-pub fn boruvka_mst<B: ShortcutBuilder>(
-    wg: &WeightedGraph,
-    builder: &B,
-    config: CongestConfig,
-) -> Result<MstOutcome, SimError> {
-    into_sim(one_shot(wg, builder, config).mst_full()).map(|(outcome, _)| outcome)
-}
-
 /// Kruskal's algorithm — the centralized correctness reference.
 pub fn kruskal(wg: &WeightedGraph) -> (Vec<EdgeId>, u64) {
     let g = wg.graph();
@@ -113,6 +68,7 @@ pub fn kruskal(wg: &WeightedGraph) -> (Vec<EdgeId>, u64) {
 mod tests {
     use super::*;
     use crate::solver::{Mst, Report, Solver};
+    use minex_congest::CongestConfig;
     use minex_core::construct::{AutoCappedBuilder, ShortcutBuilder, SteinerBuilder};
     use minex_graphs::{generators, WeightModel};
     use rand::{rngs::StdRng, SeedableRng};
@@ -123,9 +79,9 @@ mod tests {
             .with_max_rounds(200_000)
     }
 
-    /// One-shot session MST — what the deprecated `boruvka_mst` shim
-    /// delegates to (`shim_matches_solver_session` pins the equivalence).
-    fn session_mst<B: ShortcutBuilder + 'static>(wg: &WeightedGraph, b: B) -> Report<Mst> {
+    /// One-shot session MST: a fresh Solver per call, mirroring what the
+    /// removed `boruvka_mst` shim used to do.
+    fn session_mst<B: ShortcutBuilder + Send + 'static>(wg: &WeightedGraph, b: B) -> Report<Mst> {
         Solver::builder(wg)
             .shortcut_builder(b)
             .config(cfg(wg.graph().n()))
@@ -211,26 +167,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn shim_matches_solver_session() {
-        // The deprecated shim is *defined* as a one-shot Solver; spot-check
-        // the delegation end to end.
+    fn fresh_sessions_are_deterministic() {
+        // Two independently-built sessions over the same graph agree
+        // byte-for-byte — the invariant the removed one-shot shim relied on.
         let g = generators::triangulated_grid(5, 5);
         let mut rng = StdRng::seed_from_u64(21);
         let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
-        let legacy = boruvka_mst(&wg, &SteinerBuilder, cfg(g.n())).unwrap();
-        let mut solver = Solver::builder(&wg)
-            .shortcut_builder(SteinerBuilder)
-            .config(cfg(g.n()))
-            .build()
-            .unwrap();
-        let report = solver.mst().unwrap();
-        assert_eq!(report.value.edges, legacy.edges);
-        assert_eq!(report.value.total_weight, legacy.total_weight);
-        assert_eq!(report.stats.simulated_rounds, legacy.simulated_rounds);
+        let a = session_mst(&wg, SteinerBuilder);
+        let b = session_mst(&wg, SteinerBuilder);
+        assert_eq!(a.value.edges, b.value.edges);
+        assert_eq!(a.value.total_weight, b.value.total_weight);
+        assert_eq!(a.stats.simulated_rounds, b.stats.simulated_rounds);
         assert_eq!(
-            report.stats.charged_construction_rounds,
-            legacy.charged_construction_rounds
+            a.stats.charged_construction_rounds,
+            b.stats.charged_construction_rounds
         );
     }
 }

@@ -124,24 +124,20 @@ pub struct AggregationResult {
     pub stats: RunStats,
 }
 
-/// Runs distributed part-wise MIN aggregation of `values` over
-/// `G[P_i] + H_i` for every part simultaneously.
+/// The shared aggregation engine behind every `Solver` query (MST
+/// candidate/relabel floods, SSSP overlay phases, component labelling).
+///
+/// Crate-private on purpose: the public surface is
+/// [`crate::solver::Solver::partwise_min`], which builds the shortcut
+/// **once** per session plan and serves repeated aggregations from it.
+/// This seam stays because it accepts an arbitrary caller-supplied
+/// shortcut (sessions always build their own) and tolerates disconnected
+/// inputs — `Solver::components` aggregates with hand-made per-component
+/// shortcuts through exactly this entry point, and the tests below inject
+/// hand-built or empty shortcuts to pin the machinery itself.
 ///
 /// `value_bits` is the honest encoding width of the values (e.g.
 /// `bits_for(max_weight) + bits_for(m)` for Borůvka's weight/edge pairs).
-///
-/// # Deprecation
-///
-/// This free function takes a pre-built shortcut per call. The session API
-/// ([`crate::solver::Solver::partwise_min`]) builds the shortcut **once**
-/// per session plan and serves repeated aggregations from it; prefer it for
-/// anything that aggregates more than once. Two niches stay here: sessions
-/// require a connected graph (they anchor a spanning tree), and they build
-/// the shortcut from a [`ShortcutBuilder`](minex_core::construct::ShortcutBuilder)
-/// rather than accepting an arbitrary caller-supplied one — disconnected
-/// aggregation with hand-made per-component shortcuts (what
-/// `Solver::components` does internally) still goes through this entry
-/// point.
 ///
 /// # Errors
 ///
@@ -152,24 +148,6 @@ pub struct AggregationResult {
 ///
 /// Panics if `values.len() != g.n()` or the shortcut does not match the
 /// partition.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `minex_algo::solver::Solver` session and call `.partwise_min(values, value_bits)` — the plan (tree, shortcut, quality) is computed once and reused across queries"
-)]
-pub fn partwise_min(
-    g: &Graph,
-    parts: &Partition,
-    shortcut: &Shortcut,
-    values: &[u64],
-    value_bits: usize,
-    config: CongestConfig,
-) -> Result<AggregationResult, SimError> {
-    partwise_min_impl(g, parts, shortcut, values, value_bits, config)
-}
-
-/// The shared aggregation engine behind both the deprecated free function
-/// and every `Solver` query (MST candidate/relabel floods, SSSP overlay
-/// phases, component labelling).
 pub(crate) fn partwise_min_impl(
     g: &Graph,
     parts: &Partition,
@@ -248,7 +226,7 @@ pub(crate) fn parts_of_edge(g: &Graph, parts: &Partition, shortcut: &Shortcut) -
     map
 }
 
-/// Centralized reference for [`partwise_min`].
+/// Centralized reference for the part-wise MIN aggregation.
 pub fn partwise_min_reference(parts: &Partition, values: &[u64]) -> Vec<u64> {
     parts
         .parts()
@@ -260,8 +238,8 @@ pub fn partwise_min_reference(parts: &Partition, values: &[u64]) -> Vec<u64> {
 #[cfg(test)]
 // Most of this suite injects hand-built or empty shortcuts to pin the
 // aggregation machinery itself — behaviour only reachable through the
-// deprecated entry point (a `Solver` session always builds its own
-// shortcut), so those tests keep a per-test `#[allow(deprecated)]`.
+// crate-private `partwise_min_impl` seam (a `Solver` session always
+// builds its own shortcut).
 mod tests {
     use super::*;
     use minex_core::construct::{ShortcutBuilder, SteinerBuilder, WholeTreeBuilder};
@@ -300,7 +278,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn works_without_any_shortcut() {
         // Empty shortcut: aggregation runs over G[P_i] alone — the "naive
         // solution" of Section 1.3.3.
@@ -312,14 +289,13 @@ mod tests {
         .unwrap();
         let shortcut = minex_core::Shortcut::empty(3);
         let values = random_values(24, 7);
-        let out = partwise_min(&g, &parts, &shortcut, &values, 20, config(24)).unwrap();
+        let out = partwise_min_impl(&g, &parts, &shortcut, &values, 20, config(24)).unwrap();
         assert_eq!(out.minima, partwise_min_reference(&parts, &values));
         // Rounds ≈ part diameter.
         assert!(out.stats.rounds >= 5, "rounds={}", out.stats.rounds);
     }
 
     #[test]
-    #[allow(deprecated)]
     fn shortcuts_speed_up_the_wheel() {
         // The paper's motivating example, measured: rim parts aggregate
         // slowly alone, fast with spoke shortcuts.
@@ -330,7 +306,7 @@ mod tests {
         let rim: Vec<Vec<NodeId>> = vec![(0..n - 1).collect()];
         let parts = Partition::new(&g, rim).unwrap();
         let values = random_values(n, 11);
-        let slow = partwise_min(
+        let slow = partwise_min_impl(
             &g,
             &parts,
             &minex_core::Shortcut::empty(1),
@@ -340,7 +316,7 @@ mod tests {
         )
         .unwrap();
         let fast_shortcut = WholeTreeBuilder.build(&g, &t, &parts);
-        let fast = partwise_min(&g, &parts, &fast_shortcut, &values, 20, config(n)).unwrap();
+        let fast = partwise_min_impl(&g, &parts, &fast_shortcut, &values, 20, config(n)).unwrap();
         assert_eq!(slow.minima, fast.minima);
         assert!(
             fast.stats.rounds * 4 < slow.stats.rounds,
@@ -351,7 +327,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn congestion_serializes_shared_edges() {
         // Many single-node parts all given the same tree path: the shared
         // edges must serialize the floods, so rounds grow with part count.
@@ -361,32 +336,30 @@ mod tests {
         let parts = Partition::new(&g, (0..k).map(|i| vec![4 * i]).collect::<Vec<_>>()).unwrap();
         let shortcut = WholeTreeBuilder.build(&g, &t, &parts);
         let values = random_values(40, 13);
-        let out = partwise_min(&g, &parts, &shortcut, &values, 20, config(40)).unwrap();
+        let out = partwise_min_impl(&g, &parts, &shortcut, &values, 20, config(40)).unwrap();
         assert_eq!(out.minima, partwise_min_reference(&parts, &values));
         // With congestion k on path edges, rounds must exceed the dilation.
         assert!(out.stats.rounds >= 39, "rounds={}", out.stats.rounds);
     }
 
     #[test]
-    #[allow(deprecated)]
     fn single_node_parts_finish_immediately() {
         let g = generators::path(5);
         let parts = Partition::new(&g, vec![vec![2]]).unwrap();
         let shortcut = minex_core::Shortcut::empty(1);
         let values = vec![9, 8, 7, 6, 5];
-        let out = partwise_min(&g, &parts, &shortcut, &values, 10, config(5)).unwrap();
+        let out = partwise_min_impl(&g, &parts, &shortcut, &values, 10, config(5)).unwrap();
         assert_eq!(out.minima, vec![7]);
         assert_eq!(out.stats.rounds, 0);
     }
 
     #[test]
-    #[allow(deprecated)]
     fn bandwidth_violation_reported() {
         let g = generators::path(4);
         let parts = Partition::new(&g, vec![vec![0, 1, 2, 3]]).unwrap();
         let shortcut = minex_core::Shortcut::empty(1);
         let values = vec![1, 2, 3, 4];
-        let err = partwise_min(
+        let err = partwise_min_impl(
             &g,
             &parts,
             &shortcut,

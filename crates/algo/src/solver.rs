@@ -3,15 +3,13 @@
 //! The paper's central point is that **one** structural object — a
 //! low-congestion shortcut over a partition of a minor-free network —
 //! simultaneously accelerates MST (Corollary 1), min-cut, shortest paths,
-//! and every other part-wise aggregation problem. The legacy free functions
-//! ([`boruvka_mst`](crate::mst::boruvka_mst),
-//! [`approx_min_cut`](crate::mincut::approx_min_cut),
-//! [`shortcut_sssp`](crate::sssp::shortcut_sssp),
-//! [`connected_components`](crate::components::connected_components),
-//! [`partwise_min`](crate::partwise::partwise_min)) hide that: each call
-//! independently rebuilds trees, partitions, and shortcuts. A [`Solver`]
-//! session instead computes its [`ShortcutPlan`] — BFS tree, partition,
-//! shortcut, quality measurement — **once**, caches it (including
+//! and every other part-wise aggregation problem. The legacy free
+//! functions of earlier releases (`boruvka_mst`, `approx_min_cut`,
+//! `shortcut_sssp`, `connected_components`, `partwise_min` — removed in
+//! 0.3) hid that: each call independently rebuilt trees, partitions, and
+//! shortcuts. A [`Solver`] session instead computes its [`ShortcutPlan`] —
+//! BFS tree, partition, shortcut, quality measurement — **once**, caches
+//! it (including
 //! per-fragmentation Borůvka re-plans keyed by partition and per-source
 //! SSSP plans with their center potentials), and serves repeated queries.
 //!
@@ -57,10 +55,10 @@
 //! # Ok::<(), minex_algo::solver::AlgoError>(())
 //! ```
 
-use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -129,9 +127,10 @@ impl From<SimError> for AlgoError {
     }
 }
 
-/// Converts a session result into the legacy `Result<_, SimError>` shape,
-/// reproducing the legacy functions' documented panics on structural
-/// errors. Only the deprecated shims use this.
+/// Converts a session result into the `Result<_, SimError>` shape the
+/// comparison drivers ([`crate::baselines::compare_mst`],
+/// [`crate::sssp::compare_sssp`]) expose, panicking on structural errors
+/// (those drivers are posed on connected, non-empty inputs).
 pub(crate) fn into_sim<T>(r: Result<T, AlgoError>) -> Result<T, SimError> {
     match r {
         Ok(v) => Ok(v),
@@ -325,7 +324,7 @@ pub struct SessionTrace {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control characters).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -601,7 +600,10 @@ pub struct PartwiseMin {
 enum WeightSource<'a> {
     Weighted(&'a WeightedGraph),
     Unit(&'a Graph),
-    Explicit(&'a Graph, Vec<u64>),
+    /// A shared, already-owned network: the session clones the `Arc`, not
+    /// the graph — the serving path where many sessions (or a fleet and its
+    /// request handlers) reference one upload.
+    Shared(Arc<WeightedGraph>),
 }
 
 impl fmt::Debug for WeightSource<'_> {
@@ -609,7 +611,7 @@ impl fmt::Debug for WeightSource<'_> {
         match self {
             WeightSource::Weighted(_) => write!(f, "Weighted"),
             WeightSource::Unit(_) => write!(f, "Unit"),
-            WeightSource::Explicit(..) => write!(f, "Explicit"),
+            WeightSource::Shared(_) => write!(f, "Shared"),
         }
     }
 }
@@ -618,8 +620,9 @@ impl fmt::Debug for WeightSource<'_> {
 #[derive(Debug)]
 pub struct SolverBuilder<'a> {
     weights: WeightSource<'a>,
+    weights_override: Option<Vec<u64>>,
     parts: PartsStrategy,
-    builder: Box<dyn ShortcutBuilder + 'a>,
+    builder: Box<dyn ShortcutBuilder + Send + 'static>,
     config: Option<CongestConfig>,
     threads: Option<usize>,
     root: NodeId,
@@ -630,6 +633,7 @@ impl<'a> SolverBuilder<'a> {
     fn new(weights: WeightSource<'a>) -> Self {
         SolverBuilder {
             weights,
+            weights_override: None,
             parts: PartsStrategy::Singletons,
             builder: Box::new(minex_core::construct::AutoCappedBuilder),
             config: None,
@@ -642,12 +646,7 @@ impl<'a> SolverBuilder<'a> {
     /// Replaces the edge weights (one per edge; overrides the source the
     /// builder was created from).
     pub fn weights(mut self, weights: Vec<u64>) -> Self {
-        let graph = match self.weights {
-            WeightSource::Weighted(wg) => wg.graph(),
-            WeightSource::Unit(g) | WeightSource::Explicit(g, _) => g,
-        };
-        // Borrow gymnastics: re-point at the graph with the new weights.
-        self.weights = WeightSource::Explicit(graph, weights);
+        self.weights_override = Some(weights);
         self
     }
 
@@ -659,10 +658,15 @@ impl<'a> SolverBuilder<'a> {
     }
 
     /// Sets the shortcut construction (default
-    /// [`minex_core::construct::AutoCappedBuilder`]). Accepts any
-    /// [`ShortcutBuilder`], including `&B` references and already boxed
-    /// `Box<dyn ShortcutBuilder>` values — the session stores it dyn-erased.
-    pub fn shortcut_builder<B: ShortcutBuilder + 'a>(mut self, builder: B) -> Self {
+    /// [`minex_core::construct::AutoCappedBuilder`]). Accepts any owned
+    /// [`ShortcutBuilder`], including already boxed
+    /// `Box<dyn ShortcutBuilder + Send>` values — the session stores it
+    /// dyn-erased. The `Send + 'static` bound is what lets a built
+    /// [`Solver`] move across threads (the `minex-serve` fleet keeps one
+    /// session per graph fingerprint behind a mutex); builders that used to
+    /// be passed by reference are passed by value (they are cheap: unit
+    /// structs or small precomputed records).
+    pub fn shortcut_builder<B: ShortcutBuilder + Send + 'static>(mut self, builder: B) -> Self {
         self.builder = Box::new(builder);
         self
     }
@@ -698,9 +702,15 @@ impl<'a> SolverBuilder<'a> {
 
     /// Validates the configuration and constructs the session.
     ///
+    /// The session **owns** its network: borrowed sources are cloned into
+    /// the session's `Arc<WeightedGraph>` ([`Solver::from_arc`] shares an
+    /// existing allocation instead), so the built `Solver` is `'static` and
+    /// `Send` — it can outlive the graph binding it was configured from and
+    /// move across threads.
+    ///
     /// The heavy plan pieces (BFS tree, shortcut, quality) are computed
     /// lazily on the first query that needs them, then cached — so a
-    /// one-shot session costs exactly what the legacy free function cost.
+    /// one-shot session costs exactly what a fresh-plan run costs.
     ///
     /// # Errors
     ///
@@ -709,19 +719,30 @@ impl<'a> SolverBuilder<'a> {
     /// the graph). Empty or disconnected graphs are *not* build errors —
     /// queries that need connectivity report it per query, and
     /// [`Solver::components`] works regardless.
-    pub fn build(self) -> Result<Solver<'a>, AlgoError> {
-        let wg: Cow<'a, WeightedGraph> = match self.weights {
-            WeightSource::Weighted(wg) => Cow::Borrowed(wg),
-            WeightSource::Unit(g) => Cow::Owned(WeightedGraph::unit(g.clone())),
-            WeightSource::Explicit(g, w) => {
-                if w.len() != g.m() {
-                    return Err(AlgoError::BadQuery(format!(
-                        "{} weights for {} edges",
-                        w.len(),
-                        g.m()
-                    )));
-                }
-                Cow::Owned(WeightedGraph::new(g.clone(), w))
+    pub fn build(self) -> Result<Solver, AlgoError> {
+        if let Some(w) = &self.weights_override {
+            let m = match &self.weights {
+                WeightSource::Weighted(wg) => wg.graph().m(),
+                WeightSource::Unit(g) => g.m(),
+                WeightSource::Shared(wg) => wg.graph().m(),
+            };
+            if w.len() != m {
+                return Err(AlgoError::BadQuery(format!(
+                    "{} weights for {m} edges",
+                    w.len()
+                )));
+            }
+        }
+        let wg: Arc<WeightedGraph> = match (self.weights, self.weights_override) {
+            (WeightSource::Weighted(wg), None) => Arc::new(wg.clone()),
+            (WeightSource::Weighted(wg), Some(w)) => {
+                Arc::new(WeightedGraph::new(wg.graph().clone(), w))
+            }
+            (WeightSource::Unit(g), None) => Arc::new(WeightedGraph::unit(g.clone())),
+            (WeightSource::Unit(g), Some(w)) => Arc::new(WeightedGraph::new(g.clone(), w)),
+            (WeightSource::Shared(wg), None) => wg,
+            (WeightSource::Shared(wg), Some(w)) => {
+                Arc::new(WeightedGraph::new(wg.graph().clone(), w))
             }
         };
         let n = wg.graph().n();
@@ -964,16 +985,26 @@ fn induces_connected(g: &Graph, part: &[NodeId]) -> bool {
 
 /// A plan-once / query-many session over one network.
 ///
-/// Construct with [`Solver::builder`] (weighted) or [`Solver::for_graph`]
-/// (unit weights); see the [module docs](self) for the full contract.
+/// Construct with [`Solver::builder`] (weighted), [`Solver::for_graph`]
+/// (unit weights), or [`Solver::from_arc`] (shared ownership — the serving
+/// path); see the [module docs](self) for the full contract.
+///
+/// Sessions **own** their network (`Arc<WeightedGraph>`) and their
+/// dyn-erased builder (`Box<dyn ShortcutBuilder + Send + 'static>`), so a
+/// `Solver` is `'static` and `Send`: it can outlive the request handler
+/// that configured it and move between threads — the property the
+/// `minex-serve` daemon's session fleet is built on. A `Solver` is *not*
+/// `Sync` by design: queries take `&mut self` (they fill caches and memos),
+/// so concurrent callers must serialize through a lock, which is exactly
+/// the per-session request serialization the wire API documents.
 #[derive(Debug)]
-pub struct Solver<'a> {
-    wg: Cow<'a, WeightedGraph>,
+pub struct Solver {
+    wg: Arc<WeightedGraph>,
     parts: Partition,
     /// The strategy `parts` was resolved from, kept so [`Solver::apply`]
     /// can re-resolve it on the mutated graph.
     strategy: PartsStrategy,
-    builder: Box<dyn ShortcutBuilder + 'a>,
+    builder: Box<dyn ShortcutBuilder + Send + 'static>,
     config: CongestConfig,
     root: NodeId,
     connected: bool,
@@ -1006,16 +1037,38 @@ fn encode(weight: u64, edge: EdgeId, m: u64) -> u64 {
     weight * m + edge as u64
 }
 
-impl<'a> Solver<'a> {
-    /// Starts configuring a session over a weighted network.
-    pub fn builder(wg: &'a WeightedGraph) -> SolverBuilder<'a> {
+impl Solver {
+    /// Starts configuring a session over a weighted network. The graph is
+    /// **cloned** into the session at [`SolverBuilder::build`]; use
+    /// [`Solver::from_arc`] to share one allocation across sessions.
+    pub fn builder(wg: &WeightedGraph) -> SolverBuilder<'_> {
         SolverBuilder::new(WeightSource::Weighted(wg))
     }
 
     /// Starts configuring a session over an unweighted network (unit
     /// weights; use [`SolverBuilder::weights`] to set real ones).
-    pub fn for_graph(g: &'a Graph) -> SolverBuilder<'a> {
+    pub fn for_graph(g: &Graph) -> SolverBuilder<'_> {
         SolverBuilder::new(WeightSource::Unit(g))
+    }
+
+    /// Starts configuring a session that **shares** an already-owned
+    /// network: the session keeps the `Arc` (no graph clone), so a fleet
+    /// of sessions — or a server and its request handlers — can reference
+    /// one upload. This is the zero-copy entry point of the serving path.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use minex_algo::solver::Solver;
+    /// use minex_graphs::{generators, WeightedGraph};
+    ///
+    /// let wg = Arc::new(WeightedGraph::unit(generators::triangulated_grid(4, 4)));
+    /// let mut session = Solver::from_arc(Arc::clone(&wg)).build()?;
+    /// let mst = session.mst()?;
+    /// assert_eq!(mst.value.edges.len(), wg.graph().n() - 1);
+    /// # Ok::<(), minex_algo::solver::AlgoError>(())
+    /// ```
+    pub fn from_arc(wg: Arc<WeightedGraph>) -> SolverBuilder<'static> {
+        SolverBuilder::new(WeightSource::Shared(wg))
     }
 
     /// The session's network.
@@ -1026,6 +1079,13 @@ impl<'a> Solver<'a> {
     /// The session's weighted network.
     pub fn weighted_graph(&self) -> &WeightedGraph {
         self.wg.as_ref()
+    }
+
+    /// The session's shared handle on its network — cheap to clone, and
+    /// stays valid across [`Solver::apply`] batches (which swap the
+    /// session onto a new graph, leaving old handles on the old one).
+    pub fn shared_graph(&self) -> Arc<WeightedGraph> {
+        Arc::clone(&self.wg)
     }
 
     /// The session partition.
@@ -1325,7 +1385,7 @@ impl<'a> Solver<'a> {
         };
         // Commit.
         stats.memos_dropped = self.caches.invalidate();
-        self.wg = Cow::Owned(WeightedGraph::new(new_g, new_weights));
+        self.wg = Arc::new(WeightedGraph::new(new_g, new_weights));
         self.parts = parts;
         self.connected = connected;
         self.tree = tree;
@@ -1415,7 +1475,7 @@ impl<'a> Solver<'a> {
     }
 
     /// The full legacy-shaped MST run: outcome plus per-run stats. Used by
-    /// [`Solver::mst`], [`Solver::min_cut`], and the deprecated shim.
+    /// [`Solver::mst`] and [`Solver::min_cut`].
     /// Memoized: the run is deterministic, so repeats serve the cached
     /// result.
     pub(crate) fn mst_full(&mut self) -> Result<(MstOutcome, Vec<PhaseRun>), AlgoError> {
@@ -2398,33 +2458,6 @@ impl<'a> Solver<'a> {
     }
 }
 
-/// A one-shot session for the deprecated legacy shims: default (singleton)
-/// partition, the caller's builder by reference, the caller's config.
-pub(crate) fn one_shot<'a, B: ShortcutBuilder + ?Sized>(
-    wg: &'a WeightedGraph,
-    builder: &'a B,
-    config: CongestConfig,
-) -> Solver<'a> {
-    Solver::builder(wg)
-        .shortcut_builder(builder)
-        .config(config)
-        .build()
-        .expect("a default one-shot session cannot fail to configure")
-}
-
-/// One-shot unweighted variant of [`one_shot`].
-pub(crate) fn one_shot_graph<'a, B: ShortcutBuilder + ?Sized>(
-    g: &'a Graph,
-    builder: &'a B,
-    config: CongestConfig,
-) -> Solver<'a> {
-    Solver::for_graph(g)
-        .shortcut_builder(builder)
-        .config(config)
-        .build()
-        .expect("a default one-shot session cannot fail to configure")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2684,8 +2717,8 @@ mod tests {
 
     /// A mutated session must be indistinguishable from a session built
     /// fresh on the mutated weighted graph: same plan bytes, same reports.
-    fn assert_matches_fresh<B: ShortcutBuilder + Copy + 'static>(
-        solver: &mut Solver<'_>,
+    fn assert_matches_fresh<B: ShortcutBuilder + Send + Copy + 'static>(
+        solver: &mut Solver,
         strategy: PartsStrategy,
         builder: B,
     ) {

@@ -13,10 +13,11 @@
 //!    is hop-bounded by a budget certified from the BFS tree. At
 //!    convergence the estimate is provably within `(1+ε)` (see
 //!    [`scale_for`]).
-//! 3. [`shortcut_sssp`] — the shortcut-accelerated tier. A one-time
+//! 3. the shortcut-accelerated tier
+//!    (`Solver::sssp(source, Tier::Shortcut { .. })`). A one-time
 //!    part-wise *center-distance flood* over each part's augmented subgraph
 //!    `G[P_i] + H_i` computes center potentials `ρ`, then each overlay phase
-//!    runs the existing [`partwise_min`](crate::partwise::partwise_min)
+//!    runs the part-wise minimum
 //!    aggregation on `D(v) + ρ(v)` (short-circuiting long-range distance
 //!    propagation through the shortcut edges) followed by a single
 //!    [`distance_broadcast_round`](minex_congest::primitives::distance_broadcast_round)
@@ -256,7 +257,7 @@ impl Payload for ChannelMsg {
 }
 
 /// Per-node program of the channel distance flood: like
-/// [`partwise_min`]'s engine, but values accumulate edge weights as they
+/// the part-wise minimum engine, but values accumulate edge weights as they
 /// travel, so channel `i` converges to distances from its seeds inside
 /// `G[P_i] + H_i`. One message per incident edge per round; parts sharing an
 /// edge queue behind each other — the congestion mechanism of Theorem 1.
@@ -438,76 +439,6 @@ pub struct ShortcutSsspOutcome {
     pub shortcut_quality: usize,
 }
 
-/// Shortcut-accelerated `(1+ε)`-approximate SSSP (tier 3).
-///
-/// Runs on `k`-scaled weights (`k =`[`scale_for`]`(ε, w_min)`). One
-/// channel distance flood computes center potentials `ρ(v)` (distance
-/// from the part center inside `G[P_i] + H_i`), then up to `max_phases`
-/// overlay phases each run
-///
-/// 1. [`partwise_min`](crate::partwise::partwise_min) over
-///    `x_v = D(v) + ρ(v)` — every part learns
-///    `M_i = min_v x_v` through its shortcut, and each node lowers
-///    `D(v) ← M_i + ρ(v)` (a real path bound through the center);
-/// 2. one [`distance_broadcast_round`](minex_congest::primitives::distance_broadcast_round)
-///    that relaxes every graph edge once,
-///    carrying estimates across part boundaries.
-///
-/// Estimates only ever decrease and every update is witnessed by a real
-/// path, so `D` stays a sound upper bound throughout. If a full phase
-/// changes nothing the scaled estimates are at the Bellman–Ford fixpoint —
-/// exact — and the scaling argument certifies `est ≤ (1+ε)·dist`. A phase
-/// budget smaller than required for convergence trades leftover
-/// approximation error for rounds (measured in E12).
-///
-/// Hop-hungry workloads (heavy-hub wheels and fans, maze apex grids) are
-/// where this tier beats [`bellman_ford_sssp`]: information crosses each
-/// part in `O(quality)` aggregation rounds instead of hop by hop.
-///
-/// # Deprecation
-///
-/// Each call rebuilds the source-rooted tree, the shortcut, the part
-/// centers, and the ρ flood. A [`crate::solver::Solver`] session caches
-/// that per-source plan keyed by `(source, scale)`
-/// (`solver.sssp(source, Tier::Shortcut { epsilon, max_phases })`),
-/// byte-identically.
-///
-/// # Errors
-///
-/// Propagates [`SimError`].
-///
-/// # Panics
-///
-/// Panics if the graph is empty or disconnected, `source` is out of range,
-/// any weight is zero, or `max_phases == 0`. The session API reports these
-/// as [`crate::solver::AlgoError`] values instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `minex_algo::solver::Solver` session over the partition and call `.sssp(source, Tier::Shortcut { epsilon, max_phases })` — the per-source plan (tree, shortcut, ρ potentials) is cached across queries"
-)]
-pub fn shortcut_sssp<B: ShortcutBuilder>(
-    wg: &WeightedGraph,
-    source: NodeId,
-    parts: &Partition,
-    builder: &B,
-    epsilon: f64,
-    max_phases: usize,
-    config: CongestConfig,
-) -> Result<ShortcutSsspOutcome, SimError> {
-    // Legacy panic contract: a disconnected input names the tier.
-    if wg.graph().n() > 0 && !traversal::is_connected(wg.graph()) {
-        panic!("shortcut SSSP requires a connected graph");
-    }
-    let mut solver = into_sim(
-        Solver::builder(wg)
-            .parts(PartsStrategy::Explicit(parts.clone()))
-            .shortcut_builder(builder)
-            .config(config)
-            .build(),
-    )?;
-    into_sim(solver.sssp_shortcut_full(source, epsilon, max_phases)).map(|(outcome, _)| outcome)
-}
-
 /// Round counts and measured approximation quality of all three tiers on
 /// one input, cross-checked against Dijkstra — the E11 row generator.
 #[derive(Debug, Clone)]
@@ -548,11 +479,11 @@ pub struct SsspComparison {
 /// to cross every part on some path from the source (one aggregation plus
 /// one relax hop per phase) — `parts.len() + 2` always suffices on
 /// connected, fully covered inputs.
-pub fn compare_sssp<B: ShortcutBuilder>(
+pub fn compare_sssp<B: ShortcutBuilder + Send + 'static>(
     wg: &WeightedGraph,
     source: NodeId,
     parts: &Partition,
-    builder: &B,
+    builder: B,
     epsilon: f64,
     max_phases: usize,
     config: CongestConfig,
@@ -613,9 +544,9 @@ mod tests {
             .with_max_rounds(500_000)
     }
 
-    /// One-shot session shortcut-tier SSSP — what the deprecated
-    /// `shortcut_sssp` shim delegates to.
-    fn session_shortcut_sssp<B: ShortcutBuilder + 'static>(
+    /// One-shot session shortcut-tier SSSP: a fresh Solver per call,
+    /// mirroring what the removed `shortcut_sssp` shim used to do.
+    fn session_shortcut_sssp<B: ShortcutBuilder + Send + 'static>(
         wg: &WeightedGraph,
         source: NodeId,
         parts: &Partition,
@@ -741,7 +672,7 @@ mod tests {
             &wg,
             0,
             &parts,
-            &minex_core::construct::SteinerBuilder,
+            minex_core::construct::SteinerBuilder,
             0.5,
             parts.len() + 2,
             cfg(wg.graph().n()),

@@ -85,7 +85,7 @@ proptest! {
                 &wg,
                 src,
                 &parts,
-                &SteinerBuilder,
+                SteinerBuilder,
                 0.5,
                 parts.len() + 2,
                 cfg(n),

@@ -1,18 +1,17 @@
 //! E14 — amortized query latency of the plan-once / query-many `Solver`
-//! session vs independent legacy-style calls (wall-clock).
+//! session vs independent one-shot sessions (wall-clock).
 //!
 //! One iteration = N mixed queries (one shortcut SSSP per four queries,
 //! part-wise MIN aggregations otherwise). The `solver_*` benchmarks share a
-//! single warm session across the whole run; the `legacy_*` benchmarks
-//! rebuild tree + shortcut (+ ρ flood for SSSP) per query, which is exactly
-//! what the deprecated free functions do.
+//! single warm session across the whole run; the `fresh_*` benchmarks build
+//! a new session per query, paying for the plan (tree + shortcut + ρ flood
+//! for SSSP) call after call — what the removed legacy free functions did.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use minex_algo::solver::{PartsStrategy, Solver, Tier};
 use minex_algo::workloads;
 use minex_congest::CongestConfig;
-use minex_core::construct::{ShortcutBuilder, SteinerBuilder};
-use minex_core::RootedTree;
+use minex_core::construct::SteinerBuilder;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e14_plan_reuse");
@@ -24,39 +23,42 @@ fn bench(c: &mut Criterion) {
         .with_bandwidth(192)
         .with_max_rounds(1_000_000);
     let values: Vec<u64> = (0..g.n() as u64).map(|v| (v * 31) % 4096).collect();
+    let fresh_session = || {
+        Solver::builder(&wg)
+            .parts(PartsStrategy::Explicit(parts.clone()))
+            .shortcut_builder(SteinerBuilder)
+            .config(config)
+            .build()
+            .unwrap()
+    };
 
     for queries in [1usize, 8, 64] {
-        // The deprecated one-shot path, spelled out: every query pays for
-        // its own plan.
-        #[allow(deprecated)]
+        // The one-shot path, spelled out: every query pays for its own plan.
         group.bench_with_input(
-            BenchmarkId::new("legacy_mixed", queries),
+            BenchmarkId::new("fresh_mixed", queries),
             &queries,
             |b, _| {
                 b.iter(|| {
                     let mut total = 0usize;
                     for i in 0..queries {
                         if i % 4 == 0 {
-                            total += minex_algo::sssp::shortcut_sssp(
-                                &wg,
-                                0,
-                                &parts,
-                                &SteinerBuilder,
-                                0.5,
-                                budget,
-                                config,
-                            )
-                            .unwrap()
-                            .simulated_rounds;
+                            total += fresh_session()
+                                .sssp(
+                                    0,
+                                    Tier::Shortcut {
+                                        epsilon: 0.5,
+                                        max_phases: budget,
+                                    },
+                                )
+                                .unwrap()
+                                .stats
+                                .simulated_rounds;
                         } else {
-                            let tree = RootedTree::bfs(g, 0);
-                            let shortcut = SteinerBuilder.build(g, &tree, &parts);
-                            total += minex_algo::partwise::partwise_min(
-                                g, &parts, &shortcut, &values, 32, config,
-                            )
-                            .unwrap()
-                            .stats
-                            .rounds;
+                            total += fresh_session()
+                                .partwise_min(&values, 32)
+                                .unwrap()
+                                .stats
+                                .simulated_rounds;
                         }
                     }
                     total
@@ -64,12 +66,7 @@ fn bench(c: &mut Criterion) {
             },
         );
         // The session path: one plan, N queries.
-        let mut session = Solver::builder(&wg)
-            .parts(PartsStrategy::Explicit(parts.clone()))
-            .shortcut_builder(SteinerBuilder)
-            .config(config)
-            .build()
-            .unwrap();
+        let mut session = fresh_session();
         group.bench_with_input(
             BenchmarkId::new("solver_mixed", queries),
             &queries,

@@ -1,0 +1,96 @@
+//! E18 — serving throughput of the `minex-serve` daemon (wall-clock).
+//!
+//! One iteration = every client runs its full query mix (`mst` /
+//! `components` / `partwise_min`) against its own session over keep-alive
+//! HTTP. Sessions are created once, outside the timed loop, so the
+//! benchmark isolates steady-state serving: wire codec + HTTP framing +
+//! admission gate + per-session lock + memoized solver queries. Compare
+//! `clients/1` against `clients/8` for the cross-session scaling E18's
+//! table reports.
+
+use std::sync::Arc;
+use std::thread;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minex_algo::wire::{obj, JsonValue};
+use minex_graphs::{generators, WeightedGraph};
+use minex_serve::{start, Client, CreateSession, ServerConfig};
+
+fn grid_for(side: usize, seed: u64) -> Arc<WeightedGraph> {
+    let g = generators::triangulated_grid(side, side);
+    let weights: Vec<u64> = (0..g.m() as u64)
+        .map(|e| 1 + (e.wrapping_mul(2654435761) ^ seed) % 4096)
+        .collect();
+    Arc::new(WeightedGraph::new(g, weights))
+}
+
+fn mix_query(kind: usize, n: usize) -> JsonValue {
+    match kind {
+        0 => obj([("query", JsonValue::Str("mst".into()))]),
+        1 => obj([("query", JsonValue::Str("components".into()))]),
+        _ => obj([
+            ("query", JsonValue::Str("partwise_min".into())),
+            (
+                "values",
+                JsonValue::Array((0..n as u64).map(JsonValue::UInt).collect()),
+            ),
+            ("value_bits", JsonValue::UInt(32)),
+        ]),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e18_serve");
+    group.sample_size(10);
+    let side = 5usize;
+    let queries = 12usize;
+    for clients in [1usize, 8] {
+        let server = start(ServerConfig::default()).expect("bind");
+        let addr = server.addr();
+        // Warm sessions up front; the timed loop measures serving only.
+        let sessions: Vec<String> = (0..clients)
+            .map(|cid| {
+                let wg = grid_for(side, cid as u64 + 1);
+                let mut client = Client::connect(addr).expect("connect");
+                let mut req = CreateSession::from_weighted(&wg);
+                req.threads = Some(1);
+                client.create_session(&req).expect("create session")
+            })
+            .collect();
+        let n = grid_for(side, 1).graph().n();
+        group.bench_with_input(
+            BenchmarkId::new("clients", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let workers: Vec<_> = (0..clients)
+                        .map(|cid| {
+                            let session = sessions[cid].clone();
+                            thread::spawn(move || {
+                                let mut client = Client::connect(addr).expect("connect");
+                                let mut bytes = 0usize;
+                                for i in 0..queries {
+                                    bytes += client
+                                        .query(&session, &mix_query(i % 3, n))
+                                        .expect("query")
+                                        .to_string()
+                                        .len();
+                                }
+                                bytes
+                            })
+                        })
+                        .collect();
+                    workers
+                        .into_iter()
+                        .map(|w| w.join().expect("client thread"))
+                        .sum::<usize>()
+                })
+            },
+        );
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E17). Pass `--full` for the larger
+//! Prints every experiment table (E1–E18). Pass `--full` for the larger
 //! sweeps used in `EXPERIMENTS.md`; name ids (e.g. `E6 E7`) to run a
 //! subset; pass `--csv <dir>` to also dump each table as `<dir>/<id>.csv`
 //! so bench trajectories can be tracked across PRs; `--threads <n>` runs
@@ -8,9 +8,10 @@
 //! (`BENCH_pr.json` in CI), including a `plan_reuse` section with E14's
 //! solver-vs-legacy amortization figures, a `scale` section with E15's
 //! CSR-vs-nested-Vec memory and iteration figures, a `dynamic` section
-//! with E16's incremental-repair-vs-rebuild figures, and a `telemetry`
-//! section with E17's observed-congestion rows plus the noop-sink
-//! dispatch-overhead sample; `--trace <file>` (or `MINEX_TRACE=<file>`)
+//! with E16's incremental-repair-vs-rebuild figures, a `serve` section
+//! with E18's queries/sec-vs-concurrent-clients figures, and a
+//! `telemetry` section with E17's observed-congestion rows plus the
+//! noop-sink dispatch-overhead sample; `--trace <file>` (or `MINEX_TRACE=<file>`)
 //! writes the deterministic traced-session JSONL export the CI telemetry
 //! gate validates and diffs across thread counts.
 //!
@@ -42,6 +43,7 @@ struct SweepOutput {
     plan_reuse: Option<minex_bench::Table>,
     scale: Option<minex_bench::Table>,
     dynamic: Option<minex_bench::Table>,
+    serve: Option<minex_bench::Table>,
     telemetry: Option<minex_bench::Table>,
     sink_overhead: Option<(f64, f64)>,
     trace: Option<String>,
@@ -107,6 +109,7 @@ fn main() {
             plan_reuse: None,
             scale: None,
             dynamic: None,
+            serve: None,
             telemetry: None,
             sink_overhead: None,
             trace: None,
@@ -134,6 +137,7 @@ fn main() {
                 "E15" => out.scale = Some(table),
                 "E16" => out.dynamic = Some(table),
                 "E17" => out.telemetry = Some(table),
+                "E18" => out.serve = Some(table),
                 _ => {}
             }
         }
@@ -219,6 +223,21 @@ fn main() {
                     json,
                     "    {{\"family\": \"{}\", \"n\": {}, \"m\": {}, \"parts\": {}, \"repair_ms\": {}, \"rebuild_ms\": {}, \"speedup\": {}, \"parts_rebuilt\": {}}}{comma}",
                     row[0], row[1], row[2], row[3], row[4], row[5], row[6], row[7]
+                );
+            }
+        }
+        json.push_str("  ],\n");
+        // E18's serving rows: aggregate queries/sec against the
+        // `minex-serve` daemon as concurrent clients grow, each client on
+        // its own session (cross-session parallelism).
+        json.push_str("  \"serve\": [\n");
+        if let Some(table) = &out.serve {
+            for (i, row) in table.rows.iter().enumerate() {
+                let comma = if i + 1 < table.rows.len() { "," } else { "" };
+                let _ = writeln!(
+                    json,
+                    "    {{\"workload\": \"{}\", \"clients\": {}, \"queries\": {}, \"elapsed_ms\": {}, \"qps\": {}, \"speedup\": {}, \"identical\": \"{}\"}}{comma}",
+                    row[0], row[1], row[2], row[3], row[4], row[5], row[6]
                 );
             }
         }

@@ -32,7 +32,7 @@ use minex_core::construct::{
     TreewidthBuilder,
 };
 use minex_core::gates::{planar_gates, validate_gates};
-use minex_core::{Partition, RootedTree, ShortcutPlan};
+use minex_core::{Partition, ShortcutPlan};
 use minex_decomp::{CliqueSumTree, TreeDecomposition};
 use minex_graphs::generators::{self, CliqueSumBuilder};
 use minex_graphs::{traversal, EdgeMutation, Graph, NodeId, WeightModel, WeightedGraph};
@@ -40,7 +40,7 @@ use minex_graphs::{traversal, EdgeMutation, Graph, NodeId, WeightModel, Weighted
 /// A rendered experiment table.
 #[derive(Debug, Clone)]
 pub struct Table {
-    /// Experiment id (E1..E17).
+    /// Experiment id (E1..E18).
     pub id: &'static str,
     /// Human title, naming the theorem being exercised.
     pub title: String,
@@ -572,7 +572,7 @@ fn e6_row(family: &str, g: Graph, seed: u64) -> Vec<String> {
     let mut rng = StdRng::seed_from_u64(seed);
     let wg = WeightModel::DistinctShuffled.apply(&g, &mut rng);
     let d = diameter(&g);
-    let cmp = compare_mst(&wg, &AutoCappedBuilder, config(g.n())).expect("mst comparison");
+    let cmp = compare_mst(&wg, AutoCappedBuilder, config(g.n())).expect("mst comparison");
     vec![
         family.to_string(),
         g.n().to_string(),
@@ -677,10 +677,10 @@ pub fn e8_aggregation(full: bool) -> Table {
         v
     };
     for (name, g, parts) in cases {
-        let builders: [(&str, &dyn ShortcutBuilder); 3] = [
-            ("none", &NoShortcutBuilder),
-            ("steiner", &SteinerBuilder),
-            ("auto-capped", &AutoCappedBuilder),
+        let builders: [(&str, Box<dyn ShortcutBuilder + Send>); 3] = [
+            ("none", Box::new(NoShortcutBuilder)),
+            ("steiner", Box::new(SteinerBuilder)),
+            ("auto-capped", Box::new(AutoCappedBuilder)),
         ];
         for (bname, builder) in builders {
             // One session per (workload, builder): the plan is built once,
@@ -811,11 +811,11 @@ pub fn e10_folding_ablation(full: bool) -> Table {
 
 /// One E11 row: runs all three SSSP tiers via [`compare_sssp`] and formats
 /// the comparison.
-fn e11_row<B: ShortcutBuilder>(
+fn e11_row<B: ShortcutBuilder + Send + 'static>(
     family: &str,
     wg: &WeightedGraph,
     parts: &Partition,
-    builder: &B,
+    builder: B,
     source: NodeId,
     epsilon: f64,
     max_phases: usize,
@@ -880,7 +880,7 @@ pub fn e11_sssp_rounds(full: bool) -> Table {
             &format!("wheel({n},{seg})"),
             &wg,
             &parts,
-            &SteinerBuilder,
+            SteinerBuilder,
             0,
             eps,
             budget,
@@ -899,7 +899,7 @@ pub fn e11_sssp_rounds(full: bool) -> Table {
             &format!("fan({n},{seg})"),
             &wg,
             &parts,
-            &SteinerBuilder,
+            SteinerBuilder,
             1,
             eps,
             budget,
@@ -914,7 +914,7 @@ pub fn e11_sssp_rounds(full: bool) -> Table {
         "maze-grid(12x12)",
         &wg,
         &parts,
-        &AutoCappedBuilder,
+        AutoCappedBuilder,
         0,
         eps,
         budget,
@@ -926,7 +926,7 @@ pub fn e11_sssp_rounds(full: bool) -> Table {
             "maze-apex(16x16)",
             &wg,
             &parts,
-            &AutoCappedBuilder,
+            AutoCappedBuilder,
             0,
             eps,
             budget,
@@ -939,7 +939,7 @@ pub fn e11_sssp_rounds(full: bool) -> Table {
         "comb(12,6)",
         &wg,
         &parts,
-        &SteinerBuilder,
+        SteinerBuilder,
         0,
         eps,
         budget,
@@ -1150,14 +1150,10 @@ pub fn e13_engine_scaling(full: bool) -> Table {
 /// The timing columns are machine-dependent, so E14 (like E13) is
 /// **excluded from the golden-CSV regression gate**; its rows also feed the
 /// `plan_reuse` section of `BENCH_pr.json`.
-// The legacy half of the measurement intentionally exercises the deprecated
-// one-shot entry points — that is the baseline being amortized away.
-#[allow(deprecated)]
+// The baseline half of the measurement builds a fresh one-shot session per
+// query — the re-planning cost the session API amortizes away (what the
+// removed legacy free functions did on every call).
 pub fn e14_plan_reuse(full: bool) -> Table {
-    use minex_algo::mst::boruvka_mst;
-    use minex_algo::partwise::partwise_min;
-    use minex_algo::sssp::shortcut_sssp;
-
     let (n, seg) = if full { (192, 16) } else { (96, 8) };
     let (wg, parts) = workloads::heavy_hub_wheel(n, seg, 64, 4096);
     let g = wg.graph();
@@ -1171,28 +1167,42 @@ pub fn e14_plan_reuse(full: bool) -> Table {
     };
     let mut rows = Vec::new();
     for &queries in &[1usize, 8, 64] {
-        // Legacy: every query is an independent call; aggregation callers
-        // rebuild the tree + shortcut each time, SSSP callers additionally
-        // recompute centers and the ρ flood, and every repeat re-simulates.
+        // Baseline: every query builds a fresh session — the plan (tree,
+        // shortcut, ρ flood for SSSP) is recomputed call after call, and
+        // every repeat re-simulates.
+        let fresh_session = || {
+            Solver::builder(&wg)
+                .parts(PartsStrategy::Explicit(parts.clone()))
+                .shortcut_builder(SteinerBuilder)
+                .config(cfg)
+                .build()
+                .expect("session")
+        };
         let mut legacy_out: Vec<Vec<u64>> = Vec::new();
         let start = Instant::now();
         for i in 0..queries {
             match i % 4 {
                 0 => {
-                    let out = shortcut_sssp(&wg, 0, &parts, &SteinerBuilder, eps, budget, cfg)
-                        .expect("legacy sssp");
-                    legacy_out.push(out.dist);
+                    let out = fresh_session()
+                        .sssp(
+                            0,
+                            Tier::Shortcut {
+                                epsilon: eps,
+                                max_phases: budget,
+                            },
+                        )
+                        .expect("fresh sssp");
+                    legacy_out.push(out.value.dist);
                 }
                 1 => {
-                    let out = boruvka_mst(&wg, &SteinerBuilder, cfg).expect("legacy mst");
-                    legacy_out.push(out.edges.iter().map(|&e| e as u64).collect());
+                    let out = fresh_session().mst().expect("fresh mst");
+                    legacy_out.push(out.value.edges.iter().map(|&e| e as u64).collect());
                 }
                 k => {
-                    let tree = RootedTree::bfs(g, 0);
-                    let shortcut = SteinerBuilder.build(g, &tree, &parts);
-                    let agg = partwise_min(g, &parts, &shortcut, &values_for(k), 32, cfg)
-                        .expect("legacy partwise");
-                    legacy_out.push(agg.minima);
+                    let agg = fresh_session()
+                        .partwise_min(&values_for(k), 32)
+                        .expect("fresh partwise");
+                    legacy_out.push(agg.value.minima);
                 }
             }
         }
@@ -1760,9 +1770,9 @@ pub fn e17_congestion(full: bool) -> Table {
     let mut rows = Vec::new();
     for (family, wg, parts, builder) in cases {
         let (n, m, n_parts) = (wg.graph().n(), wg.graph().m(), parts.len());
-        let builder: &dyn ShortcutBuilder = match builder {
-            "steiner" => &SteinerBuilder,
-            _ => &AutoCappedBuilder,
+        let builder: Box<dyn ShortcutBuilder + Send> = match builder {
+            "steiner" => Box::new(SteinerBuilder),
+            _ => Box::new(AutoCappedBuilder),
         };
         let mut session = Solver::builder(&wg)
             .parts(PartsStrategy::Explicit(parts))
@@ -1805,6 +1815,146 @@ pub fn e17_congestion(full: bool) -> Table {
             "max edge msgs",
             "bound",
             "obs/bound",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
+/// **E18 — Solver-as-a-service throughput.** Aggregate queries/sec against
+/// an in-process `minex-serve` daemon as concurrent clients grow.
+///
+/// Each client uploads its own distinctly-weighted copy of a triangulated
+/// grid, so the fleet fingerprints it into a *separate* session: the
+/// per-session query locks never contend and service parallelism is pure
+/// cross-session concurrency (bounded by cores — single-core boxes can
+/// only pipeline client-side work against server-side work). Every
+/// response body is compared byte-for-byte against a single-threaded
+/// in-process [`Solver`] running the identical query mix; the `identical`
+/// column (asserted here, unconditionally) is the serving determinism
+/// contract.
+pub fn e18_serve(full: bool) -> Table {
+    use minex_algo::wire::{obj, JsonValue, ToWire};
+    use minex_serve::{start, Client, CreateSession, ServerConfig};
+    use std::sync::Arc;
+
+    let (side, queries) = if full { (8usize, 48usize) } else { (5, 16) };
+    let client_counts: &[usize] = if full { &[1, 2, 4, 8] } else { &[1, 2, 8] };
+    let grid_for = |seed: u64| -> Arc<WeightedGraph> {
+        let g = generators::triangulated_grid(side, side);
+        let weights: Vec<u64> = (0..g.m() as u64)
+            .map(|e| 1 + (e.wrapping_mul(2654435761) ^ seed) % 4096)
+            .collect();
+        Arc::new(WeightedGraph::new(g, weights))
+    };
+    let mix_query = |kind: usize, n: usize| -> minex_algo::wire::JsonValue {
+        match kind {
+            0 => obj([("query", JsonValue::Str("mst".into()))]),
+            1 => obj([("query", JsonValue::Str("components".into()))]),
+            _ => obj([
+                ("query", JsonValue::Str("partwise_min".into())),
+                (
+                    "values",
+                    JsonValue::Array((0..n as u64).map(JsonValue::UInt).collect()),
+                ),
+                ("value_bits", JsonValue::UInt(32)),
+            ]),
+        }
+    };
+    // The reference: the same mix on a single-threaded owned solver,
+    // reports rendered to their exact wire bodies.
+    let reference = |wg: &Arc<WeightedGraph>| -> Vec<String> {
+        let n = wg.graph().n();
+        let mut solver = Solver::from_arc(Arc::clone(wg))
+            .parts(PartsStrategy::Singletons)
+            .shortcut_builder(AutoCappedBuilder)
+            .config(CongestConfig::for_nodes(n).with_threads(1))
+            .build()
+            .expect("reference solver");
+        let values: Vec<u64> = (0..n as u64).collect();
+        (0..queries)
+            .map(|i| match i % 3 {
+                0 => solver.mst().expect("mst").to_wire().to_string(),
+                1 => solver
+                    .components()
+                    .expect("components")
+                    .to_wire()
+                    .to_string(),
+                _ => solver
+                    .partwise_min(&values, 32)
+                    .expect("partwise")
+                    .to_wire()
+                    .to_string(),
+            })
+            .collect()
+    };
+
+    let mut rows = Vec::new();
+    let mut base_qps = 0.0f64;
+    for &clients in client_counts {
+        let expected: Vec<Vec<String>> = (0..clients)
+            .map(|c| reference(&grid_for(c as u64 + 1)))
+            .collect();
+        let server = start(ServerConfig::default()).expect("bind");
+        let addr = server.addr();
+        let started = Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let wg = grid_for(c as u64 + 1);
+                std::thread::spawn(move || -> Vec<String> {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut req = CreateSession::from_weighted(&wg);
+                    req.threads = Some(1);
+                    let session = client.create_session(&req).expect("create session");
+                    let n = wg.graph().n();
+                    (0..queries)
+                        .map(|i| {
+                            client
+                                .query(&session, &mix_query(i % 3, n))
+                                .expect("query")
+                                .to_string()
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        let got: Vec<Vec<String>> = workers
+            .into_iter()
+            .map(|w| w.join().expect("client thread"))
+            .collect();
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        server.shutdown();
+        let identical = got == expected;
+        assert!(
+            identical,
+            "served reports must be byte-identical to the in-process solver ({clients} clients)"
+        );
+        let qps = (clients * queries) as f64 / elapsed;
+        if clients == 1 {
+            base_qps = qps;
+        }
+        rows.push(vec![
+            format!("grid({side},{side})"),
+            clients.to_string(),
+            (clients * queries).to_string(),
+            format!("{:.1}", elapsed * 1e3),
+            format!("{qps:.1}"),
+            format!("{:.2}", qps / base_qps.max(1e-9)),
+            if identical { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    Table {
+        id: "E18",
+        title: "Solver-as-a-service: aggregate queries/sec vs concurrent clients (one session per client)".into(),
+        headers: [
+            "workload",
+            "clients",
+            "queries",
+            "elapsed ms",
+            "qps",
+            "speedup",
+            "identical",
         ]
         .map(String::from)
         .to_vec(),
@@ -1878,7 +2028,7 @@ pub type ExperimentFn = fn(bool) -> Table;
 /// Experiments whose columns are wall-clock measurements (machine
 /// dependent): excluded from the golden-CSV gate and from determinism
 /// comparisons. The single source of truth for "which tables are timing".
-pub const TIMING_EXPERIMENTS: &[&str] = &["E13", "E14", "E15", "E16"];
+pub const TIMING_EXPERIMENTS: &[&str] = &["E13", "E14", "E15", "E16", "E18"];
 
 /// The experiment registry: `(id, runner)` pairs, lazily invocable.
 pub fn experiments() -> Vec<(&'static str, ExperimentFn)> {
@@ -1900,6 +2050,7 @@ pub fn experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("E15", e15_scale),
         ("E16", e16_dynamic_repair),
         ("E17", e17_congestion),
+        ("E18", e18_serve),
     ]
 }
 
@@ -1984,6 +2135,39 @@ mod tests {
         assert!(
             attempt() || attempt() || attempt(),
             "plan reuse slower than N>=8 independent legacy calls in three consecutive runs"
+        );
+    }
+
+    #[test]
+    fn e18_serving_is_deterministic_and_scales_across_sessions() {
+        // Byte-identical served reports are asserted inside `e18_serve`
+        // unconditionally — that is the serving determinism contract. The
+        // throughput bar (≥2× aggregate qps at 8 clients vs 1) measures
+        // cross-session parallelism, which needs real cores and an
+        // optimized build: a single-core box can only overlap client-side
+        // parse/build work with server-side service, so like E14/E15 the
+        // wall-clock assertion gets the `MINEX_SKIP_TIMING_ASSERTS`
+        // escape hatch, a debug-build skip, a core-count gate, and
+        // retries against scheduler noise.
+        let timing_asserts = std::env::var_os("MINEX_SKIP_TIMING_ASSERTS").is_none()
+            && !cfg!(debug_assertions)
+            && std::thread::available_parallelism().is_ok_and(|p| p.get() >= 4);
+        let attempt = || {
+            let t = e18_serve(false);
+            for row in &t.rows {
+                assert_eq!(
+                    row[6], "yes",
+                    "served reports diverged ({} clients)",
+                    row[1]
+                );
+            }
+            let row8 = t.rows.iter().find(|r| r[1] == "8").expect("8-client row");
+            let speedup: f64 = row8[5].parse().unwrap();
+            !timing_asserts || speedup >= 2.0
+        };
+        assert!(
+            attempt() || attempt() || attempt(),
+            "8 concurrent clients never reached 2x the 1-client qps in three runs"
         );
     }
 

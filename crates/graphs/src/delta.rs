@@ -69,6 +69,70 @@ pub enum EdgeMutation {
     },
 }
 
+impl fmt::Display for EdgeMutation {
+    /// Compact wire form, `insert(u,v,weight)` / `delete(u,v)` — the
+    /// inverse of the [`FromStr`](std::str::FromStr) impl.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeMutation::Insert { u, v, weight } => write!(f, "insert({u},{v},{weight})"),
+            EdgeMutation::Delete { u, v } => write!(f, "delete({u},{v})"),
+        }
+    }
+}
+
+/// Error parsing an [`EdgeMutation`] from its compact wire form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEdgeMutationError {
+    msg: String,
+}
+
+impl fmt::Display for ParseEdgeMutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseEdgeMutationError {}
+
+impl std::str::FromStr for EdgeMutation {
+    type Err = ParseEdgeMutationError;
+
+    /// Parses the compact wire form produced by `Display`:
+    /// `insert(u,v,weight)` or `delete(u,v)` (whitespace around arguments
+    /// tolerated).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |msg: &str| ParseEdgeMutationError {
+            msg: format!("bad edge mutation {s:?}: {msg}"),
+        };
+        let s = s.trim();
+        let (head, rest) = s
+            .split_once('(')
+            .ok_or_else(|| err("expected `insert(…)` or `delete(…)`"))?;
+        let body = rest
+            .strip_suffix(')')
+            .ok_or_else(|| err("missing closing parenthesis"))?;
+        let args: Vec<&str> = body.split(',').map(str::trim).collect();
+        let num = |a: &str| {
+            a.parse::<u64>()
+                .map_err(|_| err(&format!("bad number {a:?}")))
+        };
+        match (head.trim(), args.as_slice()) {
+            ("insert", [u, v, w]) => Ok(EdgeMutation::Insert {
+                u: num(u)? as NodeId,
+                v: num(v)? as NodeId,
+                weight: num(w)?,
+            }),
+            ("delete", [u, v]) => Ok(EdgeMutation::Delete {
+                u: num(u)? as NodeId,
+                v: num(v)? as NodeId,
+            }),
+            ("insert", _) => Err(err("insert takes exactly (u,v,weight)")),
+            ("delete", _) => Err(err("delete takes exactly (u,v)")),
+            _ => Err(err("unknown mutation kind")),
+        }
+    }
+}
+
 /// A materialized merged adjacency row for one overlay-touched node.
 #[derive(Debug, Clone, Default)]
 struct OverlayRow {

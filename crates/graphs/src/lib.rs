@@ -91,7 +91,7 @@ mod union_find;
 mod view;
 pub mod weights;
 
-pub use delta::{DeltaGraph, EdgeMutation};
+pub use delta::{DeltaGraph, EdgeMutation, ParseEdgeMutationError};
 pub use graph::{
     EdgeId, Graph, GraphBuilder, GraphError, NodeId, WeightedGraph, MAX_EDGES, MAX_NODES,
 };

@@ -1,0 +1,84 @@
+//! The `minex-serve` daemon CLI.
+//!
+//! ```text
+//! minex-serve [--addr HOST:PORT] [--queue-depth N] [--fleet-capacity N]
+//!             [--max-connections N]
+//! ```
+//!
+//! Prints `listening on <addr>` once bound, then serves until stdin
+//! reaches EOF or a `shutdown` line arrives — at which point it stops
+//! accepting, drains every in-flight query, and exits 0. Scripts drive
+//! graceful shutdown by closing the daemon's stdin (see
+//! `scripts/check-serve.sh`).
+
+use std::io::{self, BufRead, Write};
+use std::process::exit;
+
+use minex_serve::{start, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: minex-serve [--addr HOST:PORT] [--queue-depth N] \
+         [--fleet-capacity N] [--max-connections N]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("minex-serve: {name} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--queue-depth" => {
+                config.queue_depth = value("--queue-depth").parse().unwrap_or_else(|_| usage())
+            }
+            "--fleet-capacity" => {
+                config.fleet_capacity = value("--fleet-capacity")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--max-connections" => {
+                config.max_connections = value("--max-connections")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("minex-serve: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let handle = match start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("minex-serve: bind failed: {e}");
+            exit(1);
+        }
+    };
+    println!("listening on {}", handle.addr());
+    io::stdout().flush().ok();
+
+    // Serve until stdin closes (or an explicit `shutdown` line); then
+    // drain and exit. This keeps graceful shutdown scriptable without
+    // signal handling.
+    let stdin = io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "shutdown" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    eprintln!("minex-serve: draining");
+    handle.shutdown();
+    eprintln!("minex-serve: done");
+}

@@ -1,0 +1,354 @@
+//! The session fleet: owned [`Solver`] sessions keyed by graph
+//! fingerprint, with LRU eviction of the attached plan caches.
+//!
+//! A *session* is one [`Solver`] — it owns its network via
+//! [`Solver::from_arc`] and caches one [`ShortcutPlan`] plus query memos.
+//! The fleet keeps at most `capacity` sessions; inserting past capacity
+//! evicts the least-recently-used slot (dropping its plan and memos with
+//! it). Each slot serializes its queries behind a `Mutex` (queries take
+//! `&mut Solver`); different slots run concurrently on different
+//! connection threads.
+//!
+//! [`ShortcutPlan`]: minex_core::ShortcutPlan
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use minex_algo::solver::{AlgoError, PartsStrategy, Solver};
+use minex_algo::wire::WireError;
+use minex_congest::CongestConfig;
+use minex_core::construct::{AutoCappedBuilder, ShortcutBuilder, SteinerBuilder, WholeTreeBuilder};
+use minex_graphs::WeightedGraph;
+
+// The fleet moves sessions across threads; this must hold for every
+// refactor of the solver's internals.
+fn _assert_solver_send(s: Solver) -> impl Send {
+    s
+}
+
+/// FNV-1a over the graph structure and weights — the stable identity the
+/// fleet keys sessions by. Two uploads of the same weighted graph land in
+/// the same session.
+pub fn graph_fingerprint(wg: &WeightedGraph) -> u64 {
+    let mut h = Fnv::new();
+    let g = wg.graph();
+    h.word(g.n() as u64);
+    h.word(g.m() as u64);
+    for (e, u, v) in g.edges() {
+        h.word(u as u64);
+        h.word(v as u64);
+        h.word(wg.weight(e));
+    }
+    h.finish()
+}
+
+/// Incremental FNV-1a (64-bit), word-at-a-time.
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    pub(crate) fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Resolves a wire builder name to a boxed [`ShortcutBuilder`]. Only the
+/// structure-oblivious constructions are servable (witness-based builders
+/// need structure records that don't travel over the wire).
+pub fn builder_by_name(name: &str) -> Result<Box<dyn ShortcutBuilder + Send>, WireError> {
+    match name {
+        "steiner" => Ok(Box::new(SteinerBuilder)),
+        "whole-tree" => Ok(Box::new(WholeTreeBuilder)),
+        "auto-capped" => Ok(Box::new(AutoCappedBuilder)),
+        other => Err(WireError::new(format!(
+            "unknown builder {other:?} (expected steiner, whole-tree, or auto-capped)"
+        ))),
+    }
+}
+
+/// Everything needed to construct (and identify) one served session.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// The uploaded network, shared with every handler that serves it.
+    pub wg: Arc<WeightedGraph>,
+    /// Session partition strategy.
+    pub parts: PartsStrategy,
+    /// Wire name of the shortcut construction (see [`builder_by_name`]).
+    pub builder: String,
+    /// Simulator configuration.
+    pub config: CongestConfig,
+    /// Whether the session records a `SessionTrace`.
+    pub trace: bool,
+}
+
+impl SessionSpec {
+    /// A spec with the library defaults: singleton parts, the
+    /// structure-oblivious `auto-capped` construction, `for_nodes` config,
+    /// tracing off.
+    pub fn new(wg: Arc<WeightedGraph>) -> Self {
+        let n = wg.graph().n();
+        SessionSpec {
+            wg,
+            parts: PartsStrategy::Singletons,
+            builder: "auto-capped".to_string(),
+            config: CongestConfig::for_nodes(n),
+            trace: false,
+        }
+    }
+
+    /// The session id: the graph fingerprint mixed with every
+    /// result-relevant option, so the same graph under different options
+    /// gets its own session (and its own plan).
+    pub fn session_id(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.word(graph_fingerprint(&self.wg));
+        h.bytes(self.builder.as_bytes());
+        h.bytes(self.parts.to_string().as_bytes());
+        if let PartsStrategy::Explicit(p) = &self.parts {
+            for part in p.parts() {
+                h.word(part.len() as u64);
+                for &v in part {
+                    h.word(v as u64);
+                }
+            }
+        }
+        h.word(self.config.bandwidth_bits as u64);
+        h.word(self.config.max_rounds as u64);
+        h.word(self.trace as u64);
+        h.finish()
+    }
+
+    /// Builds the owned session.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] for an unknown builder name; [`AlgoError::BadQuery`]
+    /// (as a wire error) for configurations the solver rejects.
+    pub fn build(&self) -> Result<Solver, WireError> {
+        let builder = builder_by_name(&self.builder)?;
+        Solver::from_arc(Arc::clone(&self.wg))
+            .parts(self.parts.clone())
+            .shortcut_builder(builder)
+            .config(self.config)
+            .trace(self.trace)
+            .build()
+            .map_err(|e: AlgoError| WireError::new(e.to_string()))
+    }
+}
+
+/// One fleet slot: an owned session behind its per-session query lock.
+#[derive(Debug)]
+pub struct SessionSlot {
+    /// The session id (see [`SessionSpec::session_id`]).
+    pub id: u64,
+    /// The session; queries take `&mut`, so the lock serializes them.
+    pub solver: Mutex<Solver>,
+    last_used: AtomicU64,
+}
+
+/// The session fleet: a bounded LRU map from session id to slot.
+#[derive(Debug)]
+pub struct Fleet {
+    capacity: usize,
+    clock: AtomicU64,
+    slots: Mutex<HashMap<u64, Arc<SessionSlot>>>,
+}
+
+impl Fleet {
+    /// A fleet holding at most `capacity` sessions (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Fleet {
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(1),
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Looks up a session and bumps its LRU stamp.
+    pub fn get(&self, id: u64) -> Option<Arc<SessionSlot>> {
+        let slots = self.slots.lock().expect("fleet lock");
+        let slot = slots.get(&id).cloned();
+        if let Some(s) = &slot {
+            s.last_used.store(self.tick(), Ordering::Relaxed);
+        }
+        slot
+    }
+
+    /// Inserts a session built by `make` unless `id` already exists.
+    /// Returns the slot, whether it was newly created, and the ids of any
+    /// sessions evicted to stay within capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `make`'s error; the fleet is unchanged.
+    pub fn get_or_insert(
+        &self,
+        id: u64,
+        make: impl FnOnce() -> Result<Solver, WireError>,
+    ) -> Result<(Arc<SessionSlot>, bool, Vec<u64>), WireError> {
+        if let Some(slot) = self.get(id) {
+            return Ok((slot, false, Vec::new()));
+        }
+        // Build outside the map lock: plans are lazy so this is cheap, but
+        // validation can still reject, and holding the lock across foreign
+        // code would serialize unrelated sessions.
+        let solver = make()?;
+        let mut slots = self.slots.lock().expect("fleet lock");
+        // Raced creation: someone else inserted while we built.
+        if let Some(slot) = slots.get(&id) {
+            slot.last_used.store(self.tick(), Ordering::Relaxed);
+            return Ok((Arc::clone(slot), false, Vec::new()));
+        }
+        let slot = Arc::new(SessionSlot {
+            id,
+            solver: Mutex::new(solver),
+            last_used: AtomicU64::new(self.tick()),
+        });
+        slots.insert(id, Arc::clone(&slot));
+        let mut evicted = Vec::new();
+        while slots.len() > self.capacity {
+            let victim = slots
+                .iter()
+                .filter(|(&k, _)| k != id)
+                .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+                .map(|(&k, _)| k);
+            match victim {
+                // In-flight queries on an evicted session finish on their
+                // own Arc; the fleet just forgets the slot (and with it the
+                // cached plan and memos).
+                Some(k) => {
+                    slots.remove(&k);
+                    evicted.push(k);
+                }
+                None => break,
+            }
+        }
+        Ok((slot, true, evicted))
+    }
+
+    /// Removes a session; `true` if it existed.
+    pub fn remove(&self, id: u64) -> bool {
+        self.slots.lock().expect("fleet lock").remove(&id).is_some()
+    }
+
+    /// Number of resident sessions.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("fleet lock").len()
+    }
+
+    /// Whether the fleet holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The resident session ids, unordered.
+    pub fn ids(&self) -> Vec<u64> {
+        self.slots
+            .lock()
+            .expect("fleet lock")
+            .keys()
+            .copied()
+            .collect()
+    }
+}
+
+/// Formats a session id for the wire (16 lowercase hex digits).
+pub fn format_session_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses a wire session id.
+pub fn parse_session_id(s: &str) -> Option<u64> {
+    (s.len() == 16)
+        .then(|| u64::from_str_radix(s, 16).ok())
+        .flatten()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minex_graphs::generators;
+
+    fn spec(seed: u64) -> SessionSpec {
+        let g = generators::triangulated_grid(4, 4);
+        let weights: Vec<u64> = (0..g.m() as u64).map(|e| e * 7 + seed).collect();
+        SessionSpec::new(Arc::new(WeightedGraph::new(g, weights)))
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_weights_and_options() {
+        let a = spec(1);
+        let b = spec(2);
+        assert_ne!(a.session_id(), b.session_id());
+        let mut c = spec(1);
+        assert_eq!(a.session_id(), c.session_id());
+        c.builder = "steiner".into();
+        assert_ne!(a.session_id(), c.session_id());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_session() {
+        let fleet = Fleet::new(2);
+        let ids: Vec<u64> = (0..3)
+            .map(|i| {
+                let s = spec(i);
+                let id = s.session_id();
+                let (_, created, _) = fleet.get_or_insert(id, || s.build()).unwrap();
+                assert!(created);
+                // Touch the first session so it stays warm.
+                if i > 0 {
+                    fleet.get(spec(0).session_id()).unwrap();
+                }
+                id
+            })
+            .collect();
+        assert_eq!(fleet.len(), 2);
+        // Session 1 was the coldest when 2 arrived.
+        assert!(fleet.get(ids[1]).is_none());
+        assert!(fleet.get(ids[0]).is_some());
+        assert!(fleet.get(ids[2]).is_some());
+        // Re-inserting an evicted id is a fresh creation.
+        let s = spec(1);
+        let (_, created, evicted) = fleet.get_or_insert(ids[1], || s.build()).unwrap();
+        assert!(created);
+        assert_eq!(evicted.len(), 1);
+    }
+
+    #[test]
+    fn session_ids_roundtrip_the_wire_form() {
+        let id = spec(3).session_id();
+        assert_eq!(parse_session_id(&format_session_id(id)), Some(id));
+        assert_eq!(parse_session_id("xyz"), None);
+        assert_eq!(parse_session_id(""), None);
+    }
+
+    #[test]
+    fn unknown_builders_are_rejected() {
+        assert!(builder_by_name("clique-sum").is_err());
+        let mut s = spec(0);
+        s.builder = "nope".into();
+        assert!(s.build().is_err());
+    }
+}

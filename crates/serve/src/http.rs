@@ -1,0 +1,187 @@
+//! A deliberately minimal HTTP/1.1 layer over blocking sockets.
+//!
+//! The container vendors no async runtime or HTTP stack, so the daemon
+//! speaks just enough HTTP/1.1 for its JSON API: request line, headers
+//! (`Content-Length`, `Connection`), fixed-length bodies, keep-alive.
+//! No chunked encoding, no TLS, no multipart — clients are
+//! [`crate::client::Client`], `minex-loadgen`, and `curl` in CI.
+
+use std::io::{self, BufRead, Write};
+
+/// Header block size cap (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Body size cap — graph uploads are the big payload; 64 MiB bounds a
+/// ~2M-edge upload with slack while keeping a misbehaving client finite.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// The path, without query string processing (the v1 API uses none).
+    pub path: String,
+    /// The raw body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Reads one request off `reader`, given `first_line` already accumulated
+/// by the caller (the caller owns request-line reads so it can poll a
+/// shutdown flag between requests; see `server.rs`).
+///
+/// # Errors
+///
+/// `InvalidData` on malformed framing; IO errors propagate.
+pub fn read_request(reader: &mut impl BufRead, first_line: &str) -> io::Result<Request> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut parts = first_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| bad("request line missing path"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| bad("request line missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+    // HTTP/1.1 defaults to keep-alive; `Connection: close` opts out.
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut content_length = 0usize;
+    let mut head_bytes = first_line.len();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-headers"));
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(bad("header block too large"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad("malformed header"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(bad("body too large"));
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+        keep_alive,
+    })
+}
+
+/// The reason phrase for the status codes the v1 API emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one response (status, `Content-Type`, `Content-Length`,
+/// `Connection`) and flushes.
+///
+/// # Errors
+///
+/// IO errors propagate.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(head: &str, rest: &[u8]) -> io::Result<Request> {
+        let mut reader = BufReader::new(rest);
+        read_request(&mut reader, head)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            "POST /v1/sessions HTTP/1.1\r\n",
+            b"Host: x\r\nContent-Length: 4\r\n\r\nabcd",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/sessions");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse("GET / HTTP/1.1\r\n", b"Connection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\n", b"\r\n").unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn rejects_malformed_framing() {
+        assert!(parse("GET\r\n", b"\r\n").is_err());
+        assert!(parse("GET / SPDY/3\r\n", b"\r\n").is_err());
+        assert!(parse("GET / HTTP/1.1\r\n", b"NoColonHere\r\n\r\n").is_err());
+        assert!(parse(
+            "GET / HTTP/1.1\r\n",
+            format!("Content-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1).as_bytes()
+        )
+        .is_err());
+        assert!(parse("GET / HTTP/1.1\r\n", b"Content-Length: 9\r\n\r\nxx").is_err());
+    }
+
+    #[test]
+    fn responses_roundtrip_through_the_parser_shape() {
+        let mut out = Vec::new();
+        write_response(&mut out, 503, "application/json", b"{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Serving gate: drives a RUNNING `minex-serve` daemon through wire schema
+# v1 and validates the response shapes and the stable error-code mapping
+# with jq (the serving counterpart of scripts/check-trace.sh).
+#
+# Checks, in order:
+#   1. health shape: status "ok", wire_version 1;
+#   2. session lifecycle: create (hex-16 id, created=true), idempotent
+#      re-create (created=false — plan reuse), delete (then 404);
+#   3. report shape: mst on a weighted triangle returns the exact MST
+#      weight with simulation statistics, and a batch keeps per-query
+#      ok/error envelopes;
+#   4. error-code mapping: DISCONNECTED/422, BAD_QUERY/400,
+#      BAD_REQUEST/400, NOT_FOUND/404 — codes and HTTP statuses both.
+#
+# Usage: scripts/check-serve.sh <host:port>
+set -euo pipefail
+
+addr="${1:?usage: scripts/check-serve.sh <host:port>}"
+base="http://$addr"
+command -v jq >/dev/null || { echo "jq is required" >&2; exit 2; }
+command -v curl >/dev/null || { echo "curl is required" >&2; exit 2; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail() {
+    echo "::error::$1" >&2
+    [ -f "$tmp/body" ] && cat "$tmp/body" >&2
+    exit 1
+}
+
+# req <expected-status> <method> <path> [json-body] — body lands in $tmp/body.
+req() {
+    local expect="$1" method="$2" path="$3" body="${4:-}"
+    local args=(-s -o "$tmp/body" -w '%{http_code}' -X "$method")
+    [ -n "$body" ] && args+=(--data "$body")
+    local status
+    status="$(curl "${args[@]}" "$base$path")"
+    [ "$status" = "$expect" ] \
+        || fail "$method $path: expected HTTP $expect, got $status"
+}
+
+# 1. Health shape.
+req 200 GET /v1/health
+jq -e '.status == "ok" and .wire_version == 1 and (.sessions | type == "number")' \
+    "$tmp/body" >/dev/null || fail "health shape"
+
+# 2. Session lifecycle on a weighted triangle (MST = 5 + 7 = 12).
+triangle='{"graph":{"n":3,"edges":[[0,1,5],[1,2,7],[0,2,20]]}}'
+req 200 POST /v1/sessions "$triangle"
+jq -e '(.session | test("^[0-9a-f]{16}$")) and .created == true
+       and .nodes == 3 and .edges == 3' "$tmp/body" >/dev/null \
+    || fail "session creation shape"
+session="$(jq -r .session "$tmp/body")"
+
+req 200 POST /v1/sessions "$triangle"
+jq -e --arg s "$session" '.session == $s and .created == false' \
+    "$tmp/body" >/dev/null || fail "re-upload must land in the existing session"
+
+# 3. Report shape: the exact MST with simulation statistics.
+req 200 POST "/v1/sessions/$session/query" '{"query":"mst"}'
+jq -e '.value.total_weight == 12 and (.value.edges | length == 2)
+       and .stats.simulated_rounds >= 1 and (.stats.runs | type == "array")' \
+    "$tmp/body" >/dev/null || fail "mst report shape"
+
+# ... and batch envelopes: a bad query mid-batch stays an error entry.
+req 200 POST "/v1/sessions/$session/batch" \
+    '{"queries":[{"query":"mst"},{"query":"frobnicate"},{"query":"components"}]}'
+jq -e '(.results | length == 3)
+       and .results[0].ok.value.total_weight == 12
+       and .results[1].error.code == "BAD_REQUEST"
+       and (.results[2].ok.value.forest_edges | length == 2)' \
+    "$tmp/body" >/dev/null || fail "batch envelope shape"
+
+# 4. Error-code mapping.
+req 200 POST /v1/sessions '{"graph":{"n":4,"edges":[[0,1,1],[2,3,1]]}}'
+split="$(jq -r .session "$tmp/body")"
+req 422 POST "/v1/sessions/$split/query" '{"query":"mst"}'
+jq -e '.code == "DISCONNECTED"' "$tmp/body" >/dev/null \
+    || fail "disconnected mst must map to DISCONNECTED"
+
+req 400 POST "/v1/sessions/$session/query" \
+    '{"query":"sssp","source":999,"tier":{"tier":"exact"}}'
+jq -e '.code == "BAD_QUERY"' "$tmp/body" >/dev/null \
+    || fail "out-of-range source must map to BAD_QUERY"
+
+req 400 POST "/v1/sessions/$session/query" '{"query":"frobnicate"}'
+jq -e '.code == "BAD_REQUEST"' "$tmp/body" >/dev/null \
+    || fail "unknown query must map to BAD_REQUEST"
+
+req 400 POST /v1/sessions 'this is not json'
+jq -e '.code == "BAD_REQUEST"' "$tmp/body" >/dev/null \
+    || fail "malformed body must map to BAD_REQUEST"
+
+req 404 POST "/v1/sessions/0123456789abcdef/query" '{"query":"mst"}'
+jq -e '.code == "NOT_FOUND"' "$tmp/body" >/dev/null \
+    || fail "unknown session must map to NOT_FOUND"
+
+req 404 GET "/v1/sessions/$session/trace"
+jq -e '.code == "NOT_FOUND" and (.message | test("tracing"))' \
+    "$tmp/body" >/dev/null || fail "trace on an untraced session must say so"
+
+req 404 GET /v1/nope
+jq -e '.code == "NOT_FOUND"' "$tmp/body" >/dev/null \
+    || fail "unknown route must map to NOT_FOUND"
+
+# Lifecycle tail: delete, then the id is gone.
+req 200 DELETE "/v1/sessions/$split"
+jq -e '.deleted == true' "$tmp/body" >/dev/null || fail "delete shape"
+req 404 DELETE "/v1/sessions/$split"
+
+echo "serve OK: health, lifecycle, report shapes, and error-code mapping pass against $addr"

@@ -11,7 +11,11 @@
 //! * [`congest`] — the CONGEST-model simulator;
 //! * [`decomp`] — tree decompositions, clique-sum trees, folding;
 //! * [`core`] — the shortcut framework and constructions;
-//! * [`algo`] — part-wise aggregation, MST, min-cut, SSSP, baselines.
+//! * [`algo`] — part-wise aggregation, MST, min-cut, SSSP, baselines,
+//!   and the [`wire`] schema-v1 codecs;
+//! * [`serve`] — solver-as-a-service: the `minex-serve` daemon, its
+//!   session [`Fleet`](serve::Fleet), and the blocking
+//!   [`Client`](serve::Client).
 //!
 //! The **front door** is the plan-once / query-many session API,
 //! re-exported at the crate root: [`Solver`] computes one [`ShortcutPlan`]
@@ -39,10 +43,12 @@
 //! See `examples/quickstart.rs` for a guided tour.
 
 pub use minex_algo as algo;
+pub use minex_algo::wire;
 pub use minex_congest as congest;
 pub use minex_core as core;
 pub use minex_decomp as decomp;
 pub use minex_graphs as graphs;
+pub use minex_serve as serve;
 
 pub use minex_algo::solver::{
     AlgoError, Components, MinCut, Mst, PartsStrategy, PartwiseMin, PhaseRun, QuerySpan,

@@ -27,7 +27,7 @@ fn cfg(n: usize, threads: usize) -> CongestConfig {
 
 /// The oracle: a mutated session and a from-scratch session on the mutated
 /// weighted graph must be report-for-report identical.
-fn assert_oracle(mutated: &mut Solver<'_>, strategy: PartsStrategy, threads: usize) {
+fn assert_oracle(mutated: &mut Solver, strategy: PartsStrategy, threads: usize) {
     let wg = mutated.weighted_graph().clone();
     let mut fresh = Solver::builder(&wg)
         .parts(strategy)

@@ -85,11 +85,11 @@ fn mst_is_engine_independent() {
             .unwrap()
     };
     let seq = run(1);
-    let seq_cmp = compare_mst(&wg, &AutoCappedBuilder, cfg(n).with_threads(1)).unwrap();
+    let seq_cmp = compare_mst(&wg, AutoCappedBuilder, cfg(n).with_threads(1)).unwrap();
     for &threads in THREADS {
         let par = run(threads);
         assert_eq!(seq, par, "threads={threads}");
-        let par_cmp = compare_mst(&wg, &AutoCappedBuilder, cfg(n).with_threads(threads)).unwrap();
+        let par_cmp = compare_mst(&wg, AutoCappedBuilder, cfg(n).with_threads(threads)).unwrap();
         assert_eq!(seq_cmp.shortcut_rounds, par_cmp.shortcut_rounds);
         assert_eq!(seq_cmp.gkp_rounds, par_cmp.gkp_rounds);
         assert_eq!(seq_cmp.naive_rounds, par_cmp.naive_rounds);

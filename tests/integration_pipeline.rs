@@ -101,6 +101,7 @@ fn treewidth_pipeline_with_witness() {
     let builder = TreewidthBuilder::new(&td);
     let parts = workloads::forest_split_parts(&g, 10, &mut rng);
     let plan = ShortcutPlan::build(&g, 0, parts, &builder);
+    // (the builder moves into the session below)
     validate_tree_restricted(plan.shortcut(), plan.tree()).unwrap();
     let q = plan.quality();
     // Theorem 5 shape: block O(k) with a generous constant.
@@ -108,7 +109,7 @@ fn treewidth_pipeline_with_witness() {
     // MST on the same graph via the witness builder.
     let wg = WeightModel::Uniform { lo: 1, hi: 100 }.apply(&g, &mut rng);
     let mut session = Solver::builder(&wg)
-        .shortcut_builder(&builder)
+        .shortcut_builder(builder)
         .config(config(g.n()))
         .build()
         .unwrap();
@@ -129,7 +130,7 @@ fn genus_vortex_pipeline() {
     let parts = workloads::voronoi_parts(&g, 8, &mut rng);
     let mut session = Solver::for_graph(&g)
         .parts(PartsStrategy::Explicit(parts.clone()))
-        .shortcut_builder(&builder)
+        .shortcut_builder(builder)
         .config(config(g.n()))
         .build()
         .unwrap();

@@ -97,7 +97,7 @@ fn shortcut_tier_beats_bellman_ford_on_planar_wheel() {
             &wg,
             0,
             &parts,
-            &SteinerBuilder,
+            SteinerBuilder,
             eps,
             parts.len() + 2,
             cfg(n),
@@ -127,7 +127,7 @@ fn shortcut_tier_beats_bellman_ford_on_bounded_treewidth_fan() {
             &wg,
             1,
             &parts,
-            &SteinerBuilder,
+            SteinerBuilder,
             eps,
             parts.len() + 2,
             cfg(n),
@@ -189,7 +189,7 @@ fn round_counts_are_deterministic_across_runs() {
             &wg,
             0,
             &parts,
-            &SteinerBuilder,
+            SteinerBuilder,
             0.5,
             parts.len() + 2,
             cfg(128),

@@ -61,8 +61,10 @@ fn theorem6_composed_pipeline() {
         .with_max_rounds(200_000);
     let values: Vec<u64> = (0..g.n() as u64).map(|v| (v * 37) % 1009).collect();
     let witness = CliqueSumShortcutBuilder::folded(cst, SteinerBuilder);
-    let builders: [(&str, &dyn ShortcutBuilder); 2] =
-        [("witness", &witness), ("oblivious", &AutoCappedBuilder)];
+    let builders: [(&str, Box<dyn ShortcutBuilder + Send>); 2] = [
+        ("witness", Box::new(witness)),
+        ("oblivious", Box::new(AutoCappedBuilder)),
+    ];
     for (name, builder) in builders {
         let mut session = Solver::for_graph(&g)
             .parts(PartsStrategy::Explicit(parts.clone()))

@@ -27,10 +27,10 @@ fn facade_reexports_resolve() {
 }
 
 #[test]
-fn experiment_registry_lists_all_seventeen() {
+fn experiment_registry_lists_all_eighteen() {
     let exps = bench::experiments();
-    assert_eq!(exps.len(), 17, "E1..E17 must all be registered");
+    assert_eq!(exps.len(), 18, "E1..E18 must all be registered");
     let ids: Vec<&str> = exps.iter().map(|(id, _)| *id).collect();
-    let expected: Vec<String> = (1..=17).map(|i| format!("E{i}")).collect();
+    let expected: Vec<String> = (1..=18).map(|i| format!("E{i}")).collect();
     assert_eq!(ids, expected.iter().map(String::as_str).collect::<Vec<_>>());
 }

@@ -100,6 +100,34 @@ pub mod bool {
     }
 }
 
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// See [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Strategy for `Vec`s: each case draws a length from `size`, then
+    /// that many elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.random_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
 /// The glob-import prelude, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
