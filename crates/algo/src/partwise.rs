@@ -88,6 +88,7 @@ impl NodeProgram for AggNode {
                 continue;
             }
             let (&part, &value) = self.pending[li]
+                // minex-lint: allow(D001) min over the total-order key (value, part) is iteration-order-insensitive
                 .iter()
                 .min_by_key(|(&p, &v)| (v, p))
                 .expect("non-empty queue");
@@ -169,7 +170,7 @@ pub(crate) fn partwise_min_impl(
                     links.push((w, parts_of_edge[e].clone()));
                 }
             }
-            links.sort();
+            links.sort_unstable();
             AggNode {
                 pending: vec![HashMap::new(); links.len()],
                 links,

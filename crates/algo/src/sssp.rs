@@ -316,6 +316,7 @@ impl NodeProgram for ChannelFloodNode {
                 continue;
             }
             let (&channel, &value) = self.pending[li]
+                // minex-lint: allow(D001) min over the total-order key (value, channel) is iteration-order-insensitive
                 .iter()
                 .min_by_key(|(&c, &v)| (v, c))
                 .expect("non-empty queue");
@@ -626,10 +627,10 @@ mod tests {
         let wg = WeightModel::Uniform { lo: 1, hi: 30 }.apply(&g, &mut rng);
         let parts = Partition::new(&g, vec![(0..g.n()).collect()]).unwrap();
         let shortcut = Shortcut::empty(1);
-        let (best, stats) =
+        let (per_node, stats) =
             channel_distance_flood(&wg, &parts, &shortcut, &[(4, 0, 0)], 24, cfg(g.n())).unwrap();
         let d = traversal::dijkstra(&wg, 4);
-        for (v, channels) in best.iter().enumerate() {
+        for (v, channels) in per_node.iter().enumerate() {
             assert_eq!(channels[&0], d.dist[v], "node {v}");
         }
         assert!(stats.rounds > 0);

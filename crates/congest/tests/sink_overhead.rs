@@ -46,6 +46,7 @@ fn best_secs(
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let mut programs = vec![Storm { rounds_left: 24 }; g.n()];
+        // minex-lint: allow(D002) measuring the sinks' wall-clock overhead is this test's purpose
         let start = Instant::now();
         let stats = f(&mut programs);
         best = best.min(start.elapsed().as_secs_f64().max(1e-9));

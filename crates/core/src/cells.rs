@@ -84,7 +84,7 @@ impl CellPartition {
             }
         }
         let mut cells: Vec<Vec<NodeId>> = cells_map.into_values().collect();
-        cells.sort();
+        cells.sort_unstable();
         CellPartition::new(g, cells)
     }
 

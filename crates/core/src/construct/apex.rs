@@ -292,8 +292,10 @@ mod tests {
                 groups.entry(l).or_default().push(v);
             }
         }
+        let mut grouped: Vec<(usize, Vec<usize>)> = groups.into_iter().collect();
+        grouped.sort_unstable_by_key(|(l, _)| *l);
         let mut pieces = Vec::new();
-        for (_, nodes) in groups {
+        for (_, nodes) in grouped {
             pieces.extend(split_connected(&g, &nodes));
         }
         let parts = Partition::new(&g, pieces).unwrap();

@@ -179,6 +179,7 @@ fn global_shortcuts(
             }
         }
     }
+    // minex-lint: allow(D001) each bucket is sorted+deduped independently; visit order cannot reach any result
     for bucket in qual.values_mut() {
         bucket.sort_unstable();
         bucket.dedup();
@@ -529,20 +530,20 @@ fn split_connected(g: &Graph, nodes: &[usize]) -> Vec<Vec<usize>> {
     for &v in nodes {
         member.insert(v);
     }
-    let mut seen = std::collections::HashSet::new();
+    let mut reached = std::collections::HashSet::new();
     let mut out = Vec::new();
     for &start in nodes {
-        if seen.contains(&start) {
+        if reached.contains(&start) {
             continue;
         }
         let mut piece = Vec::new();
         let mut stack = vec![start];
-        seen.insert(start);
+        reached.insert(start);
         while let Some(v) = stack.pop() {
             piece.push(v);
             for (w, _) in g.neighbors(v) {
-                if member.contains(&w) && !seen.contains(&w) {
-                    seen.insert(w);
+                if member.contains(&w) && !reached.contains(&w) {
+                    reached.insert(w);
                     stack.push(w);
                 }
             }

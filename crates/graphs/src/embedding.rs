@@ -286,10 +286,10 @@ mod tests {
         let mut keys: Vec<_> = dirs.iter().map(|&p| angle_order(p)).collect();
         let sorted = {
             let mut k = keys.clone();
-            k.sort();
+            k.sort_unstable();
             k
         };
-        keys.sort();
+        keys.sort_unstable();
         assert_eq!(keys, sorted);
         // Starting from +x axis, the eight compass directions are already in
         // ccw order, so their keys must be strictly increasing.

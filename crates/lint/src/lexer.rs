@@ -1,0 +1,415 @@
+//! A small Rust lexer: just enough token structure for the rule drivers.
+//!
+//! The lexer's one job is to make the rules immune to the classic grep
+//! failure modes — patterns inside string literals, inside comments, or
+//! glued to other identifiers. It produces a comment-free token stream
+//! (identifiers, punctuation, literals) plus a side list of comments, the
+//! latter solely so the waiver parser can find
+//! `// minex-lint: allow(Dnnn) <reason>` markers.
+//!
+//! It is *not* a full lexer: numeric literal grammar is approximate and
+//! multi-character operators arrive as single-character punctuation
+//! tokens (`::` is two `:` tokens). The rules are written against that
+//! shape. The tricky cases that would otherwise cause false positives are
+//! handled properly: raw strings (`r#"…"#`), byte strings, nested block
+//! comments, raw identifiers (`r#fn`), and the lifetime-versus-char
+//! ambiguity of `'`.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `for`, …).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `(`, `<`, …).
+    Punct,
+    /// Numeric literal, text preserved (suffixes like `1.0f64` matter).
+    Number,
+    /// String, raw string, byte string, or char/byte-char literal.
+    Literal,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text for idents and numbers; empty for literals.
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+}
+
+/// A comment (line or block) with the 1-indexed line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body, delimiters stripped.
+    pub text: String,
+    /// 1-indexed line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexes `src` into a comment-free token stream plus the comment list.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let b = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                comments.push(Comment {
+                    text: src[start..end].to_string(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let start_line = line;
+                i = skip_raw_or_byte(b, i, &mut line);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            b'r' if b.get(i + 1) == Some(&b'#') && is_ident_start(b.get(i + 2).copied()) => {
+                // Raw identifier r#fn: emit the bare name.
+                let start = i + 2;
+                i = start;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal. A char literal closes with a
+                // quote shortly after; a lifetime is `'` + identifier.
+                if b.get(i + 1) == Some(&b'\\') {
+                    i = skip_char_literal(b, i);
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                } else if is_ident_start(b.get(i + 1).copied()) {
+                    let mut j = i + 2;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'\'') {
+                        // 'a' — a char literal.
+                        i = j + 1;
+                        tokens.push(Token {
+                            kind: TokenKind::Literal,
+                            text: String::new(),
+                            line,
+                        });
+                    } else {
+                        // 'ident — a lifetime.
+                        tokens.push(Token {
+                            kind: TokenKind::Lifetime,
+                            text: src[i + 1..j].to_string(),
+                            line,
+                        });
+                        i = j;
+                    }
+                } else {
+                    // '(' or similar after a quote: non-ident char literal
+                    // like '\u{..}' handled above; here e.g. '(' … ')'.
+                    i = skip_char_literal(b, i);
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            c if is_ident_start(Some(c)) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                // Approximate numeric grammar: digits, `_`, `.` (not `..`),
+                // type suffixes, hex/oct/bin prefixes, exponents.
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric()
+                        || b[i] == b'_'
+                        || (b[i] == b'.'
+                            && b.get(i + 1) != Some(&b'.')
+                            && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())))
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (tokens, comments)
+}
+
+fn is_ident_start(c: Option<u8>) -> bool {
+    matches!(c, Some(c) if c == b'_' || c.is_ascii_alphabetic())
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// True at `r"`, `r#"`, `b"`, `br"`, `br#"`, `b'` starts.
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => {
+            let mut j = i + 1;
+            while b.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            j > i + 1 && b.get(j) == Some(&b'"') || b.get(i + 1) == Some(&b'"')
+        }
+        b'b' => match b.get(i + 1) {
+            Some(&b'"') | Some(&b'\'') => true,
+            Some(&b'r') => {
+                let mut j = i + 2;
+                while b.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                b.get(j) == Some(&b'"')
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skips a `"…"` string starting at `b[i] == '"'`, returning the index
+/// one past the closing quote and counting newlines into `line`.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips raw/byte strings and byte-char literals from their prefix.
+fn skip_raw_or_byte(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'\'' {
+        return skip_char_literal(b, i);
+    }
+    if i < b.len() && b[i] == b'r' {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(b.get(i), Some(&b'"'), "raw string must open with a quote");
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+        }
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips a char (or byte-char) literal starting at the opening `'`.
+fn skip_char_literal(b: &[u8], mut i: usize) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_patterns() {
+        let src = r##"
+            let s = "thread_rng inside a string";
+            // thread_rng inside a comment
+            /* Instant::now inside /* a nested */ block */
+            let r = r#"SystemTime raw "quoted" body"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "thread_rng"));
+        assert!(!ids.iter().any(|t| t == "Instant"));
+        assert!(!ids.iter().any(|t| t == "SystemTime"));
+        let (_, comments) = lex(src);
+        assert_eq!(comments.len(), 2);
+        assert!(comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let (tokens, _) = lex(src);
+        let lifetimes: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        assert_eq!(
+            tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_idents_and_byte_strings() {
+        let src = "let r#fn = b\"bytes\"; let c = b'x';";
+        let (tokens, _) = lex(src);
+        assert!(tokens.iter().any(|t| t.is_ident("fn")));
+        assert_eq!(
+            tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let (tokens, _) = lex(src);
+        let b_tok = tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn float_suffixes_survive_in_number_text() {
+        let src = "let x = 1.0f64 + 2f32;";
+        let (tokens, _) = lex(src);
+        let nums: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["1.0f64", "2f32"]);
+    }
+}

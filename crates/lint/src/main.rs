@@ -1,0 +1,131 @@
+//! The `minex-lint` command-line driver.
+//!
+//! ```text
+//! minex-lint check [--json] [--root <dir>]   lint the workspace tree
+//! minex-lint rules                           list every rule id
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (including unused/malformed
+//! waivers), `2` usage or I/O error — so `scripts/check-lint.sh` and the
+//! CI `lint` job can gate on the status alone.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use minex_lint::{scan_tree, RULES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for (id, summary) in RULES {
+                println!("{id}  {summary}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("minex-lint: unknown subcommand `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: minex-lint check [--json] [--root <dir>]");
+    eprintln!("       minex-lint rules");
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("minex-lint: --root needs a directory");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("minex-lint: unknown flag `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!(
+                    "minex-lint: no workspace Cargo.toml found walking up from the current \
+                     directory; pass --root"
+                );
+                return ExitCode::from(2);
+            }
+        },
+    };
+    match scan_tree(&root) {
+        Ok(result) => {
+            if json {
+                println!("{}", result.render_json());
+            } else {
+                print!("{}", result.render_human());
+            }
+            if result.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("minex-lint: scan failed: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]` section.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(body) = std::fs::read_to_string(&manifest) {
+                if body.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !pop(&mut dir) {
+            return None;
+        }
+    }
+}
+
+fn pop(dir: &mut PathBuf) -> bool {
+    let parent: Option<&Path> = dir.parent();
+    match parent {
+        Some(p) => {
+            let p = p.to_path_buf();
+            *dir = p;
+            true
+        }
+        None => false,
+    }
+}

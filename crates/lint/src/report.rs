@@ -1,0 +1,151 @@
+//! Human and `--json` machine output for lint results.
+//!
+//! The JSON is hand-rolled (the crate is dependency-free by charter);
+//! the escaping covers everything rule messages can contain.
+
+use crate::rules::Finding;
+
+/// The outcome of one full scan.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Findings that survived waiver application, in path order.
+    pub findings: Vec<Finding>,
+    /// Number of files the scan actually linted.
+    pub files_scanned: usize,
+    /// Waivers that suppressed at least one finding.
+    pub waivers_used: usize,
+}
+
+impl ScanResult {
+    /// True when nothing (including waiver accounting) fired.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings count per rule id, in rule-id order.
+    pub fn per_rule(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for f in &self.findings {
+            match counts.iter_mut().find(|(r, _)| *r == f.rule) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((f.rule, 1)),
+            }
+        }
+        counts.sort_unstable_by_key(|&(r, _)| r);
+        counts
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: {} {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "minex-lint: {} file(s) scanned, {} finding(s), {} waiver(s) consumed",
+            self.files_scanned,
+            self.findings.len(),
+            self.waivers_used
+        ));
+        if self.is_clean() {
+            out.push_str(" — clean\n");
+        } else {
+            out.push('\n');
+            for (rule, n) in self.per_rule() {
+                out.push_str(&format!("  {rule}: {n}\n"));
+            }
+        }
+        out
+    }
+
+    /// Renders the single-line machine-readable JSON report.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"clean\":");
+        out.push_str(if self.is_clean() { "true" } else { "false" });
+        out.push_str(&format!(
+            ",\"files_scanned\":{},\"waivers_used\":{},\"findings\":[",
+            self.files_scanned, self.waivers_used
+        ));
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            ));
+        }
+        out.push_str("],\"per_rule\":{");
+        for (i, (rule, n)) in self.per_rule().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(rule), n));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_and_shape() {
+        let res = ScanResult {
+            findings: vec![Finding {
+                rule: "D001",
+                file: "a\\b\"c.rs".to_string(),
+                line: 7,
+                message: "line\nbreak".to_string(),
+            }],
+            files_scanned: 3,
+            waivers_used: 1,
+        };
+        let json = res.render_json();
+        assert!(json.starts_with("{\"clean\":false"));
+        assert!(json.contains("\"a\\\\b\\\"c.rs\""));
+        assert!(json.contains("\"line\\nbreak\""));
+        assert!(json.contains("\"per_rule\":{\"D001\":1}"));
+    }
+
+    #[test]
+    fn clean_human_report() {
+        let res = ScanResult {
+            findings: vec![],
+            files_scanned: 42,
+            waivers_used: 4,
+        };
+        assert!(res.render_human().contains("clean"));
+        assert!(res.render_json().starts_with("{\"clean\":true"));
+    }
+}

@@ -1,0 +1,33 @@
+// Should-flag fixture for D001: unordered HashMap/HashSet iteration in a
+// result-affecting crate. Expected findings: 4 × D001.
+use std::collections::{HashMap, HashSet};
+
+struct Buffers {
+    queues: Vec<HashMap<u32, u64>>,
+}
+
+fn direct_iteration(loads: HashMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in loads.iter() {
+        total += v;
+    }
+    total
+}
+
+fn for_in_consumes(groups: HashMap<usize, Vec<usize>>) -> usize {
+    let mut n = 0;
+    for (_, nodes) in groups {
+        n += nodes.len();
+    }
+    n
+}
+
+fn keys_in_hash_order(seen: &HashSet<u32>) -> Vec<u32> {
+    seen.iter().copied().collect()
+}
+
+impl Buffers {
+    fn first_queued(&self, li: usize) -> Option<u32> {
+        self.queues[li].keys().next().copied()
+    }
+}

@@ -1,0 +1,38 @@
+// Should-pass fixture for D001: keyed lookups, Vec-level iteration over a
+// container of maps, and the collect-and-sort idiom are all fine.
+use std::collections::{HashMap, HashSet};
+
+struct Buffers {
+    queues: Vec<HashMap<u32, u64>>,
+}
+
+fn lookups_are_keyed(loads: &HashMap<u32, u64>, member: &HashSet<u32>) -> u64 {
+    let direct = loads[&3];
+    let checked = loads.get(&4).copied().unwrap_or(0);
+    let hit = u64::from(member.contains(&5));
+    direct + checked + hit
+}
+
+fn collect_and_sort(groups: HashMap<usize, Vec<usize>>) -> Vec<(usize, Vec<usize>)> {
+    let mut sorted: Vec<(usize, Vec<usize>)> = groups.into_iter().collect();
+    sorted.sort_unstable_by_key(|(label, _)| *label);
+    sorted
+}
+
+fn collected_values_then_sorted(loads: HashMap<u32, u64>) -> Vec<u64> {
+    let mut values: Vec<u64> = loads.into_values().collect();
+    values.sort_unstable();
+    values
+}
+
+impl Buffers {
+    fn all_empty(&self) -> bool {
+        // Iterating the Vec of queues is ordered; only per-queue
+        // iteration would be hash-ordered.
+        self.queues.iter().all(HashMap::is_empty)
+    }
+
+    fn queued(&self, li: usize, part: u32) -> Option<u64> {
+        self.queues[li].get(&part).copied()
+    }
+}

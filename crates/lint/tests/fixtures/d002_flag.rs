@@ -1,0 +1,16 @@
+// Should-flag fixture for D002: wall-clock reads in a result-affecting
+// crate. Expected findings: 2 × D002.
+use std::time::{Instant, SystemTime};
+
+fn measure<R>(f: impl FnOnce() -> R) -> R {
+    let start = Instant::now();
+    let out = f();
+    let _ = start.elapsed();
+    out
+}
+
+fn stamp_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}

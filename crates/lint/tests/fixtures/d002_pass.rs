@@ -1,0 +1,11 @@
+// Should-pass fixture for D002: round counts are the only clock results
+// may depend on; `Duration` values and round arithmetic are fine.
+use std::time::Duration;
+
+fn round_budget(n: usize) -> usize {
+    2 * n + 16
+}
+
+fn fixed_backoff() -> Duration {
+    Duration::from_millis(50)
+}

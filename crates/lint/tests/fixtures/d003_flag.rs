@@ -1,0 +1,10 @@
+// Should-flag fixture for D003: thread-environment probes outside
+// `CongestConfig::resolved_threads`. Expected findings: 2 × D003.
+
+fn pick_shard_count() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id())
+}

@@ -1,0 +1,22 @@
+// Should-pass fixture for D003: `resolved_threads` is the one sanctioned
+// resolution point; spawning scoped workers from an already-resolved
+// count is fine.
+
+struct CongestConfig {
+    threads: usize,
+}
+
+impl CongestConfig {
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.threads
+        }
+    }
+}
+
+fn spawn_workers(config: &CongestConfig) -> usize {
+    let n = config.resolved_threads();
+    std::thread::scope(|_s| n)
+}

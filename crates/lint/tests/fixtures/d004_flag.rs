@@ -1,0 +1,13 @@
+// Should-flag fixture for D004: floating point in congest payloads or
+// stats. Expected findings: 5 × D004 (two field types, one return type,
+// one cast, one suffixed literal).
+
+struct LoadMsg {
+    edge: u32,
+    ratio: f64,
+    share: f32,
+}
+
+fn utilization(msg: &LoadMsg) -> f64 {
+    (msg.edge as f64) * 1.5f64
+}

@@ -1,0 +1,11 @@
+// Should-pass fixture for D004: integer-scaled payloads (the house
+// convention: weights and ratios carry an explicit integer scale).
+
+struct LoadMsg {
+    edge: u32,
+    ratio_milli: u64,
+}
+
+fn utilization_milli(msg: &LoadMsg) -> u64 {
+    u64::from(msg.edge) * msg.ratio_milli
+}

@@ -1,0 +1,15 @@
+// Should-flag fixture for D005: ambient entropy. Expected findings:
+// 3 × D005.
+
+fn shuffle_seedless(xs: &mut [u32]) {
+    let mut rng = rand::thread_rng();
+    rng.shuffle(xs);
+}
+
+fn entropy_seeded() -> rand::StdRng {
+    rand::StdRng::from_entropy()
+}
+
+fn os_random() -> u64 {
+    rand::OsRng.next_u64()
+}

@@ -1,0 +1,8 @@
+// Should-pass fixture for D005: every RNG is an explicitly seeded StdRng,
+// so any run can be replayed from the seed in its logs.
+use rand::{Rng, SeedableRng, StdRng};
+
+fn deterministic_weights(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(1..64)).collect()
+}

@@ -1,0 +1,10 @@
+// Should-flag fixture for D006: sort hygiene. Expected findings:
+// 2 × D006 (partial_cmp comparator, comparator-free stable sort).
+
+fn sort_scores(scores: &mut Vec<(u32, f64)>) {
+    scores.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+}
+
+fn sort_ids(ids: &mut Vec<u32>) {
+    ids.sort();
+}

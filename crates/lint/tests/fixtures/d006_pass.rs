@@ -1,0 +1,13 @@
+// Should-pass fixture for D006: total-order sorts in the house idiom.
+
+fn sort_scores(scores: &mut Vec<(u32, u64)>) {
+    scores.sort_unstable_by_key(|&(id, score)| (score, id));
+}
+
+fn sort_ids(ids: &mut Vec<u32>) {
+    ids.sort_unstable();
+}
+
+fn sort_pairs(pairs: &mut Vec<(usize, usize)>) {
+    pairs.sort_by_key(|&(a, b)| (a, b));
+}

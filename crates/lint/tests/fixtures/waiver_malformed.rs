@@ -1,0 +1,14 @@
+// Waiver fixture: malformed waivers are errors (W002) and do NOT
+// suppress the underlying finding. Expected findings: 2 × W002
+// (missing justification, unknown rule id) plus the unsuppressed D001.
+use std::collections::HashMap;
+
+fn one(best: &HashMap<u32, u64>) -> Option<u64> {
+    // minex-lint: allow(D001)
+    best.values().copied().min()
+}
+
+// minex-lint: allow(D999) no such rule
+fn two() -> u64 {
+    7
+}

@@ -1,0 +1,7 @@
+// Waiver fixture: a waiver nothing consumes is itself an error (W001) —
+// stale waivers cannot accumulate. Expected findings: 1 × W001.
+
+// minex-lint: allow(D005) leftover justification from refactored code
+fn no_rng_here() -> u64 {
+    42
+}

@@ -1,0 +1,12 @@
+// Waiver fixture: a justified waiver on the line above (or the same
+// line as) a violation suppresses it and counts as consumed.
+use std::collections::HashMap;
+
+fn global_min(best: &HashMap<u32, u64>) -> Option<u64> {
+    // minex-lint: allow(D001) min over a total-order key is iteration-order-insensitive
+    best.values().copied().min()
+}
+
+fn measure() -> std::time::Instant {
+    std::time::Instant::now() // minex-lint: allow(D002) this fixture pretends to be a timing path
+}

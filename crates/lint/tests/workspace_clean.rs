@@ -1,0 +1,31 @@
+//! Dogfood gate: the workspace tree itself must be clean under
+//! `minex-lint`, with every waiver consumed. This is the same check the
+//! `lint` CI job runs via the binary; keeping it in `cargo test` means a
+//! plain `cargo test --workspace` catches determinism-contract drift
+//! even without the CI wrapper.
+
+use std::path::Path;
+
+#[test]
+fn workspace_tree_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let result = minex_lint::scan_tree(root).expect("scan workspace");
+    assert!(
+        result.is_clean(),
+        "workspace has lint findings:\n{}",
+        result.render_human()
+    );
+    assert!(
+        result.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        result.files_scanned
+    );
+}

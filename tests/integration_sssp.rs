@@ -93,16 +93,8 @@ fn shortcut_tier_beats_bellman_ford_on_planar_wheel() {
     let eps = 0.5;
     for (n, seg) in [(192usize, 16usize), (256, 16)] {
         let (wg, parts) = workloads::heavy_hub_wheel(n, seg, 64, 8192);
-        let cmp = compare_sssp(
-            &wg,
-            0,
-            &parts,
-            SteinerBuilder,
-            eps,
-            parts.len() + 2,
-            cfg(n),
-        )
-        .unwrap();
+        let cmp =
+            compare_sssp(&wg, 0, &parts, SteinerBuilder, eps, parts.len() + 2, cfg(n)).unwrap();
         assert!(
             cmp.shortcut_rounds < cmp.exact_rounds,
             "wheel({n},{seg}): shortcut {} vs bellman-ford {}",
@@ -123,16 +115,8 @@ fn shortcut_tier_beats_bellman_ford_on_bounded_treewidth_fan() {
     let eps = 0.5;
     for (n, seg) in [(192usize, 16usize), (256, 16)] {
         let (wg, parts) = workloads::heavy_hub_fan(n, seg, 64, 8192);
-        let cmp = compare_sssp(
-            &wg,
-            1,
-            &parts,
-            SteinerBuilder,
-            eps,
-            parts.len() + 2,
-            cfg(n),
-        )
-        .unwrap();
+        let cmp =
+            compare_sssp(&wg, 1, &parts, SteinerBuilder, eps, parts.len() + 2, cfg(n)).unwrap();
         assert!(
             cmp.shortcut_rounds < cmp.exact_rounds,
             "fan({n},{seg}): shortcut {} vs bellman-ford {}",
