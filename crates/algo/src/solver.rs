@@ -71,6 +71,7 @@ use minex_core::construct::ShortcutBuilder;
 use minex_core::{
     measure_quality, Partition, PartitionError, PlanRepairStats, RootedTree, Shortcut, ShortcutPlan,
 };
+use minex_graphs::dist::{dist_add, UNREACHED};
 use minex_graphs::{
     traversal, DeltaGraph, EdgeId, EdgeMutation, Graph, NodeId, UnionFind, WeightedGraph,
 };
@@ -770,6 +771,7 @@ impl<'a> SolverBuilder<'a> {
             tree: None,
             plan: None,
             caches: Caches::default(),
+            scratch: ScratchArena::default(),
             trace: self.trace.then(SessionTrace::default),
         })
     }
@@ -935,6 +937,44 @@ impl Caches {
     }
 }
 
+/// Per-session scratch arena: a pool of node-sized `u64` columns the query
+/// hot paths lease instead of allocating. The Borůvka drives and the
+/// overlay-SSSP phase loop each burn several `vec![u64::MAX; n]`-shaped
+/// buffers *per phase* (candidate values, relabel ids, previous-distance
+/// snapshots); on a plan-once / query-many session those allocations
+/// dominate the central bookkeeping cost. Leasing recycles the backing
+/// allocations across phases and across queries.
+///
+/// Buffers are handed back explicitly ([`ScratchArena::give_back`]); a
+/// buffer dropped on an early `?` return simply leaves the pool — the next
+/// lease falls back to a fresh allocation, so errors cost a little reuse,
+/// never correctness. The arena holds no query state between leases
+/// (`lease` re-fills every slot), so it is invisible to results, memos,
+/// and traces.
+#[derive(Debug, Default)]
+struct ScratchArena {
+    pool: Vec<Vec<u64>>,
+}
+
+impl ScratchArena {
+    /// Leases a buffer of length `n` with every slot set to `fill`.
+    fn lease(&mut self, n: usize, fill: u64) -> Vec<u64> {
+        match self.pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(n, fill);
+                buf
+            }
+            None => vec![fill; n],
+        }
+    }
+
+    /// Returns a leased buffer's allocation to the pool.
+    fn give_back(&mut self, buf: Vec<u64>) {
+        self.pool.push(buf);
+    }
+}
+
 /// What [`Solver::apply`] did to the session: how the mutation batch
 /// decomposed, whether the cached plan was repaired incrementally, and how
 /// much cached state the batch invalidated.
@@ -1011,6 +1051,7 @@ pub struct Solver {
     tree: Option<RootedTree>,
     plan: Option<ShortcutPlan>,
     caches: Caches,
+    scratch: ScratchArena,
     trace: Option<SessionTrace>,
 }
 
@@ -1495,6 +1536,7 @@ impl Solver {
             ref builder,
             config,
             ref mut caches,
+            ref mut scratch,
             ref mut trace,
             ..
         } = *self;
@@ -1515,6 +1557,11 @@ impl Solver {
         let mut parts = singleton_partition(g);
         let mut shortcut = Shortcut::empty(parts.len());
         let log_n = bits_for(n.max(2));
+        // Relabel ids are the identity column every phase; lease it once.
+        let mut ids = scratch.lease(n, 0);
+        for (v, slot) in ids.iter_mut().enumerate() {
+            *slot = v as u64;
+        }
         while uf.count() > 1 {
             let phase = per_phase.len();
             let fragments = uf.count();
@@ -1529,7 +1576,7 @@ impl Solver {
             };
             charged += quality * log_n;
             // Per-node candidate: lightest incident edge leaving the fragment.
-            let mut values = vec![u64::MAX; n];
+            let mut values = scratch.lease(n, u64::MAX);
             for (v, value) in values.iter_mut().enumerate() {
                 for (w, e) in g.neighbors(v) {
                     if uf.find(v) != uf.find(w) {
@@ -1548,6 +1595,7 @@ impl Solver {
                 || partwise_min_impl(g, &parts, &shortcut, &values, value_bits, config),
                 |a| a.stats,
             )?;
+            scratch.give_back(values);
             simulated_rounds += agg.stats.rounds;
             runs.push(PhaseRun {
                 label: format!("mst phase {phase}: candidate"),
@@ -1583,7 +1631,6 @@ impl Solver {
                     s
                 }
             };
-            let ids: Vec<u64> = (0..n as u64).collect();
             let tags = PhaseLabel::new("mst", "relabel").with_attempt(phase);
             let relabel = traced(
                 trace,
@@ -1617,6 +1664,7 @@ impl Solver {
             parts = new_parts;
             shortcut = new_shortcut;
         }
+        scratch.give_back(ids);
         chosen.sort_unstable();
         chosen.dedup();
         let total_weight = chosen.iter().map(|&e| wg.weight(e)).sum();
@@ -2028,6 +2076,7 @@ impl Solver {
             ref parts,
             config,
             ref caches,
+            ref mut scratch,
             ref mut trace,
             ..
         } = *self;
@@ -2037,7 +2086,7 @@ impl Solver {
         let n = g.n();
         let charged = structure.quality * bits_for(n.max(2));
 
-        let mut dist = vec![u64::MAX; n];
+        let mut dist = scratch.lease(n, u64::MAX);
         dist[source] = 0;
         let mut phase_rounds = Vec::new();
         let mut simulated_rounds = entry.rho_stats.rounds;
@@ -2049,17 +2098,19 @@ impl Solver {
         }];
         let mut converged = false;
         for phase in 0..max_phases {
-            let before = dist.clone();
+            let mut before = scratch.lease(n, 0);
+            before.copy_from_slice(&dist);
             // Overlay aggregation: part minima of D + ρ, through the shortcut.
-            let values: Vec<u64> = (0..n)
-                .map(|v| {
-                    if dist[v] == u64::MAX || entry.rho[v] == u64::MAX {
-                        u64::MAX
-                    } else {
-                        dist[v].saturating_add(entry.rho[v])
-                    }
-                })
-                .collect();
+            let mut values = scratch.lease(n, 0);
+            for (v, slot) in values.iter_mut().enumerate() {
+                // UNREACHED on either side means "no value for this
+                // part yet"; finite sums saturate below the sentinel.
+                *slot = if entry.rho[v] == UNREACHED {
+                    UNREACHED
+                } else {
+                    dist_add(dist[v], entry.rho[v])
+                };
+            }
             let agg_tags = PhaseLabel::new("sssp-shortcut", "aggregate").with_attempt(phase);
             let agg = traced(
                 trace,
@@ -2077,13 +2128,17 @@ impl Solver {
                 },
                 |a| a.stats,
             )?;
+            scratch.give_back(values);
             for (i, part) in parts.parts().iter().enumerate() {
                 let m = agg.minima[i];
                 if m == u64::MAX {
                     continue;
                 }
                 for &v in part {
-                    let cand = m.saturating_add(entry.rho[v]);
+                    if entry.rho[v] == UNREACHED {
+                        continue;
+                    }
+                    let cand = dist_add(m, entry.rho[v]);
                     if cand < dist[v] {
                         dist[v] = cand;
                     }
@@ -2105,7 +2160,9 @@ impl Solver {
                 },
                 |r| r.1,
             )?;
-            dist = relaxed;
+            // The relax round returns a fresh column; the displaced one goes
+            // back to the pool for the next phase's snapshot.
+            scratch.give_back(std::mem::replace(&mut dist, relaxed));
             phase_rounds.push((agg.stats.rounds, relax_stats.rounds));
             simulated_rounds += agg.stats.rounds + relax_stats.rounds;
             runs.push(PhaseRun {
@@ -2120,15 +2177,19 @@ impl Solver {
                 stats: relax_stats,
                 repeats: 1,
             });
-            if dist == before {
+            let done = dist == before;
+            scratch.give_back(before);
+            if done {
                 converged = true;
                 break;
             }
         }
+        let out_dist = rescale(&dist, scale);
+        scratch.give_back(dist);
 
         Ok((
             ShortcutSsspOutcome {
-                dist: rescale(&dist, scale),
+                dist: out_dist,
                 scale,
                 phases: phase_rounds.len(),
                 converged,
@@ -2251,6 +2312,7 @@ impl Solver {
             ref builder,
             config,
             ref mut caches,
+            ref mut scratch,
             ref mut trace,
             ..
         } = *self;
@@ -2294,7 +2356,10 @@ impl Solver {
                         s
                     }
                 };
-                let ids: Vec<u64> = (0..n as u64).collect();
+                let mut ids = scratch.lease(n, 0);
+                for (v, slot) in ids.iter_mut().enumerate() {
+                    *slot = v as u64;
+                }
                 let tags = PhaseLabel::new("components", "final-labels");
                 let agg = traced(
                     trace,
@@ -2303,6 +2368,7 @@ impl Solver {
                     || partwise_min_impl(g, &parts, &shortcut, &ids, bits_for(n.max(2)), config),
                     |a| a.stats,
                 )?;
+                scratch.give_back(ids);
                 rounds += agg.stats.rounds;
                 runs.push(PhaseRun {
                     label: "final label flood".into(),
@@ -2337,7 +2403,7 @@ impl Solver {
                 }
             };
             // Candidate: minimum-id incident edge leaving the fragment.
-            let mut values = vec![u64::MAX; n];
+            let mut values = scratch.lease(n, u64::MAX);
             for (v, value) in values.iter_mut().enumerate() {
                 for (w, e) in g.neighbors(v) {
                     if uf.find(v) != uf.find(w) {
@@ -2362,6 +2428,7 @@ impl Solver {
                 },
                 |a| a.stats,
             )?;
+            scratch.give_back(values);
             rounds += agg.stats.rounds;
             runs.push(PhaseRun {
                 label: format!("components phase {}: candidate", phases - 1),

@@ -37,6 +37,7 @@ use minex_congest::primitives::{build_bfs_tree, weighted_distance_flood};
 use minex_congest::{bits_for, run, CongestConfig, Ctx, NodeProgram, Payload, RunStats, SimError};
 use minex_core::construct::ShortcutBuilder;
 use minex_core::{Partition, Shortcut};
+use minex_graphs::dist::{dist_add, dist_mul, UNREACHED};
 use minex_graphs::{traversal, Graph, NodeId, WeightedGraph};
 
 use crate::solver::{into_sim, PartsStrategy, Solver, Tier};
@@ -55,12 +56,54 @@ pub(crate) fn dist_value_bits(wg: &WeightedGraph) -> usize {
 /// at most `k·h ≤ ε·w_min·h ≤ ε·dist`, so the rescaled exact distance on the
 /// scaled graph is within `(1+ε)` of the true distance. When `ε·w_min < 1`
 /// the scale degenerates to 1 and the computation is exact.
+///
+/// The floor is computed *exactly*, in integer arithmetic: `ε` is
+/// decomposed into its IEEE-754 mantissa/exponent pair `m·2^e` (which
+/// represents it with no error) and `⌊m·w_min·2^e⌋` is evaluated in `u128`.
+/// Evaluating `ε·w_min` in f64 instead — as this function originally did —
+/// rounds `w_min` to 53 bits first, which for `w_min > 2^53` can round *up*
+/// across an integer boundary (e.g. `2^60 + 200` becomes `2^60 + 256`) and
+/// so overshoot the true `⌊ε·w_min⌋`. A too-large `k` silently voids the
+/// `(1+ε)` guarantee; a regression test pins the exact behaviour near
+/// `2^60`.
 pub fn scale_for(epsilon: f64, min_weight: u64) -> u64 {
     assert!(epsilon >= 0.0, "epsilon must be non-negative");
-    let k = (epsilon * min_weight as f64).floor();
-    if k < 1.0 {
+    if epsilon == 0.0 || min_weight == 0 {
+        return 1;
+    }
+    if epsilon.is_infinite() {
+        return u64::MAX;
+    }
+    // Exact decomposition: epsilon = mantissa · 2^exp2 (52-bit fraction,
+    // subnormals get the denormal exponent and no implicit bit).
+    let bits = epsilon.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7FF) as i64;
+    let fraction = bits & ((1u64 << 52) - 1);
+    let (mantissa, exp2) = if raw_exp == 0 {
+        (fraction, -1074i64)
+    } else {
+        (fraction | (1u64 << 52), raw_exp - 1075)
+    };
+    // mantissa ≤ 2^53 − 1 and min_weight ≤ 2^64 − 1, so the product fits
+    // u128 with headroom (≤ 2^117).
+    let product = u128::from(mantissa) * u128::from(min_weight);
+    let k: u128 = if exp2 >= 0 {
+        if (exp2 as u32) >= product.leading_zeros() {
+            u128::MAX
+        } else {
+            product << exp2
+        }
+    } else {
+        let shift = (-exp2) as u32;
+        if shift >= 128 {
+            0
+        } else {
+            product >> shift
+        }
+    };
+    if k < 1 {
         1
-    } else if k >= u64::MAX as f64 {
+    } else if k >= u128::from(u64::MAX) {
         u64::MAX
     } else {
         k as u64
@@ -79,17 +122,12 @@ pub(crate) fn scale_weights(wg: &WeightedGraph, scale: u64) -> WeightedGraph {
     WeightedGraph::new(wg.graph().clone(), weights)
 }
 
-/// Maps scaled distances back to weight units (`u64::MAX` stays unreached).
+/// Maps scaled distances back to weight units under the sentinel contract:
+/// [`UNREACHED`] stays unreached, finite products saturate at
+/// [`DIST_MAX`](minex_graphs::dist::DIST_MAX) so a saturated real path
+/// never collides with the sentinel.
 pub(crate) fn rescale(dist: &[u64], scale: u64) -> Vec<u64> {
-    dist.iter()
-        .map(|&d| {
-            if d == u64::MAX {
-                u64::MAX
-            } else {
-                d.saturating_mul(scale)
-            }
-        })
-        .collect()
+    dist.iter().map(|&d| dist_mul(d, scale)).collect()
 }
 
 /// The worst multiplicative overshoot `est[v] / exact[v]` over all nodes.
@@ -106,7 +144,7 @@ pub fn max_stretch(est: &[u64], exact: &[u64]) -> f64 {
     assert_eq!(est.len(), exact.len(), "length mismatch");
     let mut worst: f64 = 1.0;
     for (v, (&e, &x)) in est.iter().zip(exact.iter()).enumerate() {
-        if x == u64::MAX || e == u64::MAX {
+        if x == UNREACHED || e == UNREACHED {
             assert_eq!(e, x, "reachability disagrees at node {v}");
             continue;
         }
@@ -309,7 +347,7 @@ impl NodeProgram for ChannelFloodNode {
                 .binary_search_by_key(&from, |&(nb, _, _)| nb)
                 .map(|i| self.links[i].1)
                 .expect("sender is a neighbor");
-            self.absorb(msg.channel, msg.value.saturating_add(w), Some(from));
+            self.absorb(msg.channel, dist_add(msg.value, w), Some(from));
         }
         for li in 0..self.links.len() {
             if self.pending[li].is_empty() {
@@ -590,6 +628,47 @@ mod tests {
         assert_eq!(scale_for(0.25, 64), 16);
         assert_eq!(scale_for(1.0, 64), 64);
         assert_eq!(scale_for(0.5, 1), 1);
+    }
+
+    #[test]
+    fn scale_for_is_exact_beyond_f64_precision() {
+        // w_min = 2^60 + 200 is not representable in f64 (the ulp at 2^60
+        // is 256): the old `(epsilon * min_weight as f64).floor()` rounded
+        // it up to 2^60 + 256 and returned a too-large scale, silently
+        // voiding the (1+ε) guarantee. The integer floor is exact.
+        let w = (1u64 << 60) + 200;
+        assert_eq!(scale_for(1.0, w), w);
+        assert_eq!(scale_for(0.5, w), w / 2);
+        assert_eq!(scale_for(0.25, w), w / 4);
+        // Small-ε precision at the same magnitude: ⌊2^-60 · (2^60+200)⌋ = 1.
+        assert_eq!(scale_for((0.5f64).powi(60), w), 1);
+        // Clamps at the extremes.
+        assert_eq!(scale_for(1e18, u64::MAX), u64::MAX);
+        assert_eq!(scale_for(f64::INFINITY, 7), u64::MAX);
+        assert_eq!(scale_for(f64::MIN_POSITIVE, u64::MAX), 1);
+    }
+
+    #[test]
+    fn overflow_adjacent_weights_agree_across_tiers() {
+        use minex_graphs::dist::{is_reached, DIST_MAX};
+        // A two-hop path whose total weight overflows u64: under the
+        // sentinel contract every tier reports the same saturated-but-
+        // reached distance (DIST_MAX), never the UNREACHED sentinel.
+        let g = generators::path(3);
+        let wg = WeightedGraph::new(g, vec![u64::MAX / 2 + 10, u64::MAX / 2 + 10]);
+        let d = traversal::dijkstra(&wg, 0);
+        assert_eq!(d.dist, vec![0, u64::MAX / 2 + 10, DIST_MAX]);
+        let out = bellman_ford_sssp(&wg, 0, cfg(3)).unwrap();
+        assert_eq!(out.dist, d.dist);
+        assert_eq!(out.parent, d.parent);
+        assert!(is_reached(out.dist[2]));
+        // Rescaling keeps saturated real paths distinguishable from
+        // unreached — the disagreement the old saturating_add-to-MAX code
+        // produced.
+        assert_eq!(
+            rescale(&[DIST_MAX, UNREACHED], 1 << 20),
+            vec![DIST_MAX, UNREACHED]
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! byte-identical to the sequential engine, only wall time changes);
 //! `--perf-json <file>` writes a machine-readable wall-time summary
 //! (`BENCH_pr.json` in CI), including a `plan_reuse` section with E14's
-//! solver-vs-legacy amortization figures, a `scale` section with E15's
+//! solver-vs-legacy amortization figures, an `engine_scaling` section with
+//! E13's rounds/sec rows (the hot-path throughput the nightly perf floor
+//! locks via `scripts/check-perf-floor.sh`), a `scale` section with E15's
 //! CSR-vs-nested-Vec memory and iteration figures, a `dynamic` section
 //! with E16's incremental-repair-vs-rebuild figures, a `serve` section
 //! with E18's queries/sec-vs-concurrent-clients figures, and a
@@ -40,6 +42,7 @@ fn flag_value(args: &[String], pos: usize, flag: &str) -> String {
 /// traced-session JSONL export.
 struct SweepOutput {
     perf: Vec<(&'static str, f64)>,
+    engine_scaling: Option<minex_bench::Table>,
     plan_reuse: Option<minex_bench::Table>,
     scale: Option<minex_bench::Table>,
     dynamic: Option<minex_bench::Table>,
@@ -106,6 +109,7 @@ fn main() {
     let run = || {
         let mut out = SweepOutput {
             perf: Vec::new(),
+            engine_scaling: None,
             plan_reuse: None,
             scale: None,
             dynamic: None,
@@ -133,6 +137,7 @@ fn main() {
                 });
             }
             match id {
+                "E13" => out.engine_scaling = Some(table),
                 "E14" => out.plan_reuse = Some(table),
                 "E15" => out.scale = Some(table),
                 "E16" => out.dynamic = Some(table),
@@ -174,6 +179,11 @@ fn main() {
             "  \"threads\": {},",
             threads.map_or("null".into(), |t| t.to_string())
         );
+        // Debug builds distort every wall-clock figure (no vectorization,
+        // overflow checks on the hot loops); consumers like
+        // `scripts/check-perf-floor.sh` use this flag to skip timing
+        // comparisons, consistent with `MINEX_SKIP_TIMING_ASSERTS`.
+        let _ = writeln!(json, "  \"debug\": {},", cfg!(debug_assertions));
         let total: f64 = out.perf.iter().map(|(_, ms)| ms).sum();
         let _ = writeln!(json, "  \"total_wall_ms\": {total:.1},");
         json.push_str("  \"experiments\": [\n");
@@ -183,6 +193,21 @@ fn main() {
                 json,
                 "    {{\"id\": \"{id}\", \"wall_ms\": {ms:.1}}}{comma}"
             );
+        }
+        json.push_str("  ],\n");
+        // E13's engine-throughput rows: rounds/sec of the CONGEST round
+        // loop per thread count. These are the hot-path numbers the
+        // nightly scale job locks against `expected/perf-floor.json`.
+        json.push_str("  \"engine_scaling\": [\n");
+        if let Some(table) = &out.engine_scaling {
+            for (i, row) in table.rows.iter().enumerate() {
+                let comma = if i + 1 < table.rows.len() { "," } else { "" };
+                let _ = writeln!(
+                    json,
+                    "    {{\"family\": \"{}\", \"n\": {}, \"threads\": {}, \"rounds\": {}, \"messages\": {}, \"krounds_per_sec\": {}, \"speedup\": {}}}{comma}",
+                    row[0], row[1], row[2], row[3], row[4], row[6], row[7]
+                );
+            }
         }
         json.push_str("  ],\n");
         // E14's amortization rows: plan-once/query-many vs N legacy calls.

@@ -64,6 +64,7 @@ mod parallel;
 pub mod primitives;
 mod program;
 mod runtime;
+mod soa;
 pub mod telemetry;
 
 pub use message::{bits_for, Payload};

@@ -56,22 +56,23 @@ use minex_graphs::{GraphView, NodeId};
 use crate::message::Payload;
 use crate::program::{Ctx, NodeProgram};
 use crate::runtime::{CongestConfig, RunStats, SendValidator, SimError};
+use crate::soa::{DeliveryColumns, Outbox, SendColumns};
 use crate::telemetry::Sink;
 
 /// Per-shard scratch, allocated once per run and reused every round.
 struct ShardScratch<M> {
     /// Validated sends of this shard's round, in (sender, outbox) order.
-    sends: Vec<(NodeId, NodeId, M)>,
+    sends: SendColumns<M>,
     /// The outbox handed to `Ctx`, reused across nodes.
-    outbox: Vec<(NodeId, M)>,
+    outbox: Outbox<M>,
     validator: SendValidator,
 }
 
 impl<M> ShardScratch<M> {
     fn new(n: usize) -> Self {
         ShardScratch {
-            sends: Vec::new(),
-            outbox: Vec::new(),
+            sends: SendColumns::new(),
+            outbox: Outbox::new(),
             validator: SendValidator::new(n),
         }
     }
@@ -80,12 +81,12 @@ impl<M> ShardScratch<M> {
 /// One round of work mailed to a worker shard.
 struct RoundTask<M, S> {
     round: usize,
-    /// This shard's deliveries as (local node index, sender, message), in
-    /// global ascending-sender order.
-    deliveries: Vec<(usize, NodeId, M)>,
+    /// This shard's deliveries as (local node index, sender, payload)
+    /// columns, in global ascending-sender order.
+    deliveries: DeliveryColumns<M>,
     /// The shard's own (drained) send buffer from last round, returned for
     /// reuse.
-    recycled: Vec<(NodeId, NodeId, M)>,
+    recycled: SendColumns<M>,
     /// The shard's telemetry fork, ping-ponged so the coordinator can merge
     /// on any exit path.
     sink: S,
@@ -95,10 +96,10 @@ struct RoundTask<M, S> {
 struct ShardDone<M, S> {
     /// Validated sends in (sender, outbox) order, for the coordinator to
     /// merge; drained there and recycled back next round.
-    sends: Vec<(NodeId, NodeId, M)>,
+    sends: SendColumns<M>,
     /// The (drained) delivery buffer, recycled into the coordinator's
     /// bucket for this shard.
-    recycled: Vec<(usize, NodeId, M)>,
+    recycled: DeliveryColumns<M>,
     /// The shard's telemetry fork, handed back after the shard's events
     /// (`None` until the worker loop re-attaches it).
     sink: Option<S>,
@@ -152,14 +153,15 @@ where
         let mut shard0_inboxes: Vec<Vec<(NodeId, P::Msg)>> =
             vec![Vec::new(); shard0_programs.len()];
         let mut shard0_scratch: ShardScratch<P::Msg> = ShardScratch::new(n);
-        let mut shard0_bucket: Vec<(usize, NodeId, P::Msg)> = Vec::new();
+        let mut shard0_bucket: DeliveryColumns<P::Msg> = DeliveryColumns::new();
         let mut shard0_sink = sink.fork_shard();
         // Next-round delivery buckets, recycled send buffers, and parked
         // telemetry forks, one per worker shard; all ping-pong through the
         // channels.
-        let mut worker_buckets: Vec<Vec<(usize, NodeId, P::Msg)>> = vec![Vec::new(); workers.len()];
-        let mut worker_recycled: Vec<Vec<(NodeId, NodeId, P::Msg)>> =
-            vec![Vec::new(); workers.len()];
+        let mut worker_buckets: Vec<DeliveryColumns<P::Msg>> =
+            (0..workers.len()).map(|_| DeliveryColumns::new()).collect();
+        let mut worker_recycled: Vec<SendColumns<P::Msg>> =
+            (0..workers.len()).map(|_| SendColumns::new()).collect();
         let mut worker_sinks: Vec<Option<S>> =
             workers.iter().map(|_| Some(sink.fork_shard())).collect();
         let merge_sinks = |sink: &mut S, shard0_sink: S, worker_sinks: Vec<Option<S>>| {
@@ -183,10 +185,17 @@ where
                 let _ = task_tx.send(task);
             }
             // The coordinator works shard 0 while the workers run theirs.
-            for (local, from, msg) in shard0_bucket.drain(..) {
-                shard0_sink.on_deliver(round, from, local, msg.bit_size());
-                shard0_inboxes[local].push((from, msg));
+            // Delivery drain: walk the id columns, move only the payloads.
+            for ((&local, &from), msg) in shard0_bucket
+                .locals
+                .iter()
+                .zip(&shard0_bucket.srcs)
+                .zip(shard0_bucket.payloads.drain(..))
+            {
+                shard0_sink.on_deliver(round, from as NodeId, local as usize, msg.bit_size());
+                shard0_inboxes[local as usize].push((from as NodeId, msg));
             }
+            shard0_bucket.clear();
             let mut dones: Vec<ShardDone<P::Msg, S>> = Vec::with_capacity(workers.len() + 1);
             let mut shard0_done = run_shard(
                 graph,
@@ -209,7 +218,7 @@ where
             stats.messages += shard0_done.messages;
             stats.total_bits += shard0_done.total_bits;
             stats.max_message_bits = stats.max_message_bits.max(shard0_done.max_message_bits);
-            let mut sends_in_order: Vec<Vec<(NodeId, NodeId, P::Msg)>> =
+            let mut sends_in_order: Vec<SendColumns<P::Msg>> =
                 Vec::with_capacity(workers.len() + 1);
             sends_in_order.push(std::mem::take(&mut shard0_done.sends));
             for (w, done) in dones.into_iter().enumerate() {
@@ -233,16 +242,24 @@ where
                 return Err(err);
             }
             // Merge into next-round buckets in shard (== ascending sender
-            // id) order, then hand the drained buffers back.
+            // id) order, then hand the drained buffers back. The sweep
+            // reads only the id columns; payloads move untouched.
             for (s, mut sends) in sends_in_order.into_iter().enumerate() {
-                for (from, to, msg) in sends.drain(..) {
+                for ((&from, &to), msg) in sends
+                    .srcs
+                    .iter()
+                    .zip(&sends.dsts)
+                    .zip(sends.payloads.drain(..))
+                {
+                    let (from, to) = (from as NodeId, to as NodeId);
                     let dest = to / chunk;
                     if dest == 0 {
-                        shard0_bucket.push((to, from, msg));
+                        shard0_bucket.push(to, from, msg);
                     } else {
-                        worker_buckets[dest - 1].push((to % chunk, from, msg));
+                        worker_buckets[dest - 1].push(to % chunk, from, msg);
                     }
                 }
+                sends.clear();
                 if s == 0 {
                     shard0_scratch.sends = sends;
                 } else {
@@ -287,10 +304,16 @@ fn worker_loop<P: NodeProgram, S: Sink>(
         scratch.sends = recycled;
         // Deliveries arrive in global ascending-sender order; pushing in
         // arrival order preserves it per inbox, as the sequential engine.
-        for (local, from, msg) in deliveries.drain(..) {
-            sink.on_deliver(round, from, lo + local, msg.bit_size());
-            inboxes[local].push((from, msg));
+        for ((&local, &from), msg) in deliveries
+            .locals
+            .iter()
+            .zip(&deliveries.srcs)
+            .zip(deliveries.payloads.drain(..))
+        {
+            sink.on_deliver(round, from as NodeId, lo + local as usize, msg.bit_size());
+            inboxes[local as usize].push((from as NodeId, msg));
         }
+        deliveries.clear();
         let mut done = run_shard(
             graph,
             &config,
@@ -324,8 +347,8 @@ fn run_shard<P: NodeProgram, S: Sink>(
     sink: &mut S,
 ) -> ShardDone<P::Msg, S> {
     let mut report = ShardDone {
-        sends: Vec::new(),
-        recycled: Vec::new(),
+        sends: SendColumns::new(),
+        recycled: DeliveryColumns::new(),
         sink: None,
         messages: 0,
         total_bits: 0,
@@ -346,13 +369,20 @@ fn run_shard<P: NodeProgram, S: Sink>(
             program.on_round(&mut ctx);
         }
         inboxes[i].clear();
-        for (to, msg) in scratch.outbox.drain(..) {
-            let bits = msg.bit_size();
-            match scratch.validator.check(graph, config, v, to, bits) {
+        // Validation sweep over the id/hint columns (payloads untouched
+        // except for `bit_size`), mirroring the sequential engine.
+        for j in 0..scratch.outbox.len() {
+            let to = scratch.outbox.dsts[j] as NodeId;
+            let bits = scratch.outbox.payloads[j].bit_size();
+            match scratch
+                .validator
+                .check(graph, config, v, to, scratch.outbox.hints[j], bits)
+            {
                 Ok(edge) => sink.on_send(round, v, to, edge, bits),
                 Err(err) => {
-                    // `check` left per-sender state dirty, but an error
-                    // aborts the whole run, so the scratch is never reused.
+                    // `check` left per-sender state dirty, and this node's
+                    // already-validated sends never reach `sends` — but an
+                    // error aborts the whole run, so neither is observable.
                     report.error = Some(err);
                     report.sends = std::mem::take(&mut scratch.sends);
                     return report;
@@ -361,9 +391,16 @@ fn run_shard<P: NodeProgram, S: Sink>(
             report.messages += 1;
             report.total_bits += bits as u64;
             report.max_message_bits = report.max_message_bits.max(bits);
-            scratch.sends.push((v, to, msg));
         }
         scratch.validator.finish_sender();
+        // Whole-outbox bulk append: the sender column is a constant run,
+        // the destination column a memcpy, the payload column one move.
+        scratch
+            .sends
+            .srcs
+            .extend(std::iter::repeat(v as u32).take(scratch.outbox.len()));
+        scratch.sends.dsts.extend_from_slice(&scratch.outbox.dsts);
+        scratch.sends.payloads.append(&mut scratch.outbox.payloads);
     }
     report.all_done = programs.iter().all(|p| p.is_done());
     report.sends = std::mem::take(&mut scratch.sends);

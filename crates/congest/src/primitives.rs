@@ -5,6 +5,7 @@
 //! algorithms and a validation workload for the simulator: the expected
 //! round counts (`≈ eccentricity`, `≈ depth`) are asserted in tests.
 
+use minex_graphs::dist::dist_add;
 use minex_graphs::{Graph, NodeId, WeightedGraph};
 
 use crate::message::Payload;
@@ -163,7 +164,7 @@ impl NodeProgram for WeightedFloodProgram {
                 .binary_search_by_key(&from, |&(nb, _)| nb)
                 .map(|i| self.link_weights[i].1)
                 .expect("sender is a neighbor");
-            let cand = msg.value.saturating_add(w);
+            let cand = dist_add(msg.value, w);
             if cand < self.dist {
                 self.dist = cand;
                 self.parent = Some(from);
@@ -269,7 +270,7 @@ impl NodeProgram for RelaxOnceProgram {
                 .binary_search_by_key(&from, |&(nb, _)| nb)
                 .map(|i| self.link_weights[i].1)
                 .expect("sender is a neighbor");
-            self.dist = self.dist.min(msg.value.saturating_add(w));
+            self.dist = self.dist.min(dist_add(msg.value, w));
         }
     }
 

@@ -3,6 +3,7 @@
 use minex_graphs::{EdgeId, GraphView, NodeId};
 
 use crate::message::Payload;
+use crate::soa::Outbox;
 
 /// The per-round view a node program gets of its surroundings.
 ///
@@ -16,7 +17,7 @@ pub struct Ctx<'a, M: Payload> {
     node: NodeId,
     round: usize,
     inbox: &'a [(NodeId, M)],
-    outbox: &'a mut Vec<(NodeId, M)>,
+    outbox: &'a mut Outbox<M>,
 }
 
 impl<'a, M: Payload> Ctx<'a, M> {
@@ -25,7 +26,7 @@ impl<'a, M: Payload> Ctx<'a, M> {
         node: NodeId,
         round: usize,
         inbox: &'a [(NodeId, M)],
-        outbox: &'a mut Vec<(NodeId, M)>,
+        outbox: &'a mut Outbox<M>,
     ) -> Self {
         Ctx {
             graph,
@@ -75,15 +76,23 @@ impl<'a, M: Payload> Ctx<'a, M> {
     /// neighborship, per-edge uniqueness, and bandwidth after the callback
     /// returns.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.outbox.push((to, msg));
+        self.outbox.push(to, msg);
     }
 
     /// Sends `msg` to every neighbor, walking the CSR row directly (no
-    /// intermediate target buffer).
+    /// intermediate target buffer). The row's targets and edge ids memcpy
+    /// straight into the outbox id columns; the edge ids double as
+    /// validation hints, so broadcast messages skip the per-message
+    /// `edge_between` lookup in the validation sweep.
     pub fn broadcast(&mut self, msg: M) {
-        for &w in self.graph.neighbor_targets(self.node) {
-            self.outbox.push((w as NodeId, msg.clone()));
-        }
+        let targets = self.graph.neighbor_targets(self.node);
+        self.outbox.dsts.extend_from_slice(targets);
+        self.outbox
+            .hints
+            .extend_from_slice(self.graph.neighbor_edge_ids(self.node));
+        self.outbox
+            .payloads
+            .extend(std::iter::repeat_with(|| msg.clone()).take(targets.len()));
     }
 }
 

@@ -7,6 +7,7 @@ use minex_graphs::{EdgeId, GraphView, NodeId};
 
 use crate::message::{bits_for, Payload};
 use crate::program::{Ctx, NodeProgram};
+use crate::soa::{Outbox, NO_HINT};
 use crate::telemetry::{self, NoopSink, Sink};
 
 /// Simulator configuration.
@@ -216,6 +217,14 @@ impl SendValidator {
     /// Validates one queued send of `bits` bits from `from` to `to`,
     /// returning the id of the edge it crosses (the neighborship lookup
     /// already pays for it, and telemetry sinks key per-link load by it).
+    ///
+    /// `hint` is the outbox's edge-id hint column entry: broadcasts record
+    /// the CSR edge id at queue time, so the `edge_between` binary search
+    /// is skipped for them; [`NO_HINT`] (plain `send`) pays the lookup.
+    /// Hints originate from the graph's own CSR row, so taking them at
+    /// face value cannot change which sends are accepted — the check order
+    /// (neighborship, duplicate, bandwidth) is observably identical either
+    /// way.
     #[inline]
     pub(crate) fn check(
         &mut self,
@@ -223,10 +232,17 @@ impl SendValidator {
         config: &CongestConfig,
         from: NodeId,
         to: NodeId,
+        hint: u32,
         bits: usize,
     ) -> Result<EdgeId, SimError> {
-        let Some(edge) = graph.edge_between(from, to) else {
-            return Err(SimError::NotANeighbor { from, to });
+        let edge = if hint == NO_HINT {
+            match graph.edge_between(from, to) {
+                Some(edge) => edge,
+                None => return Err(SimError::NotANeighbor { from, to }),
+            }
+        } else {
+            debug_assert_eq!(graph.edge_between(from, to), Some(hint as EdgeId));
+            hint as EdgeId
         };
         if self.seen_dest[to] {
             return Err(SimError::DuplicateSend { from, to });
@@ -360,7 +376,7 @@ fn run_sequential<P: NodeProgram, S: Sink>(
     // the steady-state loop performs no allocation.
     let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
     let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-    let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
+    let mut outbox: Outbox<P::Msg> = Outbox::new();
     let mut validator = SendValidator::new(n);
     for round in 0..config.max_rounds {
         sink.on_round_start(round);
@@ -382,18 +398,27 @@ fn run_sequential<P: NodeProgram, S: Sink>(
             // The inbox is consumed; empty it in place, keeping its capacity
             // for the swap two rounds from now.
             inboxes[v].clear();
-            // Validate and enqueue.
-            for (to, msg) in outbox.drain(..) {
-                let bits = msg.bit_size();
-                let edge = validator.check(graph, &config, v, to, bits)?;
+            // Validation sweep: a branch-light pass over just the id/hint
+            // columns (payloads untouched — only `bit_size` is read).
+            for i in 0..outbox.len() {
+                let to = outbox.dsts[i] as NodeId;
+                let bits = outbox.payloads[i].bit_size();
+                let edge = validator.check(graph, &config, v, to, outbox.hints[i], bits)?;
                 sink.on_send(round, v, to, edge, bits);
                 stats.messages += 1;
                 stats.total_bits += bits as u64;
                 stats.max_message_bits = stats.max_message_bits.max(bits);
-                next_inboxes[to].push((v, msg));
                 any_message = true;
             }
             validator.finish_sender();
+            // Every send validated: move the payload column into the
+            // destination inboxes. Deferring the moves past the sweep is
+            // unobservable — an `Err` above returns immediately and all
+            // engine state is discarded.
+            for (&to, msg) in outbox.dsts.iter().zip(outbox.payloads.drain(..)) {
+                next_inboxes[to as usize].push((v, msg));
+            }
+            outbox.clear();
         }
         let all_done = (0..n).all(|v| programs[v].is_done());
         // Every processed slot of `inboxes` was cleared above and skipped
@@ -578,7 +603,7 @@ mod tests {
         let n = graph.n();
         let mut stats = RunStats::default();
         let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-        let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
+        let mut outbox: Outbox<P::Msg> = Outbox::new();
         let mut seen_dest: Vec<bool> = vec![false; n];
         for round in 0..config.max_rounds {
             let mut next_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
@@ -594,9 +619,26 @@ mod tests {
                     programs[v].on_round(&mut ctx);
                 }
                 let mut used: Vec<NodeId> = Vec::with_capacity(outbox.len());
-                for (to, msg) in outbox.drain(..) {
-                    if graph.edge_between(v, to).is_none() {
-                        return Err(SimError::NotANeighbor { from: v, to });
+                let hints = std::mem::take(&mut outbox.hints);
+                for (i, (&to32, msg)) in outbox
+                    .dsts
+                    .iter()
+                    .zip(outbox.payloads.drain(..))
+                    .enumerate()
+                {
+                    let to = to32 as NodeId;
+                    // Validate every message from scratch — the reference
+                    // never trusts the hint column, it *audits* it.
+                    match graph.edge_between(v, to) {
+                        None => return Err(SimError::NotANeighbor { from: v, to }),
+                        Some(edge) => {
+                            if hints[i] != NO_HINT {
+                                assert_eq!(
+                                    hints[i] as EdgeId, edge,
+                                    "outbox hint disagrees with edge_between for {v}->{to}"
+                                );
+                            }
+                        }
                     }
                     if seen_dest[to] {
                         return Err(SimError::DuplicateSend { from: v, to });
@@ -699,6 +741,80 @@ mod tests {
         }
         fn is_done(&self) -> bool {
             true
+        }
+    }
+
+    /// Mixes hinted broadcasts with unhinted targeted sends,
+    /// data-dependently, so the SoA engines drive both validator paths
+    /// against the AoS reference in one run.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Mixer {
+        acc: u64,
+        bursts_left: usize,
+    }
+
+    impl NodeProgram for Mixer {
+        type Msg = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+            for &(from, msg) in ctx.inbox() {
+                self.acc = self
+                    .acc
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(msg ^ from as u64);
+            }
+            if self.bursts_left > 0 {
+                self.bursts_left -= 1;
+                if self.acc % 2 == 0 {
+                    ctx.broadcast(self.acc);
+                } else {
+                    let targets: Vec<NodeId> = ctx
+                        .neighbors()
+                        .filter(|&(w, _)| (self.acc ^ w as u64) % 3 != 0)
+                        .map(|(w, _)| w)
+                        .collect();
+                    for w in targets {
+                        ctx.send(w, self.acc ^ w as u64);
+                    }
+                }
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.bursts_left == 0
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// SoA-vs-AoS byte identity: the column-based engines (sequential
+        /// and 4-thread) must match the tuple-based `run_naive` reference —
+        /// stats and final program states — on irregular traffic.
+        #[test]
+        fn soa_engines_match_aos_reference(
+            n in 4usize..48, extra in 0usize..32, seed in 0u64..1000,
+        ) {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let g = generators::random_connected(n, extra, &mut rng);
+            let fresh: Vec<Mixer> = (0..n)
+                .map(|v| Mixer { acc: v as u64 ^ seed, bursts_left: 1 + v % 4 })
+                .collect();
+            let mut naive = fresh.clone();
+            let a = run_naive(&g, &mut naive, CongestConfig::for_nodes(n)).unwrap();
+            for threads in [1usize, 4] {
+                let mut soa = fresh.clone();
+                let b = run(
+                    &g,
+                    &mut soa,
+                    CongestConfig::for_nodes(n).with_threads(threads),
+                )
+                .unwrap();
+                proptest::prop_assert_eq!(a, b, "stats diverge (threads={})", threads);
+                proptest::prop_assert_eq!(
+                    &naive, &soa,
+                    "program states diverge (threads={})", threads
+                );
+            }
         }
     }
 

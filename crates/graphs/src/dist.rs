@@ -1,0 +1,81 @@
+//! The workspace-wide distance sentinel contract.
+//!
+//! Every `u64` distance vector in the workspace reserves exactly one value:
+//! [`UNREACHED`] (`u64::MAX`) means *no path found*, and nothing else.
+//! Finite-distance arithmetic therefore saturates one below the sentinel, at
+//! [`DIST_MAX`] (`u64::MAX - 1`): a real but astronomically long path clamps
+//! to `DIST_MAX` and stays distinguishable from "unreached" through every
+//! downstream pass (rescaling, stretch measurement, tier cross-checks).
+//!
+//! Before this contract, tiers disagreed on overflow-adjacent weights: a
+//! plain `saturating_add` produced `u64::MAX` for a *reachable* node, which
+//! `rescale`-style consumers then treated as unreached. All distance math in
+//! `traversal::dijkstra`, the congest distance floods, and the `minex-algo`
+//! SSSP tiers goes through [`dist_add`] / [`dist_mul`] so the tiers cannot
+//! drift apart again.
+
+/// The unique "no path found" sentinel. Nothing else may produce this value.
+pub const UNREACHED: u64 = u64::MAX;
+
+/// The largest representable *finite* distance — saturation clamps here,
+/// one below [`UNREACHED`], so saturated real paths stay reached.
+pub const DIST_MAX: u64 = u64::MAX - 1;
+
+/// Whether `d` denotes a reached node.
+#[inline]
+pub fn is_reached(d: u64) -> bool {
+    d != UNREACHED
+}
+
+/// Distance addition under the sentinel contract: [`UNREACHED`] absorbs
+/// (no path plus anything is still no path), finite sums saturate at
+/// [`DIST_MAX`].
+#[inline]
+pub fn dist_add(a: u64, b: u64) -> u64 {
+    if a == UNREACHED {
+        return UNREACHED;
+    }
+    a.saturating_add(b).min(DIST_MAX)
+}
+
+/// Distance scaling under the sentinel contract: [`UNREACHED`] maps to
+/// itself, finite products saturate at [`DIST_MAX`].
+#[inline]
+pub fn dist_mul(a: u64, b: u64) -> u64 {
+    if a == UNREACHED {
+        return UNREACHED;
+    }
+    a.saturating_mul(b).min(DIST_MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreached_absorbs() {
+        assert_eq!(dist_add(UNREACHED, 0), UNREACHED);
+        assert_eq!(dist_add(UNREACHED, 123), UNREACHED);
+        assert_eq!(dist_mul(UNREACHED, 7), UNREACHED);
+        assert!(!is_reached(UNREACHED));
+    }
+
+    #[test]
+    fn finite_math_saturates_below_sentinel() {
+        assert_eq!(dist_add(1, 2), 3);
+        assert_eq!(dist_add(DIST_MAX, 1), DIST_MAX);
+        assert_eq!(dist_add(u64::MAX - 5, 100), DIST_MAX);
+        assert_eq!(dist_mul(3, 4), 12);
+        assert_eq!(dist_mul(1 << 40, 1 << 40), DIST_MAX);
+        assert!(is_reached(DIST_MAX));
+    }
+
+    #[test]
+    fn saturated_stays_distinguishable() {
+        // The whole point of the contract: a saturated real path is not the
+        // sentinel, even after further hops or rescaling.
+        let d = dist_add(DIST_MAX, 42);
+        assert!(is_reached(d));
+        assert!(is_reached(dist_mul(d, 1 << 20)));
+    }
+}

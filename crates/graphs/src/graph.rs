@@ -734,9 +734,13 @@ impl WeightedGraph {
         &self.weights
     }
 
-    /// Sum of all edge weights.
+    /// Sum of all edge weights, saturating at `u64::MAX` (the total is used
+    /// as an a-priori distance bound, so clamping is the right overflow
+    /// behaviour on overflow-adjacent weight sets).
     pub fn total_weight(&self) -> u64 {
-        self.weights.iter().sum()
+        self.weights
+            .iter()
+            .fold(0u64, |acc, &w| acc.saturating_add(w))
     }
 
     /// Consumes the pair back into `(graph, weights)`.

@@ -13,8 +13,12 @@
 //!   churn (tombstone bitmap + sorted insert buffer, threshold-triggered
 //!   compaction back into flat CSR), sharing the read surface with [`Graph`]
 //!   through the object-safe [`GraphView`] trait;
-//! * [`mod@reference`] — the pre-CSR nested-`Vec` adjacency list, kept as the
-//!   differential-testing and benchmarking baseline;
+//! * [`mod@reference`] — the pre-CSR nested-`Vec` adjacency list and the
+//!   pre-bucket `BinaryHeap` Dijkstra, kept as differential-testing and
+//!   benchmarking baselines;
+//! * [`mod@dist`] — the workspace-wide `u64` distance sentinel contract
+//!   ([`dist::UNREACHED`] is the only "no path" value; finite math
+//!   saturates at [`dist::DIST_MAX`]);
 //! * [`generators`] — every graph family the paper names (planar, bounded
 //!   genus, apex, vortex, clique-sums, series-parallel, k-trees, the
 //!   `Ω̃(√n)` lower-bound family), each emitting a structure witness;
@@ -80,6 +84,7 @@
 #![warn(missing_debug_implementations)]
 
 mod delta;
+pub mod dist;
 pub mod embedding;
 pub mod generators;
 pub mod geometry;

@@ -15,8 +15,59 @@
 //! streaming construction — and must stay that way: its value is being
 //! obviously correct and representative of the pre-CSR cost model, not
 //! being fast.
+//!
+//! [`dijkstra_heap`] plays the same role for the bucket-queue Dijkstra in
+//! [`traversal`](crate::traversal): the pre-bucket `BinaryHeap`
+//! implementation, kept verbatim as the differential oracle and as the
+//! fallback for weight ranges the bucket ring cannot host. This module is
+//! the *only* place in the result-affecting crates where `BinaryHeap` is
+//! allowed (minex-lint rule D007 enforces that).
 
-use crate::graph::{EdgeId, Graph, GraphError, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::dist::{dist_add, UNREACHED};
+use crate::graph::{EdgeId, Graph, GraphError, NodeId, WeightedGraph};
+use crate::traversal::DijkstraResult;
+
+/// Sequential Dijkstra on a binary heap — the implementation
+/// [`traversal::dijkstra`](crate::traversal::dijkstra) shipped before the
+/// bucket-queue rewrite, preserved bit for bit (modulo the shared
+/// [`dist`](crate::dist) sentinel arithmetic).
+///
+/// Two jobs: the differential oracle the bucket queue is property-tested
+/// against (`crates/graphs/tests/proptest_dijkstra.rs`), and the fallback
+/// `traversal::dijkstra` takes when a zero weight or a weight above the
+/// ring cap makes buckets degenerate. Ties are broken by node id: the heap
+/// pops the smallest `(distance, node)` pair.
+///
+/// # Panics
+///
+/// Panics if `src >= g.n()`.
+pub fn dijkstra_heap(wg: &WeightedGraph, src: NodeId) -> DijkstraResult {
+    let g = wg.graph();
+    assert!(src < g.n(), "source {src} out of range");
+    let mut dist = vec![UNREACHED; g.n()];
+    let mut parent = vec![None; g.n()];
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    dist[src] = 0;
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v] {
+            continue;
+        }
+        for (&w, &e) in g.neighbor_targets(v).iter().zip(g.neighbor_edge_ids(v)) {
+            let w = w as NodeId;
+            let cand = dist_add(d, wg.weight(e as usize));
+            if cand < dist[w] {
+                dist[w] = cand;
+                parent[w] = Some(v);
+                heap.push(Reverse((cand, w)));
+            }
+        }
+    }
+    DijkstraResult { dist, parent }
+}
 
 /// A simple undirected graph stored as one sorted `Vec<(neighbor, edge)>`
 /// per node — the pre-CSR representation, preserved as a differential

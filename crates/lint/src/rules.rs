@@ -1,4 +1,4 @@
-//! The determinism-contract rule drivers (D001–D006) and waiver engine.
+//! The determinism-contract rule drivers (D001–D007) and waiver engine.
 //!
 //! Every rule enforces a repo-specific invariant of the minex determinism
 //! contract: results must be byte-identical across the sequential and
@@ -22,7 +22,7 @@ use crate::lexer::{lex, Comment, Token, TokenKind};
 /// A single lint finding.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Stable rule id (`D001`..`D006`, or `W001`/`W002` for waiver
+    /// Stable rule id (`D001`..`D007`, or `W001`/`W002` for waiver
     /// accounting errors).
     pub rule: &'static str,
     /// Workspace-relative path of the offending file.
@@ -55,6 +55,11 @@ pub struct Scope {
     /// D006: no `sort_by` + `partial_cmp`, no comparator-free `.sort()`
     /// (the house idiom is `sort_unstable*`), anywhere.
     pub d006: bool,
+    /// D007: no `BinaryHeap` in result-affecting crates outside
+    /// `crates/graphs/src/reference.rs` — the one sanctioned heap is the
+    /// reference Dijkstra the bucket-queue fast path is differentially
+    /// tested against.
+    pub d007: bool,
 }
 
 /// The five crates whose output feeds the determinism contract.
@@ -65,7 +70,7 @@ pub const RESULT_CRATES: [&str; 5] = ["congest", "core", "algo", "graphs", "deco
 pub const TIMING_CRATES: [&str; 2] = ["bench", "serve"];
 
 /// Rule ids in order, with one-line summaries (for `minex-lint rules`).
-pub const RULES: [(&str, &str); 8] = [
+pub const RULES: [(&str, &str); 9] = [
     (
         "D001",
         "no HashMap/HashSet iteration in result-affecting crates (collect-and-sort or waive)",
@@ -89,6 +94,10 @@ pub const RULES: [(&str, &str); 8] = [
     (
         "D006",
         "no sort_by+partial_cmp and no comparator-free .sort() (use sort_unstable*)",
+    ),
+    (
+        "D007",
+        "no BinaryHeap in result-affecting crates outside graphs::reference (bucket queue is the hot path)",
     ),
     (
         "W001",
@@ -130,6 +139,7 @@ pub fn scope_for(rel_path: &str) -> Option<Scope> {
         d004: crate_name == "congest" && p.starts_with("crates/congest/src/"),
         d005: true,
         d006: true,
+        d007: result_crate && p != "crates/graphs/src/reference.rs",
     })
 }
 
@@ -164,6 +174,9 @@ pub fn lint_source_with_stats(rel_path: &str, src: &str, scope: Scope) -> (Vec<F
     }
     if scope.d006 {
         d006_sorts(&cx, &mut findings);
+    }
+    if scope.d007 {
+        d007_binary_heap(&cx, &mut findings);
     }
     apply_waivers(rel_path, &comments, findings)
 }
@@ -775,6 +788,34 @@ fn d006_sorts(cx: &FileCx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+/// D007: `BinaryHeap` in result-affecting code. The SSSP hot path is a
+/// monotone bucket queue; the one sanctioned heap is the reference
+/// Dijkstra in `crates/graphs/src/reference.rs`, kept as the differential
+/// oracle. A heap anywhere else reintroduces the pop-order coupling the
+/// bucket queue was proven byte-identical against, and sidesteps the
+/// shared distance-sentinel arithmetic (`minex_graphs::dist`). Imports are
+/// skipped (D002-style): the construction or type-position site is what
+/// gets flagged.
+fn d007_binary_heap(cx: &FileCx<'_>, out: &mut Vec<Finding>) {
+    for (i, t) in cx.tokens.iter().enumerate() {
+        if cx.in_use[i] {
+            continue;
+        }
+        if t.is_ident("BinaryHeap") {
+            out.push(
+                cx.finding(
+                    "D007",
+                    i,
+                    "`BinaryHeap` in a result-affecting crate: the sanctioned heap lives in \
+                 `graphs::reference` as the differential oracle; use the bucket-queue fast \
+                 path (or `dist`-aware arithmetic) or waive with a justification"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
 /// True if tokens at `i` form `IDENT :: name`.
 fn path_then(toks: &[Token], i: usize, name: &str) -> bool {
     toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
@@ -901,6 +942,7 @@ mod tests {
                 d004: true,
                 d005: true,
                 d006: true,
+                d007: true,
             },
         )
     }
@@ -1011,6 +1053,17 @@ mod tests {
     }
 
     #[test]
+    fn d007_binary_heap_flagged_import_ignored() {
+        let src = "use std::collections::BinaryHeap; \
+                   fn f() { let mut h: BinaryHeap<u64> = BinaryHeap::new(); h.push(3); }";
+        assert_eq!(rules_of(src), vec!["D007", "D007"]);
+        assert!(rules_of(
+            "fn f() { let mut q = std::collections::VecDeque::new(); q.push_back(1); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
     fn waivers_suppress_and_account() {
         let src = "fn f() { let m: HashMap<u32, u64> = HashMap::new();\n\
                    // minex-lint: allow(D001) min over a total-order key is order-insensitive\n\
@@ -1030,12 +1083,18 @@ mod tests {
         assert!(scope_for("crates/lint/tests/fixtures/d001_flag.rs").is_none());
         assert!(scope_for("README.md").is_none());
         let congest = scope_for("crates/congest/src/runtime.rs").unwrap();
-        assert!(congest.d001 && congest.d004);
+        assert!(congest.d001 && congest.d004 && congest.d007);
         let bench = scope_for("crates/bench/src/lib.rs").unwrap();
         assert!(!bench.d001 && !bench.d002 && !bench.d003 && bench.d005 && bench.d006);
+        assert!(!bench.d007);
         let facade = scope_for("tests/smoke.rs").unwrap();
         assert!(!facade.d001 && facade.d002);
         let lint = scope_for("crates/lint/src/rules.rs").unwrap();
         assert!(!lint.d001 && lint.d002 && !lint.d004);
+        // The one sanctioned heap: the reference Dijkstra oracle.
+        let reference = scope_for("crates/graphs/src/reference.rs").unwrap();
+        assert!(reference.d001 && !reference.d007);
+        let traversal = scope_for("crates/graphs/src/traversal.rs").unwrap();
+        assert!(traversal.d007);
     }
 }

@@ -121,6 +121,25 @@ fn d006_pass_fixture() {
 }
 
 #[test]
+fn d007_flag_fixture() {
+    let (findings, _) = lint_fixture("d007_flag.rs", CORE_PATH);
+    assert_eq!(rule_ids(&findings), ["D007"; 3], "{findings:?}");
+}
+
+#[test]
+fn d007_pass_fixture() {
+    let (findings, _) = lint_fixture("d007_pass.rs", CORE_PATH);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d007_fixture_passes_in_graphs_reference() {
+    // The reference Dijkstra oracle is the one sanctioned heap site.
+    let (findings, _) = lint_fixture("d007_flag.rs", "crates/graphs/src/reference.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
 fn waiver_used_fixture() {
     let (findings, used) = lint_fixture("waiver_used.rs", CORE_PATH);
     assert!(findings.is_empty(), "{findings:?}");

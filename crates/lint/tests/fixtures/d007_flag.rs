@@ -1,0 +1,19 @@
+//! Deliberately violating fixture: a `BinaryHeap` priority queue in what
+//! the test simulates as a result-affecting crate. Three flag sites: the
+//! annotation, the turbofished constructor, and the return type (the
+//! `use` import is skipped — the usage sites are what get flagged).
+
+use std::collections::BinaryHeap;
+
+fn drain_in_pop_order(items: &[u64]) -> Vec<u64> {
+    let mut heap: BinaryHeap<u64> = items.iter().copied().collect();
+    let mut out = Vec::with_capacity(items.len());
+    while let Some(x) = heap.pop() {
+        out.push(x);
+    }
+    out
+}
+
+fn empty_queue() -> BinaryHeap<(u64, usize)> {
+    BinaryHeap::new()
+}

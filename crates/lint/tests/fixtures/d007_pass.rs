@@ -1,0 +1,26 @@
+//! The sanctioned shape: a monotone bucket queue keyed on small integer
+//! distances — dense arrays and a `VecDeque`, no heap anywhere.
+
+use std::collections::VecDeque;
+
+fn bucket_order(keys: &[usize], w_max: usize) -> Vec<usize> {
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); w_max + 1];
+    for (i, &k) in keys.iter().enumerate() {
+        buckets[k % (w_max + 1)].push(i);
+    }
+    let mut out = Vec::with_capacity(keys.len());
+    for b in &mut buckets {
+        b.sort_unstable();
+        out.append(b);
+    }
+    out
+}
+
+fn fifo(items: &[u64]) -> Vec<u64> {
+    let mut q: VecDeque<u64> = items.iter().copied().collect();
+    let mut out = Vec::with_capacity(items.len());
+    while let Some(x) = q.pop_front() {
+        out.push(x);
+    }
+    out
+}

@@ -331,7 +331,11 @@ fn overload_sheds_with_503_instead_of_queueing() {
         })
         .expect("bind");
         let addr = server.addr();
-        let wg = grid(8, 8, 5);
+        // Large enough that the gate-holding min-cut comfortably outlasts
+        // one mst round-trip even on a fast hot path / slow scheduler —
+        // the raw-speed pass shrank query times enough that an 8x8 grid's
+        // min-cut could finish before the racing mst ever arrived.
+        let wg = grid(16, 16, 5);
         let mut client = Client::connect(addr).unwrap();
         let session = client.create_session(&upload(&wg, 1)).unwrap();
 

@@ -13,6 +13,7 @@
 #   D004 floating point in the congest message plane
 #   D005 unseeded randomness
 #   D006 partial_cmp sorts / comparator-free .sort()
+#   D007 BinaryHeap in result-affecting crates outside graphs::reference
 #
 # To waive a justified site: `// minex-lint: allow(Dnnn) <reason>` on the
 # line of (or the line above) the flagged code.
